@@ -1,0 +1,143 @@
+// Ablation: the Cowen scheme's design knobs.
+//
+//  1. Landmark sizing: initial sample size vs worst-node memory and
+//     stretch — the Õ(n^{2/3}) (few landmarks, big clusters) to
+//     Õ(n^{1/2}) (balanced) spectrum the paper cites via Cowen and
+//     Thorup–Zwick.
+//  2. Cluster cap: how aggressively overloaded nodes are promoted.
+//  3. Ball strictness: strict balls (correct for strictly monotone
+//     algebras, smaller tables) vs non-strict balls (needed for weakly
+//     monotone algebras, bigger tables) — measured on shortest path,
+//     where both are correct, to isolate the cost.
+#include "bench_util.hpp"
+
+#include "algebra/primitives.hpp"
+#include "scheme/cowen.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace cpr {
+namespace {
+
+struct Run {
+  double delivery = 0;
+  std::size_t worst_stretch = 0;
+  std::size_t landmarks = 0;
+  std::size_t max_bits = 0;
+  double mean_bits = 0;
+};
+
+Run evaluate(const Graph& g, const EdgeMap<std::uint64_t>& w,
+             const CowenOptions& opt, std::uint64_t seed) {
+  const ShortestPath alg{1024};
+  Rng rng(seed);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, g, w, rng, opt);
+  Run run;
+  run.landmarks = scheme.landmark_count();
+  const auto fp = measure_footprint(scheme, g.node_count());
+  run.max_bits = fp.max_node_bits;
+  run.mean_bits = fp.mean_node_bits;
+  std::size_t delivered = 0, total = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.index(g.node_count()));
+    const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
+    if (s == t) continue;
+    ++total;
+    const RouteResult r = simulate_route(scheme, g, s, t);
+    if (!r.delivered) continue;
+    ++delivered;
+    const auto achieved = weight_of_path(alg, g, w, r.path);
+    const auto& preferred = scheme.tree(t).weight[s];
+    const auto k = algebraic_stretch(alg, *preferred, *achieved, 8);
+    if (k.has_value()) run.worst_stretch = std::max(run.worst_stretch, *k);
+  }
+  run.delivery = static_cast<double>(delivered) / total;
+  return run;
+}
+
+void print_report() {
+  const std::size_t n = 512;
+  Rng rng(2);
+  const Graph g = bench::sweep_graph(n, 5);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  std::cout << "=== Ablation: Cowen scheme knobs (shortest path, n = " << n
+            << ") ===\n\n";
+
+  std::cout << "1) initial landmark count (cluster cap auto):\n";
+  TextTable t1({"initial landmarks", "final landmarks", "delivery",
+                "worst stretch", "max bits", "mean bits"});
+  for (const std::size_t init : {4u, 16u, 53u, 128u, 256u}) {
+    CowenOptions opt;
+    opt.initial_landmarks = init;
+    const Run r = evaluate(g, w, opt, 77);
+    t1.add_row({TextTable::num(init), TextTable::num(r.landmarks),
+                TextTable::num(100 * r.delivery, 1) + "%",
+                TextTable::num(r.worst_stretch), TextTable::num(r.max_bits),
+                TextTable::num(r.mean_bits, 0)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n2) cluster cap (initial landmarks = sqrt(n ln n)):\n";
+  TextTable t2({"cluster cap", "final landmarks", "delivery",
+                "worst stretch", "max bits", "mean bits"});
+  for (const std::size_t cap : {8u, 32u, 128u, 512u}) {
+    CowenOptions opt;
+    opt.cluster_cap = cap;
+    const Run r = evaluate(g, w, opt, 78);
+    t2.add_row({TextTable::num(cap), TextTable::num(r.landmarks),
+                TextTable::num(100 * r.delivery, 1) + "%",
+                TextTable::num(r.worst_stretch), TextTable::num(r.max_bits),
+                TextTable::num(r.mean_bits, 0)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n3) ball strictness (both correct for SM algebras):\n";
+  TextTable t3({"balls", "delivery", "worst stretch", "max bits",
+                "mean bits"});
+  for (const auto balls :
+       {CowenOptions::Balls::kStrict, CowenOptions::Balls::kNonStrict}) {
+    CowenOptions opt;
+    opt.balls = balls;
+    const Run r = evaluate(g, w, opt, 79);
+    t3.add_row({balls == CowenOptions::Balls::kStrict ? "strict (≺)"
+                                                      : "non-strict (⪯)",
+                TextTable::num(100 * r.delivery, 1) + "%",
+                TextTable::num(r.worst_stretch), TextTable::num(r.max_bits),
+                TextTable::num(r.mean_bits, 0)});
+  }
+  t3.print(std::cout);
+  std::cout << "\nTakeaways: too few landmarks blow the clusters (memory "
+               "up), too many turn the scheme into\nfull tables; the cap "
+               "bounds the worst node at the cost of extra landmarks; "
+               "non-strict balls\ncost memory, which is why they are "
+               "reserved for the weakly monotone algebras that need "
+               "them.\n"
+            << std::endl;
+}
+
+void BM_CowenForward(benchmark::State& state) {
+  const std::size_t n = 512;
+  Rng rng(2);
+  const Graph g = bench::sweep_graph(n, 5);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const auto scheme =
+      CowenScheme<ShortestPath>::build(ShortestPath{1024}, g, w, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_route(scheme, g, 3, static_cast<NodeId>(n - 1)));
+  }
+}
+BENCHMARK(BM_CowenForward);
+
+}  // namespace
+}  // namespace cpr
+
+int main(int argc, char** argv) {
+  cpr::print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Resilience ablation: what the memory savings cost when links fail.
+//
+// All three shortest-path-capable schemes are built on the same graph;
+// k random edges are failed; random pairs are routed. Reported per
+// scheme: delivery rate and the share of pairs that were physically still
+// connected but lost by the static scheme. Expectation: the spanning-tree
+// scheme (built for selective algebras; here used as a stretch-heavy
+// baseline on the widest-path weights) is the most fragile, Cowen sits in
+// the middle (landmark and cluster routes die), destination tables lose
+// only the pairs whose preferred path crossed a failure.
+#include "bench_util.hpp"
+
+#include "algebra/primitives.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+#include "sim/resilience.hpp"
+#include "util/table.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace cpr {
+namespace {
+
+void print_report() {
+  const std::size_t n = 256;
+  Rng rng(31);
+  const Graph g = bench::sweep_graph(n, 13);
+  const auto costs = random_integer_weights(g, 1, 64, rng);
+  const auto caps = random_integer_weights(g, 1, 64, rng);
+
+  const ShortestPath sp{64};
+  const WidestPath wp{64};
+  const auto tables = DestinationTableScheme::from_algebra(sp, g, costs);
+  const auto cowen = CowenScheme<ShortestPath>::build(sp, g, costs, rng);
+  const auto tree_edges = preferred_spanning_tree(wp, g, caps);
+  const TreeRouter tree(g, tree_edges);
+
+  std::cout << "=== Resilience under random link failures (n = " << n
+            << ", m = " << g.edge_count() << ") ===\n"
+            << "Static schemes cannot reroute; 'lost-connected' counts "
+               "pairs the graph could still serve.\n\n";
+  TextTable table({"failed edges", "scheme", "max bits/node", "delivery",
+                   "lost-connected"});
+  for (const std::size_t failures : {1u, 4u, 16u, 64u}) {
+    auto row = [&](const char* name, const auto& scheme) {
+      Rng eval(failures * 97 + 5);
+      const ResilienceReport r =
+          measure_resilience(scheme, g, failures, 2000, eval);
+      table.add_row(
+          {TextTable::num(failures), name,
+           TextTable::num(measure_footprint(scheme, n).max_node_bits),
+           TextTable::num(100 * r.delivery_rate(), 1) + "%",
+           TextTable::num(100.0 * r.lost_but_connected /
+                              std::max<std::size_t>(r.pairs_tested, 1),
+                          1) +
+               "%"});
+    };
+    row("dest tables (S)", tables);
+    row("cowen (S)", cowen);
+    row("spanning tree (W)", tree);
+  }
+  table.print(std::cout);
+  std::cout << "\nMemory and robustness trade against each other: the "
+               "cheaper the scheme, the more of the\nsurviving topology it "
+               "fails to use. (The paper's model is static by design — "
+               "recomputation\nis the protocol layer's job, see "
+               "bench_protocol's reconvergence series.)\n"
+            << std::endl;
+}
+
+void BM_ResilienceSweep(benchmark::State& state) {
+  const std::size_t n = 128;
+  Rng rng(7);
+  const Graph g = bench::sweep_graph(n, 13);
+  const auto costs = random_integer_weights(g, 1, 64, rng);
+  const auto tables =
+      DestinationTableScheme::from_algebra(ShortestPath{64}, g, costs);
+  for (auto _ : state) {
+    Rng eval(9);
+    benchmark::DoNotOptimize(
+        measure_resilience(tables, g, 8, 500, eval).delivered);
+  }
+}
+BENCHMARK(BM_ResilienceSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cpr
+
+int main(int argc, char** argv) {
+  cpr::print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

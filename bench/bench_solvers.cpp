@@ -1,0 +1,91 @@
+// Microbenchmarks of the path-computation substrates: generalized
+// Dijkstra across algebras, the path-vector fixed point, the exact
+// shortest-widest solver, and the valley-free BFS. These are engine
+// benchmarks (not a paper figure) — they document the cost of the
+// machinery the experiments run on.
+#include "bench_util.hpp"
+
+#include "algebra/lex_product.hpp"
+#include "algebra/primitives.hpp"
+#include "bgp/valley_free.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/path_vector.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace cpr {
+namespace {
+
+void BM_DijkstraShortestPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const Graph g = bench::sweep_graph(n, 2);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(ShortestPath{}, g, w, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edge_count()));
+}
+BENCHMARK(BM_DijkstraShortestPath)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DijkstraWidestShortest(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const WidestShortest ws;
+  const Graph g = bench::sweep_graph(n, 2);
+  EdgeMap<WidestShortest::Weight> w(g.edge_count());
+  for (auto& x : w) x = ws.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(ws, g, w, 0));
+  }
+}
+BENCHMARK(BM_DijkstraWidestShortest)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ShortestWidestExact(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const ShortestWidest sw;
+  const Graph g = bench::sweep_graph(n, 2);
+  EdgeMap<ShortestWidest::Weight> w(g.edge_count());
+  for (auto& x : w) x = {rng.uniform(1, 16), rng.uniform(1, 64)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shortest_widest_exact(sw, g, w, 0));
+  }
+}
+BENCHMARK(BM_ShortestWidestExact)->Arg(256)->Arg(1024);
+
+void BM_PathVectorShortestPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const Graph g = bench::sweep_graph(n, 2);
+  const auto w = random_integer_weights(g, 1, 64, rng);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path_vector(ShortestPath{}, dg, aw, 0));
+  }
+}
+BENCHMARK(BM_PathVectorShortestPath)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ValleyFreeAllDestinations(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  AsTopologyOptions opt;
+  opt.nodes = n;
+  opt.tier1 = 3;
+  const AsTopology topo = generate_as_topology(opt, rng);
+  for (auto _ : state) {
+    for (NodeId t = 0; t < topo.graph.node_count(); t += 16) {
+      benchmark::DoNotOptimize(valley_free_reachability(topo, t));
+    }
+  }
+}
+BENCHMARK(BM_ValleyFreeAllDestinations)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cpr
+
+BENCHMARK_MAIN();

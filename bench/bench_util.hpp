@@ -1,0 +1,34 @@
+// Shared helpers for the reproduction benches: fixed-seed weight
+// generation and growth-sweep plumbing. Every bench prints its report from
+// main() with deterministic seeds so runs are comparable, and then runs
+// any registered google-benchmark microbenchmarks.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/generators.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cpr::bench {
+
+template <RoutingAlgebra A>
+EdgeMap<typename A::Weight> sampled_weights(const A& alg, const Graph& g,
+                                            Rng& rng) {
+  EdgeMap<typename A::Weight> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  return w;
+}
+
+inline std::vector<std::size_t> default_sweep() {
+  return {32, 64, 128, 256, 512};
+}
+
+// Connected Erdős–Rényi instance with mean degree ~6, fixed per (n, seed).
+inline Graph sweep_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed * 7919 + n);
+  const double p = std::min(1.0, 6.0 / static_cast<double>(n - 1));
+  return erdos_renyi_connected(n, p, rng);
+}
+
+}  // namespace cpr::bench

@@ -1,0 +1,94 @@
+// Ethernet switching as usable-path routing — the paper's footnote 5:
+// "the fact that Ethernet runs over what is called the Spanning Tree
+// Protocol shows the expressiveness of Lemma 1."
+//
+//   $ ./ethernet_stp [switches] [seed]
+//
+// A switched LAN is a graph whose links are all equally usable (the U
+// algebra: one finite weight, every traversable path equally preferred).
+// U is selective + monotone, so Lemma 1 says a preferred spanning tree
+// exists — that tree IS what STP computes — and Theorem 1 says forwarding
+// over it needs only Θ(log n) state per switch, versus the Θ(n·log d) MAC
+// table a naive flat design would burn. The demo builds the LAN, runs the
+// Kruskal-by-⪯ construction (which for U is just "any spanning tree",
+// exactly STP's attitude), routes frames through the tree router, and
+// contrasts the two memory footprints. It also shows what STP gives up:
+// cross-links are dark fiber (longer tree detours), measured as hop
+// stretch.
+#include "algebra/primitives.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 48;
+  Rng rng(argc > 2 ? std::stoull(argv[2]) : 5);
+
+  // A LAN with redundant uplinks: a random connected topology with mean
+  // degree ~4 (the redundancy STP exists to tame).
+  const Graph lan =
+      erdos_renyi_connected(n, 4.0 / static_cast<double>(n - 1), rng);
+  const UsablePath u;
+  EdgeMap<UsablePath::Weight> w(lan.edge_count(), 1);
+
+  std::cout << "LAN: " << n << " switches, " << lan.edge_count()
+            << " links (" << lan.edge_count() - (n - 1)
+            << " redundant)\n";
+
+  // Lemma 1 constructive direction = STP: a preferred spanning tree.
+  const auto tree_edges = preferred_spanning_tree(u, lan, w);
+  std::cout << "STP blocks " << lan.edge_count() - tree_edges.size()
+            << " ports; " << tree_edges.size() << " links forward.\n\n";
+
+  const TreeRouter stp(lan, tree_edges);
+  const auto mac_tables = DestinationTableScheme::from_algebra(u, lan, w);
+
+  // Route every pair over the tree; record hop stretch vs the direct
+  // (hop-count) optimum the blocked links could have offered.
+  Summary stretch;
+  {
+    std::vector<double> ratios;
+    for (NodeId s = 0; s < n; ++s) {
+      const auto direct = bfs_distances(lan, s);
+      for (NodeId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const RouteResult r = simulate_route(stp, lan, s, t);
+        if (!r.delivered) {
+          std::cout << "frame lost?! s=" << s << " t=" << t << "\n";
+          return 1;
+        }
+        ratios.push_back(static_cast<double>(r.hops()) /
+                         static_cast<double>(direct[t]));
+      }
+    }
+    stretch = summarize(std::move(ratios));
+  }
+
+  TextTable table({"design", "state at the busiest switch", "frame paths"});
+  const auto fp_tree = measure_footprint(stp, n);
+  const auto fp_tables = measure_footprint(mac_tables, n);
+  table.add_row({"STP + tree labels (Thm 1)",
+                 TextTable::num(fp_tree.max_node_bits) + " bits",
+                 "tree-only, mean hop stretch " +
+                     TextTable::num(stretch.mean, 2) + " (max " +
+                     TextTable::num(stretch.max, 2) + ")"});
+  table.add_row({"flat MAC tables",
+                 TextTable::num(fp_tables.max_node_bits) + " bits",
+                 "shortest available, stretch 1"});
+  table.print(std::cout);
+
+  std::cout << "\nAll traversable paths are equally preferred under U, so "
+               "the tree paths are *optimal in the\nalgebra* (weight-"
+               "stretch 1) even while hop counts inflate — exactly why "
+               "Lemma 1 lets\nEthernet get away with a tree.\n";
+  return 0;
+}

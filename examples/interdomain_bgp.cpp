@@ -1,0 +1,107 @@
+// Inter-domain (BGP) policy routing over a synthetic AS hierarchy.
+//
+//   $ ./interdomain_bgp [nodes] [tier1] [seed]
+//
+// Generates a Gao–Rexford-style AS topology (provider/customer/peer
+// relationships), checks the paper's assumptions A1 (global reachability)
+// and A2 (no provider loops), computes valley-free routes under the
+// local-preference algebra B3, and builds the Theorem-6/7 compact schemes
+// whose per-node state is logarithmic — versus the linear destination
+// tables a naive deployment would use.
+#include "bgp/bgp_schemes.hpp"
+#include "routing/path_vector.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  AsTopologyOptions opt;
+  opt.nodes = argc > 1 ? std::stoul(argv[1]) : 64;
+  opt.tier1 = argc > 2 ? std::stoul(argv[2]) : 3;
+  opt.max_providers = 2;
+  Rng rng(argc > 3 ? std::stoull(argv[3]) : 42);
+  const AsTopology topo = generate_as_topology(opt, rng);
+
+  std::cout << "AS topology: " << topo.graph.node_count() << " ASes, "
+            << topo.graph.arc_count() / 2 << " relationships, "
+            << topo.roots().size() << " tier-1 roots\n";
+  std::cout << "A1 (global reachability): "
+            << (satisfies_a1_global_reachability(topo) ? "holds" : "violated")
+            << "\n";
+  std::cout << "A2 (no provider loops):   "
+            << (satisfies_a2_no_provider_loops(topo) ? "holds" : "violated")
+            << "\n\n";
+
+  // Valley-free routes toward a stub AS under B3 (customer ≺ peer ≺
+  // provider): where does each class of route come from?
+  const NodeId stub = static_cast<NodeId>(topo.graph.node_count() - 1);
+  const auto reach = valley_free_reachability(topo, stub);
+  std::size_t down = 0, peer = 0, up = 0;
+  for (NodeId v = 0; v < topo.graph.node_count(); ++v) {
+    switch (reach.klass[v]) {
+      case ValleyFreeClass::kDown: ++down; break;
+      case ValleyFreeClass::kPeer: ++peer; break;
+      case ValleyFreeClass::kUp: ++up; break;
+      default: break;
+    }
+  }
+  std::cout << "routes toward AS " << stub
+            << " by class: customer=" << down << " peer=" << peer
+            << " provider=" << up << "\n";
+  const NodeId probe = 1;
+  std::cout << "AS " << probe << " reaches AS " << stub << " via:";
+  for (NodeId hop : reach.extract_path(probe)) std::cout << " " << hop;
+  std::cout << " (weight " << to_cstr(reach.weight(probe)) << ")\n\n";
+
+  // Cross-check with the path-vector protocol simulation.
+  const B3LocalPref b3;
+  const auto pv = path_vector(b3, topo.graph, topo.labels(), stub);
+  std::cout << "path-vector converged in " << pv.rounds << " rounds; "
+            << "weight agreement with the direct solver: "
+            << (pv.reachable(probe) &&
+                        order_equal(b3, *pv.weight[probe],
+                                    reach.weight(probe))
+                    ? "yes"
+                    : "NO")
+            << "\n\n";
+
+  // Compact schemes (Theorems 6 and 7) vs the table baseline.
+  TextTable table({"scheme", "theorem", "max bits/node", "max label bits"});
+  const Graph shadow = topo.graph.undirected_shadow();
+  {
+    const auto base = bgp_destination_tables(topo, shadow);
+    const auto fp = measure_footprint(base, shadow.node_count());
+    table.add_row({"destination tables", "baseline (Obs. 1)",
+                   TextTable::num(fp.max_node_bits),
+                   TextTable::num(fp.max_label_bits)});
+  }
+  if (topo.roots().size() == 1) {
+    const ProviderTreeScheme scheme(topo);
+    const auto fp = measure_footprint(scheme, shadow.node_count());
+    table.add_row({"provider tree", "Theorem 6",
+                   TextTable::num(fp.max_node_bits),
+                   TextTable::num(fp.max_label_bits)});
+  } else {
+    const SvfcPeerMeshScheme scheme(topo);
+    const auto fp = measure_footprint(scheme, shadow.node_count());
+    table.add_row({"SVFC + peer mesh (" +
+                       TextTable::num(scheme.component_count()) +
+                       " components)",
+                   "Theorem 7", TextTable::num(fp.max_node_bits),
+                   TextTable::num(fp.max_label_bits)});
+    // Spot-check a cross-component route.
+    const RouteResult r = simulate_route(scheme, scheme.shadow(), probe, stub);
+    std::cout << "compact-scheme route " << probe << " -> " << stub << ":";
+    for (NodeId hop : r.path) std::cout << " " << hop;
+    std::cout << " (delivered: " << r.delivered << ")\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nEqual-preference valley-free routing compresses to "
+               "O(log n) bits per AS under A1+A2\n"
+               "(Theorems 6-7); adding local preference (B3) forfeits that "
+               "(Theorem 8).\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Interactive policy explorer: type a policy expression, get the paper's
+// verdict on it — classification, the theorem that applies, the right
+// scheme, and measured router memory on a sample topology.
+//
+//   $ ./policy_explorer "lex(shortest, widest)" [nodes] [seed]
+//   $ ./policy_explorer "capped(shortest, 40)"
+//   $ ./policy_explorer help
+#include "algebra/policy_parser.hpp"
+#include "algebra/property_check.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+
+#include <iostream>
+
+using namespace cpr;
+
+int main(int argc, char** argv) {
+  const std::string expr =
+      argc > 1 ? argv[1] : std::string("lex(shortest, widest)");
+  if (expr == "help" || expr == "--help") {
+    std::cout << "usage: policy_explorer \"<policy>\" [nodes] [seed]\n"
+              << "vocabulary:\n";
+    for (const auto& word : policy_vocabulary()) {
+      std::cout << "  " << word << "\n";
+    }
+    return 0;
+  }
+  const std::size_t n = argc > 2 ? std::stoul(argv[2]) : 64;
+  Rng rng(argc > 3 ? std::stoull(argv[3]) : 7);
+
+  AnyAlgebra policy;
+  try {
+    policy = parse_policy(expr);
+  } catch (const PolicyParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "policy: " << policy.name() << "\n";
+
+  // Classification (claims + empirical checker).
+  const AlgebraProperties props = policy.properties();
+  PropertyReport obs = check_properties_sampled(policy, rng, 16);
+  obs.counterexamples.clear();
+  std::cout << "checker: " << describe(obs) << "\n";
+  for (const auto& v : validate_claims(props, obs)) {
+    std::cout << "CLAIM VIOLATION: " << v << "\n";
+  }
+
+  std::cout << "\nverdict:\n";
+  if (props.right_associative_only) {
+    std::cout << "  non-commutative (BGP-style) algebra: use the "
+                 "path-vector engine and the Section-5 schemes\n"
+              << "  (see interdomain_bgp and bench_bgp).\n";
+    return 0;
+  }
+  if (props.compressible_by_thm1()) {
+    std::cout << "  Theorem 1: compressible — preferred spanning tree + "
+                 "tree router, Theta(log n) bits.\n";
+  } else if (props.incompressible_by_thm2()) {
+    std::cout << "  Theorem 2: incompressible — Omega(n) bits per router."
+              << (props.regular() && props.delimited
+                      ? " Theorem 3: a stretch-3 Cowen scheme exists."
+                      : "")
+              << "\n";
+  } else if (props.regular() && !props.delimited) {
+    std::cout << "  regular but non-delimited: tables work, but stretch is "
+                 "ill-defined (Section 4.1).\n";
+  } else if (!props.isotone) {
+    std::cout << "  non-isotone: destination-based forwarding is unsound "
+                 "(Prop. 2); per-pair tables and Theorem 4 apply.\n";
+  }
+
+  // Deploy on a sample topology and measure.
+  const Graph g =
+      erdos_renyi_connected(n, 6.0 / static_cast<double>(n - 1), rng);
+  EdgeMap<AnyWeight> w(g.edge_count());
+  for (auto& x : w) x = policy.sample(rng);
+
+  std::cout << "\ndeployment on a " << n << "-node / " << g.edge_count()
+            << "-edge random topology:\n";
+  if (props.regular()) {
+    const auto tables = DestinationTableScheme::from_algebra(policy, g, w);
+    std::size_t ok = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      ok += simulate_route(tables, g, s, (s + n / 2) % n).delivered ? 1 : 0;
+    }
+    const auto fp = measure_footprint(tables, n);
+    std::cout << "  destination tables: " << fp.max_node_bits
+              << " bits at the worst router, " << ok << "/" << n
+              << " probes delivered\n";
+  }
+  if (props.compressible_by_thm1()) {
+    const auto tree_edges = preferred_spanning_tree(policy, g, w);
+    const TreeRouter router(g, tree_edges);
+    const auto fp = measure_footprint(router, n);
+    std::size_t ok = 0;
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      ok += simulate_route(router, g, s, (s + n / 3) % n).delivered ? 1 : 0;
+    }
+    std::cout << "  tree router:        " << fp.max_node_bits
+              << " bits at the worst router, " << ok << "/" << n
+              << " probes delivered\n";
+  }
+
+  // Show one preferred path.
+  const auto tree = dijkstra(policy, g, w, 0);
+  const NodeId far = static_cast<NodeId>(n - 1);
+  if (tree.reachable(far)) {
+    std::cout << "\npreferred 0 -> " << far << ":";
+    for (NodeId hop : tree.extract_path(far)) std::cout << " " << hop;
+    std::cout << "  weight " << policy.to_string(*tree.weight[far]) << "\n";
+  }
+  return 0;
+}

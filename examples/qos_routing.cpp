@@ -1,0 +1,111 @@
+// QoS routing scenario: one network, four policies.
+//
+//   $ ./qos_routing [nodes] [seed]
+//
+// Builds a random service-provider topology with per-link cost, capacity
+// and reliability, then routes the same source–destination demand under
+// four policies from Table 1 — shortest path, widest path, most-reliable
+// path, and shortest-widest path — showing how the preferred route and
+// the router-memory footprint change with the policy. This is the
+// "broader set of path attributes" motivation from the paper's
+// introduction made concrete.
+#include "algebra/lex_product.hpp"
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+#include <sstream>
+
+using namespace cpr;
+
+namespace {
+
+std::string render_path(const NodePath& p) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out << p[i] << (i + 1 < p.size() ? "-" : "");
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 24;
+  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 7;
+  Rng rng(seed);
+
+  // One topology, three independent link attributes.
+  const Graph g = erdos_renyi_connected(n, 3.0 / static_cast<double>(n) + 0.08, rng);
+  const auto cost = random_integer_weights(g, 1, 20, rng);
+  const auto capacity = random_integer_weights(g, 1, 100, rng);
+  EdgeMap<double> reliability(g.edge_count());
+  for (auto& r : reliability) {
+    r = static_cast<double>(rng.uniform(90, 100)) / 100.0;
+  }
+  EdgeMap<ShortestWidest::Weight> cap_cost(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    cap_cost[e] = {capacity[e], cost[e]};
+  }
+
+  const NodeId src = 0;
+  const NodeId dst = static_cast<NodeId>(n - 1);
+  std::cout << "demand: " << src << " -> " << dst << " on a " << n
+            << "-node topology (" << g.edge_count() << " links)\n\n";
+
+  TextTable table({"policy", "preferred path", "weight", "worst router bits",
+                   "scheme"});
+
+  {  // Shortest path: destination tables (incompressible, Θ(n)).
+    const ShortestPath s;
+    const auto tree = dijkstra(s, g, cost, src);
+    const auto scheme = DestinationTableScheme::from_algebra(s, g, cost);
+    table.add_row({s.name(), render_path(tree.extract_path(dst)),
+                   s.to_string(*tree.weight[dst]),
+                   TextTable::num(measure_footprint(scheme, n).max_node_bits),
+                   "dest tables"});
+  }
+  {  // Widest path: preferred spanning tree (compressible, Θ(log n)).
+    const WidestPath w;
+    const auto tree = dijkstra(w, g, capacity, src);
+    const auto st = preferred_spanning_tree(w, g, capacity);
+    const TreeRouter router(g, st);
+    table.add_row({w.name(), render_path(tree.extract_path(dst)),
+                   w.to_string(*tree.weight[dst]),
+                   TextTable::num(measure_footprint(router, n).max_node_bits),
+                   "tree router"});
+  }
+  {  // Most reliable path (multiplicative, incompressible).
+    const MostReliablePath r;
+    const auto tree = dijkstra(r, g, reliability, src);
+    const auto scheme =
+        DestinationTableScheme::from_algebra(r, g, reliability);
+    table.add_row({r.name(), render_path(tree.extract_path(dst)),
+                   r.to_string(*tree.weight[dst]),
+                   TextTable::num(measure_footprint(scheme, n).max_node_bits),
+                   "dest tables"});
+  }
+  {  // Shortest-widest: non-isotone — needs the exact solver and per-pair
+     // tables (the Õ(n²) fallback).
+    const ShortestWidest sw;
+    const auto row = shortest_widest_exact(sw, g, cap_cost, src);
+    table.add_row({sw.name(), render_path(row.paths[dst]),
+                   sw.to_string(*row.weight[dst]), "-",
+                   "src-dest tables (see bench_table1)"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSame links, four different 'best' routes — and two very "
+               "different memory regimes:\n"
+               "selective policies ride a spanning tree in O(log n) bits; "
+               "strictly monotone ones pin\n"
+               "Θ(n)-bit tables to every router (Theorems 1 and 2).\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Routing algebras (Section 2.1 of the paper).
+//
+// A routing algebra A = (W, φ, ⊕, ⪯) is a totally ordered commutative
+// semigroup with a compatible infinity element φ: ⊕ composes weights along
+// a path and ⪯ expresses preference (smaller-is-preferred). We model an
+// algebra as a small value type satisfying the RoutingAlgebra concept:
+//
+//   - Weight       : value type of abstract weights; φ is representable
+//                    inside Weight (the paper keeps φ ∉ W; our property
+//                    checker and samplers only draw finite weights, which
+//                    restores the distinction).
+//   - combine(a,b) : a ⊕ b, with absorptivity combine(w, φ) = φ.
+//   - less(a,b)    : strict preference a ≺ b; a total order up to
+//                    order-equality (!less(a,b) && !less(b,a)).
+//   - phi(), is_phi: the infinity element and its test.
+//   - sample(rng)  : a random *finite* weight, for property checking.
+//   - encoded_bits : honest serialized size of a weight.
+//   - properties() : the statically known property flags (Definition 1 and
+//                    the M/I/SM/S/N/C/D list), which the empirical checker
+//                    in property_check.hpp validates against samples.
+//
+// Section 5 weakens algebras to right-associative, possibly non-commutative
+// semigroups (BGP). Those set `right_associative_only`; path weights are
+// always folded destination→source (a right fold), which coincides with any
+// other order for the commutative associative algebras of Sections 2–4.
+#pragma once
+
+#include "util/random.hpp"
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+// Property flags from Definition 1 and Section 2.1. `regular()` is the
+// paper's "well-behaved" class: monotone + isotone.
+struct AlgebraProperties {
+  bool monotone = false;            // M : w1 ⪯ w2 ⊕ w1
+  bool isotone = false;             // I : w1 ⪯ w2 ⇒ w3⊕w1 ⪯ w3⊕w2
+  bool strictly_monotone = false;   // SM: w1 ≺ w2 ⊕ w1
+  bool selective = false;           // S : w1 ⊕ w2 ∈ {w1, w2}
+  bool cancellative = false;        // N : w1⊕w2 = w1⊕w3 ⇒ w2 = w3
+  bool condensed = false;           // C : w1⊕w2 = w1⊕w3 (∀)
+  bool delimited = false;           // D : w1 ⊕ w2 ≠ φ
+  // Lemma 2 applies as soon as *some* delimited strictly monotone
+  // subalgebra exists (e.g. most-reliable-path's ((0,1),0,*,≥)).
+  bool sm_subalgebra = false;
+  // Section 5: only right-associativity is guaranteed; commutativity and
+  // full associativity may fail (BGP algebras).
+  bool right_associative_only = false;
+
+  bool regular() const { return monotone && isotone; }
+  // Theorem 2 / Lemma 2 trigger: delimited + strictly monotone (sub)algebra.
+  bool incompressible_by_thm2() const {
+    return delimited && (strictly_monotone || sm_subalgebra);
+  }
+  // Theorem 1 trigger: selective (hence delimited) + monotone.
+  bool compressible_by_thm1() const { return selective && monotone; }
+};
+
+template <typename A>
+concept RoutingAlgebra = requires(const A a, const typename A::Weight w,
+                                  Rng& rng) {
+  typename A::Weight;
+  { a.combine(w, w) } -> std::same_as<typename A::Weight>;
+  { a.less(w, w) } -> std::same_as<bool>;
+  { a.phi() } -> std::same_as<typename A::Weight>;
+  { a.is_phi(w) } -> std::same_as<bool>;
+  { a.sample(rng) } -> std::same_as<typename A::Weight>;
+  { a.encoded_bits(w) } -> std::convertible_to<std::size_t>;
+  { a.name() } -> std::convertible_to<std::string>;
+  { a.properties() } -> std::same_as<AlgebraProperties>;
+  { a.to_string(w) } -> std::convertible_to<std::string>;
+};
+
+// ---- Order helpers (all in terms of the strict relation `less`) ----
+
+template <RoutingAlgebra A>
+bool order_equal(const A& a, const typename A::Weight& x,
+                 const typename A::Weight& y) {
+  return !a.less(x, y) && !a.less(y, x);
+}
+
+template <RoutingAlgebra A>
+bool leq(const A& a, const typename A::Weight& x,
+         const typename A::Weight& y) {
+  return !a.less(y, x);
+}
+
+template <RoutingAlgebra A>
+typename A::Weight min_weight(const A& a, const typename A::Weight& x,
+                              const typename A::Weight& y) {
+  return a.less(y, x) ? y : x;
+}
+
+// ---- Path composition ----
+
+// Folds a source→destination sequence of edge/arc weights right-to-left,
+// matching the paper's path-vector convention (Section 5); equal to any
+// fold order for commutative associative algebras. Empty sequences have no
+// weight in a semigroup (no identity), so at least one weight is required.
+template <RoutingAlgebra A>
+typename A::Weight path_weight(const A& a,
+                               const std::vector<typename A::Weight>& ws) {
+  typename A::Weight acc = ws.back();
+  for (std::size_t i = ws.size() - 1; i-- > 0;) {
+    acc = a.combine(ws[i], acc);
+  }
+  return acc;
+}
+
+// w^k = w ⊕ w ⊕ ... ⊕ w (k times, k >= 1) — Definition 3's power.
+template <RoutingAlgebra A>
+typename A::Weight power(const A& a, const typename A::Weight& w,
+                         std::size_t k) {
+  typename A::Weight acc = w;
+  for (std::size_t i = 1; i < k; ++i) acc = a.combine(acc, w);
+  return acc;
+}
+
+// Algebraic stretch of an achieved weight against the preferred weight:
+// the smallest k <= k_max with achieved ⪯ preferred^k (Definition 3), or
+// nullopt if no such k exists within the cap (e.g. achieved = φ while
+// preferred ≺ φ, the pathology Section 4.1 warns about for non-delimited
+// algebras).
+template <RoutingAlgebra A>
+std::optional<std::size_t> algebraic_stretch(
+    const A& a, const typename A::Weight& preferred,
+    const typename A::Weight& achieved, std::size_t k_max = 16) {
+  typename A::Weight pow = preferred;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    if (leq(a, achieved, pow)) return k;
+    pow = a.combine(pow, preferred);
+  }
+  return std::nullopt;
+}
+
+}  // namespace cpr

@@ -1,0 +1,149 @@
+// Type-erased routing algebras.
+//
+// The template layer gives zero-cost composition but fixes the policy at
+// compile time; AnyAlgebra erases the type so policies can be chosen at
+// runtime (configuration files, the policy-expression parser, the
+// policy_explorer example). AnyAlgebra itself satisfies RoutingAlgebra,
+// so the *same* generic machinery — LexProduct, CappedAlgebra, Dijkstra,
+// schemes, the property checker — composes over erased algebras without
+// any parallel implementation:
+//
+//   AnyAlgebra a = AnyAlgebra::wrap(ShortestPath{});
+//   AnyAlgebra b = AnyAlgebra::wrap(WidestPath{});
+//   AnyAlgebra ws = AnyAlgebra::wrap(lex_product(a, b));   // S × W, erased
+//
+// Weights are held in std::any behind a value wrapper; every operation
+// dispatches through one virtual call.
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <any>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cpr {
+
+class AnyWeight {
+ public:
+  AnyWeight() = default;
+  explicit AnyWeight(std::any v) : value_(std::move(v)) {}
+
+  template <typename T>
+  const T& as() const {
+    return std::any_cast<const T&>(value_);
+  }
+  bool empty() const { return !value_.has_value(); }
+
+ private:
+  std::any value_;
+};
+
+class AnyAlgebra {
+ public:
+  using Weight = AnyWeight;
+
+  AnyAlgebra() = default;
+
+  template <RoutingAlgebra A>
+  static AnyAlgebra wrap(A alg) {
+    AnyAlgebra out;
+    out.impl_ = std::make_shared<Model<A>>(std::move(alg));
+    return out;
+  }
+
+  Weight combine(const Weight& a, const Weight& b) const {
+    return impl_->combine(a, b);
+  }
+  bool less(const Weight& a, const Weight& b) const {
+    return impl_->less(a, b);
+  }
+  Weight phi() const { return impl_->phi(); }
+  bool is_phi(const Weight& w) const { return impl_->is_phi(w); }
+  Weight sample(Rng& rng) const { return impl_->sample(rng); }
+  std::size_t encoded_bits(const Weight& w) const {
+    return impl_->encoded_bits(w);
+  }
+  std::string name() const { return impl_->name(); }
+  std::string to_string(const Weight& w) const {
+    return impl_->to_string(w);
+  }
+  AlgebraProperties properties() const { return impl_->properties(); }
+
+  // Builds a weight from an integer literal (used by the policy parser
+  // for capped(...) budgets). Throws if the underlying weight type has no
+  // integer interpretation.
+  Weight weight_from_integer(std::uint64_t v) const {
+    return impl_->weight_from_integer(v);
+  }
+
+  bool valid() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual AnyWeight combine(const AnyWeight&, const AnyWeight&) const = 0;
+    virtual bool less(const AnyWeight&, const AnyWeight&) const = 0;
+    virtual AnyWeight phi() const = 0;
+    virtual bool is_phi(const AnyWeight&) const = 0;
+    virtual AnyWeight sample(Rng&) const = 0;
+    virtual std::size_t encoded_bits(const AnyWeight&) const = 0;
+    virtual std::string name() const = 0;
+    virtual std::string to_string(const AnyWeight&) const = 0;
+    virtual AlgebraProperties properties() const = 0;
+    virtual AnyWeight weight_from_integer(std::uint64_t) const = 0;
+  };
+
+  template <typename A>
+  struct Model final : Concept {
+    explicit Model(A a) : alg(std::move(a)) {}
+    using W = typename A::Weight;
+
+    AnyWeight combine(const AnyWeight& a, const AnyWeight& b) const override {
+      return AnyWeight{std::any{alg.combine(a.as<W>(), b.as<W>())}};
+    }
+    bool less(const AnyWeight& a, const AnyWeight& b) const override {
+      return alg.less(a.as<W>(), b.as<W>());
+    }
+    AnyWeight phi() const override { return AnyWeight{std::any{alg.phi()}}; }
+    bool is_phi(const AnyWeight& w) const override {
+      return alg.is_phi(w.as<W>());
+    }
+    AnyWeight sample(Rng& rng) const override {
+      return AnyWeight{std::any{alg.sample(rng)}};
+    }
+    std::size_t encoded_bits(const AnyWeight& w) const override {
+      return alg.encoded_bits(w.as<W>());
+    }
+    std::string name() const override { return alg.name(); }
+    std::string to_string(const AnyWeight& w) const override {
+      return alg.to_string(w.as<W>());
+    }
+    AlgebraProperties properties() const override { return alg.properties(); }
+    AnyWeight weight_from_integer(std::uint64_t v) const override {
+      if constexpr (std::is_integral_v<W> || std::is_floating_point_v<W>) {
+        return AnyWeight{std::any{static_cast<W>(v)}};
+      } else if constexpr (requires {
+                             {
+                               alg.root().weight_from_integer(v)
+                             } -> std::convertible_to<W>;
+                           }) {
+        // Wrappers over an erased algebra (e.g. CappedAlgebra<AnyAlgebra>)
+        // delegate to the inner algebra's interpretation.
+        return AnyWeight{std::any{alg.root().weight_from_integer(v)}};
+      } else {
+        throw std::invalid_argument(
+            alg.name() + ": weights have no integer interpretation");
+      }
+    }
+
+    A alg;
+  };
+
+  std::shared_ptr<const Concept> impl_;
+};
+
+static_assert(RoutingAlgebra<AnyAlgebra>);
+
+}  // namespace cpr

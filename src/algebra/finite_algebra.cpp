@@ -1,0 +1,150 @@
+#include "algebra/finite_algebra.hpp"
+
+#include "algebra/property_check.hpp"
+
+#include <numeric>
+
+namespace cpr {
+
+FiniteAlgebra FiniteAlgebra::bottleneck(std::size_t k, std::string label) {
+  std::vector<Weight> rank(k);
+  std::iota(rank.begin(), rank.end(), Weight{0});
+  std::vector<Weight> table(k * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      table[a * k + b] = static_cast<Weight>(std::max(a, b));
+    }
+  }
+  FiniteAlgebra alg(std::move(table), std::move(rank), std::move(label));
+  AlgebraProperties p;
+  p.monotone = true;
+  p.isotone = true;
+  p.selective = true;
+  p.delimited = true;
+  alg.set_claimed_properties(p);
+  return alg;
+}
+
+FiniteAlgebra random_finite_algebra(std::size_t k, double phi_probability,
+                                    Rng& rng) {
+  using Weight = FiniteAlgebra::Weight;
+  std::vector<Weight> rank(k);
+  std::iota(rank.begin(), rank.end(), Weight{0});
+  std::vector<Weight> table(k * k, 0);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a; b < k; ++b) {
+      Weight v;
+      if (rng.coin(phi_probability)) {
+        v = static_cast<Weight>(k);  // φ entry
+      } else {
+        v = static_cast<Weight>(rng.index(k));
+      }
+      table[a * k + b] = v;
+      table[b * k + a] = v;  // impose commutativity
+    }
+  }
+  return FiniteAlgebra(std::move(table), std::move(rank),
+                       "random-finite-" + std::to_string(k));
+}
+
+namespace {
+
+using Weight = FiniteAlgebra::Weight;
+
+// Additive table over semantic values 1..k, entries beyond `cap` collapse
+// to φ (cap >= 2k makes it plain saturating addition, i.e. delimited up
+// to the table edge — we saturate at the top weight instead of φ there).
+std::vector<Weight> additive_table(std::size_t k, std::size_t cap) {
+  std::vector<Weight> table(k * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      const std::size_t sum = (a + 1) + (b + 1);
+      if (sum > cap) {
+        table[a * k + b] = static_cast<Weight>(k);  // φ
+      } else {
+        table[a * k + b] =
+            static_cast<Weight>(std::min(sum - 1, k - 1));  // saturate
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<Weight> identity_rank(std::size_t k) {
+  std::vector<Weight> rank(k);
+  std::iota(rank.begin(), rank.end(), Weight{0});
+  return rank;
+}
+
+}  // namespace
+
+FiniteAlgebra random_structured_algebra(Rng& rng) {
+  const std::size_t kind = rng.index(4);
+  switch (kind) {
+    case 0: {  // bottleneck: selective family
+      const std::size_t k = 2 + rng.index(5);
+      return FiniteAlgebra::bottleneck(k, "structured-bottleneck-" +
+                                              std::to_string(k));
+    }
+    case 1: {  // saturating addition: strictly monotone... except at the
+               // saturation plateau, where w_top ⊕ w = w_top (weakly
+               // monotone like R at weight 1)
+      const std::size_t k = 2 + rng.index(5);
+      return FiniteAlgebra(additive_table(k, 2 * k + 2), identity_rank(k),
+                           "structured-additive-" + std::to_string(k));
+    }
+    case 2: {  // capped addition: non-delimited, strictly monotone.
+               // The cap must stay within the representable range — a
+               // saturation plateau *below* the cap would erase the true
+               // sum and break associativity.
+      const std::size_t k = 3 + rng.index(5);
+      const std::size_t cap = 3 + rng.index(k - 2);
+      return FiniteAlgebra(additive_table(k, cap), identity_rank(k),
+                           "structured-capped-" + std::to_string(k));
+    }
+    default: {  // flattened lexicographic product: additive × bottleneck
+      const std::size_t k1 = 2 + rng.index(2);
+      const std::size_t k2 = 2 + rng.index(2);
+      const auto t1 = additive_table(k1, 2 * k1 + 2);
+      const FiniteAlgebra b = FiniteAlgebra::bottleneck(k2);
+      const std::size_t k = k1 * k2;
+      std::vector<Weight> table(k * k);
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t c = 0; c < k; ++c) {
+          const std::size_t a1 = a / k2, a2 = a % k2;
+          const std::size_t c1 = c / k2, c2 = c % k2;
+          const Weight first = t1[a1 * k1 + c1];
+          if (first >= k1) {
+            table[a * k + c] = static_cast<Weight>(k);  // φ in a factor
+          } else {
+            const Weight second =
+                b.combine(static_cast<Weight>(a2), static_cast<Weight>(c2));
+            table[a * k + c] = static_cast<Weight>(first * k2 + second);
+          }
+        }
+      }
+      return FiniteAlgebra(std::move(table), identity_rank(k),
+                           "structured-product-" + std::to_string(k1) + "x" +
+                               std::to_string(k2));
+    }
+  }
+}
+
+FiniteClassification classify(const FiniteAlgebra& alg) {
+  std::vector<FiniteAlgebra::Weight> all(alg.size());
+  std::iota(all.begin(), all.end(), FiniteAlgebra::Weight{0});
+  const PropertyReport r = check_properties(alg, all);
+  FiniteClassification c;
+  c.associative = r.associative;
+  c.commutative = r.commutative;
+  c.observed.monotone = r.monotone;
+  c.observed.isotone = r.isotone;
+  c.observed.strictly_monotone = r.strictly_monotone;
+  c.observed.selective = r.selective;
+  c.observed.cancellative = r.cancellative;
+  c.observed.condensed = r.condensed;
+  c.observed.delimited = r.delimited;
+  return c;
+}
+
+}  // namespace cpr

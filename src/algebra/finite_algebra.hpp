@@ -1,0 +1,136 @@
+// Table-driven finite routing algebras.
+//
+// A FiniteAlgebra is an algebra whose weight set is {0, …, k-1}, whose ⊕
+// is an explicit k×k table, and whose ⪯ is a rank array — i.e. exactly
+// the data a protocol designer would write down. Combined with the
+// empirical property checker this turns the paper's classification
+// program into a search tool: sample random composition tables, classify
+// them (selective? monotone? strictly monotone?), and check the
+// Lemma-1/Theorem-2 predictions instance by instance. bench_random_algebras
+// runs that survey; test_finite_algebra pins the mechanics.
+//
+// Weight k (one past the table) is the infinity element φ; table entries
+// may map finite pairs to φ, so non-delimited algebras are expressible.
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class FiniteAlgebra {
+ public:
+  using Weight = std::uint8_t;
+
+  // table is row-major k×k over values in {0..k} (k = φ); rank[i] orders
+  // the finite weights (smaller rank = more preferred), must be a
+  // permutation of {0..k-1}.
+  FiniteAlgebra(std::vector<Weight> table, std::vector<Weight> rank,
+                std::string label = "finite-algebra")
+      : size_(rank.size()),
+        table_(std::move(table)),
+        rank_(std::move(rank)),
+        label_(std::move(label)) {
+    if (size_ == 0 || size_ > 200) {
+      throw std::invalid_argument("FiniteAlgebra: size in [1, 200]");
+    }
+    if (table_.size() != size_ * size_) {
+      throw std::invalid_argument("FiniteAlgebra: table must be k*k");
+    }
+    std::vector<bool> seen(size_, false);
+    for (const Weight r : rank_) {
+      if (r >= size_ || seen[r]) {
+        throw std::invalid_argument("FiniteAlgebra: rank not a permutation");
+      }
+      seen[r] = true;
+    }
+    for (const Weight t : table_) {
+      if (t > size_) {
+        throw std::invalid_argument("FiniteAlgebra: table entry out of range");
+      }
+    }
+  }
+
+  // Convenience: the bottleneck table — combine keeps the *less preferred*
+  // of the two weights (like widest path keeps the smaller capacity).
+  // Selective, monotone, isotone, delimited. (Keeping the *more* preferred
+  // weight instead would break monotonicity: prepending could improve a
+  // path, which is why no such primitive is offered.)
+  static FiniteAlgebra bottleneck(std::size_t k,
+                                  std::string label = "finite-bottleneck");
+
+  std::size_t size() const { return size_; }
+
+  Weight combine(Weight a, Weight b) const {
+    if (is_phi(a) || is_phi(b)) return phi();
+    return table_[a * size_ + b];
+  }
+  bool less(Weight a, Weight b) const {
+    if (a == b) return false;
+    if (is_phi(b)) return true;
+    if (is_phi(a)) return false;
+    return rank_[a] < rank_[b];
+  }
+  Weight phi() const { return static_cast<Weight>(size_); }
+  bool is_phi(Weight w) const { return w >= size_; }
+  Weight sample(Rng& rng) const {
+    return static_cast<Weight>(rng.index(size_));
+  }
+  std::size_t encoded_bits(Weight) const {
+    std::size_t bits = 1;
+    std::size_t v = size_;
+    while (v >>= 1) ++bits;
+    return bits;
+  }
+  std::string name() const { return label_; }
+  std::string to_string(Weight w) const {
+    return is_phi(w) ? "phi" : "w" + std::to_string(w);
+  }
+  // Flags are *not* statically known for arbitrary tables — callers run
+  // the checker and use classify() below.
+  AlgebraProperties properties() const { return claimed_; }
+  void set_claimed_properties(const AlgebraProperties& p) { claimed_ = p; }
+
+ private:
+  std::size_t size_;
+  std::vector<Weight> table_;
+  std::vector<Weight> rank_;
+  std::string label_;
+  AlgebraProperties claimed_;
+};
+
+static_assert(RoutingAlgebra<FiniteAlgebra>);
+
+// A random commutative composition table over k weights (with optional
+// probability of φ entries for non-delimited samples). Commutativity and
+// the identity rank order are imposed; associativity is NOT — callers
+// filter with the property checker, mirroring how a designer would
+// validate a hand-written policy. Valid algebras are *rare* among raw
+// tables (the bench_random_algebras census quantifies how rare), so for
+// theorem-level sweeps use random_structured_algebra below.
+FiniteAlgebra random_finite_algebra(std::size_t k, double phi_probability,
+                                    Rng& rng);
+
+// A random member of the parametric families that are algebras by
+// construction — bottleneck tables, (optionally capped) additive tables,
+// and flattened lexicographic products of the two. The *classification*
+// of each sample (selective? SM? delimited?) still comes from the
+// exhaustive checker, so downstream theorem checks are not circular.
+FiniteAlgebra random_structured_algebra(Rng& rng);
+
+// Exhaustive classification of a finite algebra over its entire weight
+// set (no sampling gap: for finite algebras the checker is a decision
+// procedure). Returns the observed properties.
+struct FiniteClassification {
+  bool associative = false;
+  bool commutative = false;
+  AlgebraProperties observed;
+};
+
+FiniteClassification classify(const FiniteAlgebra& alg);
+
+}  // namespace cpr

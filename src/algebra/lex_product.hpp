@@ -1,0 +1,101 @@
+// Lexicographic product of routing algebras (Section 2.2).
+//
+// A × B composes weights componentwise and prefers by A's order with ties
+// broken by B's order. Properties of the product are derived from the
+// factors by Proposition 1 (Gurney & Griffin):
+//
+//   M(A×B)  ⇔ SM(A) ∨ (M(A) ∧ M(B))
+//   I(A×B)  ⇔ I(A) ∧ I(B) ∧ (N(A) ∨ C(B))
+//   SM(A×B) ⇔ SM(A) ∨ (M(A) ∧ SM(B))
+//
+// plus the direct rules D(A×B) = D(A) ∧ D(B), N(A×B) ⊇ N(A) ∧ N(B),
+// C(A×B) ⊇ C(A) ∧ C(B). φ is the pair (φ_A, φ_B); as the paper notes this
+// is only canonical when both factors are delimited, and we additionally
+// treat any pair with an infinite component as untraversable (which is the
+// natural reading for, e.g., a zero-capacity component in shortest-widest).
+//
+// The canonical instances are widest-shortest path WS = S × W and
+// shortest-widest path SW = W × S (Table 1); SW is the paper's running
+// example of a monotone, non-isotone algebra with no finite-stretch
+// compact routing scheme (Theorem 4).
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <string>
+#include <utility>
+
+namespace cpr {
+
+template <RoutingAlgebra A, RoutingAlgebra B>
+class LexProduct {
+ public:
+  using Weight = std::pair<typename A::Weight, typename B::Weight>;
+
+  LexProduct() = default;
+  LexProduct(A a, B b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  const A& first_factor() const { return a_; }
+  const B& second_factor() const { return b_; }
+
+  Weight combine(const Weight& x, const Weight& y) const {
+    return {a_.combine(x.first, y.first), b_.combine(x.second, y.second)};
+  }
+
+  bool less(const Weight& x, const Weight& y) const {
+    if (a_.less(x.first, y.first)) return true;
+    if (a_.less(y.first, x.first)) return false;
+    return b_.less(x.second, y.second);
+  }
+
+  Weight phi() const { return {a_.phi(), b_.phi()}; }
+
+  bool is_phi(const Weight& w) const {
+    return a_.is_phi(w.first) || b_.is_phi(w.second);
+  }
+
+  Weight sample(Rng& rng) const { return {a_.sample(rng), b_.sample(rng)}; }
+
+  std::size_t encoded_bits(const Weight& w) const {
+    return a_.encoded_bits(w.first) + b_.encoded_bits(w.second);
+  }
+
+  std::string name() const { return a_.name() + " x " + b_.name(); }
+
+  std::string to_string(const Weight& w) const {
+    return "(" + a_.to_string(w.first) + ", " + b_.to_string(w.second) + ")";
+  }
+
+  AlgebraProperties properties() const {
+    const AlgebraProperties pa = a_.properties();
+    const AlgebraProperties pb = b_.properties();
+    AlgebraProperties p;
+    p.monotone = pa.strictly_monotone || (pa.monotone && pb.monotone);
+    p.isotone = pa.isotone && pb.isotone && (pa.cancellative || pb.condensed);
+    p.strictly_monotone =
+        pa.strictly_monotone || (pa.monotone && pb.strictly_monotone);
+    p.delimited = pa.delimited && pb.delimited;
+    p.cancellative = pa.cancellative && pb.cancellative;
+    p.condensed = pa.condensed && pb.condensed;
+    // A product of the factors' SM subalgebras is a subalgebra of the
+    // product; the SM rule above then applies inside it.
+    const bool sm_a = pa.strictly_monotone || pa.sm_subalgebra;
+    const bool sm_b = pb.strictly_monotone || pb.sm_subalgebra;
+    p.sm_subalgebra = sm_a || (pa.monotone && sm_b);
+    p.right_associative_only =
+        pa.right_associative_only || pb.right_associative_only;
+    return p;
+  }
+
+ private:
+  A a_;
+  B b_;
+};
+
+// Table-1 composites.
+template <RoutingAlgebra A, RoutingAlgebra B>
+LexProduct<A, B> lex_product(A a, B b) {
+  return LexProduct<A, B>(std::move(a), std::move(b));
+}
+
+}  // namespace cpr

@@ -1,0 +1,166 @@
+// Additional routing algebras beyond the Table-1 set: the hop-count
+// metric, real-valued additive costs, and the generic "capped" operator
+// that turns any delimited algebra into a *non-delimited* one by declaring
+// weights beyond a budget untraversable (bounded-delay routing, the
+// classic QoS constraint from the constraint-based-routing literature the
+// paper cites). Capped algebras are the clean intra-domain illustration of
+// the Section-4.1 pitfall: they can be perfectly regular and still break
+// the stretch-3 machinery, because w(p*)³ may be φ — a "stretched" path
+// may simply not exist.
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace cpr {
+
+// Hop count: shortest path with the unit weight only. The one-element
+// weight set makes it condensed-free but cancellative; it is the minimal
+// strictly monotone algebra (the cyclic semigroup ⟨1⟩ of Lemma 2 itself).
+class HopCount {
+ public:
+  using Weight = std::uint64_t;  // number of hops; 0 is unused
+
+  Weight combine(Weight a, Weight b) const {
+    if (is_phi(a) || is_phi(b)) return phi();
+    return a > phi() - b ? phi() : a + b;
+  }
+  bool less(Weight a, Weight b) const { return a < b; }
+  Weight phi() const { return std::numeric_limits<Weight>::max(); }
+  bool is_phi(Weight w) const { return w == phi(); }
+  Weight sample(Rng&) const { return 1; }  // every edge is one hop
+  std::size_t encoded_bits(Weight) const { return 1; }
+  std::string name() const { return "hop-count"; }
+  std::string to_string(Weight w) const {
+    return is_phi(w) ? "phi" : std::to_string(w);
+  }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.strictly_monotone = true;
+    p.cancellative = true;
+    p.delimited = true;
+    return p;
+  }
+};
+
+// Additive real-valued cost (propagation delay in ms, monetary cost, …).
+// Samples are drawn from the dyadic grid k/8 so that sums of sampled
+// weights compare exactly in double and the property checker is not
+// misled by rounding.
+class RealCost {
+ public:
+  using Weight = double;
+
+  explicit RealCost(double max_sample = 8.0) : max_sample_(max_sample) {}
+
+  Weight combine(Weight a, Weight b) const {
+    if (is_phi(a) || is_phi(b)) return phi();
+    return a + b;
+  }
+  bool less(Weight a, Weight b) const { return a < b; }
+  Weight phi() const { return std::numeric_limits<double>::infinity(); }
+  bool is_phi(Weight w) const { return w == phi(); }
+  Weight sample(Rng& rng) const {
+    const auto steps = static_cast<std::uint64_t>(max_sample_ * 8.0);
+    return static_cast<double>(rng.uniform(1, steps)) / 8.0;
+  }
+  std::size_t encoded_bits(Weight) const { return 64; }
+  std::string name() const { return "real-cost"; }
+  std::string to_string(Weight w) const {
+    if (is_phi(w)) return "phi";
+    std::ostringstream out;
+    out << w;
+    return out.str();
+  }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.strictly_monotone = true;
+    p.cancellative = true;
+    p.delimited = true;
+    return p;
+  }
+
+ private:
+  double max_sample_;
+};
+
+// Capped algebra: the root algebra with every composed weight worse than
+// `budget` collapsed to φ. CappedAlgebra<ShortestPath> with budget D is
+// bounded-delay routing: a path is traversable only if its total delay
+// stays within D.
+//
+// Property algebra: monotonicity, strict monotonicity and isotonicity
+// survive the cap (collapsing the top of a chain to the maximal element
+// preserves order relations); delimitedness is destroyed by design; and
+// cancellativity is lost as soon as two sums land above the cap.
+template <RoutingAlgebra A>
+class CappedAlgebra {
+ public:
+  using Weight = typename A::Weight;
+
+  CappedAlgebra(A root, Weight budget)
+      : root_(std::move(root)), budget_(budget) {}
+
+  const A& root() const { return root_; }
+  const Weight& budget() const { return budget_; }
+
+  Weight combine(const Weight& a, const Weight& b) const {
+    const Weight c = root_.combine(a, b);
+    return root_.less(budget_, c) ? root_.phi() : c;
+  }
+  bool less(const Weight& a, const Weight& b) const {
+    return root_.less(a, b);
+  }
+  Weight phi() const { return root_.phi(); }
+  bool is_phi(const Weight& w) const { return root_.is_phi(w); }
+
+  Weight sample(Rng& rng) const {
+    // Single-edge weights must be traversable on their own.
+    for (int tries = 0; tries < 4096; ++tries) {
+      Weight w = root_.sample(rng);
+      if (!root_.less(budget_, w)) return w;
+    }
+    return budget_;
+  }
+
+  std::size_t encoded_bits(const Weight& w) const {
+    return root_.encoded_bits(w);
+  }
+  std::string name() const {
+    return root_.name() + " capped at " + root_.to_string(budget_);
+  }
+  std::string to_string(const Weight& w) const { return root_.to_string(w); }
+
+  AlgebraProperties properties() const {
+    AlgebraProperties p = root_.properties();
+    p.delimited = false;      // the whole point of the cap
+    p.cancellative = false;   // x⊕y = x⊕y' = φ with y ≠ y'
+    // The SM-subalgebra trigger of Theorem 2 needs *delimited* strict
+    // monotonicity; the cap breaks the premise, so do not advertise it.
+    p.sm_subalgebra = false;
+    return p;
+  }
+
+ private:
+  A root_;
+  Weight budget_;
+};
+
+template <RoutingAlgebra A>
+CappedAlgebra<A> capped(A root, typename A::Weight budget) {
+  return CappedAlgebra<A>(std::move(root), budget);
+}
+
+static_assert(RoutingAlgebra<HopCount>);
+static_assert(RoutingAlgebra<RealCost>);
+
+}  // namespace cpr

@@ -1,0 +1,178 @@
+#include "algebra/policy_parser.hpp"
+
+#include "algebra/finite_algebra.hpp"
+#include "algebra/lex_product.hpp"
+#include "algebra/more_algebras.hpp"
+#include "algebra/primitives.hpp"
+#include "algebra/subalgebra.hpp"
+#include "bgp/bgp_algebra.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace cpr {
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_spaces() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_spaces();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::string identifier() {
+    skip_spaces();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) {
+      throw PolicyParseError("expected a policy name", pos);
+    }
+    return text.substr(start, pos - start);
+  }
+
+  std::optional<std::uint64_t> try_integer() {
+    skip_spaces();
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return std::nullopt;
+    }
+    std::uint64_t v = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      v = v * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+      ++pos;
+    }
+    return v;
+  }
+
+  struct Arg {
+    std::optional<AnyAlgebra> policy;
+    std::optional<std::uint64_t> integer;
+  };
+
+  std::vector<Arg> arguments() {
+    std::vector<Arg> args;
+    if (!consume('(')) return args;
+    if (consume(')')) return args;
+    while (true) {
+      Arg a;
+      if (auto v = try_integer()) {
+        a.integer = v;
+      } else {
+        a.policy = policy();
+      }
+      args.push_back(std::move(a));
+      if (consume(')')) break;
+      if (!consume(',')) {
+        throw PolicyParseError("expected ',' or ')'", pos);
+      }
+    }
+    return args;
+  }
+
+  static std::uint64_t integer_arg(const std::vector<Arg>& args,
+                                   std::size_t index, std::uint64_t fallback,
+                                   std::size_t pos) {
+    if (index >= args.size()) return fallback;
+    if (!args[index].integer.has_value()) {
+      throw PolicyParseError("expected an integer argument", pos);
+    }
+    return *args[index].integer;
+  }
+
+  AnyAlgebra policy() {
+    const std::size_t name_pos = pos;
+    const std::string name = identifier();
+    const std::vector<Arg> args = arguments();
+    auto expect_policies = [&](std::size_t count) {
+      if (args.size() != count) {
+        throw PolicyParseError(name + " expects " + std::to_string(count) +
+                                   " argument(s)",
+                               name_pos);
+      }
+    };
+
+    if (name == "shortest") {
+      return AnyAlgebra::wrap(
+          ShortestPath{integer_arg(args, 0, 64, name_pos)});
+    }
+    if (name == "widest") {
+      return AnyAlgebra::wrap(WidestPath{integer_arg(args, 0, 64, name_pos)});
+    }
+    if (name == "reliable") return AnyAlgebra::wrap(MostReliablePath{});
+    if (name == "reliable-strict") {
+      return AnyAlgebra::wrap(MostReliablePath{/*allow_one=*/false});
+    }
+    if (name == "usable") return AnyAlgebra::wrap(UsablePath{});
+    if (name == "hops") return AnyAlgebra::wrap(HopCount{});
+    if (name == "realcost") return AnyAlgebra::wrap(RealCost{});
+    if (name == "bottleneck") {
+      const std::uint64_t k = integer_arg(args, 0, 4, name_pos);
+      if (k < 1 || k > 200) {
+        throw PolicyParseError("bottleneck size out of range", name_pos);
+      }
+      return AnyAlgebra::wrap(FiniteAlgebra::bottleneck(k));
+    }
+    if (name == "b1") return AnyAlgebra::wrap(B1ProviderCustomer{});
+    if (name == "b2") return AnyAlgebra::wrap(B2ValleyFree{});
+    if (name == "b3") return AnyAlgebra::wrap(B3LocalPref{});
+    if (name == "b4") return AnyAlgebra::wrap(B4LocalPrefShortest{});
+
+    if (name == "lex") {
+      expect_policies(2);
+      if (!args[0].policy || !args[1].policy) {
+        throw PolicyParseError("lex expects two policies", name_pos);
+      }
+      return AnyAlgebra::wrap(lex_product(*args[0].policy, *args[1].policy));
+    }
+    if (name == "capped") {
+      expect_policies(2);
+      if (!args[0].policy || !args[1].integer) {
+        throw PolicyParseError("capped expects (policy, integer-budget)",
+                               name_pos);
+      }
+      const AnyAlgebra inner = *args[0].policy;
+      return AnyAlgebra::wrap(CappedAlgebra<AnyAlgebra>(
+          inner, inner.weight_from_integer(*args[1].integer)));
+    }
+    throw PolicyParseError("unknown policy '" + name + "'", name_pos);
+  }
+};
+
+}  // namespace
+
+AnyAlgebra parse_policy(const std::string& expression) {
+  Parser p{expression};
+  AnyAlgebra result = p.policy();
+  p.skip_spaces();
+  if (p.pos != expression.size()) {
+    throw PolicyParseError("trailing input", p.pos);
+  }
+  return result;
+}
+
+std::vector<std::string> policy_vocabulary() {
+  return {"shortest[(maxw)]", "widest[(maxw)]", "reliable",
+          "reliable-strict", "usable",          "hops",
+          "realcost",         "bottleneck(k)",  "b1",
+          "b2",               "b3",             "b4",
+          "lex(p,q)",         "capped(p,budget)"};
+}
+
+}  // namespace cpr

@@ -1,0 +1,50 @@
+// A tiny policy-expression language over the algebra library — the
+// runtime face of the metarouting idea the paper builds on (policies as
+// algebraic expressions over primitives and composition operators).
+//
+//   policy  := name | name '(' arg (',' arg)* ')'
+//   arg     := policy | integer
+//
+// Primitives:
+//   shortest[(maxw)]   S  = (N, ∞, +, ≤)
+//   widest[(maxw)]     W  = (N, 0, min, ≥)
+//   reliable           R  = ((0,1], 0, *, ≥)
+//   reliable-strict    the (0,1) subalgebra of R (Lemma 2's witness)
+//   usable             U  = ({1}, 0, *, ≥)
+//   hops               unit-weight shortest path
+//   realcost           additive real cost
+//   bottleneck(k)      finite bottleneck algebra on k weights
+//   b1 | b2 | b3 | b4  the Section-5 BGP algebras
+//
+// Operators:
+//   lex(p, q)          lexicographic product p × q (Proposition 1 rules)
+//   capped(p, budget)  CappedAlgebra: compositions worse than `budget`
+//                      become φ (budget is an integer literal interpreted
+//                      in p's weight type)
+//
+// Examples: "lex(shortest, widest)" is widest-shortest path;
+// "capped(shortest, 50)" is bounded-delay routing.
+#pragma once
+
+#include "algebra/any_algebra.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+struct PolicyParseError : std::runtime_error {
+  PolicyParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        offset(position) {}
+  std::size_t offset;
+};
+
+AnyAlgebra parse_policy(const std::string& expression);
+
+// The primitive and operator names the parser accepts (for help output).
+std::vector<std::string> policy_vocabulary();
+
+}  // namespace cpr

@@ -1,0 +1,183 @@
+// The primitive intra-domain routing algebras of Table 1:
+//
+//   Shortest path    S = (N, ∞, +,   ≤)   SM, I, N, D      → Θ(n)
+//   Widest path      W = (N, 0, min, ≥)   S, M, I, D       → Θ(log n)
+//   Most reliable    R = ((0,1], 0, *, ≥) M, I, N, D, and a strictly
+//                                         monotone subalgebra ((0,1),0,*,≥)
+//                                                          → Θ(n)
+//   Usable path      U = ({1}, 0, *, ≥)   S, M, I, N, C, D → Θ(log n)
+//
+// Each class carries its statically-claimed property flags; the empirical
+// checker (property_check.hpp) cross-validates the claims on weight
+// samples, and the unit tests assert the two agree.
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace cpr {
+
+// S = (N, ∞, +, ≤). Weights are positive integers (zero would break strict
+// monotonicity); composition saturates instead of wrapping.
+class ShortestPath {
+ public:
+  using Weight = std::uint64_t;
+
+  explicit ShortestPath(Weight max_sample = 64) : max_sample_(max_sample) {}
+
+  Weight combine(Weight a, Weight b) const {
+    if (is_phi(a) || is_phi(b)) return phi();
+    return a > phi() - b ? phi() : a + b;
+  }
+  bool less(Weight a, Weight b) const { return a < b; }
+  Weight phi() const { return std::numeric_limits<Weight>::max(); }
+  bool is_phi(Weight w) const { return w == phi(); }
+  Weight sample(Rng& rng) const { return rng.uniform(1, max_sample_); }
+  std::size_t encoded_bits(Weight w) const { return bit_width_of_weight(w); }
+  std::string name() const { return "shortest-path"; }
+  std::string to_string(Weight w) const {
+    return is_phi(w) ? "phi" : std::to_string(w);
+  }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.strictly_monotone = true;
+    p.cancellative = true;
+    p.delimited = true;
+    return p;
+  }
+
+ private:
+  static std::size_t bit_width_of_weight(Weight w) {
+    std::size_t bits = 1;
+    while (w >>= 1) ++bits;
+    return bits;
+  }
+  Weight max_sample_;
+};
+
+// W = (N, 0, min, ≥). Larger bottleneck capacity is preferred; φ = 0 means
+// "no capacity at all" and absorbs under min.
+class WidestPath {
+ public:
+  using Weight = std::uint64_t;
+
+  explicit WidestPath(Weight max_sample = 64) : max_sample_(max_sample) {}
+
+  Weight combine(Weight a, Weight b) const { return a < b ? a : b; }
+  bool less(Weight a, Weight b) const { return a > b; }  // wider ≺ narrower
+  Weight phi() const { return 0; }
+  bool is_phi(Weight w) const { return w == 0; }
+  Weight sample(Rng& rng) const { return rng.uniform(1, max_sample_); }
+  std::size_t encoded_bits(Weight w) const {
+    std::size_t bits = 1;
+    while (w >>= 1) ++bits;
+    return bits;
+  }
+  std::string name() const { return "widest-path"; }
+  std::string to_string(Weight w) const {
+    return is_phi(w) ? "phi" : std::to_string(w);
+  }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.selective = true;
+    p.delimited = true;
+    return p;
+  }
+
+ private:
+  Weight max_sample_;
+};
+
+// R = ((0,1], 0, *, ≥). Reliabilities multiply along a path; more reliable
+// is preferred. Weakly monotone only (multiplying by 1 is neutral), but it
+// contains the delimited strictly monotone subalgebra ((0,1), 0, *, ≥),
+// which is what Lemma 2 needs for incompressibility.
+//
+// Samples are drawn from {1/64, 2/64, ..., 64/64} so that products of a
+// handful of weights stay exactly representable in double and the property
+// checker's equality tests are not fooled by rounding.
+class MostReliablePath {
+ public:
+  using Weight = double;
+
+  // allow_one=false restricts sampling to (0,1), i.e. the strictly
+  // monotone subalgebra used in the Theorem-2 experiments.
+  explicit MostReliablePath(bool allow_one = true) : allow_one_(allow_one) {}
+
+  Weight combine(Weight a, Weight b) const { return a * b; }
+  bool less(Weight a, Weight b) const { return a > b; }
+  Weight phi() const { return 0.0; }
+  bool is_phi(Weight w) const { return w == 0.0; }
+  Weight sample(Rng& rng) const {
+    const std::uint64_t hi = allow_one_ ? 64 : 63;
+    return static_cast<double>(rng.uniform(1, hi)) / 64.0;
+  }
+  std::size_t encoded_bits(Weight) const { return 64; }
+  std::string name() const {
+    return allow_one_ ? "most-reliable-path" : "most-reliable-path-strict";
+  }
+  std::string to_string(Weight w) const {
+    if (is_phi(w)) return "phi";
+    std::ostringstream out;
+    out << w;
+    return out.str();
+  }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.cancellative = true;
+    p.delimited = true;
+    p.strictly_monotone = !allow_one_;
+    p.sm_subalgebra = true;
+    return p;
+  }
+
+ private:
+  bool allow_one_;
+};
+
+// U = ({1}, 0, *, ≥). The single finite weight makes every traversable
+// path equally preferred; this is the algebra of Ethernet-style usable-path
+// routing and the target of Theorem 6's reduction. On a one-element weight
+// set the algebra is simultaneously selective, condensed and cancellative.
+class UsablePath {
+ public:
+  using Weight = std::uint8_t;  // 1 = usable, 0 = φ
+
+  Weight combine(Weight a, Weight b) const {
+    return (a != 0 && b != 0) ? 1 : 0;
+  }
+  bool less(Weight a, Weight b) const { return a > b; }  // usable ≺ φ
+  Weight phi() const { return 0; }
+  bool is_phi(Weight w) const { return w == 0; }
+  Weight sample(Rng&) const { return 1; }
+  std::size_t encoded_bits(Weight) const { return 1; }
+  std::string name() const { return "usable-path"; }
+  std::string to_string(Weight w) const { return w ? "1" : "phi"; }
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;
+    p.isotone = true;
+    p.selective = true;
+    p.cancellative = true;
+    p.condensed = true;
+    p.delimited = true;
+    return p;
+  }
+};
+
+static_assert(RoutingAlgebra<ShortestPath>);
+static_assert(RoutingAlgebra<WidestPath>);
+static_assert(RoutingAlgebra<MostReliablePath>);
+static_assert(RoutingAlgebra<UsablePath>);
+
+}  // namespace cpr

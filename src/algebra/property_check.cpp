@@ -1,0 +1,65 @@
+#include "algebra/property_check.hpp"
+
+#include <sstream>
+
+namespace cpr {
+
+namespace detail {
+std::string violation(const std::string& property, const std::string& a,
+                      const std::string& b, const std::string& c) {
+  std::ostringstream out;
+  out << property << " violated at (" << a << ", " << b;
+  if (!c.empty()) out << ", " << c;
+  out << ")";
+  return out.str();
+}
+}  // namespace detail
+
+std::string describe(const PropertyReport& r) {
+  std::ostringstream out;
+  auto flag = [&](const char* label, bool v) {
+    out << label << "=" << (v ? "yes" : "no") << " ";
+  };
+  out << "axioms: ";
+  flag("assoc", r.associative);
+  flag("comm", r.commutative);
+  flag("irrefl", r.order_irreflexive);
+  flag("trans", r.order_transitive);
+  flag("absorb", r.absorptive);
+  flag("phi-max", r.phi_maximal);
+  out << "| properties: ";
+  flag("M", r.monotone);
+  flag("I", r.isotone);
+  flag("SM", r.strictly_monotone);
+  flag("S", r.selective);
+  flag("N", r.cancellative);
+  flag("C", r.condensed);
+  flag("D", r.delimited);
+  if (!r.counterexamples.empty()) {
+    out << "\n  first counterexamples:";
+    for (const auto& ce : r.counterexamples) out << "\n    " << ce;
+  }
+  return out.str();
+}
+
+std::vector<std::string> validate_claims(const AlgebraProperties& claimed,
+                                         const PropertyReport& observed) {
+  std::vector<std::string> violations;
+  auto require = [&](const char* label, bool claim, bool obs) {
+    if (claim && !obs) {
+      violations.push_back(std::string("claimed ") + label +
+                           " but found a counterexample");
+    }
+  };
+  require("monotone", claimed.monotone, observed.monotone);
+  require("isotone", claimed.isotone, observed.isotone);
+  require("strictly monotone", claimed.strictly_monotone,
+          observed.strictly_monotone);
+  require("selective", claimed.selective, observed.selective);
+  require("cancellative", claimed.cancellative, observed.cancellative);
+  require("condensed", claimed.condensed, observed.condensed);
+  require("delimited", claimed.delimited, observed.delimited);
+  return violations;
+}
+
+}  // namespace cpr

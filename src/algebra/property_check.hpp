@@ -1,0 +1,169 @@
+// Empirical validation of algebra axioms and property flags.
+//
+// Every algebra in the library *claims* a set of property flags
+// (Definition 1 and the M/I/SM/S/N/C/D list); this checker exercises the
+// claims on sampled finite weights: semigroup axioms (closure,
+// associativity, commutativity), order axioms (irreflexivity of ≺,
+// transitivity, totality), φ-compatibility (absorptivity, maximality) and
+// the seven classification properties. A property verified on samples is
+// of course not proven, but a single counterexample *disproves* a claim —
+// and the unit tests require zero counterexamples across large sweeps,
+// which is how the Proposition-1 product rules are exercised (experiment
+// E11 in DESIGN.md).
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+struct PropertyReport {
+  // Axioms.
+  bool associative = true;
+  bool commutative = true;
+  bool order_irreflexive = true;
+  bool order_transitive = true;
+  bool order_total = true;  // trivially holds for a strict weak order test
+  bool absorptive = true;
+  bool phi_maximal = true;
+  // Classification properties (observed on samples).
+  bool monotone = true;
+  bool isotone = true;
+  bool strictly_monotone = true;
+  bool selective = true;
+  bool cancellative = true;
+  bool condensed = true;
+  bool delimited = true;
+
+  std::vector<std::string> counterexamples;
+
+  bool axioms_hold() const {
+    return associative && commutative && order_irreflexive &&
+           order_transitive && order_total && absorptive && phi_maximal;
+  }
+};
+
+std::string describe(const PropertyReport& r);
+
+// Checks that the empirical observations are consistent with the claimed
+// flags: every claimed-true property must be observed true (claimed-false
+// properties may still hold on the sample — absence of a counterexample is
+// not evidence of absence). Returns a list of violated claims.
+std::vector<std::string> validate_claims(const AlgebraProperties& claimed,
+                                         const PropertyReport& observed);
+
+namespace detail {
+std::string violation(const std::string& property, const std::string& a,
+                      const std::string& b, const std::string& c);
+}  // namespace detail
+
+template <RoutingAlgebra A>
+PropertyReport check_properties(const A& alg,
+                                const std::vector<typename A::Weight>& ws) {
+  using W = typename A::Weight;
+  PropertyReport r;
+  auto note = [&](const char* prop, const W& a, const W& b, const W& c,
+                  bool have_c = true) {
+    if (r.counterexamples.size() < 32) {
+      r.counterexamples.push_back(detail::violation(
+          prop, alg.to_string(a), alg.to_string(b),
+          have_c ? alg.to_string(c) : std::string{}));
+    }
+  };
+  const W phi = alg.phi();
+
+  for (const W& a : ws) {
+    if (alg.less(a, a)) {
+      r.order_irreflexive = false;
+      note("irreflexivity (w ≺ w)", a, a, a, false);
+    }
+    if (!alg.is_phi(a)) {
+      if (!alg.less(a, phi)) {
+        r.phi_maximal = false;
+        note("maximality (w ≺ phi)", a, phi, a, false);
+      }
+    }
+    if (!alg.is_phi(alg.combine(a, phi)) ||
+        !alg.is_phi(alg.combine(phi, a))) {
+      r.absorptive = false;
+      note("absorptivity (w ⊕ phi = phi)", a, phi, a, false);
+    }
+  }
+
+  for (const W& a : ws) {
+    for (const W& b : ws) {
+      const W ab = alg.combine(a, b);
+      const W ba = alg.combine(b, a);
+      if (!order_equal(alg, ab, ba)) {
+        r.commutative = false;
+        note("commutativity", a, b, ab, false);
+      }
+      if (alg.is_phi(ab)) {
+        r.delimited = false;
+        note("delimitedness (w1 ⊕ w2 = phi)", a, b, ab, false);
+      }
+      // M: a ⪯ b ⊕ a.
+      if (alg.less(alg.combine(b, a), a)) {
+        r.monotone = false;
+        note("monotonicity (b ⊕ a ≺ a)", a, b, ab, false);
+      }
+      // SM: a ≺ b ⊕ a.
+      if (!alg.less(a, alg.combine(b, a))) {
+        r.strictly_monotone = false;
+      }
+      // S: a ⊕ b ∈ {a, b} (up to order-equality).
+      if (!order_equal(alg, ab, a) && !order_equal(alg, ab, b)) {
+        r.selective = false;
+        note("selectivity (a ⊕ b ∉ {a,b})", a, b, ab);
+      }
+    }
+  }
+
+  for (const W& a : ws) {
+    for (const W& b : ws) {
+      for (const W& c : ws) {
+        const W ab_c = alg.combine(alg.combine(a, b), c);
+        const W a_bc = alg.combine(a, alg.combine(b, c));
+        if (!order_equal(alg, ab_c, a_bc)) {
+          r.associative = false;
+          note("associativity", a, b, c);
+        }
+        // Order transitivity on ≺.
+        if (alg.less(a, b) && alg.less(b, c) && !alg.less(a, c)) {
+          r.order_transitive = false;
+          note("transitivity of ≺", a, b, c);
+        }
+        // I: a ⪯ b ⇒ c⊕a ⪯ c⊕b.
+        if (leq(alg, a, b) &&
+            alg.less(alg.combine(c, b), alg.combine(c, a))) {
+          r.isotone = false;
+          note("isotonicity (a ⪯ b but c⊕b ≺ c⊕a)", a, b, c);
+        }
+        // N: a⊕b = a⊕c ⇒ b = c.
+        if (order_equal(alg, alg.combine(a, b), alg.combine(a, c)) &&
+            !order_equal(alg, b, c)) {
+          r.cancellative = false;
+        }
+        // C: a⊕b = a⊕c for all.
+        if (!order_equal(alg, alg.combine(a, b), alg.combine(a, c))) {
+          r.condensed = false;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// Convenience: draw `count` finite samples from the algebra itself.
+template <RoutingAlgebra A>
+PropertyReport check_properties_sampled(const A& alg, Rng& rng,
+                                        std::size_t count = 24) {
+  std::vector<typename A::Weight> ws;
+  ws.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ws.push_back(alg.sample(rng));
+  return check_properties(alg, ws);
+}
+
+}  // namespace cpr

@@ -1,0 +1,71 @@
+// Subalgebras (Section 2.2): the restriction of A = (W, φ, ⊕, ⪯) to a
+// ⊕-closed subset W' ⊆ W. Subalgebras inherit ⊕, ⪯ and φ; new properties
+// may emerge on the smaller weight set (the paper's example: restricting
+// the weakly monotone (N∪{0}, ∞, +, ≤) to positive weights makes it
+// strictly monotone). Lemma 2 is stated in terms of subalgebras: an
+// algebra is incompressible as soon as it *contains* a delimited strictly
+// monotone subalgebra.
+//
+// The restriction is expressed as a sampling predicate: operations
+// delegate to the root algebra, while sample() rejection-samples into W'.
+// The caller declares the property flags that hold on W' (they are
+// validated empirically by the checker, like every other claim).
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cpr {
+
+template <RoutingAlgebra A>
+class Subalgebra {
+ public:
+  using Weight = typename A::Weight;
+  using Predicate = std::function<bool(const A&, const Weight&)>;
+
+  Subalgebra(A root, Predicate membership, AlgebraProperties claimed,
+             std::string label)
+      : root_(std::move(root)),
+        member_(std::move(membership)),
+        props_(claimed),
+        label_(std::move(label)) {}
+
+  const A& root() const { return root_; }
+  bool contains(const Weight& w) const { return member_(root_, w); }
+
+  Weight combine(const Weight& a, const Weight& b) const {
+    return root_.combine(a, b);
+  }
+  bool less(const Weight& a, const Weight& b) const {
+    return root_.less(a, b);
+  }
+  Weight phi() const { return root_.phi(); }
+  bool is_phi(const Weight& w) const { return root_.is_phi(w); }
+
+  Weight sample(Rng& rng) const {
+    for (int tries = 0; tries < 4096; ++tries) {
+      Weight w = root_.sample(rng);
+      if (member_(root_, w)) return w;
+    }
+    throw std::runtime_error("Subalgebra::sample: predicate never satisfied");
+  }
+
+  std::size_t encoded_bits(const Weight& w) const {
+    return root_.encoded_bits(w);
+  }
+  std::string name() const { return label_; }
+  std::string to_string(const Weight& w) const { return root_.to_string(w); }
+  AlgebraProperties properties() const { return props_; }
+
+ private:
+  A root_;
+  Predicate member_;
+  AlgebraProperties props_;
+  std::string label_;
+};
+
+}  // namespace cpr

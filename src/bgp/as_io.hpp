@@ -1,0 +1,32 @@
+// AS-relationship serialization in the CAIDA as-rel line format:
+//
+//   # comment lines start with '#'
+//   <provider-as>|<customer-as>|-1     provider-to-customer link
+//   <peer-as>|<peer-as>|0              peer-to-peer link
+//
+// This is the de-facto interchange format for inferred AS relationships
+// (Gao's inference work the paper cites publishes in it), so topologies
+// generated here can be eyeballed with standard tooling and measured
+// datasets can be loaded for the BGP experiments. Node ids are dense
+// 0-based indices; an optional remapping is applied on load so sparse AS
+// numbers from real datasets fit the Digraph.
+#pragma once
+
+#include "bgp/as_topology.hpp"
+
+#include <iosfwd>
+#include <map>
+
+namespace cpr {
+
+void write_as_rel(const AsTopology& topo, std::ostream& out);
+
+struct AsRelLoadResult {
+  AsTopology topology;
+  // original AS number -> dense node id
+  std::map<std::uint64_t, NodeId> id_of_asn;
+};
+
+AsRelLoadResult read_as_rel(std::istream& in);
+
+}  // namespace cpr

@@ -1,0 +1,134 @@
+#include "bgp/as_topology.hpp"
+
+#include "bgp/valley_free.hpp"
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpr {
+
+std::vector<NodeId> AsTopology::roots() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    bool has_provider = false;
+    for (ArcId a : graph.out_arcs(v)) {
+      if (relation[a] == Relationship::kProvider) {
+        has_provider = true;
+        break;
+      }
+    }
+    if (!has_provider) out.push_back(v);
+  }
+  return out;
+}
+
+ArcMap<BgpLabel> AsTopology::labels() const {
+  ArcMap<BgpLabel> w(relation.size());
+  for (std::size_t a = 0; a < relation.size(); ++a) {
+    switch (relation[a]) {
+      case Relationship::kCustomer: w[a] = BgpLabel::kCustomer; break;
+      case Relationship::kPeer: w[a] = BgpLabel::kPeer; break;
+      case Relationship::kProvider: w[a] = BgpLabel::kProvider; break;
+    }
+  }
+  return w;
+}
+
+namespace {
+
+// Adds the arc pair for "customer → provider" and records both labels.
+void add_provider_link(AsTopology& topo, NodeId customer, NodeId provider) {
+  topo.graph.add_arc_pair(customer, provider);
+  topo.relation.push_back(Relationship::kProvider);  // customer → provider
+  topo.relation.push_back(Relationship::kCustomer);  // provider → customer
+}
+
+void add_peer_link(AsTopology& topo, NodeId a, NodeId b) {
+  topo.graph.add_arc_pair(a, b);
+  topo.relation.push_back(Relationship::kPeer);
+  topo.relation.push_back(Relationship::kPeer);
+}
+
+}  // namespace
+
+AsTopology generate_as_topology(const AsTopologyOptions& opt, Rng& rng) {
+  if (opt.nodes == 0) throw std::invalid_argument("as topology: nodes >= 1");
+  const std::size_t tier1 = std::max<std::size_t>(
+      1, std::min(opt.tier1, opt.nodes));
+  AsTopology topo;
+  topo.graph = Digraph(opt.nodes);
+
+  // Tier-1 full peer mesh (Theorem 7's "roots connected in a full peer
+  // mesh"); a single root needs no mesh.
+  for (NodeId a = 0; a + 1 < tier1; ++a) {
+    for (NodeId b = a + 1; b < tier1; ++b) add_peer_link(topo, a, b);
+  }
+
+  // Every later node multihomes to 1..max_providers earlier nodes, so the
+  // provider relation points strictly backwards — A2 by construction.
+  for (NodeId v = static_cast<NodeId>(tier1); v < opt.nodes; ++v) {
+    const std::size_t want =
+        1 + rng.index(std::max<std::size_t>(opt.max_providers, 1));
+    std::vector<NodeId> providers;
+    for (std::size_t i = 0; i < want && providers.size() < v; ++i) {
+      const NodeId cand = static_cast<NodeId>(rng.index(v));
+      if (std::find(providers.begin(), providers.end(), cand) ==
+          providers.end()) {
+        providers.push_back(cand);
+      }
+    }
+    if (providers.empty()) providers.push_back(0);
+    for (NodeId p : providers) add_provider_link(topo, v, p);
+  }
+
+  // Optional lateral peering between non-root nodes.
+  if (opt.extra_peer_prob > 0) {
+    for (NodeId a = static_cast<NodeId>(tier1); a < opt.nodes; ++a) {
+      for (NodeId b = a + 1; b < opt.nodes; ++b) {
+        if (rng.coin(opt.extra_peer_prob) && !topo.graph.has_arc(a, b)) {
+          add_peer_link(topo, a, b);
+        }
+      }
+    }
+  }
+
+  if (opt.violate_a2 && opt.nodes >= 3) {
+    // Deliberate provider cycle among three fresh nodes on top of the
+    // hierarchy (only for the negative tests).
+    const NodeId x = topo.graph.add_node();
+    const NodeId y = topo.graph.add_node();
+    const NodeId z = topo.graph.add_node();
+    add_provider_link(topo, x, y);
+    add_provider_link(topo, y, z);
+    add_provider_link(topo, z, x);
+    add_provider_link(topo, x, 0);  // keep the cycle attached
+  }
+  return topo;
+}
+
+bool satisfies_a2_no_provider_loops(const AsTopology& topo) {
+  const auto succ = [&](NodeId u) {
+    std::vector<NodeId> out;
+    for (ArcId a : topo.graph.out_arcs(u)) {
+      if (topo.relation[a] == Relationship::kProvider) {
+        out.push_back(topo.graph.arc(a).to);
+      }
+    }
+    return out;
+  };
+  return topological_order(topo.graph.node_count(), succ).has_value();
+}
+
+bool satisfies_a1_global_reachability(const AsTopology& topo) {
+  const std::size_t n = topo.graph.node_count();
+  for (NodeId t = 0; t < n; ++t) {
+    const ValleyFreeReachability r = valley_free_reachability(topo, t);
+    for (NodeId s = 0; s < n; ++s) {
+      if (s != t && r.klass[s] == ValleyFreeClass::kUnreachable) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cpr

@@ -1,0 +1,58 @@
+// Synthetic AS-level topologies with business relationships.
+//
+// The paper's Section-5 theorems are statements about relationship
+// structure, not about any concrete Internet measurement, so we substitute
+// a Gao–Rexford-style hierarchy generator whose knobs control exactly the
+// assumptions the theorems depend on:
+//
+//   A1 (global reachability): every pair is connected by a traversable
+//      (valley-free) path — guaranteed by attaching every non-root to at
+//      least one provider and keeping the roots in a full peer mesh
+//      (or having a single root).
+//   A2 (no provider loops): provider arcs always point from a later node
+//      to an earlier one, so the provider digraph is a DAG by
+//      construction. A `violate_a2` knob adds a deliberate p-cycle for the
+//      negative tests.
+//
+// Relationships are stored per arc: arc (u,v) labeled kProvider means v is
+// u's provider; the paired reverse arc automatically carries kCustomer,
+// and peer pairs carry kPeer both ways.
+#pragma once
+
+#include "bgp/bgp_algebra.hpp"
+#include "graph/digraph.hpp"
+#include "util/random.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+enum class Relationship : std::uint8_t { kCustomer, kPeer, kProvider };
+
+struct AsTopology {
+  Digraph graph;
+  ArcMap<Relationship> relation;  // per arc, from the arc's tail viewpoint
+
+  // Nodes with no provider (no out-arc labeled kProvider).
+  std::vector<NodeId> roots() const;
+
+  // Arc labels as weights of a BGP algebra (kPeer maps to BgpLabel::kPeer;
+  // topologies fed to B1 must be generated without peers).
+  ArcMap<BgpLabel> labels() const;
+};
+
+struct AsTopologyOptions {
+  std::size_t nodes = 64;
+  std::size_t tier1 = 1;          // number of roots (full peer mesh)
+  std::size_t max_providers = 2;  // multihoming degree for non-roots
+  double extra_peer_prob = 0.0;   // chance of adding lateral peer links
+  bool violate_a2 = false;        // add a provider cycle (negative tests)
+};
+
+AsTopology generate_as_topology(const AsTopologyOptions& opt, Rng& rng);
+
+// Assumption checkers (Theorems 6–8 are conditioned on these).
+bool satisfies_a2_no_provider_loops(const AsTopology& topo);
+bool satisfies_a1_global_reachability(const AsTopology& topo);
+
+}  // namespace cpr

@@ -1,0 +1,126 @@
+// The BGP routing algebras of Section 5.
+//
+// Inter-domain policies are modeled on a symmetric digraph whose arcs are
+// labeled by business relationships: arc (u,v) carries
+//   p  — v is u's provider  (the packet crosses a provider link "up"),
+//   c  — v is u's customer  (the packet goes "down"),
+//   r  — u and v are peers,
+// with w(i,j) = p ⇔ w(j,i) = c and w(i,j) = r ⇔ w(j,i) = r.
+//
+// The algebras are only right-associative (path weights compose from the
+// destination toward the source, like a path-vector protocol) and not
+// commutative; the RoutingAlgebra concept still fits, with the
+// right_associative_only flag telling the property checker not to expect
+// commutativity/associativity and solvers to use the path-vector engine.
+//
+//   B1 (provider-customer): weights {c,p}, Table 2 composition
+//       (c⊕c = c, c⊕p = φ, p⊕c = p, p⊕p = p), all traversable paths
+//       equally preferred. Monotone; neither delimited nor regular.
+//   B2 (valley-free): weights {c,r,p}, Table 3 composition (a single peer
+//       edge is allowed at the top of the path), equal preference.
+//   B3 (local-pref): Table 3 composition, customer routes strictly
+//       preferred: c ≺ r ≺ p (an instance of the paper's c ≺ r ⪯ p).
+//   B4 = B3 × S (local-pref then path length), built with LexProduct.
+//
+// A handy structural fact the computations exploit (and the tests pin):
+// the weight of any traversable path under Tables 2/3 equals its *first*
+// arc label — c⊕ only absorbs c's, r⊕ only c's, p⊕ absorbs everything.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "algebra/lex_product.hpp"
+#include "algebra/primitives.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cpr {
+
+enum class BgpLabel : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2, kPhi = 3 };
+
+inline const char* to_cstr(BgpLabel w) {
+  switch (w) {
+    case BgpLabel::kCustomer: return "c";
+    case BgpLabel::kPeer: return "r";
+    case BgpLabel::kProvider: return "p";
+    case BgpLabel::kPhi: return "phi";
+  }
+  return "?";
+}
+
+// Shared implementation: the two composition tables differ only in
+// whether the peer label exists; preference is parameterized.
+template <bool kWithPeers, bool kLocalPref>
+class BgpAlgebraT {
+ public:
+  using Weight = BgpLabel;
+
+  Weight combine(Weight a, Weight b) const {
+    if (a == BgpLabel::kPhi || b == BgpLabel::kPhi) return BgpLabel::kPhi;
+    // Tables 2 and 3: row = first label (nearer the source).
+    switch (a) {
+      case BgpLabel::kCustomer:
+        return b == BgpLabel::kCustomer ? BgpLabel::kCustomer
+                                        : BgpLabel::kPhi;
+      case BgpLabel::kPeer:
+        return b == BgpLabel::kCustomer ? BgpLabel::kPeer : BgpLabel::kPhi;
+      case BgpLabel::kProvider:
+        return BgpLabel::kProvider;
+      case BgpLabel::kPhi:
+        break;
+    }
+    return BgpLabel::kPhi;
+  }
+
+  bool less(Weight a, Weight b) const {
+    if (a == b) return false;
+    if (b == BgpLabel::kPhi) return true;   // every finite weight ≺ φ
+    if (a == BgpLabel::kPhi) return false;
+    if constexpr (kLocalPref) {
+      return static_cast<int>(a) < static_cast<int>(b);  // c ≺ r ≺ p
+    } else {
+      return false;  // c = r = p: all traversable paths equally preferred
+    }
+  }
+
+  Weight phi() const { return BgpLabel::kPhi; }
+  bool is_phi(Weight w) const { return w == BgpLabel::kPhi; }
+
+  Weight sample(Rng& rng) const {
+    if constexpr (kWithPeers) {
+      static constexpr std::array<BgpLabel, 3> kAll = {
+          BgpLabel::kCustomer, BgpLabel::kPeer, BgpLabel::kProvider};
+      return kAll[rng.index(kAll.size())];
+    } else {
+      return rng.coin(0.5) ? BgpLabel::kCustomer : BgpLabel::kProvider;
+    }
+  }
+
+  std::size_t encoded_bits(Weight) const { return 2; }
+
+  std::string name() const {
+    if constexpr (!kWithPeers) return "B1 provider-customer";
+    return kLocalPref ? "B3 local-pref" : "B2 valley-free";
+  }
+  std::string to_string(Weight w) const { return to_cstr(w); }
+
+  AlgebraProperties properties() const {
+    AlgebraProperties p;
+    p.monotone = true;  // prepending never improves a path's weight
+    p.right_associative_only = true;
+    return p;
+  }
+};
+
+using B1ProviderCustomer = BgpAlgebraT<false, false>;
+using B2ValleyFree = BgpAlgebraT<true, false>;
+using B3LocalPref = BgpAlgebraT<true, true>;
+using B4LocalPrefShortest = LexProduct<B3LocalPref, ShortestPath>;
+
+static_assert(RoutingAlgebra<B1ProviderCustomer>);
+static_assert(RoutingAlgebra<B2ValleyFree>);
+static_assert(RoutingAlgebra<B3LocalPref>);
+static_assert(RoutingAlgebra<B4LocalPrefShortest>);
+
+}  // namespace cpr

@@ -1,0 +1,144 @@
+#include "bgp/bgp_schemes.hpp"
+
+#include "util/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+namespace {
+
+// Arc pairs are appended together, so the shadow edge of arc a is a/2.
+EdgeId shadow_edge_of_arc(ArcId a) { return a / 2; }
+
+}  // namespace
+
+ProviderTreeScheme::ProviderTreeScheme(const AsTopology& topo) {
+  const SvfcDecomposition d = decompose_svfc(topo);
+  if (d.component_count() != 1) {
+    throw std::invalid_argument(
+        "ProviderTreeScheme: expected a single root (Theorem 6 premises)");
+  }
+  shadow_ = std::make_unique<Graph>(topo.graph.undirected_shadow());
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(shadow_->node_count() - 1);
+  for (NodeId v = 0; v < shadow_->node_count(); ++v) {
+    if (d.provider_arc[v] != kInvalidArc) {
+      tree_edges.push_back(shadow_edge_of_arc(d.provider_arc[v]));
+    }
+  }
+  router_ = std::make_unique<TreeRouter>(*shadow_, tree_edges,
+                                         d.component_root[0]);
+}
+
+SvfcPeerMeshScheme::SvfcPeerMeshScheme(const AsTopology& topo)
+    : decomposition_(decompose_svfc(topo)) {
+  if (!roots_fully_peered(topo, decomposition_)) {
+    throw std::invalid_argument(
+        "SvfcPeerMeshScheme: roots are not fully peered (Theorem 7 premises)");
+  }
+  shadow_ = std::make_unique<Graph>(topo.graph.undirected_shadow());
+  const std::size_t n = shadow_->node_count();
+  const std::size_t k = decomposition_.component_count();
+
+  // Per-component subgraphs over the preferred-provider tree edges.
+  local_id_.assign(n, kInvalidNode);
+  global_id_.assign(k, {});
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId comp = decomposition_.component[v];
+    local_id_[v] = static_cast<NodeId>(global_id_[comp].size());
+    global_id_[comp].push_back(v);
+  }
+  component_graphs_.resize(k);
+  component_routers_.resize(k);
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    auto sub = std::make_unique<Graph>(global_id_[comp].size());
+    std::vector<EdgeId> tree_edges;
+    for (NodeId v : global_id_[comp]) {
+      if (decomposition_.preferred_provider[v] == kInvalidNode) continue;
+      tree_edges.push_back(sub->add_edge(
+          local_id_[v], local_id_[decomposition_.preferred_provider[v]]));
+    }
+    const NodeId local_root = local_id_[decomposition_.component_root[comp]];
+    component_routers_[comp] =
+        std::make_unique<TreeRouter>(*sub, tree_edges, local_root);
+    component_graphs_[comp] = std::move(sub);
+  }
+}
+
+SvfcPeerMeshScheme::Header SvfcPeerMeshScheme::make_header(
+    NodeId target) const {
+  Header h;
+  h.target_component = decomposition_.component[target];
+  h.tree = component_routers_[h.target_component]->make_header(
+      local_id_[target]);
+  return h;
+}
+
+Decision SvfcPeerMeshScheme::forward(NodeId u, Header& h) const {
+  const NodeId comp_u = decomposition_.component[u];
+  const Graph& sub = *component_graphs_[comp_u];
+  const TreeRouter& router = *component_routers_[comp_u];
+  const NodeId local_u = local_id_[u];
+
+  if (comp_u == h.target_component) {
+    const Decision d = router.forward(local_u, h.tree);
+    if (d.deliver) return d;
+    if (d.port == kInvalidPort) return d;
+    const NodeId next = global_id_[comp_u][sub.neighbor(local_u, d.port)];
+    return Decision::via(shadow_->port_to(u, next));
+  }
+
+  // Foreign component: climb to my root, then cross the peer mesh. The
+  // root's preorder number is 0, so a zero header climbs the tree without
+  // any per-destination state.
+  if (decomposition_.component_root[comp_u] == u) {
+    const NodeId peer_root =
+        decomposition_.component_root[h.target_component];
+    return Decision::via(shadow_->port_to(u, peer_root));
+  }
+  TreeRouter::Header climb;  // target_dfs = 0 → toward the root
+  const Decision d = router.forward(local_u, climb);
+  if (d.deliver || d.port == kInvalidPort) {
+    return Decision::via(kInvalidPort);
+  }
+  const NodeId next = global_id_[comp_u][sub.neighbor(local_u, d.port)];
+  return Decision::via(shadow_->port_to(u, next));
+}
+
+std::size_t SvfcPeerMeshScheme::local_memory_bits(NodeId u) const {
+  const NodeId comp = decomposition_.component[u];
+  BitWriter bits;
+  bits.write_bounded(comp, decomposition_.component_count());
+  const bool is_root = decomposition_.component_root[comp] == u;
+  bits.write_bit(is_root);
+  if (is_root) {
+    // The mesh port rule is index-arithmetic; the root only stores its own
+    // mesh index.
+    bits.write_bounded(comp, decomposition_.component_count());
+  }
+  return bits.bit_count() +
+         component_routers_[comp]->local_memory_bits(local_id_[u]);
+}
+
+std::size_t SvfcPeerMeshScheme::label_bits(NodeId v) const {
+  const NodeId comp = decomposition_.component[v];
+  return bits_for_universe(decomposition_.component_count()) +
+         component_routers_[comp]->label_bits(local_id_[v]);
+}
+
+DestinationTableScheme bgp_destination_tables(const AsTopology& topo,
+                                              const Graph& shadow) {
+  const std::size_t n = shadow.node_count();
+  std::vector<std::vector<NodeId>> next_hop(n,
+                                            std::vector<NodeId>(n, kInvalidNode));
+  for (NodeId t = 0; t < n; ++t) {
+    const ValleyFreeReachability r = valley_free_reachability(topo, t);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != t) next_hop[t][u] = r.next_hop[u];
+    }
+  }
+  return DestinationTableScheme(shadow, std::move(next_hop));
+}
+
+}  // namespace cpr

@@ -1,0 +1,97 @@
+// Compact routing schemes for the BGP algebras (Theorems 6 and 7), plus
+// the baseline destination-table scheme built from exact valley-free
+// routes.
+//
+// All three schemes run on the *undirected shadow* of the AS digraph (one
+// edge per symmetric arc pair, identical adjacency), which is what the
+// hop-by-hop simulator drives; validity of the traversed paths is always
+// re-checked against the directed arc labels by the tests/benches.
+//
+// ProviderTreeScheme — Theorem 6. Under A1+A2 the provider DAG has a
+// unique root; picking one preferred provider per node yields a spanning
+// tree whose up-then-down paths are traversable (weight p or c), i.e. the
+// topology reduces to the usable-path algebra U on the provider tree.
+// Routing over that tree with the O(log n)-bit TreeRouter realizes the
+// compressibility claim.
+//
+// SvfcPeerMeshScheme — Theorem 7. With peers, preferred-provider chains
+// partition the nodes into provider trees (SVFCs); the roots form a full
+// peer mesh under the theorem's premises. In-component packets use the
+// component's tree router; cross-component packets climb to the local
+// root, take one peer edge to the target component's root (the port is
+// derivable from component indices — no per-destination state), and
+// descend the target tree. Every such path is up*·peer?·down*, hence
+// valley-free, and per-node state stays O(log n) bits.
+#pragma once
+
+#include "bgp/as_topology.hpp"
+#include "bgp/svfc.hpp"
+#include "bgp/valley_free.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/scheme.hpp"
+#include "scheme/tree_router.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace cpr {
+
+class ProviderTreeScheme {
+ public:
+  using Header = TreeRouter::Header;
+
+  // Requires a single-root topology satisfying A1+A2; throws otherwise.
+  explicit ProviderTreeScheme(const AsTopology& topo);
+
+  Header make_header(NodeId target) const { return router_->make_header(target); }
+  Decision forward(NodeId u, Header& h) const { return router_->forward(u, h); }
+  std::size_t local_memory_bits(NodeId u) const {
+    return router_->local_memory_bits(u);
+  }
+  std::size_t label_bits(NodeId v) const { return router_->label_bits(v); }
+
+  const Graph& shadow() const { return *shadow_; }
+  const TreeRouter& router() const { return *router_; }
+
+ private:
+  std::unique_ptr<Graph> shadow_;
+  std::unique_ptr<TreeRouter> router_;
+};
+
+class SvfcPeerMeshScheme {
+ public:
+  struct Header {
+    NodeId target_component = kInvalidNode;
+    TreeRouter::Header tree;  // label within the target component
+  };
+
+  // Requires A2 and fully peered roots; throws otherwise.
+  explicit SvfcPeerMeshScheme(const AsTopology& topo);
+
+  Header make_header(NodeId target) const;
+  Decision forward(NodeId u, Header& h) const;
+  std::size_t local_memory_bits(NodeId u) const;
+  std::size_t label_bits(NodeId v) const;
+
+  const Graph& shadow() const { return *shadow_; }
+  std::size_t component_count() const { return decomposition_.component_count(); }
+
+ private:
+  std::unique_ptr<Graph> shadow_;
+  SvfcDecomposition decomposition_;
+  std::vector<std::unique_ptr<Graph>> component_graphs_;
+  std::vector<std::unique_ptr<TreeRouter>> component_routers_;
+  std::vector<NodeId> local_id_;                  // global -> local
+  std::vector<std::vector<NodeId>> global_id_;    // (comp, local) -> global
+};
+
+static_assert(CompactRoutingScheme<ProviderTreeScheme>);
+static_assert(CompactRoutingScheme<SvfcPeerMeshScheme>);
+
+// Baseline: destination tables over the shadow graph with next hops from
+// the exact valley-free solver (class-preferred under B3's local-pref,
+// deterministic under B1/B2). The shadow graph must outlive the scheme.
+DestinationTableScheme bgp_destination_tables(const AsTopology& topo,
+                                              const Graph& shadow);
+
+}  // namespace cpr

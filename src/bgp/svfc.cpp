@@ -1,0 +1,64 @@
+#include "bgp/svfc.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+SvfcDecomposition decompose_svfc(const AsTopology& topo) {
+  const Digraph& g = topo.graph;
+  const std::size_t n = g.node_count();
+  SvfcDecomposition d;
+  d.preferred_provider.assign(n, kInvalidNode);
+  d.provider_arc.assign(n, kInvalidArc);
+  d.component.assign(n, kInvalidNode);
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (ArcId a : g.out_arcs(v)) {
+      if (topo.relation[a] == Relationship::kProvider) {
+        d.preferred_provider[v] = g.arc(a).to;
+        d.provider_arc[v] = a;
+        break;  // first provider arc = preferred provider
+      }
+    }
+  }
+
+  // Follow preferred-provider chains to the root; path-compress as we go.
+  for (NodeId v = 0; v < n; ++v) {
+    if (d.component[v] != kInvalidNode) continue;
+    std::vector<NodeId> chain;
+    NodeId x = v;
+    while (d.component[x] == kInvalidNode &&
+           d.preferred_provider[x] != kInvalidNode) {
+      chain.push_back(x);
+      x = d.preferred_provider[x];
+      if (chain.size() > n) {
+        throw std::runtime_error("decompose_svfc: provider cycle (A2 fails)");
+      }
+    }
+    NodeId comp;
+    if (d.component[x] != kInvalidNode) {
+      comp = d.component[x];
+    } else {
+      comp = static_cast<NodeId>(d.component_root.size());
+      d.component_root.push_back(x);
+      d.component[x] = comp;
+    }
+    for (NodeId y : chain) d.component[y] = comp;
+  }
+  return d;
+}
+
+bool roots_fully_peered(const AsTopology& topo, const SvfcDecomposition& d) {
+  for (std::size_t i = 0; i + 1 < d.component_root.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.component_root.size(); ++j) {
+      const ArcId a =
+          topo.graph.find_arc(d.component_root[i], d.component_root[j]);
+      if (a == kInvalidArc || topo.relation[a] != Relationship::kPeer) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cpr

@@ -1,0 +1,37 @@
+// Strongly connected valley-free components (Theorem 7).
+//
+// Neglecting peer arcs, the provider relation under A2 is a DAG; each node
+// picks a *preferred provider* (its first provider arc) and following that
+// choice up the hierarchy reaches a unique root. The resulting provider
+// trees are the components the Theorem-7 scheme routes in: inside a
+// component any two nodes are bidirectionally connected by the
+// up-to-root/down-from-root valley-free path, and under A1+A2 the roots of
+// distinct components are joined by a full peer mesh.
+#pragma once
+
+#include "bgp/as_topology.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+struct SvfcDecomposition {
+  // Preferred provider per node (kInvalidNode at roots) and the arc used.
+  std::vector<NodeId> preferred_provider;
+  std::vector<ArcId> provider_arc;
+  // Component index per node; component k's root is component_root[k].
+  std::vector<NodeId> component;
+  std::vector<NodeId> component_root;
+
+  std::size_t component_count() const { return component_root.size(); }
+};
+
+// Requires A2 (the preferred-provider chains must terminate). Throws if a
+// provider cycle is hit.
+SvfcDecomposition decompose_svfc(const AsTopology& topo);
+
+// True if every pair of distinct component roots is joined by a peer arc
+// (the full-mesh premise the Theorem-7 scheme relies on).
+bool roots_fully_peered(const AsTopology& topo, const SvfcDecomposition& d);
+
+}  // namespace cpr

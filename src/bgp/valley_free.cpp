@@ -1,0 +1,102 @@
+#include "bgp/valley_free.hpp"
+
+#include <deque>
+#include <queue>
+
+namespace cpr {
+
+std::vector<NodeId> ValleyFreeReachability::extract_path(NodeId s) const {
+  std::vector<NodeId> p;
+  if (klass[s] == ValleyFreeClass::kUnreachable) return p;
+  NodeId x = s;
+  p.push_back(x);
+  while (x != destination) {
+    x = next_hop[x];
+    if (x == kInvalidNode || p.size() > klass.size() + 1) return {};
+    p.push_back(x);
+  }
+  return p;
+}
+
+ValleyFreeReachability valley_free_reachability(const AsTopology& topo,
+                                                NodeId destination) {
+  const Digraph& g = topo.graph;
+  const std::size_t n = g.node_count();
+  ValleyFreeReachability r;
+  r.destination = destination;
+  r.klass.assign(n, ValleyFreeClass::kUnreachable);
+  r.next_hop.assign(n, kInvalidNode);
+  r.hops.assign(n, 0);
+  r.klass[destination] = ValleyFreeClass::kSelf;
+
+  // Reverse-expansion helpers. An arc (u,v) has label X from u's viewpoint
+  // exactly when the paired reverse arc (v,u) has the mirrored label, so
+  // expanding "who can step onto v with label X" walks v's out-arcs:
+  //   who reaches v with a customer (down) arc  = v's providers,
+  //   who reaches v with a peer arc             = v's peers,
+  //   who reaches v with a provider (up) arc    = v's customers.
+  auto expand = [&](NodeId v, Relationship reverse_label, auto&& visit) {
+    for (ArcId a : g.out_arcs(v)) {
+      if (topo.relation[a] == reverse_label) visit(g.arc(a).to);
+    }
+  };
+
+  // Phase 1 — kDown: all-customer paths to t (weight c). Plain BFS.
+  std::deque<NodeId> queue{destination};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    expand(v, Relationship::kProvider, [&](NodeId u) {
+      if (r.klass[u] != ValleyFreeClass::kUnreachable) return;
+      r.klass[u] = ValleyFreeClass::kDown;
+      r.next_hop[u] = v;
+      r.hops[u] = r.hops[v] + 1;
+      queue.push_back(u);
+    });
+  }
+
+  // Phase 2 — kPeer: one peer arc onto a down node or t (weight r).
+  for (NodeId v = 0; v < n; ++v) {
+    if (r.klass[v] != ValleyFreeClass::kDown &&
+        r.klass[v] != ValleyFreeClass::kSelf) {
+      continue;
+    }
+    expand(v, Relationship::kPeer, [&](NodeId u) {
+      const std::size_t cand_hops = r.hops[v] + 1;
+      const bool better = r.klass[u] == ValleyFreeClass::kUnreachable ||
+                          (r.klass[u] == ValleyFreeClass::kPeer &&
+                           cand_hops < r.hops[u]);
+      if (better) {
+        r.klass[u] = ValleyFreeClass::kPeer;
+        r.next_hop[u] = v;
+        r.hops[u] = cand_hops;
+      }
+    });
+  }
+
+  // Phase 3 — kUp: a provider arc onto anything already reachable
+  // (weight p). Multi-source shortest-hop expansion; up-chains may pass
+  // through other kUp nodes.
+  using Entry = std::pair<std::size_t, NodeId>;  // (hops, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (NodeId v = 0; v < n; ++v) {
+    if (r.klass[v] != ValleyFreeClass::kUnreachable) pq.push({r.hops[v], v});
+  }
+  while (!pq.empty()) {
+    const auto [h, v] = pq.top();
+    pq.pop();
+    if (h != r.hops[v] && r.klass[v] != ValleyFreeClass::kUnreachable) {
+      continue;  // stale
+    }
+    expand(v, Relationship::kCustomer, [&](NodeId u) {
+      if (r.klass[u] != ValleyFreeClass::kUnreachable) return;
+      r.klass[u] = ValleyFreeClass::kUp;
+      r.next_hop[u] = v;
+      r.hops[u] = h + 1;
+      pq.push({r.hops[u], u});
+    });
+  }
+  return r;
+}
+
+}  // namespace cpr

@@ -1,0 +1,59 @@
+// Direct valley-free route computation.
+//
+// A traversable path under Tables 2/3 has the shape up*·peer?·down*
+// (provider arcs, at most one peer arc, customer arcs), and its weight is
+// its first arc label. This module computes, per destination t, each
+// node's best reachability class with a specialized three-phase reverse
+// BFS — the scalable cross-check for the generic path-vector solver and
+// the route source for the BGP table schemes:
+//
+//   kDown   — reaches t via customer (down) arcs only; weight c.
+//   kPeer   — one peer arc followed by a down-only path; weight r.
+//   kUp     — at least one provider arc first; weight p.
+//
+// Under B3's local preference (c ≺ r ≺ p) the class *is* the preferred
+// weight; under B1/B2 every class is equally preferred and the class
+// order merely fixes a deterministic choice. Next hops follow class-
+// monotone level-decreasing steps, so hop-by-hop forwarding is loop-free
+// and every forwarded path is valley-free by construction.
+#pragma once
+
+#include "bgp/as_topology.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace cpr {
+
+enum class ValleyFreeClass : std::uint8_t {
+  kSelf,
+  kDown,
+  kPeer,
+  kUp,
+  kUnreachable,
+};
+
+struct ValleyFreeReachability {
+  NodeId destination = kInvalidNode;
+  std::vector<ValleyFreeClass> klass;
+  std::vector<NodeId> next_hop;       // kInvalidNode at t / unreachable
+  std::vector<std::size_t> hops;      // length of the realized path
+
+  // The realized s→t path (empty when unreachable).
+  std::vector<NodeId> extract_path(NodeId s) const;
+
+  // The algebra weight of s's best route (phi when unreachable).
+  BgpLabel weight(NodeId s) const {
+    switch (klass[s]) {
+      case ValleyFreeClass::kDown: return BgpLabel::kCustomer;
+      case ValleyFreeClass::kPeer: return BgpLabel::kPeer;
+      case ValleyFreeClass::kUp: return BgpLabel::kProvider;
+      default: return BgpLabel::kPhi;
+    }
+  }
+};
+
+ValleyFreeReachability valley_free_reachability(const AsTopology& topo,
+                                                NodeId destination);
+
+}  // namespace cpr

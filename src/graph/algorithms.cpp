@@ -1,0 +1,205 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <stack>
+
+namespace cpr {
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::size_t d) {
+    return d == std::numeric_limits<std::size_t>::max();
+  });
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> comp(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const auto& a : g.neighbors(u)) {
+        if (comp[a.neighbor] == kInvalidNode) {
+          comp[a.neighbor] = next;
+          queue.push_back(a.neighbor);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::size_t> dist(g.node_count(),
+                                std::numeric_limits<std::size_t>::max());
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& a : g.neighbors(u)) {
+      if (dist[a.neighbor] == std::numeric_limits<std::size_t>::max()) {
+        dist[a.neighbor] = dist[u] + 1;
+        queue.push_back(a.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source) {
+  std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+  parent[source] = source;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const auto& a : g.neighbors(u)) {
+      if (parent[a.neighbor] == kInvalidNode) {
+        parent[a.neighbor] = u;
+        queue.push_back(a.neighbor);
+      }
+    }
+  }
+  return parent;
+}
+
+std::size_t hop_diameter(const Graph& g) {
+  std::size_t diameter = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (std::size_t d : bfs_distances(g, s)) {
+      if (d != std::numeric_limits<std::size_t>::max()) {
+        diameter = std::max(diameter, d);
+      }
+    }
+  }
+  return diameter;
+}
+
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& tree_edges) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return tree_edges.empty();
+  if (tree_edges.size() != n - 1) return false;
+  UnionFind uf(n);
+  for (EdgeId e : tree_edges) {
+    const auto& edge = g.edge(e);
+    if (!uf.unite(edge.u, edge.v)) return false;  // cycle
+  }
+  return true;
+}
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t x, std::size_t y) {
+  x = find(x);
+  y = find(y);
+  if (x == y) return false;
+  if (rank_[x] < rank_[y]) std::swap(x, y);
+  parent_[y] = x;
+  if (rank_[x] == rank_[y]) ++rank_[x];
+  return true;
+}
+
+std::vector<NodeId> strongly_connected_components(
+    std::size_t n, const std::function<std::vector<NodeId>(NodeId)>& succ) {
+  // Iterative Tarjan.
+  constexpr NodeId kUnset = kInvalidNode;
+  std::vector<NodeId> index(n, kUnset), lowlink(n, 0), comp(n, kUnset);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  NodeId next_index = 0, next_comp = 0;
+
+  struct Frame {
+    NodeId v;
+    std::vector<NodeId> successors;
+    std::size_t next = 0;
+  };
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    std::stack<Frame> frames;
+    frames.push({root, succ(root)});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.top();
+      if (f.next < f.successors.size()) {
+        const NodeId w = f.successors[f.next++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push({w, succ(w)});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const NodeId v = f.v;
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == v) break;
+          }
+          ++next_comp;
+        }
+        frames.pop();
+        if (!frames.empty()) {
+          lowlink[frames.top().v] =
+              std::min(lowlink[frames.top().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::optional<std::vector<NodeId>> topological_order(
+    std::size_t n, const std::function<std::vector<NodeId>(NodeId)>& succ) {
+  std::vector<std::size_t> indeg(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : succ(v)) ++indeg[w];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (NodeId w : succ(v)) {
+      if (--indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+}  // namespace cpr

@@ -1,0 +1,58 @@
+// Basic graph algorithms shared by the routing layers: connectivity,
+// BFS distance fields, spanning-tree extraction, and Tarjan SCCs on the
+// directed substrate (used by the SVFC decomposition of Theorem 7).
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace cpr {
+
+bool is_connected(const Graph& g);
+
+// Component index per node, components numbered from 0.
+std::vector<NodeId> connected_components(const Graph& g);
+
+// Hop distances from `source`; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+// BFS tree parent pointers from `source` (source's parent is itself).
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source);
+
+// Exact hop diameter via BFS from every node (O(nm)); returns 0 for n <= 1.
+std::size_t hop_diameter(const Graph& g);
+
+// Checks that `tree_edges` (by edge id) forms a spanning tree of g.
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& tree_edges);
+
+// Union-find used by the Kruskal-style preferred-spanning-tree builder
+// (Lemma 1's constructive direction).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::size_t find(std::size_t x);
+  // Returns false if x and y were already joined.
+  bool unite(std::size_t x, std::size_t y);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+// Tarjan strongly connected components over an arbitrary successor
+// relation (so callers can filter arcs, e.g. "customer-provider arcs
+// only" for SVFCs). Returns a component index per node; components are
+// numbered in reverse topological order.
+std::vector<NodeId> strongly_connected_components(
+    std::size_t n, const std::function<std::vector<NodeId>(NodeId)>& succ);
+
+// Topological order of a DAG given by `succ`; nullopt if a cycle exists.
+// Used to check Assumption A2 (no directed provider cycles).
+std::optional<std::vector<NodeId>> topological_order(
+    std::size_t n, const std::function<std::vector<NodeId>(NodeId)>& succ);
+
+}  // namespace cpr

@@ -1,0 +1,50 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_degree_.push_back(0);
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+ArcId Digraph::add_arc_pair(NodeId u, NodeId v) {
+  if (u >= out_.size() || v >= out_.size()) {
+    throw std::out_of_range("Digraph::add_arc_pair: node id out of range");
+  }
+  if (u == v) throw std::invalid_argument("Digraph::add_arc_pair: self-loop");
+  if (has_arc(u, v)) {
+    throw std::invalid_argument("Digraph::add_arc_pair: parallel arc");
+  }
+  const ArcId fwd = static_cast<ArcId>(arcs_.size());
+  const ArcId bwd = fwd + 1;
+  arcs_.push_back({u, v, bwd});
+  arcs_.push_back({v, u, fwd});
+  out_[u].push_back(fwd);
+  out_[v].push_back(bwd);
+  ++in_degree_[v];
+  ++in_degree_[u];
+  return fwd;
+}
+
+ArcId Digraph::find_arc(NodeId u, NodeId v) const {
+  for (ArcId a : out_[u]) {
+    if (arcs_[a].to == v) return a;
+  }
+  return kInvalidArc;
+}
+
+Graph Digraph::undirected_shadow() const {
+  Graph g(node_count());
+  for (ArcId a = 0; a < arcs_.size(); ++a) {
+    const Arc& arc = arcs_[a];
+    if (a < arc.reverse) {  // visit each pair once
+      g.add_edge(arc.from, arc.to);
+    }
+  }
+  return g;
+}
+
+}  // namespace cpr

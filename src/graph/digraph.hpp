@@ -1,0 +1,67 @@
+// Directed graph substrate for Section 5 (non-delimited / BGP algebras).
+//
+// The paper models the inter-domain network as a simple, symmetric,
+// strongly connected digraph with possibly asymmetric weights: every arc
+// (u,v) has a paired reverse arc (v,u), and the two carry independent
+// weights (w(i,j) = p implies w(j,i) = c in the provider-customer algebra).
+// We store the pairing explicitly so algebra weight assignments can enforce
+// the reversal rule.
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+using ArcId = std::uint32_t;
+inline constexpr ArcId kInvalidArc = static_cast<ArcId>(-1);
+
+template <typename W>
+using ArcMap = std::vector<W>;
+
+class Digraph {
+ public:
+  struct Arc {
+    NodeId from, to;
+    ArcId reverse;  // the paired opposite-direction arc
+  };
+
+  Digraph() = default;
+  explicit Digraph(std::size_t n) : out_(n), in_degree_(n, 0) {}
+
+  NodeId add_node();
+
+  // Adds the symmetric arc pair u->v and v->u; returns the id of u->v
+  // (the reverse is always that id + 1). Simple-graph rules apply.
+  ArcId add_arc_pair(NodeId u, NodeId v);
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t arc_count() const { return arcs_.size(); }
+
+  std::size_t out_degree(NodeId v) const { return out_[v].size(); }
+  std::size_t in_degree(NodeId v) const { return in_degree_[v]; }
+
+  const Arc& arc(ArcId a) const { return arcs_[a]; }
+  ArcId reverse(ArcId a) const { return arcs_[a].reverse; }
+
+  // Out-arc ids from v; the position of an arc in this list is v's local
+  // port number for it.
+  const std::vector<ArcId>& out_arcs(NodeId v) const { return out_[v]; }
+
+  ArcId find_arc(NodeId u, NodeId v) const;
+  bool has_arc(NodeId u, NodeId v) const {
+    return find_arc(u, v) != kInvalidArc;
+  }
+
+  // The undirected shadow of the digraph (one edge per arc pair), used by
+  // Theorem 6's reduction to the usable-path algebra on G'.
+  Graph undirected_shadow() const;
+
+ private:
+  std::vector<std::vector<ArcId>> out_;
+  std::vector<std::size_t> in_degree_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace cpr

@@ -1,0 +1,252 @@
+#include "graph/generators.hpp"
+
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cpr {
+
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng, int max_tries) {
+  if (n == 0) return Graph{};
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Graph g(n);
+    for (NodeId u = 0; u + 1 < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.coin(p)) g.add_edge(u, v);
+      }
+    }
+    if (is_connected(g)) return g;
+    if (attempt + 1 == max_tries) {
+      // Stitch components together with random edges so sweeps never spin.
+      auto comp = connected_components(g);
+      std::vector<NodeId> representative;
+      std::vector<bool> seen(1 + *std::max_element(comp.begin(), comp.end()),
+                             false);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!seen[comp[v]]) {
+          seen[comp[v]] = true;
+          representative.push_back(v);
+        }
+      }
+      for (std::size_t i = 1; i < representative.size(); ++i) {
+        g.add_edge(representative[i - 1], representative[i]);
+      }
+      return g;
+    }
+  }
+  return Graph{};  // unreachable
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  if (m == 0 || n <= m) throw std::invalid_argument("barabasi_albert: n > m >= 1");
+  Graph g(n);
+  // Seed clique of m+1 nodes.
+  std::vector<NodeId> endpoints;  // degree-weighted sampling pool
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t = endpoints[rng.index(endpoints.size())];
+      if (t != v && std::find(targets.begin(), targets.end(), t) ==
+                        targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  if (n < 2 * k + 2) throw std::invalid_argument("watts_strogatz: n too small");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const NodeId v = static_cast<NodeId>((u + j) % n);
+      if (!g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  // Rewire: for each lattice edge, with prob beta replace the far endpoint.
+  const auto original = g.edges();
+  Graph h(n);
+  for (const auto& e : original) {
+    NodeId u = e.u, v = e.v;
+    if (rng.coin(beta)) {
+      for (int tries = 0; tries < 16; ++tries) {
+        const NodeId w = static_cast<NodeId>(rng.index(n));
+        if (w != u && !h.has_edge(u, w)) {
+          v = w;
+          break;
+        }
+      }
+    }
+    if (!h.has_edge(u, v) && u != v) h.add_edge(u, v);
+  }
+  // Keep connected for routing experiments.
+  if (!is_connected(h)) {
+    auto comp = connected_components(h);
+    for (NodeId v = 1; v < n; ++v) {
+      if (comp[v] != comp[0] && !h.has_edge(0, v)) {
+        h.add_edge(0, v);
+        comp = connected_components(h);
+      }
+    }
+  }
+  return h;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(unsigned dimensions) {
+  const std::size_t n = std::size_t{1} << dimensions;
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dimensions; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.index(v)));
+  }
+  return g;
+}
+
+Graph star(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  Graph g(n);
+  if (n < 3) {
+    if (n == 2) g.add_edge(0, 1);
+    return g;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph kary_tree(std::size_t n, std::size_t arity) {
+  if (arity == 0) throw std::invalid_argument("kary_tree: arity >= 1");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v - 1) / arity));
+  }
+  return g;
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs_per_node) {
+  Graph g(spine * (1 + legs_per_node));
+  for (NodeId s = 0; s + 1 < spine; ++s) g.add_edge(s, s + 1);
+  NodeId next = static_cast<NodeId>(spine);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (std::size_t l = 0; l < legs_per_node; ++l) g.add_edge(s, next++);
+  }
+  return g;
+}
+
+Graph broom(std::size_t handle, std::size_t bristles) {
+  Graph g(handle + bristles);
+  for (NodeId v = 0; v + 1 < handle; ++v) g.add_edge(v, v + 1);
+  for (std::size_t b = 0; b < bristles; ++b) {
+    g.add_edge(static_cast<NodeId>(handle - 1),
+               static_cast<NodeId>(handle + b));
+  }
+  return g;
+}
+
+Graph lollipop(std::size_t clique, std::size_t tail) {
+  Graph g(clique + tail);
+  for (NodeId u = 0; u + 1 < clique; ++u) {
+    for (NodeId v = u + 1; v < clique; ++v) g.add_edge(u, v);
+  }
+  for (std::size_t t = 0; t < tail; ++t) {
+    g.add_edge(static_cast<NodeId>(clique - 1 + t),
+               static_cast<NodeId>(clique + t));
+  }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (std::size_t v = 0; v < b; ++v) {
+      g.add_edge(u, static_cast<NodeId>(a + v));
+    }
+  }
+  return g;
+}
+
+std::vector<FamilyInstance> standard_families(std::size_t n, Rng& rng) {
+  std::vector<FamilyInstance> out;
+  const double p = std::min(1.0, 4.0 / static_cast<double>(n) +
+                                     2.0 * std::max(1.0, std::log2(double(n))) /
+                                         static_cast<double>(n));
+  out.push_back({"erdos-renyi", erdos_renyi_connected(n, p, rng)});
+  if (n >= 4) out.push_back({"barabasi-albert", barabasi_albert(n, 2, rng)});
+  if (n >= 8) out.push_back({"watts-strogatz", watts_strogatz(n, 2, 0.2, rng)});
+  {
+    std::size_t r = 1;
+    while ((r + 1) * (r + 1) <= n) ++r;
+    out.push_back({"grid", grid(r, n / r)});
+  }
+  out.push_back({"random-tree", random_tree(n, rng)});
+  out.push_back({"star", star(n)});
+  return out;
+}
+
+EdgeMap<std::uint64_t> random_integer_weights(const Graph& g, std::uint64_t lo,
+                                              std::uint64_t hi, Rng& rng) {
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(lo, hi);
+  return w;
+}
+
+}  // namespace cpr

@@ -1,0 +1,77 @@
+// Topology generators for the experiment sweeps.
+//
+// The memory-requirement definition (Definition 2) quantifies over all
+// graphs of size n; the benchmarks approximate that with a family sweep
+// covering the standard shapes from the compact-routing literature
+// (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, grids, hypercubes, trees,
+// stars, rings) plus the adversarial constructions in src/lowerbound/.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+// G(n,p) conditioned on connectivity: resamples until connected (p must be
+// comfortably above the connectivity threshold) or, after `max_tries`,
+// connects leftover components with random edges.
+Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
+                            int max_tries = 32);
+
+// Barabási–Albert preferential attachment, m edges per new node.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+// side, each edge rewired with probability beta (rewires that would create
+// duplicates are skipped).
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+// rows x cols grid.
+Graph grid(std::size_t rows, std::size_t cols);
+
+// d-dimensional hypercube (2^d nodes).
+Graph hypercube(unsigned dimensions);
+
+// Uniform random labeled tree (random attachment to an earlier node).
+Graph random_tree(std::size_t n, Rng& rng);
+
+Graph star(std::size_t n);
+Graph ring(std::size_t n);
+Graph complete(std::size_t n);
+Graph path_graph(std::size_t n);
+
+// Balanced k-ary tree with n nodes.
+Graph kary_tree(std::size_t n, std::size_t arity);
+
+// Caterpillar: a path spine with `legs_per_node` leaves on every spine
+// node — moderate degree, deep structure (tree-routing stressor).
+Graph caterpillar(std::size_t spine, std::size_t legs_per_node);
+
+// Broom: a path of `handle` nodes ending in a star of `bristles` leaves —
+// combines depth with one huge-degree hub.
+Graph broom(std::size_t handle, std::size_t bristles);
+
+// Lollipop: a clique of `clique` nodes with a path of `tail` nodes hanging
+// off it (the classic hitting-time pathology; dense + deep).
+Graph lollipop(std::size_t clique, std::size_t tail);
+
+// Complete bipartite K_{a,b}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+// A named family for sweeps.
+struct FamilyInstance {
+  std::string name;
+  Graph graph;
+};
+
+// Instantiates the default benchmark family set at the given size.
+std::vector<FamilyInstance> standard_families(std::size_t n, Rng& rng);
+
+// Random edge weights in [lo, hi] as integers, one per edge.
+EdgeMap<std::uint64_t> random_integer_weights(const Graph& g, std::uint64_t lo,
+                                              std::uint64_t hi, Rng& rng);
+
+}  // namespace cpr

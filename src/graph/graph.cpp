@@ -1,0 +1,40 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  if (u >= adj_.size() || v >= adj_.size()) {
+    throw std::out_of_range("Graph::add_edge: node id out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("Graph::add_edge: parallel edge");
+  }
+  const EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v});
+  adj_[u].push_back({v, e});
+  adj_[v].push_back({u, e});
+  return e;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+Port Graph::port_to(NodeId u, NodeId v) const {
+  for (std::size_t p = 0; p < adj_[u].size(); ++p) {
+    if (adj_[u][p].neighbor == v) return static_cast<Port>(p);
+  }
+  return kInvalidPort;
+}
+
+}  // namespace cpr

@@ -1,0 +1,82 @@
+// Undirected graph substrate.
+//
+// The paper models the network as a finite, connected, simple, undirected
+// graph G(V,E) whose nodes have locally labeled ports
+// LE(v,·) ∈ {1..deg(v)}. We represent ports 0-based as positions in the
+// adjacency list; schemes that rely on designer-chosen port numbering
+// (the tree router, the peer-mesh labeling) install their own permutation
+// on top. Edge weights live outside the graph in EdgeMap<W> arrays indexed
+// by edge id, so one topology can carry weights from many algebras at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cpr {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Port = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr Port kInvalidPort = static_cast<Port>(-1);
+
+template <typename W>
+using EdgeMap = std::vector<W>;
+
+template <typename W>
+using NodeMap = std::vector<W>;
+
+class Graph {
+ public:
+  struct Adjacency {
+    NodeId neighbor;
+    EdgeId edge;
+  };
+
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  NodeId add_node();
+
+  // Adds an undirected edge; parallel edges and self-loops are rejected
+  // (the model assumes a simple graph). Returns the new edge id.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  std::size_t degree(NodeId v) const { return adj_[v].size(); }
+  std::size_t max_degree() const;
+
+  // Port p at node v leads to this neighbor / over this edge.
+  NodeId neighbor(NodeId v, Port p) const { return adj_[v][p].neighbor; }
+  EdgeId edge_at(NodeId v, Port p) const { return adj_[v][p].edge; }
+
+  // Port at u that leads to v, or kInvalidPort. O(deg u).
+  Port port_to(NodeId u, NodeId v) const;
+
+  bool has_edge(NodeId u, NodeId v) const {
+    return port_to(u, v) != kInvalidPort;
+  }
+
+  const std::vector<Adjacency>& neighbors(NodeId v) const { return adj_[v]; }
+
+  struct Edge {
+    NodeId u, v;
+  };
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // The endpoint of e that is not `from`.
+  NodeId opposite(EdgeId e, NodeId from) const {
+    return edges_[e].u == from ? edges_[e].v : edges_[e].u;
+  }
+
+ private:
+  std::vector<std::vector<Adjacency>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cpr

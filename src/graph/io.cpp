@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpr {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.node_count() << " " << g.edge_count() << "\n";
+  for (const auto& e : g.edges()) {
+    out << e.u << " " << e.v << "\n";
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) throw std::runtime_error("read_edge_list: bad header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = 0, v = 0;
+    if (!(in >> u >> v)) throw std::runtime_error("read_edge_list: bad edge");
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+void write_weighted_edge_list(const Graph& g,
+                              const EdgeMap<std::uint64_t>& weights,
+                              std::ostream& out) {
+  out << g.node_count() << " " << g.edge_count() << "\n";
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    out << g.edge(e).u << " " << g.edge(e).v << " " << weights[e] << "\n";
+  }
+}
+
+Graph read_weighted_edge_list(std::istream& in,
+                              EdgeMap<std::uint64_t>& weights_out) {
+  std::size_t n = 0, m = 0;
+  if (!(in >> n >> m)) {
+    throw std::runtime_error("read_weighted_edge_list: bad header");
+  }
+  Graph g(n);
+  weights_out.clear();
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = 0, v = 0;
+    std::uint64_t w = 0;
+    if (!(in >> u >> v >> w)) {
+      throw std::runtime_error("read_weighted_edge_list: bad edge");
+    }
+    g.add_edge(u, v);
+    weights_out.push_back(w);
+  }
+  return g;
+}
+
+std::string to_dot(const Graph& g,
+                   const std::vector<std::string>* edge_labels) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "  n" << v << ";\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    out << "  n" << g.edge(e).u << " -- n" << g.edge(e).v;
+    if (edge_labels && e < edge_labels->size()) {
+      out << " [label=\"" << (*edge_labels)[e] << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const Digraph& g,
+                   const std::vector<std::string>* arc_labels) {
+  std::ostringstream out;
+  out << "digraph G {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "  n" << v << ";\n";
+  }
+  for (ArcId a = 0; a < g.arc_count(); ++a) {
+    out << "  n" << g.arc(a).from << " -> n" << g.arc(a).to;
+    if (arc_labels && a < arc_labels->size()) {
+      out << " [label=\"" << (*arc_labels)[a] << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cpr

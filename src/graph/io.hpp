@@ -1,0 +1,29 @@
+// Plain-text graph I/O: a line-oriented edge-list format ("n m" header,
+// then "u v" lines) and Graphviz DOT export for eyeballing the adversarial
+// constructions. Weighted variants carry one integer weight per edge.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace cpr {
+
+void write_edge_list(const Graph& g, std::ostream& out);
+Graph read_edge_list(std::istream& in);
+
+void write_weighted_edge_list(const Graph& g,
+                              const EdgeMap<std::uint64_t>& weights,
+                              std::ostream& out);
+Graph read_weighted_edge_list(std::istream& in,
+                              EdgeMap<std::uint64_t>& weights_out);
+
+// DOT rendering; edge labels optional (indexed by edge id).
+std::string to_dot(const Graph& g,
+                   const std::vector<std::string>* edge_labels = nullptr);
+std::string to_dot(const Digraph& g,
+                   const std::vector<std::string>* arc_labels = nullptr);
+
+}  // namespace cpr

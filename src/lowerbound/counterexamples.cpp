@@ -1,0 +1,30 @@
+#include "lowerbound/counterexamples.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace cpr {
+
+std::vector<std::vector<EdgeId>> all_spanning_trees(const Graph& g) {
+  std::vector<std::vector<EdgeId>> out;
+  const std::size_t n = g.node_count();
+  const std::size_t m = g.edge_count();
+  if (n == 0 || m < n - 1 || m > 24) return out;
+
+  std::vector<EdgeId> chosen;
+  // Enumerate all (n-1)-subsets of edges; keep acyclic spanning ones.
+  const auto recurse = [&](auto&& self, EdgeId next) -> void {
+    if (chosen.size() == n - 1) {
+      if (is_spanning_tree(g, chosen)) out.push_back(chosen);
+      return;
+    }
+    if (next >= m || m - next < (n - 1) - chosen.size()) return;
+    chosen.push_back(next);
+    self(self, next + 1);
+    chosen.pop_back();
+    self(self, next + 1);
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+}  // namespace cpr

@@ -1,0 +1,119 @@
+// The Fig.-1 counterexample gadgets (Lemma 1, necessity direction).
+//
+// If a delimited algebra is monotone but not selective, preferred paths
+// need not live in any spanning tree. The proof distinguishes three ways
+// selectivity can fail and exhibits a gadget for each:
+//
+//   (a) w ⊕ w ≻ w (auto-selectivity fails): a triangle with all edges w —
+//       every preferred path is a direct edge, and three direct edges
+//       cannot fit in a tree.
+//   (b) w1 ≺ w2 and w1 ⊕ w2 ≻ w2: a triangle with edges w1, w2, w2.
+//   (c) w1 = w2 with w1 ⊕ w2 ≻ w2: a 4-cycle with alternating weights.
+//
+// `exists_preferred_spanning_tree` brute-forces every spanning tree of a
+// small graph and checks whether some tree contains a preferred path for
+// every pair — the executable form of "the algebra maps to a tree on this
+// instance".
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/graph.hpp"
+#include "routing/exhaustive.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+template <RoutingAlgebra A>
+using WeightedGraph = std::pair<Graph, EdgeMap<typename A::Weight>>;
+
+// (a) triangle, all edges w.
+template <RoutingAlgebra A>
+WeightedGraph<A> fig1a_gadget(const A&, const typename A::Weight& w) {
+  Graph g(3);
+  EdgeMap<typename A::Weight> wm;
+  g.add_edge(0, 1);
+  wm.push_back(w);
+  g.add_edge(1, 2);
+  wm.push_back(w);
+  g.add_edge(0, 2);
+  wm.push_back(w);
+  return {std::move(g), std::move(wm)};
+}
+
+// (b) triangle with one w1 edge and two w2 edges (w1 ≺ w2 expected).
+template <RoutingAlgebra A>
+WeightedGraph<A> fig1b_gadget(const A&, const typename A::Weight& w1,
+                              const typename A::Weight& w2) {
+  Graph g(3);
+  EdgeMap<typename A::Weight> wm;
+  g.add_edge(0, 1);
+  wm.push_back(w1);
+  g.add_edge(0, 2);
+  wm.push_back(w2);
+  g.add_edge(1, 2);
+  wm.push_back(w2);
+  return {std::move(g), std::move(wm)};
+}
+
+// (c) 4-cycle with alternating weights w1, w2 (w1 = w2 in the lemma's
+// third case, but the gadget is usable with any pair).
+template <RoutingAlgebra A>
+WeightedGraph<A> fig1c_gadget(const A&, const typename A::Weight& w1,
+                              const typename A::Weight& w2) {
+  Graph g(4);
+  EdgeMap<typename A::Weight> wm;
+  g.add_edge(0, 1);
+  wm.push_back(w1);
+  g.add_edge(1, 2);
+  wm.push_back(w2);
+  g.add_edge(2, 3);
+  wm.push_back(w1);
+  g.add_edge(3, 0);
+  wm.push_back(w2);
+  return {std::move(g), std::move(wm)};
+}
+
+// Every spanning tree of g, as edge-id sets. Exponential; only for the
+// gadget-sized graphs.
+std::vector<std::vector<EdgeId>> all_spanning_trees(const Graph& g);
+
+// True iff some spanning tree contains, for every connected pair (s,t), an
+// in-tree path whose weight is order-equal to the preferred s–t weight
+// (and traversable). This is the instance-level "maps to a tree" test.
+template <RoutingAlgebra A>
+bool exists_preferred_spanning_tree(const A& alg, const Graph& g,
+                                    const EdgeMap<typename A::Weight>& w) {
+  const std::size_t n = g.node_count();
+  // Ground-truth preferred weights for all pairs.
+  std::vector<std::vector<PreferredPath<typename A::Weight>>> best(n);
+  for (NodeId s = 0; s < n; ++s) {
+    best[s].resize(n);
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) best[s][t] = exhaustive_preferred(alg, g, w, s, t);
+    }
+  }
+  for (const auto& tree_edges : all_spanning_trees(g)) {
+    // Tree adjacency for in-tree path extraction.
+    Graph tree(n);
+    EdgeMap<typename A::Weight> tw;
+    for (EdgeId e : tree_edges) {
+      tree.add_edge(g.edge(e).u, g.edge(e).v);
+      tw.push_back(w[e]);
+    }
+    bool ok = true;
+    for (NodeId s = 0; s < n && ok; ++s) {
+      for (NodeId t = static_cast<NodeId>(s + 1); t < n && ok; ++t) {
+        if (!best[s][t].traversable()) continue;
+        const auto in_tree = exhaustive_preferred(alg, tree, tw, s, t);
+        ok = in_tree.traversable() &&
+             order_equal(alg, *in_tree.weight, *best[s][t].weight);
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace cpr

@@ -1,0 +1,17 @@
+#include "lowerbound/counting.hpp"
+
+#include <cmath>
+
+namespace cpr {
+
+CountingBound fg_family_counting_bound(std::size_t p, std::size_t delta,
+                                       std::size_t targets) {
+  CountingBound b;
+  const double log_delta = std::log2(static_cast<double>(delta));
+  b.per_center_bits = static_cast<double>(targets) * log_delta;
+  b.total_center_bits = static_cast<double>(p) * b.per_center_bits;
+  b.family_log2 = b.total_center_bits;  // δ^(p·τ) word assignments
+  return b;
+}
+
+}  // namespace cpr

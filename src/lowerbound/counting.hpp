@@ -1,0 +1,29 @@
+// The information-theoretic counting argument behind the Ω(n) lower
+// bounds (Proposition 3, Theorems 4, 5, 8).
+//
+// Lower bounds cannot be "measured", but the counting that powers them
+// can be made explicit: on the Fraigniaud–Gavoille family each center c_i
+// must be able to reproduce, for every target t, which of its δ gadget
+// neighbors leads to t — a function from τ targets to δ ports, of which
+// there are δ^τ, requiring τ·log₂ δ bits at c_i in the worst case. With
+// τ = Θ(n) targets this is the Ω(n log δ) bound. The benches print this
+// bound next to the *measured* sizes of the schemes we actually built, so
+// "the best upper bound we have tracks the lower bound" is visible in the
+// output.
+#pragma once
+
+#include <cstddef>
+
+namespace cpr {
+
+struct CountingBound {
+  double family_log2 = 0;        // log2 of the number of distinct instances
+  double per_center_bits = 0;    // τ · log2 δ
+  double total_center_bits = 0;  // p · τ · log2 δ
+};
+
+// p centers, alphabet δ, τ target nodes.
+CountingBound fg_family_counting_bound(std::size_t p, std::size_t delta,
+                                       std::size_t targets);
+
+}  // namespace cpr

@@ -1,0 +1,75 @@
+// Executable proof artifacts: the weight embeddings inside Lemma 2 and
+// Theorem 6.
+//
+// Lemma 2 (incompressibility transfer): in a delimited, strictly monotone
+// algebra every element w generates an infinite cyclic subsemigroup
+// {w, w², w³, …} order-isomorphic to (N, +, ≤); relabeling a
+// shortest-path instance's integer weights n ↦ wⁿ therefore produces an
+// instance of A whose preferred paths are exactly the original shortest
+// paths. `cyclic_embedding` performs the relabeling; the tests check the
+// preferred-path equivalence on random instances, which is the entire
+// content of the reduction.
+//
+// Theorem 6 (compressibility transfer): under A1+A2 the B1 digraph maps
+// to an undirected instance G' of the usable-path algebra U — weight 1 on
+// each node's preferred-provider edge, φ on everything else — in which
+// every pair is connected by a usable path (through the unique root).
+// `theorem6_reduction` builds G'; the tests check A1-style reachability
+// in G' and that U's preferred tree paths are valley-free in the
+// original.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "algebra/primitives.hpp"
+#include "bgp/svfc.hpp"
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+// Relabels integer edge weights n ↦ wⁿ in the target algebra. Requires
+// strictly positive integer weights (0 has no power) small enough that
+// the powers stay finite.
+template <RoutingAlgebra A>
+EdgeMap<typename A::Weight> cyclic_embedding(
+    const A& alg, const typename A::Weight& generator,
+    const EdgeMap<std::uint64_t>& integer_weights) {
+  EdgeMap<typename A::Weight> out;
+  out.reserve(integer_weights.size());
+  for (const std::uint64_t n : integer_weights) {
+    if (n == 0) throw std::invalid_argument("cyclic_embedding: weight 0");
+    out.push_back(power(alg, generator, n));
+  }
+  return out;
+}
+
+// The Theorem-6 construction: G' over the same nodes, with weight 1
+// (usable) on each node's preferred-provider edge and φ on every other
+// edge of the shadow graph. Requires a single root (A1+A2 premises).
+struct Theorem6Reduction {
+  Graph shadow;                       // undirected shadow of the digraph
+  EdgeMap<UsablePath::Weight> usable; // 1 on provider-tree edges, φ else
+  NodeId root = kInvalidNode;
+};
+
+inline Theorem6Reduction theorem6_reduction(const AsTopology& topo) {
+  const SvfcDecomposition d = decompose_svfc(topo);
+  if (d.component_count() != 1) {
+    throw std::invalid_argument(
+        "theorem6_reduction: needs a unique root (A1+A2)");
+  }
+  Theorem6Reduction r;
+  r.shadow = topo.graph.undirected_shadow();
+  r.root = d.component_root[0];
+  const UsablePath u;
+  r.usable.assign(r.shadow.edge_count(), u.phi());
+  for (NodeId v = 0; v < r.shadow.node_count(); ++v) {
+    if (d.provider_arc[v] != kInvalidArc) {
+      r.usable[d.provider_arc[v] / 2] = 1;  // arc pair a/2 = shadow edge
+    }
+  }
+  return r;
+}
+
+}  // namespace cpr

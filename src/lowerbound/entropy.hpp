@@ -1,0 +1,113 @@
+// Empirical routing-function entropy — the measurable face of the
+// Fraigniaud–Gavoille counting argument (Proposition 3 / Theorem 4).
+//
+// The lower-bound proofs hinge on one fact: across the instances of the
+// graph family, a center node c_i must realize *different* local routing
+// functions (different target→port maps), and a routing scheme must be
+// able to reproduce whichever one its instance requires — hence
+// log₂(#distinct functions) bits at c_i. This module makes that counting
+// executable: sample instances, extract c_i's preferred-port map with an
+// exact solver, and count distinct maps. On the Theorem-4 family the map
+// is exactly the i-th projection of the word assignment, so the measured
+// entropy saturates at min(log₂ samples, τ·log₂ δ) — the benches show the
+// saturation curve climbing along the theoretical bound.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "lowerbound/fg_family.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cpr {
+
+struct EntropyEstimate {
+  std::size_t instances = 0;      // sampled word assignments
+  std::size_t distinct_maps = 0;  // distinct port maps observed at the center
+  double log2_distinct = 0;       // measured entropy (bits)
+  double theoretical_bits = 0;    // τ · log2 δ
+};
+
+// The target→port forwarding map at center index `center` for one
+// instance: port = the gadget index j of the first hop z_{center,j} on
+// the preferred center→target path. `solve(graph, weights, s, t)` must
+// return the preferred path (node sequence); exhaustive_solver below is
+// the generic choice, sw_exact_solver the fast one for shortest-widest.
+template <RoutingAlgebra A, typename Solver>
+std::vector<std::uint32_t> center_port_map(
+    [[maybe_unused]] const A& alg, const FgFamily& family,
+    const std::vector<typename A::Weight>& ws, std::size_t center,
+    Solver&& solve) {
+  const auto w = instantiate_weights<A>(family, ws);
+  std::vector<std::uint32_t> map;
+  map.reserve(family.targets.size());
+  for (const NodeId t : family.targets) {
+    const NodePath best = solve(family.graph, w, family.centers[center], t);
+    std::uint32_t port = static_cast<std::uint32_t>(-1);
+    if (best.size() >= 2) {
+      const NodeId hop = best[1];
+      for (std::size_t j = 0; j < family.gadgets[center].size(); ++j) {
+        if (family.gadgets[center][j] == hop) {
+          port = static_cast<std::uint32_t>(j);
+        }
+      }
+    }
+    map.push_back(port);
+  }
+  return map;
+}
+
+// Generic ground-truth solver (exponential; fine for tiny instances).
+template <RoutingAlgebra A>
+auto exhaustive_solver(const A& alg) {
+  return [&alg](const Graph& g, const EdgeMap<typename A::Weight>& w,
+                NodeId s, NodeId t) {
+    return exhaustive_preferred(alg, g, w, s, t).path;
+  };
+}
+
+// Polynomial exact solver for the shortest-widest instantiation (the
+// family's usual algebra) — exhaustive DFS on the layered family explodes
+// before its pruning kicks in, this stays fast at any τ.
+inline auto sw_exact_solver(const ShortestWidest& sw) {
+  return [&sw](const Graph& g, const EdgeMap<ShortestWidest::Weight>& w,
+               NodeId s, NodeId t) {
+    return shortest_widest_exact(sw, g, w, s).paths[t];
+  };
+}
+
+// Samples `instances` word assignments and counts the distinct port maps
+// induced at center 0.
+template <RoutingAlgebra A, typename Solver>
+EntropyEstimate measure_center_entropy(
+    const A& alg, std::size_t p, std::size_t delta, std::size_t targets,
+    const std::vector<typename A::Weight>& ws, std::size_t instances,
+    Rng& rng, Solver&& solve) {
+  EntropyEstimate e;
+  e.instances = instances;
+  e.theoretical_bits = static_cast<double>(targets) *
+                       std::log2(static_cast<double>(delta));
+  std::set<std::vector<std::uint32_t>> maps;
+  for (std::size_t i = 0; i < instances; ++i) {
+    const FgFamily f =
+        make_fg_family(p, delta, random_words(p, delta, targets, rng));
+    maps.insert(center_port_map(alg, f, ws, 0, solve));
+  }
+  e.distinct_maps = maps.size();
+  e.log2_distinct = std::log2(static_cast<double>(maps.size()));
+  return e;
+}
+
+template <RoutingAlgebra A>
+EntropyEstimate measure_center_entropy(
+    const A& alg, std::size_t p, std::size_t delta, std::size_t targets,
+    const std::vector<typename A::Weight>& ws, std::size_t instances,
+    Rng& rng) {
+  return measure_center_entropy(alg, p, delta, targets, ws, instances, rng,
+                                exhaustive_solver(alg));
+}
+
+}  // namespace cpr

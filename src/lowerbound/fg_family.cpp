@@ -1,0 +1,141 @@
+#include "lowerbound/fg_family.hpp"
+
+#include "bgp/valley_free.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+std::vector<Word> all_words(std::size_t p, std::size_t delta) {
+  std::vector<Word> out;
+  Word current(p, 0);
+  while (true) {
+    out.push_back(current);
+    std::size_t i = p;
+    while (i > 0) {
+      --i;
+      if (++current[i] < delta) break;
+      current[i] = 0;
+      if (i == 0) return out;
+    }
+    if (p == 0) return out;
+  }
+}
+
+std::vector<Word> random_words(std::size_t p, std::size_t delta,
+                               std::size_t count, Rng& rng) {
+  std::vector<Word> out(count, Word(p, 0));
+  for (auto& word : out) {
+    for (auto& symbol : word) {
+      symbol = static_cast<std::uint32_t>(rng.index(delta));
+    }
+  }
+  return out;
+}
+
+FgFamily make_fg_family(std::size_t p, std::size_t delta,
+                        std::vector<Word> words) {
+  if (p < 1 || delta < 2) {
+    throw std::invalid_argument("fg family: need p >= 1, delta >= 2");
+  }
+  FgFamily f;
+  f.p = p;
+  f.delta = delta;
+  f.words = std::move(words);
+  const std::size_t n = p + p * delta + f.words.size();
+  f.graph = Graph(n);
+
+  for (std::size_t i = 0; i < p; ++i) {
+    f.centers.push_back(static_cast<NodeId>(i));
+  }
+  f.gadgets.assign(p, {});
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < delta; ++j) {
+      const NodeId z = static_cast<NodeId>(p + i * delta + j);
+      f.gadgets[i].push_back(z);
+      f.graph.add_edge(f.centers[i], z);
+      f.edge_level.push_back(i);
+    }
+  }
+  for (std::size_t k = 0; k < f.words.size(); ++k) {
+    const NodeId t = static_cast<NodeId>(p + p * delta + k);
+    f.targets.push_back(t);
+    const Word& word = f.words[k];
+    if (word.size() != p) {
+      throw std::invalid_argument("fg family: word length != p");
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      if (word[i] >= delta) {
+        throw std::invalid_argument("fg family: symbol out of range");
+      }
+      f.graph.add_edge(f.gadgets[i][word[i]], t);
+      f.edge_level.push_back(i);
+    }
+  }
+  return f;
+}
+
+std::vector<ShortestWidest::Weight> theorem4_sw_weights(std::size_t p,
+                                                        std::size_t k) {
+  std::vector<ShortestWidest::Weight> ws;
+  ws.reserve(p);
+  std::uint64_t cost = 1;  // (2k)^{i-1}
+  for (std::size_t i = 1; i <= p; ++i) {
+    ws.push_back({static_cast<std::uint64_t>(i), cost});
+    cost *= 2 * static_cast<std::uint64_t>(k);
+  }
+  return ws;
+}
+
+namespace {
+
+// Builds the digraph version: every family edge becomes a "down" arc from
+// the earlier layer to the later one (label c ⇒ the reverse arc is p, the
+// source node being the provider).
+AsTopology layered_down_topology(const FgFamily& f) {
+  AsTopology topo;
+  topo.graph = Digraph(f.graph.node_count());
+  for (EdgeId e = 0; e < f.graph.edge_count(); ++e) {
+    const auto& edge = f.graph.edge(e);
+    // Family edges are added as (upper, lower): (c_i, z_ij) and (z_ij, t).
+    topo.graph.add_arc_pair(edge.u, edge.v);
+    topo.relation.push_back(Relationship::kCustomer);  // downstream
+    topo.relation.push_back(Relationship::kProvider);  // upstream
+  }
+  return topo;
+}
+
+}  // namespace
+
+AsTopology fg_b1_topology(std::size_t p, std::size_t delta,
+                          const std::vector<Word>& words) {
+  return layered_down_topology(make_fg_family(p, delta, words));
+}
+
+AsTopology fg_b3_topology(std::size_t p, std::size_t delta,
+                          const std::vector<Word>& words) {
+  AsTopology topo = layered_down_topology(make_fg_family(p, delta, words));
+  const std::size_t n = topo.graph.node_count();
+  // Patch A1: add a peer arc between every mutually unreachable pair.
+  std::vector<ValleyFreeReachability> reach;
+  reach.reserve(n);
+  for (NodeId t = 0; t < n; ++t) {
+    reach.push_back(valley_free_reachability(topo, t));
+  }
+  for (NodeId a = 0; a + 1 < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const bool a_to_b = reach[b].klass[a] != ValleyFreeClass::kUnreachable;
+      const bool b_to_a = reach[a].klass[b] != ValleyFreeClass::kUnreachable;
+      if (!a_to_b || !b_to_a) {
+        if (!topo.graph.has_arc(a, b)) {
+          topo.graph.add_arc_pair(a, b);
+          topo.relation.push_back(Relationship::kPeer);
+          topo.relation.push_back(Relationship::kPeer);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace cpr

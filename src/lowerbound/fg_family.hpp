@@ -1,0 +1,97 @@
+// The Fraigniaud–Gavoille graph family used in Theorem 4 (Fig. 2) and in
+// the BGP lower bounds (Theorems 5 and 8).
+//
+// Layered structure: p "center" nodes c_i, each with δ gadget neighbors
+// z_i1..z_iδ, and a set of target nodes t — one per *word* of length p
+// over the alphabet {0..δ-1} — where z_ij connects to t exactly when the
+// i-th symbol of t's word is j. Every (c_i, z_ij) and (z_ij, t) edge is at
+// "level" i and carries the weight w_i of the instantiating algebra.
+//
+// With weights satisfying condition (1) of Theorem 4
+//     w_i ⊕ w_j ≻ w_i^{2k}  (i ≠ j),
+// the preferred c_i→t path is the 2-hop w_i path through the unique z_ij
+// with word_t[i] = j, and *any* detour breaches stretch k. A routing
+// scheme of stretch k must therefore encode, at c_i, the full map
+// word → port (τ log δ bits for τ targets) — the counting argument in
+// counting.hpp.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "bgp/as_topology.hpp"
+#include "graph/graph.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+using Word = std::vector<std::uint32_t>;  // length p, symbols in [0, δ)
+
+struct FgFamily {
+  std::size_t p = 0;      // number of centers
+  std::size_t delta = 0;  // alphabet size
+  Graph graph;
+  std::vector<std::size_t> edge_level;  // per edge: which w_i it carries
+  std::vector<NodeId> centers;          // the c_i
+  std::vector<std::vector<NodeId>> gadgets;  // z[i][j]
+  std::vector<NodeId> targets;               // one per word
+  std::vector<Word> words;
+};
+
+// All δ^p words in lexicographic order (keep p·log δ small).
+std::vector<Word> all_words(std::size_t p, std::size_t delta);
+
+// A uniformly random word set of the given size (may repeat words across
+// targets — the counting argument allows it).
+std::vector<Word> random_words(std::size_t p, std::size_t delta,
+                               std::size_t count, Rng& rng);
+
+FgFamily make_fg_family(std::size_t p, std::size_t delta,
+                        std::vector<Word> words);
+
+// Weight instantiation: edge e carries ws[edge_level[e]].
+template <RoutingAlgebra A>
+EdgeMap<typename A::Weight> instantiate_weights(
+    const FgFamily& family, const std::vector<typename A::Weight>& ws) {
+  EdgeMap<typename A::Weight> w(family.graph.edge_count());
+  for (EdgeId e = 0; e < family.graph.edge_count(); ++e) {
+    w[e] = ws[family.edge_level[e]];
+  }
+  return w;
+}
+
+// Shortest-widest weights satisfying condition (1) for a given stretch
+// target k (Section 4.2's construction: b_i = i, c_i = (2k)^{i-1}).
+std::vector<ShortestWidest::Weight> theorem4_sw_weights(std::size_t p,
+                                                        std::size_t k);
+
+// Checks condition (1): w_i ⊕ w_j ≻ w_i^{2k} and w_i ⊕ w_j ≻ w_j^{2k} for
+// all i ≠ j.
+template <RoutingAlgebra A>
+bool satisfies_condition_1(const A& alg,
+                           const std::vector<typename A::Weight>& ws,
+                           std::size_t k) {
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (i == j) continue;
+      const auto mix = alg.combine(ws[i], ws[j]);
+      if (!alg.less(power(alg, ws[i], 2 * k), mix)) return false;
+      if (!alg.less(power(alg, ws[j], 2 * k), mix)) return false;
+    }
+  }
+  return true;
+}
+
+// Theorem 5: the same layered family as a provider-customer digraph —
+// every (c_i → z_ij) and (z_ij → t) arc goes *down* (label c), so
+// preferred c→t paths have weight c and every detour hits a valley (φ).
+AsTopology fg_b1_topology(std::size_t p, std::size_t delta,
+                          const std::vector<Word>& words);
+
+// Theorem 8: the B1 construction patched for A1 by adding a peer arc
+// between every mutually unreachable pair; preferred c→t paths keep
+// weight c, every detour now weighs r or φ, both ≻ c^k.
+AsTopology fg_b3_topology(std::size_t p, std::size_t delta,
+                          const std::vector<Word>& words);
+
+}  // namespace cpr

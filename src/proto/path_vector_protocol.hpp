@@ -1,0 +1,261 @@
+// Asynchronous path-vector protocol simulation.
+//
+// The paper's Section-5 model is the path-vector protocol family (BGP):
+// weights compose destination→source as routes are advertised hop by hop.
+// The fixed-point solver in routing/path_vector.hpp computes *what* such a
+// protocol converges to; this module simulates *how*: a discrete-event,
+// message-passing execution in which every node keeps per-neighbor Adj-RIB
+// state, reselects its best route on each update, and re-advertises on
+// change, with randomized per-message delays. For monotone algebras the
+// execution converges to the same routes as the synchronous fixed point
+// regardless of message timing (the tests check this across seeds), which
+// is the operational meaning of Sobrinho's correctness results.
+//
+// Link failures can be injected mid-execution: the adjacent nodes flush
+// the neighbor's Adj-RIB entry and implicit withdrawals propagate through
+// reselection. The simulator counts messages and events, giving the
+// convergence-cost series reported by bench_protocol.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/digraph.hpp"
+#include "routing/path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace cpr {
+
+struct ProtocolOptions {
+  // Messages are delivered after a uniform delay in [min_delay,
+  // max_delay] simulated time units — asynchrony comes from the jitter.
+  double min_delay = 1.0;
+  double max_delay = 4.0;
+  // Abort threshold: executions that exceed this many delivered messages
+  // are reported as non-converged (oscillation guard).
+  std::size_t max_events = 1'000'000;
+};
+
+struct LinkFailure {
+  double time;   // when the arc pair disappears
+  ArcId arc;     // either direction of the pair
+};
+
+template <typename W>
+struct ProtocolResult {
+  bool converged = false;
+  std::size_t messages_delivered = 0;
+  double convergence_time = 0;  // time of the last processed event
+  // Final selected route per node (empty path = no route).
+  std::vector<NodePath> path;
+  std::vector<std::optional<W>> weight;
+  // Per node: total nodes stored across Adj-RIB-In paths for this
+  // destination — the raw protocol state a real router carries, which the
+  // benches compare against the compact schemes' footprints.
+  std::vector<std::size_t> rib_path_nodes;
+
+  bool has_route(NodeId v) const { return !path[v].empty(); }
+};
+
+template <RoutingAlgebra A>
+class PathVectorProtocol {
+ public:
+  using W = typename A::Weight;
+
+  PathVectorProtocol(const A& alg, const Digraph& g, const ArcMap<W>& w)
+      : alg_(alg), graph_(&g), weights_(&w) {}
+
+  // Runs the protocol to convergence (empty event queue) for one
+  // destination. Failures must be sorted by time.
+  ProtocolResult<W> run(NodeId destination, Rng& rng,
+                        const ProtocolOptions& opt = {},
+                        const std::vector<LinkFailure>& failures = {}) {
+    const std::size_t n = graph_->node_count();
+    destination_ = destination;
+    alive_.assign(graph_->arc_count(), true);
+    channel_clear_.assign(graph_->arc_count(), 0.0);
+    adj_rib_.assign(n, {});
+    selected_path_.assign(n, {});
+    selected_weight_.assign(n, std::nullopt);
+    selected_path_[destination] = {destination};
+
+    events_ = {};
+    seq_ = 0;
+    // The destination announces itself to all neighbors at t = 0
+    // (advertisements travel on the arc advertiser → receiver).
+    for (ArcId a : graph_->out_arcs(destination)) {
+      schedule(rng, opt, 0.0, a, {destination}, std::nullopt);
+    }
+    for (const LinkFailure& f : failures) {
+      events_.push(Event{f.time, seq_++, Event::kFail, f.arc, {}, {}});
+    }
+
+    ProtocolResult<W> result;
+    result.path.assign(n, {});
+    result.weight.assign(n, std::nullopt);
+
+    std::size_t delivered = 0;
+    double now = 0;
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      now = ev.time;
+      if (ev.kind == Event::kFail) {
+        fail_arc(ev.arc, rng, opt, now);
+        continue;
+      }
+      if (++delivered > opt.max_events) {
+        result.messages_delivered = delivered;
+        return result;  // converged stays false: oscillation guard
+      }
+      deliver(ev, rng, opt, now);
+    }
+
+    result.converged = true;
+    result.messages_delivered = delivered;
+    result.convergence_time = now;
+    result.path = selected_path_;
+    result.weight = selected_weight_;
+    result.path[destination] = {destination};
+    result.rib_path_nodes.assign(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const auto& [neighbor, entry] : adj_rib_[u]) {
+        result.rib_path_nodes[u] += entry.first.size();
+      }
+    }
+    return result;
+  }
+
+  // Runs one execution per destination (independent seeds derived from
+  // `rng`) and returns the per-destination results — the whole-protocol
+  // view used to compare total BGP state against the compact schemes.
+  std::vector<ProtocolResult<W>> run_all_destinations(
+      Rng& rng, const ProtocolOptions& opt = {}) {
+    std::vector<ProtocolResult<W>> out;
+    out.reserve(graph_->node_count());
+    for (NodeId t = 0; t < graph_->node_count(); ++t) {
+      Rng per_destination(rng.uniform(0, ~0ull));
+      out.push_back(run(t, per_destination, opt));
+    }
+    return out;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // deterministic FIFO tie-break
+    enum Kind { kUpdate, kFail } kind;
+    ArcId arc;               // the arc the message travels on (to -> from
+                             // of the advertisement), or the failing arc
+    NodePath advertised;     // advertised path (empty = withdrawal)
+    std::optional<W> advertised_weight;
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void schedule(Rng& rng, const ProtocolOptions& opt, double now, ArcId arc,
+                NodePath path, std::optional<W> weight) {
+    const double delay =
+        opt.min_delay + rng.real() * (opt.max_delay - opt.min_delay);
+    // Channels are FIFO (BGP runs over TCP): a later advertisement on the
+    // same arc must not overtake an earlier one, or receivers would pin
+    // stale routes forever.
+    const double at = std::max(now + delay, channel_clear_[arc] + 1e-9);
+    channel_clear_[arc] = at;
+    events_.push(
+        Event{at, seq_++, Event::kUpdate, arc, std::move(path),
+              std::move(weight)});
+  }
+
+  // An advertisement from arc.from's owner... the advertisement travels
+  // along `arc`: arc.from is the advertiser, arc.to the receiver.
+  void deliver(const Event& ev, Rng& rng, const ProtocolOptions& opt,
+               double now) {
+    if (!alive_[ev.arc]) return;  // the link died while in flight
+    const NodeId from = graph_->arc(ev.arc).from;
+    const NodeId to = graph_->arc(ev.arc).to;
+    if (to == destination_) return;
+    if (ev.advertised.empty()) {
+      adj_rib_[to].erase(from);
+    } else {
+      adj_rib_[to][from] = {ev.advertised, ev.advertised_weight};
+    }
+    reselect(to, rng, opt, now);
+  }
+
+  void fail_arc(ArcId arc, Rng& rng, const ProtocolOptions& opt,
+                double now) {
+    const ArcId rev = graph_->reverse(arc);
+    if (!alive_[arc] && !alive_[rev]) return;
+    alive_[arc] = alive_[rev] = false;
+    const NodeId u = graph_->arc(arc).from;
+    const NodeId v = graph_->arc(arc).to;
+    if (u != destination_) {
+      adj_rib_[u].erase(v);
+      reselect(u, rng, opt, now);
+    }
+    if (v != destination_) {
+      adj_rib_[v].erase(u);
+      reselect(v, rng, opt, now);
+    }
+  }
+
+  void reselect(NodeId u, Rng& rng, const ProtocolOptions& opt, double now) {
+    NodePath best_path;
+    std::optional<W> best_weight;
+    for (ArcId a : graph_->out_arcs(u)) {
+      if (!alive_[a]) continue;
+      const NodeId v = graph_->arc(a).to;
+      const auto it = adj_rib_[u].find(v);
+      if (it == adj_rib_[u].end()) continue;
+      const auto& [via_path, via_weight] = it->second;
+      if (std::find(via_path.begin(), via_path.end(), u) != via_path.end()) {
+        continue;  // loop suppression
+      }
+      const W cand_weight = via_weight.has_value()
+                                ? alg_.combine((*weights_)[a], *via_weight)
+                                : (*weights_)[a];
+      if (alg_.is_phi(cand_weight)) continue;
+      NodePath cand_path;
+      cand_path.reserve(via_path.size() + 1);
+      cand_path.push_back(u);
+      cand_path.insert(cand_path.end(), via_path.begin(), via_path.end());
+      if (!best_weight.has_value() ||
+          tie_break_better(alg_, cand_weight, cand_path, *best_weight,
+                           best_path)) {
+        best_weight = cand_weight;
+        best_path = std::move(cand_path);
+      }
+    }
+    const bool changed = best_path != selected_path_[u];
+    if (!changed) return;
+    selected_path_[u] = best_path;
+    selected_weight_[u] = best_weight;
+    // Advertise the new selection (or withdraw) to every live neighbor.
+    for (ArcId a : graph_->out_arcs(u)) {
+      if (!alive_[a]) continue;
+      schedule(rng, opt, now, a, selected_path_[u], selected_weight_[u]);
+    }
+  }
+
+  const A alg_;
+  const Digraph* graph_;
+  const ArcMap<W>* weights_;
+  NodeId destination_ = kInvalidNode;
+
+  std::vector<bool> alive_;
+  std::vector<double> channel_clear_;  // per-arc FIFO watermark
+  std::vector<std::map<NodeId, std::pair<NodePath, std::optional<W>>>>
+      adj_rib_;
+  std::vector<NodePath> selected_path_;
+  std::vector<std::optional<W>> selected_weight_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cpr

@@ -1,0 +1,136 @@
+// Generalized Dijkstra (Sobrinho's lexicographic-lightest-path algorithm).
+//
+// For *regular* algebras — monotone and isotone (Definition 1) — the
+// classic greedy settles nodes in non-decreasing weight order and the
+// resulting preferred paths from a source form a tree (Proposition 2's
+// premise). For non-isotone algebras such as shortest-widest path the
+// greedy is unsound; callers must check `properties().regular()` and fall
+// back to the exhaustive or specialized solvers. The unit tests include a
+// demonstration that running this on SW produces suboptimal answers.
+//
+// Ties in ⪯ are broken by hop count and then node id, giving a
+// deterministic tree without affecting algebraic optimality.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "routing/path.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace cpr {
+
+// Preferred-path tree rooted at `source`: parent pointers lead back toward
+// the source; weight[v] is the weight of the preferred source→v path
+// (nullopt: unreachable or v == source, where the empty path has no
+// weight).
+template <typename W>
+struct PathTree {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::optional<W>> weight;
+  std::vector<std::size_t> hops;
+
+  bool reachable(NodeId v) const {
+    return v == source || weight[v].has_value();
+  }
+
+  // The source→v node sequence (empty if unreachable).
+  NodePath extract_path(NodeId v) const {
+    if (!reachable(v)) return {};
+    NodePath p;
+    for (NodeId x = v; x != source; x = parent[x]) p.push_back(x);
+    p.push_back(source);
+    std::reverse(p.begin(), p.end());
+    return p;
+  }
+};
+
+template <RoutingAlgebra A>
+PathTree<typename A::Weight> dijkstra(const A& alg, const Graph& g,
+                                      const EdgeMap<typename A::Weight>& w,
+                                      NodeId source) {
+  using W = typename A::Weight;
+  const std::size_t n = g.node_count();
+  PathTree<W> tree;
+  tree.source = source;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.weight.assign(n, std::nullopt);
+  tree.hops.assign(n, 0);
+  tree.parent[source] = source;
+
+  struct Entry {
+    W weight;
+    std::size_t hops;
+    NodeId node;
+  };
+  auto worse = [&alg](const Entry& a, const Entry& b) {
+    if (alg.less(a.weight, b.weight)) return false;
+    if (alg.less(b.weight, a.weight)) return true;
+    if (a.hops != b.hops) return a.hops > b.hops;
+    return a.node > b.node;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(
+      worse);
+  std::vector<bool> settled(n, false);
+
+  auto relax = [&](NodeId from, const Graph::Adjacency& adj, const W& cand,
+                   std::size_t hops) {
+    if (alg.is_phi(cand)) return;
+    const NodeId v = adj.neighbor;
+    if (settled[v] || v == source) return;
+    const bool improves =
+        !tree.weight[v].has_value() || alg.less(cand, *tree.weight[v]) ||
+        (order_equal(alg, cand, *tree.weight[v]) && hops < tree.hops[v]);
+    if (improves) {
+      tree.weight[v] = cand;
+      tree.hops[v] = hops;
+      tree.parent[v] = from;
+      tree.parent_edge[v] = adj.edge;
+      queue.push({cand, hops, v});
+    }
+  };
+
+  settled[source] = true;
+  for (const auto& adj : g.neighbors(source)) {
+    relax(source, adj, w[adj.edge], 1);
+  }
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.node]) continue;
+    // Stale entry: a better weight was queued later.
+    if (!tree.weight[top.node].has_value() ||
+        !order_equal(alg, *tree.weight[top.node], top.weight) ||
+        tree.hops[top.node] != top.hops) {
+      continue;
+    }
+    settled[top.node] = true;
+    for (const auto& adj : g.neighbors(top.node)) {
+      relax(top.node, adj, alg.combine(top.weight, w[adj.edge]),
+            top.hops + 1);
+    }
+  }
+  return tree;
+}
+
+// All-source trees (n Dijkstra runs). In an undirected graph with a
+// commutative algebra, the tree rooted at t also encodes every node's
+// preferred path *to* t, which is how destination-based routing tables are
+// filled (Observation 1).
+template <RoutingAlgebra A>
+std::vector<PathTree<typename A::Weight>> all_pairs_trees(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w) {
+  std::vector<PathTree<typename A::Weight>> trees;
+  trees.reserve(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    trees.push_back(dijkstra(alg, g, w, s));
+  }
+  return trees;
+}
+
+}  // namespace cpr

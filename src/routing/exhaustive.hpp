@@ -1,0 +1,138 @@
+// Ground-truth preferred paths by exhaustive enumeration.
+//
+// Routing policies are defined on the set of *all* s–t paths (Section 2.1:
+// Pol(P_st) picks a ⪯-minimal element), so exhaustive DFS enumeration is
+// the reference solver every other algorithm is validated against in the
+// tests. Exponential in general — intended for the small adversarial
+// gadgets (Fig. 1, Fig. 2) and randomized cross-checks up to ~12 nodes.
+// For monotone algebras, prefixes already strictly worse than the best
+// known path are pruned (extensions can only stay as bad or get worse).
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "routing/path.hpp"
+
+#include <optional>
+
+namespace cpr {
+
+template <typename W>
+struct PreferredPath {
+  std::optional<W> weight;  // nullopt: no traversable path
+  NodePath path;
+
+  bool traversable() const { return weight.has_value(); }
+};
+
+template <RoutingAlgebra A>
+PreferredPath<typename A::Weight> exhaustive_preferred(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    NodeId s, NodeId t) {
+  using W = typename A::Weight;
+  PreferredPath<W> best;
+  if (s == t) {
+    best.path = {s};
+    return best;  // the empty path, trivially optimal, weightless
+  }
+  const bool can_prune = alg.properties().monotone;
+
+  NodePath current{s};
+  std::vector<bool> visited(g.node_count(), false);
+  visited[s] = true;
+
+  // Iterative DFS over (node, weight-so-far).
+  struct Frame {
+    NodeId node;
+    std::size_t next_port = 0;
+    std::optional<W> weight;  // weight of the path s..node
+  };
+  std::vector<Frame> stack{{s, 0, std::nullopt}};
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_port >= g.degree(f.node)) {
+      visited[f.node] = false;
+      current.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const auto& adj = g.neighbors(f.node)[f.next_port++];
+    if (visited[adj.neighbor]) continue;
+    const W step = w[adj.edge];
+    const W cand =
+        f.weight.has_value() ? alg.combine(*f.weight, step) : step;
+    if (alg.is_phi(cand)) continue;
+    if (can_prune && best.weight.has_value() &&
+        alg.less(*best.weight, cand)) {
+      continue;  // prefix already strictly worse; monotone ⇒ hopeless
+    }
+    if (adj.neighbor == t) {
+      NodePath full = current;
+      full.push_back(t);
+      if (!best.weight.has_value() ||
+          tie_break_better(alg, cand, full, *best.weight, best.path)) {
+        best.weight = cand;
+        best.path = std::move(full);
+      }
+      continue;
+    }
+    visited[adj.neighbor] = true;
+    current.push_back(adj.neighbor);
+    stack.push_back({adj.neighbor, 0, cand});
+  }
+  return best;
+}
+
+// Enumerates *all* traversable preferred paths (every path whose weight is
+// order-equal to the optimum). Used by the Fig.-1 experiments, which argue
+// about the full preferred-path set ("the preferred paths are exactly the
+// direct edges").
+template <RoutingAlgebra A>
+std::vector<NodePath> all_preferred_paths(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    NodeId s, NodeId t) {
+  using W = typename A::Weight;
+  const PreferredPath<W> best = exhaustive_preferred(alg, g, w, s, t);
+  std::vector<NodePath> out;
+  if (!best.traversable()) return out;
+
+  NodePath current{s};
+  std::vector<bool> visited(g.node_count(), false);
+  visited[s] = true;
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_port = 0;
+    std::optional<W> weight;
+  };
+  std::vector<Frame> stack{{s, 0, std::nullopt}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_port >= g.degree(f.node)) {
+      visited[f.node] = false;
+      current.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const auto& adj = g.neighbors(f.node)[f.next_port++];
+    if (visited[adj.neighbor]) continue;
+    const W step = w[adj.edge];
+    const W cand =
+        f.weight.has_value() ? alg.combine(*f.weight, step) : step;
+    if (alg.is_phi(cand)) continue;
+    if (adj.neighbor == t) {
+      if (order_equal(alg, cand, *best.weight)) {
+        NodePath full = current;
+        full.push_back(t);
+        out.push_back(std::move(full));
+      }
+      continue;
+    }
+    visited[adj.neighbor] = true;
+    current.push_back(adj.neighbor);
+    stack.push_back({adj.neighbor, 0, cand});
+  }
+  return out;
+}
+
+}  // namespace cpr

@@ -1,0 +1,79 @@
+// Paths and path weights over a weighted graph.
+//
+// A path is a node sequence; its weight is the ⊕-fold of its edge weights
+// composed destination→source (Section 5's right fold, which agrees with
+// every other order for the commutative algebras of Sections 2–4).
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace cpr {
+
+using NodePath = std::vector<NodeId>;
+
+// True if consecutive nodes are adjacent and no node repeats.
+inline bool is_simple_path(const Graph& g, const NodePath& p) {
+  if (p.empty()) return false;
+  std::vector<bool> seen(g.node_count(), false);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] >= g.node_count() || seen[p[i]]) return false;
+    seen[p[i]] = true;
+    if (i > 0 && !g.has_edge(p[i - 1], p[i])) return false;
+  }
+  return true;
+}
+
+// Weight of a path with >= 2 nodes; nullopt for a single-node path (a
+// semigroup has no identity, so the empty path carries no weight — callers
+// treat "s == t" as trivially optimal).
+template <RoutingAlgebra A>
+std::optional<typename A::Weight> weight_of_path(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const NodePath& p) {
+  if (p.size() < 2) return std::nullopt;
+  std::vector<typename A::Weight> ws;
+  ws.reserve(p.size() - 1);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const Port port = g.port_to(p[i], p[i + 1]);
+    ws.push_back(w[g.edge_at(p[i], port)]);
+  }
+  return path_weight(alg, ws);
+}
+
+// Directed variant over arc weights.
+template <RoutingAlgebra A>
+std::optional<typename A::Weight> weight_of_path(
+    const A& alg, const Digraph& g, const ArcMap<typename A::Weight>& w,
+    const NodePath& p) {
+  if (p.size() < 2) return std::nullopt;
+  std::vector<typename A::Weight> ws;
+  ws.reserve(p.size() - 1);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const ArcId a = g.find_arc(p[i], p[i + 1]);
+    if (a == kInvalidArc) return std::nullopt;
+    ws.push_back(w[a]);
+  }
+  return path_weight(alg, ws);
+}
+
+// Deterministic tie-break shared by all solvers: primary the algebra
+// order, then fewer hops, then lexicographically smaller node sequence.
+// This makes "the" preferred path well-defined so schemes can be compared
+// against ground truth; validation always compares *weights*, never the
+// concrete tie-broken path.
+template <RoutingAlgebra A>
+bool tie_break_better(const A& alg, const typename A::Weight& wa,
+                      const NodePath& pa, const typename A::Weight& wb,
+                      const NodePath& pb) {
+  if (alg.less(wa, wb)) return true;
+  if (alg.less(wb, wa)) return false;
+  if (pa.size() != pb.size()) return pa.size() < pb.size();
+  return pa < pb;
+}
+
+}  // namespace cpr

@@ -1,0 +1,107 @@
+// Path-vector route computation (Section 5's protocol model).
+//
+// BGP-style algebras are only right-associative and possibly
+// non-commutative, and weights compose from the destination toward the
+// source; the natural solver is a path-vector fixed point: every node
+// repeatedly adopts the best (⪯, then fewer hops, then lexicographically
+// smaller) loop-free path advertised by a neighbor. For monotone algebras
+// over finite weight sets the iteration reaches a stable state within a
+// bounded number of rounds; the result records whether it converged so
+// callers can detect dispute-wheel-style oscillation, which the paper's
+// algebras exclude by monotonicity.
+//
+// Also usable on undirected graphs (via `as_symmetric_digraph`) as an
+// independent cross-check of generalized Dijkstra.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "routing/path.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace cpr {
+
+template <typename W>
+struct PathVectorRoutes {
+  NodeId destination = kInvalidNode;
+  // Per node: best known node→destination path (node first), empty if none.
+  std::vector<NodePath> path;
+  std::vector<std::optional<W>> weight;
+  bool converged = false;
+  std::size_t rounds = 0;
+
+  bool reachable(NodeId v) const {
+    return v == destination || weight[v].has_value();
+  }
+};
+
+template <RoutingAlgebra A>
+PathVectorRoutes<typename A::Weight> path_vector(
+    const A& alg, const Digraph& g, const ArcMap<typename A::Weight>& w,
+    NodeId destination, std::size_t max_rounds = 0) {
+  using W = typename A::Weight;
+  const std::size_t n = g.node_count();
+  if (max_rounds == 0) max_rounds = n + 2;
+
+  PathVectorRoutes<W> routes;
+  routes.destination = destination;
+  routes.path.assign(n, {});
+  routes.weight.assign(n, std::nullopt);
+  routes.path[destination] = {destination};
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == destination) continue;
+      for (ArcId a : g.out_arcs(u)) {
+        const NodeId v = g.arc(a).to;
+        const NodePath& via = routes.path[v];
+        if (via.empty()) continue;
+        // Loop suppression: u must not already appear in v's path.
+        if (std::find(via.begin(), via.end(), u) != via.end()) continue;
+        // Right-fold: w(u,v) ⊕ weight(v's path).
+        const W cand_w = routes.weight[v].has_value()
+                             ? alg.combine(w[a], *routes.weight[v])
+                             : w[a];
+        if (alg.is_phi(cand_w)) continue;
+        NodePath cand_path;
+        cand_path.reserve(via.size() + 1);
+        cand_path.push_back(u);
+        cand_path.insert(cand_path.end(), via.begin(), via.end());
+        if (!routes.weight[u].has_value() ||
+            tie_break_better(alg, cand_w, cand_path, *routes.weight[u],
+                             routes.path[u])) {
+          routes.weight[u] = cand_w;
+          routes.path[u] = std::move(cand_path);
+          changed = true;
+        }
+      }
+    }
+    routes.rounds = round + 1;
+    if (!changed) {
+      routes.converged = true;
+      break;
+    }
+  }
+  return routes;
+}
+
+// Lifts an undirected weighted graph into the symmetric digraph the
+// path-vector solver expects (both arc directions carry the edge weight).
+template <typename W>
+std::pair<Digraph, ArcMap<W>> as_symmetric_digraph(const Graph& g,
+                                                   const EdgeMap<W>& w) {
+  Digraph d(g.node_count());
+  ArcMap<W> aw;
+  aw.reserve(2 * g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    d.add_arc_pair(g.edge(e).u, g.edge(e).v);
+    aw.push_back(w[e]);
+    aw.push_back(w[e]);
+  }
+  return {std::move(d), std::move(aw)};
+}
+
+}  // namespace cpr

@@ -1,0 +1,90 @@
+#include "scheme/compressed_table.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+CompressedTableScheme::CompressedTableScheme(
+    const Graph& g, const std::vector<std::vector<NodeId>>& next_hop,
+    std::vector<NodeId> relabel)
+    : graph_(&g), relabel_(std::move(relabel)) {
+  const std::size_t n = g.node_count();
+  if (relabel_.size() != n) {
+    throw std::invalid_argument("CompressedTableScheme: relabel size");
+  }
+  ports_by_label_.assign(n, std::vector<Port>(n, kInvalidPort));
+  for (NodeId t = 0; t < n; ++t) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == t) continue;
+      const NodeId nh = next_hop[t][u];
+      if (nh != kInvalidNode) {
+        ports_by_label_[u][relabel_[t]] = g.port_to(u, nh);
+      }
+    }
+  }
+}
+
+std::vector<NodeId> CompressedTableScheme::dfs_relabeling(
+    const Graph& g, const std::vector<NodeId>& parent, NodeId root) {
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root && parent[v] != kInvalidNode) {
+      children[parent[v]].push_back(v);
+    }
+  }
+  std::vector<NodeId> relabel(n, kInvalidNode);
+  NodeId counter = 0;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    relabel[u] = counter++;
+    for (std::size_t i = children[u].size(); i-- > 0;) {
+      stack.push_back(children[u][i]);
+    }
+  }
+  if (counter != n) {
+    throw std::invalid_argument("dfs_relabeling: parents do not span");
+  }
+  return relabel;
+}
+
+Decision CompressedTableScheme::forward(NodeId u, Header& h) const {
+  if (relabel_[u] == h) return Decision::delivered();
+  const Port p = ports_by_label_[u][h];
+  return Decision::via(p);
+}
+
+std::size_t CompressedTableScheme::local_memory_bits(NodeId u) const {
+  BitWriter bits;
+  const auto& ports = ports_by_label_[u];
+  const std::size_t port_universe =
+      std::max<std::size_t>(graph_->degree(u), 1) + 1;  // +1: "no route"
+  std::size_t i = 0;
+  while (i < ports.size()) {
+    std::size_t j = i;
+    while (j < ports.size() && ports[j] == ports[i]) ++j;
+    bits.write_gamma(j - i);  // run length
+    // Port value; kInvalidPort encodes as the extra "no route" symbol.
+    const std::uint64_t symbol =
+        ports[i] == kInvalidPort ? port_universe - 1 : ports[i];
+    bits.write_bounded(symbol, port_universe);
+    i = j;
+  }
+  return bits.bit_count();
+}
+
+std::size_t CompressedTableScheme::run_count(NodeId u) const {
+  const auto& ports = ports_by_label_[u];
+  std::size_t runs = 0, i = 0;
+  while (i < ports.size()) {
+    std::size_t j = i;
+    while (j < ports.size() && ports[j] == ports[i]) ++j;
+    ++runs;
+    i = j;
+  }
+  return runs;
+}
+
+}  // namespace cpr

@@ -1,0 +1,306 @@
+// Generalized Cowen stretch-3 compact routing (Theorem 3).
+//
+// For a delimited *regular* algebra, Cowen's landmark scheme carries over
+// verbatim: pick a landmark set L, associate with each node u its
+// ⪯-closest landmark l_u, define the ball
+//     B(u) = { v : w(p*_uv) ≺ w(p*_u,l_u) }
+// and the cluster C(u) = { v : u ∈ B(v) }. The label of v is the triplet
+// (v, l_v, port_{l_v,v}); node u keeps a (target, port) entry for every
+// v ∈ C(u) ∪ L. In-cluster packets follow preferred paths; everything
+// else detours via the target's landmark, and Lemma 4 (triangle
+// inequality + isotonicity) bounds the detour by algebraic stretch 3:
+//     w(p*_u,l_v) ⊕ w(p*_l_v,v) ⪯ (w(p*_u,v))³.
+//
+// Ball strictness: for strictly monotone algebras the strict ball above is
+// the right choice (proper subpaths of preferred paths strictly improve,
+// so Lemma 3's "the next hop also stores the entry" holds — Cowen's
+// original argument). For weakly monotone algebras correctness needs the
+// non-strict ball w(p*_uv) ⪯ w(p*_u,l_u); with heavily tied weight sets
+// (selective algebras) the non-strict balls and hence the tables can grow
+// toward Θ(n) — which is exactly the paper's message in Section 4.1 that
+// for selective algebras the *tree* scheme, not the landmark scheme, is
+// the right tool (stretch-3 paths coincide with preferred paths there).
+// The constructor picks strictness from the algebra's SM flag; tests pin
+// both behaviours.
+//
+// Landmark sizing follows Thorup–Zwick's refinement of Cowen's analysis:
+// an initial random sample of ~sqrt(n ln n) landmarks, then any node whose
+// cluster exceeds the cap is promoted to a landmark and balls are
+// recomputed, which terminates and keeps max |C(u)| bounded.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/scheme.hpp"
+#include "util/bitstream.hpp"
+#include "util/random.hpp"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace cpr {
+
+struct CowenOptions {
+  // 0 = automatic: ceil(sqrt(n * max(1, ln n))).
+  std::size_t initial_landmarks = 0;
+  // 0 = automatic: 4 * ceil(sqrt(n * max(1, ln n))). Nodes with bigger
+  // clusters get promoted to landmarks.
+  std::size_t cluster_cap = 0;
+  // Force strict/non-strict balls; by default follows the SM flag.
+  enum class Balls { kAuto, kStrict, kNonStrict } balls = Balls::kAuto;
+};
+
+template <RoutingAlgebra A>
+class CowenScheme {
+ public:
+  using W = typename A::Weight;
+
+  struct Header {
+    NodeId target = kInvalidNode;
+    NodeId landmark = kInvalidNode;
+    Port port_at_landmark = kInvalidPort;
+  };
+
+  static CowenScheme build(const A& alg, const Graph& g,
+                           const EdgeMap<W>& w, Rng& rng,
+                           CowenOptions opt = {}) {
+    CowenScheme s(alg, g);
+    const std::size_t n = g.node_count();
+    const double lg = std::max(1.0, std::log(static_cast<double>(std::max<std::size_t>(n, 2))));
+    const std::size_t init =
+        opt.initial_landmarks > 0
+            ? opt.initial_landmarks
+            : static_cast<std::size_t>(
+                  std::ceil(std::sqrt(static_cast<double>(n) * lg)));
+    s.cluster_cap_ =
+        opt.cluster_cap > 0 ? opt.cluster_cap : 4 * std::max<std::size_t>(init, 1);
+    switch (opt.balls) {
+      case CowenOptions::Balls::kStrict:
+        s.strict_balls_ = true;
+        break;
+      case CowenOptions::Balls::kNonStrict:
+        s.strict_balls_ = false;
+        break;
+      case CowenOptions::Balls::kAuto:
+        s.strict_balls_ = alg.properties().strictly_monotone;
+        break;
+    }
+
+    // Preferred-path trees from every root; tree[t] gives both w(p*_t,u)
+    // and u's next hop toward t (undirected + commutative).
+    s.trees_.reserve(n);
+    for (NodeId t = 0; t < n; ++t) s.trees_.push_back(dijkstra(alg, g, w, t));
+
+    s.is_landmark_.assign(n, false);
+    for (std::size_t i : rng.sample_without_replacement(n, std::min(init, n))) {
+      s.is_landmark_[i] = true;
+    }
+    s.recompute_until_stable();
+    s.build_tables();
+    return s;
+  }
+
+  Header make_header(NodeId target) const {
+    Header h;
+    h.target = target;
+    h.landmark = landmark_of_[target];
+    h.port_at_landmark = port_at_landmark_[target];
+    return h;
+  }
+
+  Decision forward(NodeId u, Header& h) const {
+    if (u == h.target) return Decision::delivered();
+    const auto direct = tables_[u].find(h.target);
+    if (direct != tables_[u].end()) return Decision::via(direct->second);
+    if (u == h.landmark) return Decision::via(h.port_at_landmark);
+    const auto toward = tables_[u].find(h.landmark);
+    if (toward != tables_[u].end()) return Decision::via(toward->second);
+    return Decision::via(kInvalidPort);
+  }
+
+  std::size_t local_memory_bits(NodeId u) const {
+    BitWriter bits;
+    const std::size_t n = graph_->node_count();
+    bits.write_varint(tables_[u].size());
+    for (const auto& [target, port] : tables_[u]) {
+      bits.write_bounded(target, n);
+      bits.write_bounded(port, std::max<std::size_t>(graph_->degree(u), 1));
+    }
+    return bits.bit_count();
+  }
+
+  std::size_t label_bits(NodeId v) const {
+    return encode_header(make_header(v)).second;
+  }
+
+  // Bit-exact label codec for the (target, landmark, port-at-landmark)
+  // triplet; round-tripped in the tests so the reported label sizes are
+  // decodable, like the tree router's.
+  std::pair<std::vector<std::uint8_t>, std::size_t> encode_header(
+      const Header& h) const {
+    BitWriter bits;
+    const std::size_t n = graph_->node_count();
+    bits.write_bounded(h.target, n);
+    bits.write_bounded(h.landmark, n);
+    bits.write_bit(h.port_at_landmark != kInvalidPort);
+    if (h.port_at_landmark != kInvalidPort) {
+      bits.write_bounded(
+          h.port_at_landmark,
+          std::max<std::size_t>(graph_->degree(h.landmark), 1));
+    }
+    return {bits.bytes(), bits.bit_count()};
+  }
+
+  Header decode_header(const std::vector<std::uint8_t>& bytes) const {
+    BitReader reader(bytes);
+    const std::size_t n = graph_->node_count();
+    Header h;
+    h.target = static_cast<NodeId>(reader.read_bounded(n));
+    h.landmark = static_cast<NodeId>(reader.read_bounded(n));
+    if (reader.read_bit()) {
+      h.port_at_landmark = static_cast<Port>(reader.read_bounded(
+          std::max<std::size_t>(graph_->degree(h.landmark), 1)));
+    }
+    return h;
+  }
+
+  std::size_t landmark_count() const {
+    std::size_t c = 0;
+    for (bool b : is_landmark_) c += b ? 1 : 0;
+    return c;
+  }
+  std::size_t cluster_size(NodeId u) const {
+    return cluster_sizes_.empty() ? 0 : cluster_sizes_[u];
+  }
+  bool strict_balls() const { return strict_balls_; }
+  NodeId landmark_of(NodeId v) const { return landmark_of_[v]; }
+  const PathTree<W>& tree(NodeId t) const { return trees_[t]; }
+
+ private:
+  CowenScheme(const A& alg, const Graph& g) : alg_(alg), graph_(&g) {}
+
+  // ⪯-distance from u to node x, read off tree(x); nullopt = unreachable.
+  const std::optional<W>& dist(NodeId u, NodeId x) const {
+    return trees_[x].weight[u];
+  }
+
+  // Deterministic "closer landmark" comparison: algebra order, then hops,
+  // then id.
+  bool landmark_better(NodeId u, NodeId a, NodeId b) const {
+    const auto& wa = dist(u, a);
+    const auto& wb = dist(u, b);
+    if (wa.has_value() != wb.has_value()) return wa.has_value();
+    if (!wa.has_value()) return a < b;
+    if (alg_.less(*wa, *wb)) return true;
+    if (alg_.less(*wb, *wa)) return false;
+    if (trees_[a].hops[u] != trees_[b].hops[u]) {
+      return trees_[a].hops[u] < trees_[b].hops[u];
+    }
+    return a < b;
+  }
+
+  void recompute_until_stable() {
+    const std::size_t n = graph_->node_count();
+    for (int round = 0;; ++round) {
+      // Nearest landmark per node.
+      landmark_of_.assign(n, kInvalidNode);
+      for (NodeId u = 0; u < n; ++u) {
+        if (is_landmark_[u]) {
+          landmark_of_[u] = u;
+          continue;
+        }
+        NodeId best = kInvalidNode;
+        for (NodeId l = 0; l < n; ++l) {
+          if (!is_landmark_[l]) continue;
+          if (best == kInvalidNode || landmark_better(u, l, best)) best = l;
+        }
+        landmark_of_[u] = best;
+      }
+      // Cluster sizes: C(u) = { v : u ∈ B(v) }.
+      cluster_sizes_.assign(n, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        if (is_landmark_[v]) continue;  // B(landmark) = ∅
+        const NodeId lv = landmark_of_[v];
+        if (lv == kInvalidNode) continue;
+        const auto& radius = dist(v, lv);
+        if (!radius.has_value()) continue;
+        for (NodeId u = 0; u < n; ++u) {
+          if (u == v) continue;
+          const auto& d = dist(v, u);
+          if (!d.has_value()) continue;
+          const bool inside = strict_balls_ ? alg_.less(*d, *radius)
+                                            : leq(alg_, *d, *radius);
+          if (inside) ++cluster_sizes_[u];
+        }
+      }
+      bool promoted = false;
+      for (NodeId u = 0; u < n; ++u) {
+        if (!is_landmark_[u] && cluster_sizes_[u] > cluster_cap_) {
+          is_landmark_[u] = true;
+          promoted = true;
+        }
+      }
+      if (!promoted) break;
+    }
+  }
+
+  void build_tables() {
+    const std::size_t n = graph_->node_count();
+    tables_.assign(n, {});
+    // Landmark entries everywhere; cluster entries where u ∈ B(v).
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId l = 0; l < n; ++l) {
+        if (!is_landmark_[l] || l == u) continue;
+        if (trees_[l].reachable(u)) {
+          tables_[u][l] = graph_->port_to(u, trees_[l].parent[u]);
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (is_landmark_[v]) continue;
+      const NodeId lv = landmark_of_[v];
+      if (lv == kInvalidNode) continue;
+      const auto& radius = dist(v, lv);
+      if (!radius.has_value()) continue;
+      for (NodeId u = 0; u < n; ++u) {
+        if (u == v || !trees_[v].reachable(u)) continue;
+        const auto& d = dist(v, u);
+        if (!d.has_value()) continue;
+        const bool inside = strict_balls_ ? alg_.less(*d, *radius)
+                                          : leq(alg_, *d, *radius);
+        if (inside) {
+          tables_[u][v] = graph_->port_to(u, trees_[v].parent[u]);
+        }
+      }
+    }
+    // Labels: first hop out of l_v on the preferred l_v→v path.
+    port_at_landmark_.assign(n, kInvalidPort);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId lv = landmark_of_[v];
+      if (lv == kInvalidNode || lv == v) continue;
+      // Walk v's parent chain in tree(lv) to find the hop adjacent to lv.
+      NodeId x = v;
+      while (trees_[lv].parent[x] != lv) {
+        x = trees_[lv].parent[x];
+        if (x == kInvalidNode) break;
+      }
+      if (x != kInvalidNode) {
+        port_at_landmark_[v] = graph_->port_to(lv, x);
+      }
+    }
+  }
+
+  const A alg_;
+  const Graph* graph_;
+  std::vector<PathTree<W>> trees_;
+  std::vector<bool> is_landmark_;
+  std::vector<NodeId> landmark_of_;
+  std::vector<std::size_t> cluster_sizes_;
+  std::vector<std::map<NodeId, Port>> tables_;
+  std::vector<Port> port_at_landmark_;
+  std::size_t cluster_cap_ = 0;
+  bool strict_balls_ = true;
+};
+
+}  // namespace cpr

@@ -1,0 +1,78 @@
+#include "scheme/interval_router.hpp"
+
+#include "scheme/spanning_tree.hpp"
+#include "util/bitstream.hpp"
+
+#include <algorithm>
+
+namespace cpr {
+
+IntervalRouter::IntervalRouter(const Graph& g,
+                               const std::vector<EdgeId>& tree_edges,
+                               NodeId root)
+    : graph_(&g), root_(root) {
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges, root);
+  const std::size_t n = g.node_count();
+  parent_ = tree.parent;
+  children_ = tree.children;
+  dfs_in_.assign(n, 0);
+  dfs_out_.assign(n, 0);
+
+  std::uint32_t counter = 0;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    dfs_in_[u] = counter++;
+    dfs_out_[u] =
+        dfs_in_[u] + static_cast<std::uint32_t>(tree.subtree_size[u]) - 1;
+    for (std::size_t i = children_[u].size(); i-- > 0;) {
+      stack.push_back(children_[u][i]);
+    }
+  }
+  // Children end up in DFS order already (stack pushes reversed), but be
+  // explicit: binary search below requires dfs_in-sorted children.
+  for (auto& kids : children_) {
+    std::sort(kids.begin(), kids.end(),
+              [&](NodeId a, NodeId b) { return dfs_in_[a] < dfs_in_[b]; });
+  }
+}
+
+Decision IntervalRouter::forward(NodeId u, Header& h) const {
+  if (h == dfs_in_[u]) return Decision::delivered();
+  if (h < dfs_in_[u] || h > dfs_out_[u]) {
+    return Decision::via(graph_->port_to(u, parent_[u]));
+  }
+  // Binary search the child whose interval contains h.
+  const auto& kids = children_[u];
+  std::size_t lo = 0, hi = kids.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (dfs_in_[kids[mid]] <= h) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= kids.size()) return Decision::via(kInvalidPort);
+  return Decision::via(graph_->port_to(u, kids[lo]));
+}
+
+std::size_t IntervalRouter::local_memory_bits(NodeId u) const {
+  BitWriter bits;
+  const std::size_t n = graph_->node_count();
+  bits.write_bounded(dfs_in_[u], n);
+  bits.write_bounded(dfs_out_[u], n);
+  bits.write_bit(u != root_);
+  // One boundary per child: this is the Θ(deg·log n) term the heavy-path
+  // scheme avoids.
+  bits.write_varint(children_[u].size());
+  for (NodeId c : children_[u]) bits.write_bounded(dfs_in_[c], n);
+  return bits.bit_count();
+}
+
+std::size_t IntervalRouter::label_bits(NodeId) const {
+  return bits_for_universe(graph_->node_count());
+}
+
+}  // namespace cpr

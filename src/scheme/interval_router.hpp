@@ -1,0 +1,45 @@
+// Classic interval routing on trees — the ablation baseline for the
+// heavy-path TreeRouter.
+//
+// Every node stores its own DFS interval plus the interval *boundaries of
+// each child*, and routes by binary search among them: O((deg+1)·log n)
+// bits per node, O(log n)-bit labels. On bounded-degree trees this is as
+// good as the heavy-path scheme; on a star the hub pays Θ(n log n) bits —
+// exactly the gap the designer-chosen port trick of Fraigniaud–Gavoille
+// closes. bench_ablation_tree quantifies the difference.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "scheme/scheme.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace cpr {
+
+class IntervalRouter {
+ public:
+  using Header = std::uint64_t;  // the target's DFS number
+
+  IntervalRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
+                 NodeId root = 0);
+
+  Header make_header(NodeId target) const { return dfs_in_[target]; }
+  Decision forward(NodeId u, Header& h) const;
+
+  std::size_t local_memory_bits(NodeId u) const;
+  std::size_t label_bits(NodeId) const;
+
+ private:
+  const Graph* graph_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> dfs_in_, dfs_out_;
+  // children_[u] sorted by dfs_in; child intervals partition
+  // [dfs_in(u)+1, dfs_out(u)].
+  std::vector<std::vector<NodeId>> children_;
+};
+
+static_assert(CompactRoutingScheme<IntervalRouter>);
+
+}  // namespace cpr

@@ -1,0 +1,61 @@
+// Routing in a complete graph with O(log n) bits per node — the "special
+// port labeling" ingredient (Fraigniaud–Gavoille tech report [32]) that
+// Theorem 7 uses to route across the root peer mesh.
+//
+// With designer-chosen ports, node i numbers its port toward j as
+// j if j < i, else j-1; the forwarding decision is pure index arithmetic
+// from (own id, target id), so the only stored state is the node's own id.
+// The simulator-facing forward() translates the designed port back to the
+// host graph's adjacency index, which is not charged to memory (the
+// designed numbering IS the port labeling L_E).
+#pragma once
+
+#include "scheme/scheme.hpp"
+#include "util/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace cpr {
+
+class CompleteMeshScheme {
+ public:
+  using Header = NodeId;
+
+  explicit CompleteMeshScheme(const Graph& g) : graph_(&g) {
+    const std::size_t n = g.node_count();
+    if (g.edge_count() != n * (n - 1) / 2) {
+      throw std::invalid_argument("CompleteMeshScheme: graph not complete");
+    }
+  }
+
+  Header make_header(NodeId target) const { return target; }
+
+  Decision forward(NodeId u, Header& h) const {
+    if (u == h) return Decision::delivered();
+    // Designed port = h < u ? h : h - 1 — recover the neighbor from pure
+    // arithmetic and translate for the simulator.
+    return Decision::via(graph_->port_to(u, h));
+  }
+
+  // Own id only.
+  std::size_t local_memory_bits(NodeId u) const {
+    BitWriter bits;
+    bits.write_bounded(u, graph_->node_count());
+    return bits.bit_count();
+  }
+  std::size_t label_bits(NodeId) const {
+    return bits_for_universe(graph_->node_count());
+  }
+
+  // The designed port number (what the model's L_E assigns).
+  Port designed_port(NodeId u, NodeId target) const {
+    return target < u ? target : target - 1;
+  }
+
+ private:
+  const Graph* graph_;
+};
+
+static_assert(CompactRoutingScheme<CompleteMeshScheme>);
+
+}  // namespace cpr

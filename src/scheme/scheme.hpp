@@ -1,0 +1,112 @@
+// The policy routing function model (Section 2.3).
+//
+// A routing scheme implements the paper's mapping R: upon receiving a
+// packet with header h, node u evaluates its local routing function
+// R_u(h) = (h', l): a possibly rewritten header and an outgoing port.
+// We model this as a concept:
+//
+//   - Header         : the packet header type (the model places no bound
+//                      on header size; labels, in contrast, must fit in
+//                      O(log n) bits and are measured separately).
+//   - make_header(t) : initial header for a packet destined to t — this is
+//                      exactly the node label L_V(t) plus mutable cursor
+//                      state, so label_bits(t) reports its encoded size.
+//   - forward(u, h)  : the local routing function; may rewrite h. Returns
+//                      either "deliver" or a port. Ports are reported in
+//                      graph-adjacency numbering purely as a simulation
+//                      convenience — the model lets the *designer* choose
+//                      the local port labeling L_E(u), so schemes account
+//                      for memory under their own designed numbering.
+//   - local_memory_bits(u): the honest encoded size of R_u (Definition 2's
+//                      M_A(R,u)), produced through BitWriter.
+//
+// The hop-by-hop simulator below drives any such scheme over a graph and
+// checks delivery, records the traversed path, and guards against loops.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "routing/path.hpp"
+
+#include <concepts>
+#include <cstddef>
+
+namespace cpr {
+
+struct Decision {
+  bool deliver = false;
+  Port port = kInvalidPort;
+
+  static Decision delivered() { return {true, kInvalidPort}; }
+  static Decision via(Port p) { return {false, p}; }
+};
+
+template <typename S>
+concept CompactRoutingScheme =
+    requires(const S s, NodeId v, typename S::Header& h) {
+      typename S::Header;
+      { s.make_header(v) } -> std::same_as<typename S::Header>;
+      { s.forward(v, h) } -> std::same_as<Decision>;
+      { s.local_memory_bits(v) } -> std::convertible_to<std::size_t>;
+      { s.label_bits(v) } -> std::convertible_to<std::size_t>;
+    };
+
+struct RouteResult {
+  bool delivered = false;
+  NodePath path;  // nodes visited, starting at the source
+
+  std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+// Walks a packet from `source` toward `target` under the scheme. The walk
+// aborts (delivered = false) after max_hops steps or on an invalid port,
+// so incorrect schemes fail loudly in tests instead of spinning.
+template <CompactRoutingScheme S>
+RouteResult simulate_route(const S& scheme, const Graph& g, NodeId source,
+                           NodeId target, std::size_t max_hops = 0) {
+  if (max_hops == 0) max_hops = 4 * g.node_count() + 16;
+  RouteResult result;
+  result.path.push_back(source);
+  typename S::Header header = scheme.make_header(target);
+  NodeId current = source;
+  for (std::size_t step = 0; step <= max_hops; ++step) {
+    const Decision d = scheme.forward(current, header);
+    if (d.deliver) {
+      result.delivered = (current == target);
+      return result;
+    }
+    if (d.port == kInvalidPort || d.port >= g.degree(current)) return result;
+    current = g.neighbor(current, d.port);
+    result.path.push_back(current);
+  }
+  return result;  // loop guard tripped
+}
+
+// Aggregate memory statistics over all nodes (Definition 2 takes the max;
+// benches report both max and mean).
+struct SchemeFootprint {
+  std::size_t max_node_bits = 0;
+  double mean_node_bits = 0;
+  std::size_t max_label_bits = 0;
+  double mean_label_bits = 0;
+};
+
+template <CompactRoutingScheme S>
+SchemeFootprint measure_footprint(const S& scheme, std::size_t n) {
+  SchemeFootprint f;
+  double sum_node = 0, sum_label = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t nb = scheme.local_memory_bits(v);
+    const std::size_t lb = scheme.label_bits(v);
+    f.max_node_bits = std::max(f.max_node_bits, nb);
+    f.max_label_bits = std::max(f.max_label_bits, lb);
+    sum_node += static_cast<double>(nb);
+    sum_label += static_cast<double>(lb);
+  }
+  if (n > 0) {
+    f.mean_node_bits = sum_node / static_cast<double>(n);
+    f.mean_label_bits = sum_label / static_cast<double>(n);
+  }
+  return f;
+}
+
+}  // namespace cpr

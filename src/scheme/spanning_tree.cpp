@@ -1,0 +1,54 @@
+#include "scheme/spanning_tree.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace cpr {
+
+RootedTree RootedTree::from_edges(const Graph& g,
+                                  const std::vector<EdgeId>& tree_edges,
+                                  NodeId root) {
+  const std::size_t n = g.node_count();
+  if (n > 0 && tree_edges.size() != n - 1) {
+    throw std::invalid_argument("RootedTree: not a spanning edge set");
+  }
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  for (EdgeId e : tree_edges) {
+    adj[g.edge(e).u].push_back({g.edge(e).v, e});
+    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+  }
+
+  RootedTree t;
+  t.root = root;
+  t.parent.assign(n, kInvalidNode);
+  t.parent_edge.assign(n, kInvalidEdge);
+  t.children.assign(n, {});
+  t.subtree_size.assign(n, 1);
+  t.parent[root] = root;
+
+  std::vector<NodeId> bfs_order;
+  bfs_order.reserve(n);
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    bfs_order.push_back(u);
+    for (const auto& [v, e] : adj[u]) {
+      if (t.parent[v] != kInvalidNode) continue;
+      t.parent[v] = u;
+      t.parent_edge[v] = e;
+      t.children[u].push_back(v);
+      queue.push_back(v);
+    }
+  }
+  if (bfs_order.size() != n) {
+    throw std::invalid_argument("RootedTree: edges do not span the graph");
+  }
+  for (std::size_t i = bfs_order.size(); i-- > 0;) {
+    const NodeId u = bfs_order[i];
+    if (u != root) t.subtree_size[t.parent[u]] += t.subtree_size[u];
+  }
+  return t;
+}
+
+}  // namespace cpr

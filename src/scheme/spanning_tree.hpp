@@ -1,0 +1,54 @@
+// Preferred spanning trees (Lemma 1, constructive direction).
+//
+// For a monotone and selective algebra, taking edges in non-decreasing
+// ⪯-order and adding each edge that closes no cycle yields a spanning tree
+// whose unique in-tree s–t path is a preferred s–t path for *every* pair —
+// the algebra "maps to a tree". (This is the Kruskal construction from the
+// proof; for widest path it degenerates to the maximum-capacity spanning
+// tree, and the Spanning Tree Protocol footnote is the usable-path case.)
+// Routing over the tree then needs only Θ(log n) bits per node via the
+// tree router, which is how Theorem 1's compressibility is realized.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace cpr {
+
+template <RoutingAlgebra A>
+std::vector<EdgeId> preferred_spanning_tree(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w) {
+  std::vector<EdgeId> order(g.edge_count());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return alg.less(w[a], w[b]);  // ties keep edge-id order (deterministic)
+  });
+  UnionFind uf(g.node_count());
+  std::vector<EdgeId> tree;
+  tree.reserve(g.node_count() > 0 ? g.node_count() - 1 : 0);
+  for (EdgeId e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+// The tree as a rooted topology: parents, children lists, and the subgraph
+// restricted to tree edges. Input edges must form a spanning tree of g.
+struct RootedTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;        // parent[root] == root
+  std::vector<EdgeId> parent_edge;   // edge id in the host graph
+  std::vector<std::vector<NodeId>> children;
+  std::vector<std::size_t> subtree_size;
+
+  static RootedTree from_edges(const Graph& g,
+                               const std::vector<EdgeId>& tree_edges,
+                               NodeId root = 0);
+};
+
+}  // namespace cpr

@@ -1,0 +1,86 @@
+// Source-destination routing tables — the trivial routing function for
+// non-isotone algebras (Section 3.1).
+//
+// When isotonicity fails (shortest-widest path), preferred paths toward a
+// destination need not form a tree, so destination-only forwarding is
+// insufficient; the paper's fallback stores a separate entry per
+// source-destination pair, O(n² log d) bits per router in the worst case.
+// The header carries (source, destination); node u keeps a port for every
+// (s,t) whose preferred path routes through u. Whether this Õ(n²) bound is
+// tight is one of the paper's open questions — the benches print it next
+// to the Ω(n) lower bound so the gap is visible.
+#pragma once
+
+#include "routing/path.hpp"
+#include "scheme/scheme.hpp"
+#include "util/bitstream.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+class SourceDestTableScheme {
+ public:
+  struct Header {
+    NodeId source;
+    NodeId target;
+  };
+
+  // `paths[s][t]` is the preferred s→t node sequence (may be empty when
+  // unreachable). Any exact solver output fits: exhaustive enumeration,
+  // the shortest-widest specialized solver, or path-vector results.
+  SourceDestTableScheme(const Graph& g,
+                        const std::vector<std::vector<NodePath>>& paths)
+      : graph_(&g), tables_(g.node_count()) {
+    for (NodeId s = 0; s < paths.size(); ++s) {
+      for (NodeId t = 0; t < paths[s].size(); ++t) {
+        const NodePath& p = paths[s][t];
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          tables_[p[i]][{s, t}] = graph_->port_to(p[i], p[i + 1]);
+        }
+      }
+    }
+  }
+
+  Header make_header(NodeId target) const {
+    // The source field is stamped by simulate_route's first forward() call
+    // being evaluated at the source; encode it lazily via kInvalidNode.
+    return Header{kInvalidNode, target};
+  }
+
+  Decision forward(NodeId u, Header& h) const {
+    if (h.source == kInvalidNode) h.source = u;  // stamp at origin
+    if (u == h.target) return Decision::delivered();
+    const auto it = tables_[u].find({h.source, h.target});
+    if (it == tables_[u].end()) return Decision::via(kInvalidPort);
+    return Decision::via(it->second);
+  }
+
+  std::size_t local_memory_bits(NodeId u) const {
+    BitWriter bits;
+    const std::size_t n = graph_->node_count();
+    bits.write_varint(tables_[u].size());
+    for (const auto& [key, port] : tables_[u]) {
+      bits.write_bounded(key.first, n);
+      bits.write_bounded(key.second, n);
+      bits.write_bounded(port, std::max<std::size_t>(graph_->degree(u), 1));
+    }
+    return bits.bit_count();
+  }
+
+  std::size_t label_bits(NodeId) const {
+    return bits_for_universe(graph_->node_count());
+  }
+
+  std::size_t entry_count(NodeId u) const { return tables_[u].size(); }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::map<std::pair<NodeId, NodeId>, Port>> tables_;
+};
+
+static_assert(CompactRoutingScheme<SourceDestTableScheme>);
+
+}  // namespace cpr

@@ -1,0 +1,183 @@
+#include "scheme/tree_router.hpp"
+
+#include "scheme/spanning_tree.hpp"
+#include "util/bitstream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cpr {
+
+TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
+                       NodeId root)
+    : graph_(&g), root_(root) {
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges, root);
+  const std::size_t n = g.node_count();
+  parent_ = tree.parent;
+  dfs_in_.assign(n, 0);
+  dfs_out_.assign(n, 0);
+  light_depth_.assign(n, 0);
+  depth_.assign(n, 0);
+  heavy_child_.assign(n, kInvalidNode);
+  light_children_.assign(n, {});
+  by_dfs_.assign(n, kInvalidNode);
+
+  // Heavy child = largest subtree (ties: smaller id); light children in
+  // decreasing subtree size, which is what makes the gamma codes
+  // telescope.
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> kids = tree.children[u];
+    std::sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
+      if (tree.subtree_size[a] != tree.subtree_size[b]) {
+        return tree.subtree_size[a] > tree.subtree_size[b];
+      }
+      return a < b;
+    });
+    if (!kids.empty()) {
+      heavy_child_[u] = kids.front();
+      light_children_[u].assign(kids.begin() + 1, kids.end());
+    }
+  }
+
+  // Preorder DFS, heavy first. Subtrees are preorder-contiguous, so
+  // dfs_out = dfs_in + size - 1.
+  std::uint32_t counter = 0;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    dfs_in_[u] = counter++;
+    dfs_out_[u] =
+        dfs_in_[u] + static_cast<std::uint32_t>(tree.subtree_size[u]) - 1;
+    by_dfs_[dfs_in_[u]] = u;
+    if (u != root) {
+      depth_[u] = depth_[parent_[u]] + 1;
+      const bool is_light = heavy_child_[parent_[u]] != u;
+      light_depth_[u] = light_depth_[parent_[u]] + (is_light ? 1 : 0);
+    }
+    // Push light children in reverse so they pop in designed order after
+    // the heavy child.
+    for (std::size_t i = light_children_[u].size(); i-- > 0;) {
+      stack.push_back(light_children_[u][i]);
+    }
+    if (heavy_child_[u] != kInvalidNode) stack.push_back(heavy_child_[u]);
+  }
+  if (counter != n) throw std::logic_error("TreeRouter: DFS did not span");
+}
+
+TreeRouter::Header TreeRouter::make_header(NodeId target) const {
+  Header h;
+  h.target_dfs = dfs_in_[target];
+  // Collect light-child indices on root→target, built leaf→root then
+  // reversed.
+  std::vector<std::uint32_t> seq;
+  for (NodeId v = target; v != root_; v = parent_[v]) {
+    const NodeId p = parent_[v];
+    if (heavy_child_[p] == v) continue;
+    const auto& lights = light_children_[p];
+    const auto it = std::find(lights.begin(), lights.end(), v);
+    seq.push_back(static_cast<std::uint32_t>(it - lights.begin()));
+  }
+  std::reverse(seq.begin(), seq.end());
+  h.light_sequence = std::move(seq);
+  return h;
+}
+
+Decision TreeRouter::forward(NodeId u, Header& h) const {
+  const std::uint64_t x = h.target_dfs;
+  if (x == dfs_in_[u]) return Decision::delivered();
+  NodeId next;
+  if (x < dfs_in_[u] || x > dfs_out_[u]) {
+    next = parent_[u];  // target outside my subtree: climb
+  } else {
+    const NodeId heavy = heavy_child_[u];
+    if (heavy != kInvalidNode && x >= dfs_in_[heavy] && x <= dfs_out_[heavy]) {
+      next = heavy;
+    } else {
+      // Descend on a light edge; my entry is #light_depth_[u] because
+      // root→u contributes exactly that many light edges to the label.
+      const std::uint32_t idx = light_depth_[u];
+      if (idx >= h.light_sequence.size() ||
+          h.light_sequence[idx] >= light_children_[u].size()) {
+        return Decision::via(kInvalidPort);  // malformed label
+      }
+      next = light_children_[u][h.light_sequence[idx]];
+    }
+  }
+  return Decision::via(graph_->port_to(u, next));
+}
+
+std::size_t TreeRouter::local_memory_bits(NodeId u) const {
+  BitWriter bits;
+  const std::size_t n = graph_->node_count();
+  bits.write_bounded(dfs_in_[u], n);
+  bits.write_bounded(dfs_out_[u], n);
+  bits.write_bit(u != root_);                       // have parent port
+  bits.write_bit(heavy_child_[u] != kInvalidNode);  // have heavy port
+  if (heavy_child_[u] != kInvalidNode) {
+    bits.write_bounded(dfs_in_[heavy_child_[u]], n);
+    bits.write_bounded(dfs_out_[heavy_child_[u]], n);
+  }
+  bits.write_gamma(light_depth_[u] + 1);
+  return bits.bit_count();
+}
+
+std::size_t TreeRouter::label_bits(NodeId v) const {
+  BitWriter bits;
+  bits.write_bounded(dfs_in_[v], graph_->node_count());
+  for (NodeId x = v; x != root_; x = parent_[x]) {
+    const NodeId p = parent_[x];
+    if (heavy_child_[p] == x) continue;
+    const auto& lights = light_children_[p];
+    const auto it = std::find(lights.begin(), lights.end(), x);
+    bits.write_gamma(static_cast<std::uint64_t>(it - lights.begin()) + 1);
+  }
+  return bits.bit_count();
+}
+
+std::pair<std::vector<std::uint8_t>, std::size_t> TreeRouter::encode_header(
+    const Header& h) const {
+  BitWriter bits;
+  bits.write_bounded(h.target_dfs, graph_->node_count());
+  for (const std::uint32_t idx : h.light_sequence) {
+    bits.write_gamma(std::uint64_t{idx} + 1);
+  }
+  return {bits.bytes(), bits.bit_count()};
+}
+
+TreeRouter::Header TreeRouter::decode_header(
+    const std::vector<std::uint8_t>& bytes, std::size_t bit_count) const {
+  BitReader reader(bytes);
+  Header h;
+  h.target_dfs = reader.read_bounded(graph_->node_count());
+  while (reader.position() < bit_count) {
+    h.light_sequence.push_back(
+        static_cast<std::uint32_t>(reader.read_gamma() - 1));
+  }
+  return h;
+}
+
+NodePath TreeRouter::tree_path(NodeId s, NodeId t) const {
+  // Climb both endpoints to their LCA using depths.
+  NodePath up, down;
+  NodeId a = s, b = t;
+  while (depth_[a] > depth_[b]) {
+    up.push_back(a);
+    a = parent_[a];
+  }
+  while (depth_[b] > depth_[a]) {
+    down.push_back(b);
+    b = parent_[b];
+  }
+  while (a != b) {
+    up.push_back(a);
+    down.push_back(b);
+    a = parent_[a];
+    b = parent_[b];
+  }
+  up.push_back(a);  // the LCA
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+}  // namespace cpr

@@ -1,0 +1,87 @@
+// Compact routing in trees with O(log n)-bit node state and O(log n)-bit
+// labels (the Fraigniaud–Gavoille / Thorup–Zwick tree-routing ingredient
+// behind Theorem 1 and the Θ(log n) rows of Table 1).
+//
+// Construction (heavy-path / interval labeling):
+//  - Root the tree; number nodes in preorder DFS visiting the *heavy*
+//    child (largest subtree) first and the light children in decreasing
+//    subtree size. A subtree is then the contiguous interval
+//    [dfs_in, dfs_in + size - 1].
+//  - Designed port numbering at u: 0 = parent, 1 = heavy child, 2+i = i-th
+//    light child. (The model lets the designer pick L_E(u); the mapping to
+//    the simulator's adjacency indices is a simulation artifact and not
+//    charged to memory.)
+//  - Label(t) = dfs_in(t) plus the sequence of light-child indices taken
+//    on the root→t path, Elias-gamma coded. Because the i-th light child
+//    has subtree size at most size(u)/(i+1), the gamma codes telescope to
+//    O(log n) bits total.
+//  - Node state: own interval, heavy-child interval, light depth (number
+//    of light edges above u), parent/heavy flags — O(log n) bits.
+//
+// Forwarding at u with target number x and light cursor: deliver if
+// x == dfs_in(u); go to the parent if x is outside u's interval; go heavy
+// if x is in the heavy interval; otherwise consume entry #light_depth(u)
+// of the label's light sequence — valid because root→u is a prefix of
+// root→t whenever the packet descends at u, so exactly light_depth(u)
+// entries lie above u.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "scheme/scheme.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+class TreeRouter {
+ public:
+  struct Header {
+    std::uint64_t target_dfs = 0;
+    // Light-child indices on the root→target path, in root→leaf order.
+    std::vector<std::uint32_t> light_sequence;
+  };
+
+  // `tree_edges` must span g. The router routes along tree paths only.
+  TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
+             NodeId root = 0);
+
+  Header make_header(NodeId target) const;
+  Decision forward(NodeId u, Header& h) const;
+
+  std::size_t local_memory_bits(NodeId u) const;
+  std::size_t label_bits(NodeId v) const;
+
+  // Bit-exact label codec: encode produces exactly label_bits(v) bits and
+  // decode recovers the header from them (labels are length-framed by the
+  // packet format, so the decoder is given the bit count). The round trip
+  // is what certifies that label_bits is a real, decodable size.
+  std::pair<std::vector<std::uint8_t>, std::size_t> encode_header(
+      const Header& h) const;
+  Header decode_header(const std::vector<std::uint8_t>& bytes,
+                       std::size_t bit_count) const;
+
+  // The unique in-tree s→t node sequence (for Lemma-1 validation: its
+  // weight must be order-equal to the preferred weight for selective
+  // monotone algebras).
+  NodePath tree_path(NodeId s, NodeId t) const;
+
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+
+ private:
+  const Graph* graph_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> dfs_in_, dfs_out_;
+  std::vector<std::uint32_t> light_depth_;
+  std::vector<NodeId> heavy_child_;                 // kInvalidNode if leaf
+  std::vector<std::vector<NodeId>> light_children_; // sorted, designed order
+  std::vector<NodeId> by_dfs_;                      // dfs number -> node id
+  std::vector<std::uint32_t> depth_;
+};
+
+static_assert(CompactRoutingScheme<TreeRouter>);
+
+}  // namespace cpr

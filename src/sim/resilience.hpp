@@ -1,0 +1,99 @@
+// Failure injection for static routing schemes.
+//
+// The routing-function model is oblivious: forwarding state is computed
+// once, so a scheme cannot react when links disappear. This harness walks
+// packets through a scheme while a set of edges is down — a packet that
+// is directed onto a failed edge is dropped — and measures the delivery
+// degradation. The interesting systems question it answers (bench_resilience):
+// how much *robustness* do the compact schemes give up along with memory?
+// A spanning-tree scheme loses entire subtrees per failed tree edge, the
+// Cowen scheme loses cluster and landmark routes crossing the failure,
+// while destination tables only lose the pairs whose preferred path used
+// the edge.
+#pragma once
+
+#include "graph/algorithms.hpp"
+#include "scheme/scheme.hpp"
+#include "util/random.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+template <CompactRoutingScheme S>
+RouteResult simulate_route_with_failures(const S& scheme, const Graph& g,
+                                         const std::vector<bool>& edge_down,
+                                         NodeId source, NodeId target,
+                                         std::size_t max_hops = 0) {
+  if (max_hops == 0) max_hops = 4 * g.node_count() + 16;
+  RouteResult result;
+  result.path.push_back(source);
+  typename S::Header header = scheme.make_header(target);
+  NodeId current = source;
+  for (std::size_t step = 0; step <= max_hops; ++step) {
+    const Decision d = scheme.forward(current, header);
+    if (d.deliver) {
+      result.delivered = (current == target);
+      return result;
+    }
+    if (d.port == kInvalidPort || d.port >= g.degree(current)) return result;
+    const EdgeId e = g.edge_at(current, d.port);
+    if (edge_down[e]) return result;  // packet dropped at the dead link
+    current = g.neighbor(current, d.port);
+    result.path.push_back(current);
+  }
+  return result;
+}
+
+struct ResilienceReport {
+  std::size_t failed_edges = 0;
+  std::size_t pairs_tested = 0;
+  std::size_t delivered = 0;
+  // Pairs that remained connected in the degraded graph yet were lost by
+  // the (static) scheme — the scheme's own fragility, separated from
+  // physical partition.
+  std::size_t lost_but_connected = 0;
+
+  double delivery_rate() const {
+    return pairs_tested
+               ? static_cast<double>(delivered) / pairs_tested
+               : 1.0;
+  }
+};
+
+// Fails `failures` distinct random edges and routes `trials` random pairs.
+template <CompactRoutingScheme S>
+ResilienceReport measure_resilience(const S& scheme, const Graph& g,
+                                    std::size_t failures, std::size_t trials,
+                                    Rng& rng) {
+  ResilienceReport report;
+  report.failed_edges = std::min(failures, g.edge_count());
+  std::vector<bool> down(g.edge_count(), false);
+  for (std::size_t i :
+       rng.sample_without_replacement(g.edge_count(), report.failed_edges)) {
+    down[i] = true;
+  }
+  // Connectivity of the degraded graph, for the lost-but-connected split.
+  Graph degraded(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!down[e]) degraded.add_edge(g.edge(e).u, g.edge(e).v);
+  }
+  const std::vector<NodeId> comp = connected_components(degraded);
+
+  for (std::size_t i = 0; i < trials; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.index(g.node_count()));
+    const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
+    if (s == t) continue;
+    ++report.pairs_tested;
+    const RouteResult r =
+        simulate_route_with_failures(scheme, g, down, s, t);
+    if (r.delivered) {
+      ++report.delivered;
+    } else if (comp[s] == comp[t]) {
+      ++report.lost_but_connected;
+    }
+  }
+  return report;
+}
+
+}  // namespace cpr

@@ -1,0 +1,164 @@
+// Traffic workloads and scheme evaluation.
+//
+// The stretch a compact scheme inflicts is traffic-dependent: Cowen's
+// scheme serves in-cluster and landmark-bound traffic at stretch 1 and
+// detours the rest, so the *distribution* of stretch depends on who talks
+// to whom. This module provides the standard workload shapes —
+//
+//   uniform   : source and destination uniform over V,
+//   gravity   : pair probability proportional to deg(s)·deg(t) (heavy
+//               talkers are heavy listeners, the classic traffic-matrix
+//               model),
+//   hotspot   : a small set of servers receives a fixed fraction of all
+//               traffic (client-server skew),
+//
+// — and a generic evaluator that routes sampled demands through a scheme
+// and aggregates delivery, hop and multiplicative-stretch statistics.
+// bench_workloads reports how the same scheme's stretch profile shifts
+// across patterns.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/scheme.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+struct Demand {
+  NodeId source;
+  NodeId target;
+};
+
+class WorkloadGenerator {
+ public:
+  enum class Kind { kUniform, kGravity, kHotspot };
+
+  WorkloadGenerator(Kind kind, const Graph& g, Rng& rng,
+                    std::size_t hotspot_count = 4,
+                    double hotspot_fraction = 0.7)
+      : kind_(kind),
+        graph_(&g),
+        rng_(&rng),
+        hotspot_fraction_(hotspot_fraction) {
+    if (kind == Kind::kGravity) {
+      cumulative_degree_.reserve(g.node_count());
+      std::size_t acc = 0;
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        acc += std::max<std::size_t>(g.degree(v), 1);
+        cumulative_degree_.push_back(acc);
+      }
+    }
+    if (kind == Kind::kHotspot) {
+      hotspots_ = rng.sample_without_replacement(
+          g.node_count(), std::min(hotspot_count, g.node_count()));
+    }
+  }
+
+  // Pins the hotspot set explicitly (e.g. to a scheme's landmark nodes).
+  void set_hotspots(std::vector<std::size_t> hotspots) {
+    hotspots_ = std::move(hotspots);
+  }
+
+  Demand next() {
+    Demand d{pick(), pick_target()};
+    while (d.target == d.source) d.target = pick_target();
+    return d;
+  }
+
+ private:
+  NodeId pick() {
+    if (kind_ == Kind::kGravity) return degree_weighted();
+    return static_cast<NodeId>(rng_->index(graph_->node_count()));
+  }
+
+  NodeId pick_target() {
+    switch (kind_) {
+      case Kind::kUniform:
+        return static_cast<NodeId>(rng_->index(graph_->node_count()));
+      case Kind::kGravity:
+        return degree_weighted();
+      case Kind::kHotspot:
+        if (!hotspots_.empty() && rng_->coin(hotspot_fraction_)) {
+          return static_cast<NodeId>(hotspots_[rng_->index(hotspots_.size())]);
+        }
+        return static_cast<NodeId>(rng_->index(graph_->node_count()));
+    }
+    return 0;
+  }
+
+  NodeId degree_weighted() {
+    const std::size_t total = cumulative_degree_.back();
+    const std::size_t dart = rng_->index(total) + 1;
+    // Binary search the cumulative degree array.
+    std::size_t lo = 0, hi = cumulative_degree_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_degree_[mid] < dart) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<NodeId>(lo);
+  }
+
+  Kind kind_;
+  const Graph* graph_;
+  Rng* rng_;
+  double hotspot_fraction_;
+  std::vector<std::size_t> cumulative_degree_;
+  std::vector<std::size_t> hotspots_;
+};
+
+struct WorkloadEvaluation {
+  std::size_t demands = 0;
+  std::size_t delivered = 0;
+  Summary hop_stats;
+  // Multiplicative stretch achieved vs preferred weight, for algebras
+  // whose weights expose a ratio via the provided functor.
+  Summary stretch_stats;
+  double stretch_1_fraction = 0;
+
+  double delivery_rate() const {
+    return demands ? static_cast<double>(delivered) / demands : 1.0;
+  }
+};
+
+// Routes `count` demands through the scheme; `ratio` maps (preferred,
+// achieved) weights to a multiplicative stretch value.
+template <CompactRoutingScheme S, RoutingAlgebra A, typename RatioFn>
+WorkloadEvaluation evaluate_workload(
+    const S& scheme, const A& alg, const Graph& g,
+    const EdgeMap<typename A::Weight>& w,
+    const std::vector<PathTree<typename A::Weight>>& trees,
+    WorkloadGenerator& workload, std::size_t count, RatioFn ratio) {
+  WorkloadEvaluation eval;
+  std::vector<double> hops, stretches;
+  std::size_t at_one = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Demand d = workload.next();
+    ++eval.demands;
+    const RouteResult r = simulate_route(scheme, g, d.source, d.target);
+    if (!r.delivered) continue;
+    ++eval.delivered;
+    hops.push_back(static_cast<double>(r.hops()));
+    const auto achieved = weight_of_path(alg, g, w, r.path);
+    const auto& preferred = trees[d.target].weight[d.source];
+    if (achieved.has_value() && preferred.has_value()) {
+      const double s = ratio(*preferred, *achieved);
+      stretches.push_back(s);
+      if (s <= 1.0 + 1e-12) ++at_one;
+    }
+  }
+  eval.hop_stats = summarize(std::move(hops));
+  eval.stretch_stats = summarize(std::move(stretches));
+  eval.stretch_1_fraction =
+      eval.delivered ? static_cast<double>(at_one) / eval.delivered : 1.0;
+  return eval;
+}
+
+}  // namespace cpr

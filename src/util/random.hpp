@@ -1,0 +1,60 @@
+// Deterministic, seedable randomness for generators, schemes and tests.
+//
+// Everything stochastic in the library (topology generators, landmark
+// sampling in the Cowen scheme, property-checker weight sampling) threads
+// an explicit Rng so experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cpr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n == 0 ? 0 : n - 1));
+  }
+
+  // Uniform real in [0, 1).
+  double real() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  bool coin(double p) { return real() < p; }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  // Samples k distinct values from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(pool[i], pool[i + index(n - i)]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cpr

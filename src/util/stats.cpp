@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cpr {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  auto pct = [&](double q) {
+    const double idx = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit f;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / dn;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = f.intercept + f.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  f.r2 = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+GrowthClass classify_growth(const std::vector<double>& n,
+                            const std::vector<double>& bits) {
+  GrowthClass g;
+  const std::size_t k = std::min(n.size(), bits.size());
+  if (k < 2) return g;
+
+  std::vector<double> ln(k), lb(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ln[i] = std::log(n[i]);
+    lb[i] = std::log(std::max(bits[i], 1.0));
+  }
+  const LinearFit power = fit_line(ln, lb);
+  g.power_exponent = power.slope;
+  g.power_r2 = power.r2;
+
+  // Candidate shapes: residual of bits against c * shape(n), c chosen by
+  // least squares through the origin. Smallest normalized residual wins.
+  struct Candidate {
+    const char* label;
+    double (*shape)(double);
+  };
+  static const Candidate candidates[] = {
+      {"log n", [](double x) { return std::log2(std::max(x, 2.0)); }},
+      {"sqrt(n)", [](double x) { return std::sqrt(x); }},
+      {"n", [](double x) { return x; }},
+      {"n^2", [](double x) { return x * x; }},
+  };
+  double best = -1;
+  for (const auto& c : candidates) {
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double s = c.shape(n[i]);
+      num += s * bits[i];
+      den += s * s;
+    }
+    const double coeff = den > 0 ? num / den : 0;
+    double res = 0, tot = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double pred = coeff * c.shape(n[i]);
+      res += (bits[i] - pred) * (bits[i] - pred);
+      tot += bits[i] * bits[i];
+    }
+    const double score = tot > 0 ? 1.0 - res / tot : 0.0;
+    if (score > best) {
+      best = score;
+      g.best_label = c.label;
+    }
+  }
+  return g;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double v) {
+  v = std::clamp(v, lo_, hi_);
+  const double span = hi_ - lo_;
+  std::size_t bin =
+      span > 0 ? static_cast<std::size_t>((v - lo_) / span *
+                                          static_cast<double>(counts_.size()))
+               : 0;
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  const double span = hi_ - lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double a = lo_ + span * static_cast<double>(i) /
+                               static_cast<double>(counts_.size());
+    const double b = lo_ + span * static_cast<double>(i + 1) /
+                               static_cast<double>(counts_.size());
+    const std::size_t bar = counts_[i] * width / peak;
+    out << "[" << a << ", " << b << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cpr

@@ -1,0 +1,55 @@
+// Small statistics toolkit used by the benchmark harness: summaries,
+// histograms, and the log-log slope fit that classifies measured memory
+// growth as Θ(log n) / Θ(n) / Θ(n²) in the Table-1 reproduction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+Summary summarize(std::vector<double> values);
+
+// Least-squares fit of y = a + b*x.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// Growth-classification helper: fits log(y) against log(x) and against
+// log(log(x)). Reports the power-law exponent and which of the candidate
+// shapes {log n, sqrt(n), n, n^2} explains the data best.
+struct GrowthClass {
+  double power_exponent = 0;   // b in y ~ x^b
+  double power_r2 = 0;
+  std::string best_label;      // "log n", "sqrt(n)", "n", "n^2"
+};
+
+GrowthClass classify_growth(const std::vector<double>& n,
+                            const std::vector<double>& bits);
+
+// Fixed-bin histogram over [lo, hi]; values outside are clamped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double v);
+  std::string render(std::size_t width = 40) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cpr

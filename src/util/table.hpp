@@ -1,0 +1,31 @@
+// Console table printer for the benchmark harness. Every bench binary
+// prints the same rows/series the paper reports through this formatter so
+// the outputs line up visually with the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with limited precision, integers exactly.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::size_t v);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cpr

@@ -1,0 +1,265 @@
+// Algebra-layer tests: axioms and property classification for the Table-1
+// algebras, the Proposition-1 lexicographic-product calculus (experiment
+// E11), subalgebras, and the algebraic stretch of Definition 3.
+#include "algebra/algebra.hpp"
+#include "algebra/lex_product.hpp"
+#include "algebra/primitives.hpp"
+#include "algebra/property_check.hpp"
+#include "algebra/subalgebra.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+template <RoutingAlgebra A>
+PropertyReport checked(const A& alg, std::uint64_t seed = 11,
+                       std::size_t samples = 20) {
+  Rng rng(seed);
+  PropertyReport r = check_properties_sampled(alg, rng, samples);
+  EXPECT_TRUE(r.axioms_hold()) << alg.name() << ": " << describe(r);
+  EXPECT_TRUE(validate_claims(alg.properties(), r).empty())
+      << alg.name() << ": " << describe(r);
+  return r;
+}
+
+TEST(ShortestPathAlgebra, AxiomsAndClaims) {
+  const PropertyReport r = checked(ShortestPath{});
+  EXPECT_TRUE(r.strictly_monotone);
+  EXPECT_TRUE(r.isotone);
+  EXPECT_TRUE(r.cancellative);
+  EXPECT_FALSE(r.selective);  // 1 ⊕ 1 = 2 ∉ {1}
+}
+
+TEST(ShortestPathAlgebra, SaturatesInsteadOfWrapping) {
+  ShortestPath s;
+  const auto big = s.phi() - 1;
+  EXPECT_TRUE(s.is_phi(s.combine(big, big)));
+  EXPECT_TRUE(s.is_phi(s.combine(s.phi(), 1)));
+  EXPECT_EQ(s.combine(3, 4), 7u);
+}
+
+TEST(WidestPathAlgebra, AxiomsAndClaims) {
+  const PropertyReport r = checked(WidestPath{});
+  EXPECT_TRUE(r.selective);
+  EXPECT_TRUE(r.monotone);
+  EXPECT_FALSE(r.strictly_monotone);  // min(w, w) = w, never strictly worse
+}
+
+TEST(WidestPathAlgebra, WiderIsPreferred) {
+  WidestPath w;
+  EXPECT_TRUE(w.less(10, 3));
+  EXPECT_FALSE(w.less(3, 10));
+  EXPECT_EQ(w.combine(10, 3), 3u);   // bottleneck
+  EXPECT_TRUE(w.less(1, w.phi()));   // any capacity beats none
+}
+
+TEST(MostReliableAlgebra, AxiomsAndClaims) {
+  const PropertyReport r = checked(MostReliablePath{});
+  EXPECT_TRUE(r.monotone);
+  EXPECT_TRUE(r.isotone);
+  EXPECT_TRUE(MostReliablePath{}.properties().sm_subalgebra);
+}
+
+TEST(MostReliableAlgebra, WeightOneBreaksStrictMonotonicity) {
+  // 1 ⊕ w = w: with the neutral weight present, SM fails (R is only
+  // weakly monotone; Lemma 2 applies through its (0,1) subalgebra).
+  const MostReliablePath r;
+  const PropertyReport rep = check_properties(r, {0.25, 0.5, 1.0});
+  EXPECT_FALSE(rep.strictly_monotone);
+  EXPECT_TRUE(rep.monotone);
+  EXPECT_TRUE(rep.axioms_hold());
+}
+
+TEST(MostReliableAlgebra, StrictSubalgebraIsStrictlyMonotone) {
+  // ...but the (0,1) subalgebra of Lemma 2 is strictly monotone.
+  const PropertyReport r = checked(MostReliablePath{/*allow_one=*/false});
+  EXPECT_TRUE(r.strictly_monotone);
+  EXPECT_TRUE(r.delimited);
+}
+
+TEST(UsablePathAlgebra, AxiomsAndClaims) {
+  const PropertyReport r = checked(UsablePath{});
+  EXPECT_TRUE(r.selective);
+  EXPECT_TRUE(r.condensed);
+  EXPECT_TRUE(r.cancellative);
+  EXPECT_TRUE(r.monotone);
+  EXPECT_FALSE(r.strictly_monotone);
+}
+
+TEST(SubalgebraWrapper, RestrictsSamplingAndInherits) {
+  MostReliablePath root;
+  AlgebraProperties claimed = root.properties();
+  claimed.strictly_monotone = true;
+  Subalgebra<MostReliablePath> sub(
+      root, [](const MostReliablePath&, const double& w) { return w < 1.0; },
+      claimed, "reliable-(0,1)");
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(sub.sample(rng), 1.0);
+  checked(sub);
+  EXPECT_EQ(sub.name(), "reliable-(0,1)");
+  EXPECT_TRUE(sub.contains(0.5));
+  EXPECT_FALSE(sub.contains(1.0));
+}
+
+// ---- Proposition 1: property calculus of lexicographic products ----
+
+TEST(Proposition1, WidestShortestMatchesTable1) {
+  // WS = S × W: SM (first factor SM) and isotone (N(S) holds).
+  const WidestShortest ws;
+  const AlgebraProperties p = ws.properties();
+  EXPECT_TRUE(p.strictly_monotone);
+  EXPECT_TRUE(p.isotone);
+  EXPECT_TRUE(p.delimited);
+  EXPECT_TRUE(p.regular());
+  const PropertyReport r = checked(ws, 13);
+  EXPECT_TRUE(r.strictly_monotone);
+  EXPECT_TRUE(r.isotone);
+}
+
+TEST(Proposition1, ShortestWidestMatchesTable1) {
+  // SW = W × S: SM (M(W) ∧ SM(S)) but NOT isotone (¬N(W) ∧ ¬C(S)).
+  const ShortestWidest sw;
+  const AlgebraProperties p = sw.properties();
+  EXPECT_TRUE(p.strictly_monotone);
+  EXPECT_FALSE(p.isotone);
+  EXPECT_TRUE(p.delimited);
+  EXPECT_FALSE(p.regular());
+}
+
+TEST(Proposition1, ShortestWidestIsotonicityCounterexample) {
+  // The concrete violation from Section 3.1: a = (2,5) ⪯ b = (1,1) yet
+  // prefixing both with c = (1,10) reverses the preference.
+  const ShortestWidest sw;
+  const ShortestWidest::Weight a{2, 5}, b{1, 1}, c{1, 10};
+  EXPECT_TRUE(sw.less(a, b));
+  EXPECT_TRUE(sw.less(sw.combine(c, b), sw.combine(c, a)));
+  // The empirical checker finds it too.
+  const PropertyReport r = check_properties(sw, {a, b, c});
+  EXPECT_FALSE(r.isotone);
+  EXPECT_TRUE(r.axioms_hold());
+}
+
+TEST(Proposition1, ProductOfSelectivesKeepsMonotone) {
+  // U × U: both monotone, so the product is monotone; both condensed so
+  // isotone too.
+  const auto uu = lex_product(UsablePath{}, UsablePath{});
+  EXPECT_TRUE(uu.properties().monotone);
+  EXPECT_TRUE(uu.properties().isotone);
+  EXPECT_FALSE(uu.properties().strictly_monotone);
+  checked(uu);
+}
+
+TEST(Proposition1, SmSubalgebraPropagates) {
+  // R × W: R is only weakly monotone but carries an SM subalgebra, which
+  // survives the product (Lemma 2 applies to R × W as well).
+  const auto rw = lex_product(MostReliablePath{}, WidestPath{});
+  EXPECT_TRUE(rw.properties().sm_subalgebra);
+  EXPECT_TRUE(rw.properties().incompressible_by_thm2());
+}
+
+TEST(Proposition1, TripleProductViaNesting) {
+  // (S × W) × U — nesting works and stays regular.
+  const auto swu = lex_product(WidestShortest{}, UsablePath{});
+  EXPECT_TRUE(swu.properties().regular());
+  checked(swu, 17, 12);
+}
+
+TEST(LexProduct, CombineAndOrder) {
+  const WidestShortest ws;  // (cost, capacity)
+  const WidestShortest::Weight a{3, 10}, b{2, 4};
+  const auto ab = ws.combine(a, b);
+  EXPECT_EQ(ab.first, 5u);   // costs add
+  EXPECT_EQ(ab.second, 4u);  // capacities bottleneck
+  EXPECT_TRUE(ws.less(b, a));  // cheaper wins
+  const WidestShortest::Weight c{3, 12};
+  EXPECT_TRUE(ws.less(c, a));  // tie on cost → wider wins
+}
+
+TEST(LexProduct, PhiWhenEitherComponentInfinite) {
+  const ShortestWidest sw;
+  EXPECT_TRUE(sw.is_phi({0, 5}));                   // zero capacity
+  EXPECT_TRUE(sw.is_phi({3, ShortestPath{}.phi()}));
+  EXPECT_FALSE(sw.is_phi({3, 5}));
+  EXPECT_TRUE(sw.is_phi(sw.phi()));
+}
+
+TEST(LexProduct, NamesAndRendering) {
+  const WidestShortest ws;
+  EXPECT_EQ(ws.name(), "shortest-path x widest-path");
+  EXPECT_EQ(ws.to_string({3, 7}), "(3, 7)");
+  EXPECT_GT(ws.encoded_bits({3, 7}), 0u);
+}
+
+// ---- Path weights, powers, algebraic stretch ----
+
+TEST(PathWeight, FoldsRightToLeft) {
+  ShortestPath s;
+  EXPECT_EQ(path_weight(s, {1, 2, 3}), 6u);
+  WidestPath w;
+  EXPECT_EQ(path_weight(w, {5, 2, 9}), 2u);
+}
+
+TEST(Power, MatchesRepeatedCombine) {
+  ShortestPath s;
+  EXPECT_EQ(power(s, 3, 1), 3u);
+  EXPECT_EQ(power(s, 3, 4), 12u);
+  WidestPath w;
+  EXPECT_EQ(power(w, 7, 5), 7u);  // idempotent: w^k = w
+  MostReliablePath r;
+  EXPECT_DOUBLE_EQ(power(r, 0.5, 3), 0.125);
+}
+
+TEST(AlgebraicStretch, ShortestPathIsMultiplicative) {
+  ShortestPath s;
+  EXPECT_EQ(algebraic_stretch(s, 10, 10), std::optional<std::size_t>{1});
+  EXPECT_EQ(algebraic_stretch(s, 10, 25), std::optional<std::size_t>{3});
+  EXPECT_EQ(algebraic_stretch(s, 10, 30), std::optional<std::size_t>{3});
+  EXPECT_EQ(algebraic_stretch(s, 10, 31), std::optional<std::size_t>{4});
+}
+
+TEST(AlgebraicStretch, SelectiveAlgebrasCollapseToOne) {
+  // w^k = w for widest path, so any weight ⪰ preferred has unbounded
+  // stretch and any weight order-equal has stretch 1 — Section 4.1's
+  // observation that stretch-3 paths are exactly the preferred ones.
+  WidestPath w;
+  EXPECT_EQ(algebraic_stretch(w, 5, 5), std::optional<std::size_t>{1});
+  EXPECT_EQ(algebraic_stretch(w, 5, 7), std::optional<std::size_t>{1});
+  EXPECT_FALSE(algebraic_stretch(w, 5, 3).has_value());
+}
+
+TEST(AlgebraicStretch, UnreachableWithinCap) {
+  ShortestPath s;
+  EXPECT_FALSE(algebraic_stretch(s, 1, 100, 16).has_value());
+  EXPECT_FALSE(algebraic_stretch(s, 1, s.phi()).has_value());
+}
+
+TEST(OrderHelpers, MinAndEquality) {
+  ShortestPath s;
+  EXPECT_TRUE(order_equal(s, 4, 4));
+  EXPECT_FALSE(order_equal(s, 4, 5));
+  EXPECT_TRUE(leq(s, 4, 5));
+  EXPECT_FALSE(leq(s, 5, 4));
+  EXPECT_EQ(min_weight(s, 9, 2), 2u);
+}
+
+TEST(PropertyChecker, DetectsBrokenClaims) {
+  // Claim selectivity for shortest path — the checker must refute it.
+  AlgebraProperties bogus = ShortestPath{}.properties();
+  bogus.selective = true;
+  Rng rng(3);
+  const PropertyReport r = check_properties_sampled(ShortestPath{}, rng, 12);
+  EXPECT_FALSE(validate_claims(bogus, r).empty());
+}
+
+TEST(PropertyChecker, ReportsCounterexamples) {
+  Rng rng(4);
+  const PropertyReport r = check_properties_sampled(ShortestPath{}, rng, 10);
+  EXPECT_FALSE(r.selective);
+  EXPECT_FALSE(r.counterexamples.empty());
+  EXPECT_NE(describe(r).find("selectivity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpr

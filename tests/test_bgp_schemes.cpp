@@ -1,0 +1,177 @@
+// Theorems 6 and 7: the compact BGP schemes deliver over valley-free
+// paths with logarithmic per-node state, and the destination-table
+// baseline implements the valley-free solver's routes.
+#include "bgp/bgp_schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpr {
+namespace {
+
+AsTopology random_topo(std::uint64_t seed, std::size_t n, std::size_t tier1,
+                       double peers = 0.0) {
+  Rng rng(seed);
+  AsTopologyOptions opt;
+  opt.nodes = n;
+  opt.tier1 = tier1;
+  opt.max_providers = 2;
+  opt.extra_peer_prob = peers;
+  return generate_as_topology(opt, rng);
+}
+
+// Checks that the scheme delivers every pair over a path that is
+// traversable (non-φ) under B2's labels — the correctness notion for the
+// equal-preference algebras B1/B2.
+template <typename Scheme>
+void expect_valley_free_delivery(const AsTopology& topo, const Scheme& s,
+                                 const Graph& shadow) {
+  const B2ValleyFree b2;
+  const auto labels = topo.labels();
+  for (NodeId src = 0; src < shadow.node_count(); ++src) {
+    for (NodeId dst = 0; dst < shadow.node_count(); ++dst) {
+      const RouteResult r = simulate_route(s, shadow, src, dst);
+      ASSERT_TRUE(r.delivered) << "src=" << src << " dst=" << dst;
+      if (src == dst) continue;
+      const auto w = weight_of_path(b2, topo.graph, labels, r.path);
+      ASSERT_TRUE(w.has_value()) << "src=" << src << " dst=" << dst;
+      EXPECT_FALSE(b2.is_phi(*w))
+          << "valley in path, src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+class BgpSchemeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpSchemeSeeds, Theorem6ProviderTreeDelivers) {
+  const AsTopology topo = random_topo(GetParam(), 40, 1);
+  ASSERT_TRUE(satisfies_a1_global_reachability(topo));
+  ASSERT_TRUE(satisfies_a2_no_provider_loops(topo));
+  const ProviderTreeScheme scheme(topo);
+  expect_valley_free_delivery(topo, scheme, scheme.shadow());
+}
+
+TEST_P(BgpSchemeSeeds, Theorem7SvfcMeshDelivers) {
+  const AsTopology topo = random_topo(GetParam() + 30, 40, 4);
+  ASSERT_TRUE(satisfies_a1_global_reachability(topo));
+  const SvfcPeerMeshScheme scheme(topo);
+  EXPECT_EQ(scheme.component_count(), 4u);
+  expect_valley_free_delivery(topo, scheme, scheme.shadow());
+}
+
+TEST_P(BgpSchemeSeeds, DestinationTablesMatchValleyFreeSolver) {
+  const AsTopology topo = random_topo(GetParam() + 60, 24, 2, 0.05);
+  const Graph shadow = topo.graph.undirected_shadow();
+  const auto scheme = bgp_destination_tables(topo, shadow);
+  const B3LocalPref b3;
+  const auto labels = topo.labels();
+  for (NodeId t = 0; t < shadow.node_count(); ++t) {
+    const auto truth = valley_free_reachability(topo, t);
+    for (NodeId s = 0; s < shadow.node_count(); ++s) {
+      if (s == t) continue;
+      const RouteResult r = simulate_route(scheme, shadow, s, t);
+      if (truth.klass[s] == ValleyFreeClass::kUnreachable) {
+        EXPECT_FALSE(r.delivered);
+        continue;
+      }
+      ASSERT_TRUE(r.delivered) << "s=" << s << " t=" << t;
+      // Delivered weight matches the solver's class exactly (B3-preferred).
+      const auto w = weight_of_path(b3, topo.graph, labels, r.path);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_EQ(*w, truth.weight(s)) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, BgpSchemeSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(ProviderTreeScheme, MemoryIsLogarithmic) {
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const AsTopology topo = random_topo(n, n, 1);
+    const ProviderTreeScheme scheme(topo);
+    const double lg = std::log2(static_cast<double>(n));
+    const auto fp = measure_footprint(scheme, n);
+    EXPECT_LE(fp.max_node_bits, 5 * lg + 16) << "n=" << n;
+    EXPECT_LE(fp.max_label_bits, 5 * lg + 16) << "n=" << n;
+  }
+}
+
+TEST(SvfcPeerMeshScheme, MemoryIsLogarithmic) {
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const AsTopology topo = random_topo(n + 1, n, 5);
+    const SvfcPeerMeshScheme scheme(topo);
+    const double lg = std::log2(static_cast<double>(n));
+    const auto fp = measure_footprint(scheme, n);
+    EXPECT_LE(fp.max_node_bits, 6 * lg + 20) << "n=" << n;
+    EXPECT_LE(fp.max_label_bits, 6 * lg + 20) << "n=" << n;
+  }
+}
+
+TEST(SvfcPeerMeshScheme, IgnoresLateralPeersButStaysCorrect) {
+  // Lateral (non-root) peer links exist in the topology; the scheme never
+  // uses them — routes stay inside the provider trees + root mesh and
+  // remain valley-free.
+  const AsTopology topo = random_topo(5, 32, 3, 0.1);
+  const SvfcPeerMeshScheme scheme(topo);
+  expect_valley_free_delivery(topo, scheme, scheme.shadow());
+}
+
+TEST(SvfcPeerMeshScheme, SingleComponentDegeneratesToProviderTree) {
+  const AsTopology topo = random_topo(6, 24, 1);
+  const SvfcPeerMeshScheme mesh(topo);
+  EXPECT_EQ(mesh.component_count(), 1u);
+  const ProviderTreeScheme tree(topo);
+  // Same routes hop for hop.
+  for (NodeId s = 0; s < 24; s += 2) {
+    for (NodeId t = 0; t < 24; t += 3) {
+      const RouteResult a = simulate_route(mesh, mesh.shadow(), s, t);
+      const RouteResult b = simulate_route(tree, tree.shadow(), s, t);
+      ASSERT_TRUE(a.delivered);
+      ASSERT_TRUE(b.delivered);
+      EXPECT_EQ(a.path, b.path) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(ProviderTreeScheme, RejectsMultiRootTopologies) {
+  const AsTopology topo = random_topo(3, 20, 3);
+  EXPECT_THROW(ProviderTreeScheme{topo}, std::invalid_argument);
+}
+
+TEST(SvfcPeerMeshScheme, RejectsUnpeeredRoots) {
+  // Two provider trees, no peer mesh.
+  AsTopology topo;
+  topo.graph = Digraph(4);
+  auto provider = [&](NodeId cust, NodeId prov) {
+    topo.graph.add_arc_pair(cust, prov);
+    topo.relation.push_back(Relationship::kProvider);
+    topo.relation.push_back(Relationship::kCustomer);
+  };
+  provider(2, 0);
+  provider(3, 1);
+  EXPECT_THROW(SvfcPeerMeshScheme{topo}, std::invalid_argument);
+}
+
+TEST(ProviderTreeScheme, PathsClimbThenDescend) {
+  // On a provider chain 3 → 2 → 1 → 0, routing 3 → 1 must go straight up
+  // without overshooting to the root.
+  AsTopology topo;
+  topo.graph = Digraph(4);
+  auto provider = [&](NodeId cust, NodeId prov) {
+    topo.graph.add_arc_pair(cust, prov);
+    topo.relation.push_back(Relationship::kProvider);
+    topo.relation.push_back(Relationship::kCustomer);
+  };
+  provider(1, 0);
+  provider(2, 1);
+  provider(3, 2);
+  const ProviderTreeScheme scheme(topo);
+  const RouteResult r = simulate_route(scheme, scheme.shadow(), 3, 1);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.path, (NodePath{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,186 @@
+// Round-trip tests for the bit-exact encoders. Every memory figure the
+// benches report flows through BitWriter, so these tests are what makes
+// the reported bit counts trustworthy.
+#include "util/bitstream.hpp"
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(BitWriter, EmptyHasZeroBits) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriter, SingleBitRoundTrip) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  BitReader r(w.bytes());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+}
+
+TEST(BitWriter, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.write_bits(0xdeadbeefcafef00dull, 64);
+  w.write_bits(0x2a, 7);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read_bits(64), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(r.read_bits(7), 0x2au);
+}
+
+TEST(BitWriter, RejectsOversizedWidth) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), std::invalid_argument);
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  BitWriter w;
+  w.write_bits(1, 4);
+  BitReader r(w.bytes());
+  r.read_bits(4);
+  // The byte has 4 padding bits, then the stream ends.
+  r.read_bits(4);
+  EXPECT_THROW(r.read_bits(1), std::out_of_range);
+}
+
+TEST(Varint, SmallValuesUseOneByte) {
+  BitWriter w;
+  w.write_varint(127);
+  EXPECT_EQ(w.bit_count(), 8u);
+}
+
+TEST(Varint, RoundTripSweep) {
+  Rng rng(1);
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.uniform(0, ~0ull));
+  }
+  BitWriter w;
+  for (auto v : values) w.write_varint(v);
+  BitReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.read_varint(), v);
+}
+
+TEST(Gamma, KnownLengths) {
+  // gamma(1) = "1" (1 bit), gamma(2..3) = 3 bits, gamma(4..7) = 5 bits.
+  auto bits_of = [](std::uint64_t v) {
+    BitWriter w;
+    w.write_gamma(v);
+    return w.bit_count();
+  };
+  EXPECT_EQ(bits_of(1), 1u);
+  EXPECT_EQ(bits_of(2), 3u);
+  EXPECT_EQ(bits_of(3), 3u);
+  EXPECT_EQ(bits_of(4), 5u);
+  EXPECT_EQ(bits_of(7), 5u);
+  EXPECT_EQ(bits_of(8), 7u);
+}
+
+TEST(Gamma, RejectsZero) {
+  BitWriter w;
+  EXPECT_THROW(w.write_gamma(0), std::invalid_argument);
+}
+
+TEST(Gamma, RoundTripSweep) {
+  Rng rng(7);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 130; ++v) values.push_back(v);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.uniform(1, 1u << 30));
+  BitWriter w;
+  for (auto v : values) w.write_gamma(v);
+  BitReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.read_gamma(), v);
+}
+
+TEST(Bounded, UsesCeilLog2Bits) {
+  EXPECT_EQ(bits_for_universe(1), 1u);
+  EXPECT_EQ(bits_for_universe(2), 1u);
+  EXPECT_EQ(bits_for_universe(3), 2u);
+  EXPECT_EQ(bits_for_universe(4), 2u);
+  EXPECT_EQ(bits_for_universe(5), 3u);
+  EXPECT_EQ(bits_for_universe(1024), 10u);
+  EXPECT_EQ(bits_for_universe(1025), 11u);
+}
+
+TEST(Bounded, RoundTripSweep) {
+  Rng rng(42);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t universe = rng.uniform(1, 1u << 20);
+    const std::uint64_t value = rng.uniform(0, universe - 1);
+    entries.push_back({value, universe});
+    w.write_bounded(value, universe);
+  }
+  BitReader r(w.bytes());
+  for (const auto& [value, universe] : entries) {
+    EXPECT_EQ(r.read_bounded(universe), value);
+  }
+}
+
+TEST(Bounded, MixedStreamRoundTrip) {
+  // Interleave all encodings to catch alignment bugs.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::tuple<int, std::uint64_t, std::uint64_t>> log;
+    for (int i = 0; i < 40; ++i) {
+      const int kind = static_cast<int>(rng.uniform(0, 3));
+      switch (kind) {
+        case 0: {
+          const auto v = rng.uniform(0, 1);
+          w.write_bit(v != 0);
+          log.push_back({0, v, 0});
+          break;
+        }
+        case 1: {
+          const auto v = rng.uniform(0, 1u << 16);
+          w.write_varint(v);
+          log.push_back({1, v, 0});
+          break;
+        }
+        case 2: {
+          const auto v = rng.uniform(1, 1u << 16);
+          w.write_gamma(v);
+          log.push_back({2, v, 0});
+          break;
+        }
+        default: {
+          const auto u = rng.uniform(2, 1u << 12);
+          const auto v = rng.uniform(0, u - 1);
+          w.write_bounded(v, u);
+          log.push_back({3, v, u});
+          break;
+        }
+      }
+    }
+    BitReader r(w.bytes());
+    for (const auto& [kind, v, u] : log) {
+      switch (kind) {
+        case 0: EXPECT_EQ(r.read_bit(), v != 0); break;
+        case 1: EXPECT_EQ(r.read_varint(), v); break;
+        case 2: EXPECT_EQ(r.read_gamma(), v); break;
+        default: EXPECT_EQ(r.read_bounded(u), v); break;
+      }
+    }
+  }
+}
+
+TEST(BitWidth, Boundaries) {
+  EXPECT_EQ(bit_width_of(0), 1u);
+  EXPECT_EQ(bit_width_of(1), 1u);
+  EXPECT_EQ(bit_width_of(2), 2u);
+  EXPECT_EQ(bit_width_of(255), 8u);
+  EXPECT_EQ(bit_width_of(256), 9u);
+}
+
+}  // namespace
+}  // namespace cpr

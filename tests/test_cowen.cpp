@@ -1,0 +1,169 @@
+// The generalized Cowen scheme (Theorem 3): delivery and algebraic
+// stretch ≤ 3 on regular algebras, ball-strictness behaviour, landmark
+// promotion, and the sublinearity of the tables on strictly monotone
+// algebras.
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/dest_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpr {
+namespace {
+
+template <RoutingAlgebra A>
+void expect_stretch3(const A& alg, std::uint64_t seed, std::size_t n,
+                     CowenOptions opt = {}) {
+  Rng rng(seed);
+  const Graph g = erdos_renyi_connected(n, 0.25, rng);
+  EdgeMap<typename A::Weight> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  const auto scheme = CowenScheme<A>::build(alg, g, w, rng, opt);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const RouteResult r = simulate_route(scheme, g, s, t);
+      ASSERT_TRUE(r.delivered) << alg.name() << " s=" << s << " t=" << t;
+      if (s == t) continue;
+      const auto achieved = weight_of_path(alg, g, w, r.path);
+      ASSERT_TRUE(achieved.has_value());
+      const auto& preferred = scheme.tree(t).weight[s];
+      ASSERT_TRUE(preferred.has_value());
+      const auto k = algebraic_stretch(alg, *preferred, *achieved, 3);
+      EXPECT_TRUE(k.has_value())
+          << alg.name() << " s=" << s << " t=" << t
+          << " preferred=" << alg.to_string(*preferred)
+          << " achieved=" << alg.to_string(*achieved);
+    }
+  }
+}
+
+class CowenSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CowenSeeds, ShortestPathStretch3) {
+  expect_stretch3(ShortestPath{16}, GetParam(), 24);
+}
+TEST_P(CowenSeeds, MostReliableStretch3) {
+  expect_stretch3(MostReliablePath{}, GetParam(), 20);
+}
+TEST_P(CowenSeeds, WidestShortestStretch3) {
+  expect_stretch3(WidestShortest{ShortestPath{16}, WidestPath{8}},
+                  GetParam(), 20);
+}
+TEST_P(CowenSeeds, WidestPathNonStrictBalls) {
+  // Weakly monotone: correctness requires non-strict balls (the auto
+  // choice). Stretch collapses to "preferred" because w^3 = w.
+  expect_stretch3(WidestPath{8}, GetParam(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CowenSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Cowen, AutoBallStrictnessFollowsSm) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_connected(16, 0.3, rng);
+  {
+    EdgeMap<std::uint64_t> w(g.edge_count());
+    for (auto& x : w) x = rng.uniform(1, 9);
+    const auto s =
+        CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
+    EXPECT_TRUE(s.strict_balls());
+  }
+  {
+    EdgeMap<std::uint64_t> w(g.edge_count());
+    for (auto& x : w) x = rng.uniform(1, 9);
+    const auto s = CowenScheme<WidestPath>::build(WidestPath{}, g, w, rng);
+    EXPECT_FALSE(s.strict_balls());
+  }
+}
+
+TEST(Cowen, LandmarkPromotionCapsClusters) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_connected(60, 0.15, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(1, 50);
+  CowenOptions opt;
+  opt.initial_landmarks = 2;  // tiny start forces promotion
+  opt.cluster_cap = 8;
+  const auto s =
+      CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng, opt);
+  for (NodeId u = 0; u < 60; ++u) {
+    EXPECT_LE(s.cluster_size(u), 8u) << "u=" << u;
+  }
+  EXPECT_GE(s.landmark_count(), 2u);
+}
+
+TEST(Cowen, LabelsAreThreeFieldsOfLogN) {
+  Rng rng(3);
+  const std::size_t n = 64;
+  const Graph g = erdos_renyi_connected(n, 0.2, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(1, 9);
+  const auto s = CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
+  const double lg = std::log2(static_cast<double>(n));
+  const double lgd = std::log2(static_cast<double>(g.max_degree()) + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(s.label_bits(v), 2 * lg + lgd + 3) << "v=" << v;
+  }
+}
+
+TEST(Cowen, TablesBeatFullTablesOnLargerGraphs) {
+  // On a 300-node sparse graph the Cowen tables must undercut the
+  // destination-table baseline at the worst node (Õ(√n) vs Θ(n log d)).
+  Rng rng(4);
+  const std::size_t n = 600;
+  const Graph g = erdos_renyi_connected(n, 0.015, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(1, 1000);
+  const auto cowen =
+      CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
+  const auto tables =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  const auto fp_cowen = measure_footprint(cowen, n);
+  const auto fp_tables = measure_footprint(tables, n);
+  EXPECT_LT(fp_cowen.max_node_bits, fp_tables.max_node_bits / 2);
+  EXPECT_GT(fp_cowen.max_node_bits, 0u);
+}
+
+TEST(Cowen, HeaderCodecRoundTripsAtReportedSize) {
+  Rng rng(8);
+  const std::size_t n = 48;
+  const Graph g = erdos_renyi_connected(n, 0.2, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(1, 99);
+  const auto s = CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto header = s.make_header(v);
+    const auto [bytes, bits] = s.encode_header(header);
+    EXPECT_EQ(bits, s.label_bits(v));
+    const auto decoded = s.decode_header(bytes);
+    EXPECT_EQ(decoded.target, header.target);
+    EXPECT_EQ(decoded.landmark, header.landmark);
+    EXPECT_EQ(decoded.port_at_landmark, header.port_at_landmark);
+  }
+}
+
+TEST(Cowen, EveryNodeLandmarkDegeneratesGracefully) {
+  // Forcing all nodes to be landmarks yields pure landmark routing:
+  // stretch 1, tables of size n-1 (like destination tables).
+  Rng rng(5);
+  const Graph g = erdos_renyi_connected(12, 0.4, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(1, 9);
+  CowenOptions opt;
+  opt.initial_landmarks = 12;
+  const auto s =
+      CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng, opt);
+  EXPECT_EQ(s.landmark_count(), 12u);
+  for (NodeId st = 0; st < 12; ++st) {
+    for (NodeId t = 0; t < 12; ++t) {
+      EXPECT_TRUE(simulate_route(s, g, st, t).delivered);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr

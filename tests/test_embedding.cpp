@@ -1,0 +1,131 @@
+// Executable proofs: the Lemma-2 cyclic-subsemigroup embedding (shortest
+// paths survive the relabeling n ↦ wⁿ) and the Theorem-6 reduction of B1
+// to the usable-path algebra on the provider tree.
+#include "algebra/more_algebras.hpp"
+#include "bgp/valley_free.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/embedding.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpr {
+namespace {
+
+class EmbeddingSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmbeddingSeeds, ReliabilityEmbedsShortestPaths) {
+  // Lemma 2 on R: generator w = 1/2 in ((0,1),0,*,≥); the map n ↦ (1/2)ⁿ
+  // is an order isomorphism onto the cyclic subsemigroup, so a path is
+  // shortest for the integer weights iff it is preferred for the powers.
+  Rng rng(GetParam());
+  const MostReliablePath r{/*allow_one=*/false};
+  const ShortestPath s{6};
+  const Graph g = erdos_renyi_connected(9, 0.35, rng);
+  EdgeMap<std::uint64_t> ints(g.edge_count());
+  for (auto& x : ints) x = rng.uniform(1, 6);
+  const auto powers = cyclic_embedding(r, 0.5, ints);
+
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    const auto int_tree = dijkstra(s, g, ints, src);
+    const auto pow_tree = dijkstra(r, g, powers, src);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (src == t) continue;
+      ASSERT_TRUE(int_tree.reachable(t));
+      ASSERT_TRUE(pow_tree.reachable(t));
+      // Same optimum: (1/2)^(shortest distance).
+      EXPECT_DOUBLE_EQ(*pow_tree.weight[t],
+                       std::pow(0.5, static_cast<double>(*int_tree.weight[t])))
+          << "src=" << src << " t=" << t;
+    }
+  }
+}
+
+TEST_P(EmbeddingSeeds, CappedAlgebraEmbedsWhenBudgetAllows) {
+  // The same reduction works inside any delimited SM algebra as long as
+  // the powers stay finite; with a generous budget the capped algebra
+  // behaves identically to its root.
+  Rng rng(GetParam() + 50);
+  const auto bounded = capped(ShortestPath{4}, std::uint64_t{1000});
+  const ShortestPath s{4};
+  const Graph g = erdos_renyi_connected(8, 0.4, rng);
+  EdgeMap<std::uint64_t> ints(g.edge_count());
+  for (auto& x : ints) x = rng.uniform(1, 4);
+  // Generator 3: n ↦ 3n.
+  const auto scaled = cyclic_embedding(bounded, std::uint64_t{3}, ints);
+  const auto int_tree = dijkstra(s, g, ints, 0);
+  const auto scaled_tree = dijkstra(bounded, g, scaled, 0);
+  for (NodeId t = 1; t < g.node_count(); ++t) {
+    EXPECT_EQ(*scaled_tree.weight[t], 3 * *int_tree.weight[t]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EmbeddingSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Embedding, RejectsZeroWeights) {
+  const MostReliablePath r{false};
+  EXPECT_THROW(cyclic_embedding(r, 0.5, {1, 0, 2}), std::invalid_argument);
+}
+
+TEST(Theorem6Reduction, UsablePathsCoverAllPairsThroughTheRoot) {
+  Rng rng(9);
+  AsTopologyOptions opt;
+  opt.nodes = 30;
+  opt.tier1 = 1;
+  const AsTopology topo = generate_as_topology(opt, rng);
+  const Theorem6Reduction red = theorem6_reduction(topo);
+  const UsablePath u;
+
+  // Claims (i)-(ii) from the proof: every node reaches the root — hence
+  // every other node — over weight-1 edges.
+  const auto tree = dijkstra(u, red.shadow, red.usable, red.root);
+  for (NodeId v = 0; v < red.shadow.node_count(); ++v) {
+    ASSERT_TRUE(tree.reachable(v)) << "v=" << v;
+    if (v != red.root) {
+      EXPECT_EQ(*tree.weight[v], 1);
+    }
+  }
+
+  // Claim (iii): tree paths, read back in the digraph, are valley-free.
+  const B1ProviderCustomer b1;
+  const auto labels = topo.labels();
+  for (NodeId v = 1; v < red.shadow.node_count(); ++v) {
+    const NodePath up = tree.extract_path(v);  // root -> v along tree
+    const auto w = weight_of_path(b1, topo.graph, labels, up);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_FALSE(b1.is_phi(*w)) << "v=" << v;
+  }
+}
+
+TEST(Theorem6Reduction, NonProviderEdgesAreUnusable) {
+  Rng rng(10);
+  AsTopologyOptions opt;
+  opt.nodes = 20;
+  opt.tier1 = 1;
+  opt.max_providers = 3;  // multihoming: some provider links unused
+  const AsTopology topo = generate_as_topology(opt, rng);
+  const Theorem6Reduction red = theorem6_reduction(topo);
+  const UsablePath u;
+  std::size_t usable = 0, unusable = 0;
+  for (const auto w : red.usable) {
+    (u.is_phi(w) ? unusable : usable) += 1;
+  }
+  EXPECT_EQ(usable, red.shadow.node_count() - 1);  // exactly the tree
+  EXPECT_GT(unusable, 0u);  // the spare multihoming links
+}
+
+TEST(Theorem6Reduction, RequiresUniqueRoot) {
+  Rng rng(11);
+  AsTopologyOptions opt;
+  opt.nodes = 16;
+  opt.tier1 = 3;
+  const AsTopology topo = generate_as_topology(opt, rng);
+  EXPECT_THROW(theorem6_reduction(topo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,166 @@
+// Table-driven finite algebras: construction validation, exhaustive
+// classification, and agreement with the hand-written primitives they can
+// emulate.
+#include "algebra/finite_algebra.hpp"
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/counterexamples.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/exhaustive.hpp"
+#include "scheme/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(FiniteAlgebra, ValidatesConstructorInputs) {
+  using W = FiniteAlgebra::Weight;
+  EXPECT_THROW(FiniteAlgebra({}, {}), std::invalid_argument);
+  EXPECT_THROW(FiniteAlgebra({0}, {0, 1}), std::invalid_argument);   // table size
+  EXPECT_THROW(FiniteAlgebra({0, 0, 0, 0}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(FiniteAlgebra({9, 0, 0, 0}, {0, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(FiniteAlgebra(std::vector<W>{0, 1, 1, 1},
+                                std::vector<W>{0, 1}));
+}
+
+TEST(FiniteAlgebra, KeepingTheBetterWeightBreaksMonotonicity) {
+  // The tempting dual of bottleneck — combine keeps the *more* preferred
+  // weight — is not a usable policy: prepending a good edge would improve
+  // a path, violating monotonicity. The exhaustive classifier must agree.
+  using W = FiniteAlgebra::Weight;
+  const std::size_t k = 4;
+  std::vector<W> rank = {0, 1, 2, 3};
+  std::vector<W> table(k * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      table[a * k + b] = static_cast<W>(std::min(a, b));
+    }
+  }
+  const FiniteAlgebra best_wins(table, rank, "finite-best-wins");
+  const FiniteClassification c = classify(best_wins);
+  EXPECT_TRUE(c.associative);
+  EXPECT_TRUE(c.observed.selective);
+  EXPECT_FALSE(c.observed.monotone);  // min(0, 3) = 0 ≺ 3
+}
+
+TEST(FiniteAlgebra, BottleneckEmulatesWidestPath) {
+  // combine = index-max (least preferred wins) is widest path after the
+  // relabeling capacity w ↦ index (k - w).
+  const std::size_t k = 4;
+  const FiniteAlgebra bottleneck = FiniteAlgebra::bottleneck(k);
+  const FiniteClassification c = classify(bottleneck);
+  EXPECT_TRUE(c.associative);
+  EXPECT_TRUE(c.commutative);
+  EXPECT_TRUE(c.observed.selective);
+  EXPECT_TRUE(c.observed.monotone);
+  EXPECT_TRUE(c.observed.isotone);
+  EXPECT_TRUE(c.observed.delimited);
+  EXPECT_FALSE(c.observed.strictly_monotone);
+  EXPECT_EQ(bottleneck.combine(0, 3), 3);
+
+  using W = FiniteAlgebra::Weight;
+  Rng rng(3);
+  const Graph g = erdos_renyi_connected(10, 0.35, rng);
+  EdgeMap<std::uint64_t> caps(g.edge_count());
+  for (auto& x : caps) x = rng.uniform(1, k);
+  EdgeMap<W> indices(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    indices[e] = static_cast<W>(k - caps[e]);
+  }
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto wide = dijkstra(WidestPath{}, g, caps, s);
+    const auto fin = dijkstra(bottleneck, g, indices, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      ASSERT_TRUE(wide.reachable(t));
+      ASSERT_TRUE(fin.reachable(t));
+      EXPECT_EQ(static_cast<std::uint64_t>(k - *fin.weight[t]),
+                *wide.weight[t])
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(FiniteAlgebra, AdditiveCappedTableIsStrictlyMonotoneNonDelimited) {
+  // Saturating addition with a φ ceiling: w_a ⊕ w_b = a+b, φ beyond the
+  // table — the finite fragment of the capped shortest-path algebra.
+  using W = FiniteAlgebra::Weight;
+  const std::size_t k = 4;  // weights w0..w3 standing for 1..4
+  std::vector<W> rank = {0, 1, 2, 3};
+  std::vector<W> table(k * k);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      const std::size_t sum = (a + 1) + (b + 1);  // semantic values
+      table[a * k + b] = sum - 1 < k ? static_cast<W>(sum - 1)
+                                     : static_cast<W>(k);  // φ
+    }
+  }
+  const FiniteAlgebra add(table, rank, "finite-capped-add");
+  const FiniteClassification c = classify(add);
+  EXPECT_TRUE(c.associative);
+  EXPECT_TRUE(c.observed.strictly_monotone);
+  EXPECT_FALSE(c.observed.delimited);
+  EXPECT_FALSE(c.observed.selective);
+}
+
+TEST(FiniteAlgebra, RandomTablesAreCommutativeByConstruction) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const FiniteAlgebra alg = random_finite_algebra(5, 0.2, rng);
+    for (FiniteAlgebra::Weight a = 0; a < 5; ++a) {
+      for (FiniteAlgebra::Weight b = 0; b < 5; ++b) {
+        EXPECT_EQ(alg.combine(a, b), alg.combine(b, a));
+      }
+    }
+  }
+}
+
+TEST(FiniteAlgebra, SampledSurveyRespectsLemma1) {
+  // A smaller in-test version of bench_random_algebras: every selective
+  // structured sample must admit optimal trees on a random instance.
+  Rng rng(11);
+  std::size_t checked = 0;
+  for (int i = 0; i < 400 && checked < 8; ++i) {
+    FiniteAlgebra alg = random_structured_algebra(rng);
+    const FiniteClassification c = classify(alg);
+    if (!c.associative || !c.commutative || !c.observed.monotone ||
+        !c.observed.selective) {
+      continue;
+    }
+    ++checked;
+    const Graph g = erdos_renyi_connected(8, 0.4, rng);
+    EdgeMap<FiniteAlgebra::Weight> w(g.edge_count());
+    for (auto& x : w) x = alg.sample(rng);
+    const auto tree_edges = preferred_spanning_tree(alg, g, w);
+    ASSERT_TRUE(is_spanning_tree(g, tree_edges));
+    Graph tree(g.node_count());
+    EdgeMap<FiniteAlgebra::Weight> tw;
+    for (EdgeId e : tree_edges) {
+      tree.add_edge(g.edge(e).u, g.edge(e).v);
+      tw.push_back(w[e]);
+    }
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = static_cast<NodeId>(s + 1); t < g.node_count(); ++t) {
+        const auto best = exhaustive_preferred(alg, g, w, s, t);
+        if (!best.traversable()) continue;
+        const auto in_tree = exhaustive_preferred(alg, tree, tw, s, t);
+        ASSERT_TRUE(in_tree.traversable());
+        EXPECT_TRUE(order_equal(alg, *in_tree.weight, *best.weight))
+            << alg.name() << " s=" << s << " t=" << t;
+      }
+    }
+  }
+  EXPECT_GE(checked, 3u) << "survey found too few selective samples";
+}
+
+TEST(FiniteAlgebra, Rendering) {
+  const FiniteAlgebra alg = FiniteAlgebra::bottleneck(3, "demo");
+  EXPECT_EQ(alg.name(), "demo");
+  EXPECT_EQ(alg.to_string(1), "w1");
+  EXPECT_EQ(alg.to_string(alg.phi()), "phi");
+  EXPECT_EQ(alg.encoded_bits(0), 2u);
+}
+
+}  // namespace
+}  // namespace cpr

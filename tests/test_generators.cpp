@@ -1,0 +1,114 @@
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(Generators, ErdosRenyiIsConnected) {
+  Rng rng(1);
+  for (std::size_t n : {8u, 32u, 100u}) {
+    const Graph g = erdos_renyi_connected(n, 0.2, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, ErdosRenyiStitchesSparseGraphs) {
+  Rng rng(2);
+  // p = 0 forces the stitch path: result is a path over representatives.
+  const Graph g = erdos_renyi_connected(16, 0.0, rng, 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.edge_count(), 15u);
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(60, 2, rng);
+  EXPECT_EQ(g.node_count(), 60u);
+  EXPECT_TRUE(is_connected(g));
+  // Each of the 57 later nodes adds exactly 2 edges to the 3-clique seed.
+  EXPECT_EQ(g.edge_count(), 3u + 57u * 2u);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, WattsStrogatzStaysConnected) {
+  Rng rng(4);
+  const Graph g = watts_strogatz(40, 2, 0.3, rng);
+  EXPECT_EQ(g.node_count(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(watts_strogatz(4, 2, 0.3, rng), std::invalid_argument);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // 3 rows * 3 horizontal + 2 * 4 vertical = 17.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // n * d / 2
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(hop_diameter(g), 4u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(5);
+  const Graph g = random_tree(50, rng);
+  EXPECT_EQ(g.edge_count(), 49u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, StarRingCompletePath) {
+  EXPECT_EQ(star(10).max_degree(), 9u);
+  EXPECT_EQ(ring(10).edge_count(), 10u);
+  EXPECT_EQ(complete(6).edge_count(), 15u);
+  EXPECT_EQ(path_graph(5).edge_count(), 4u);
+  EXPECT_EQ(hop_diameter(path_graph(5)), 4u);
+}
+
+TEST(Generators, KaryTreeShape) {
+  const Graph g = kary_tree(13, 3);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 3u);  // root has 3 children
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(77), b(77);
+  const Graph ga = barabasi_albert(30, 2, a);
+  const Graph gb = barabasi_albert(30, 2, b);
+  ASSERT_EQ(ga.edge_count(), gb.edge_count());
+  for (EdgeId e = 0; e < ga.edge_count(); ++e) {
+    EXPECT_EQ(ga.edge(e).u, gb.edge(e).u);
+    EXPECT_EQ(ga.edge(e).v, gb.edge(e).v);
+  }
+}
+
+TEST(Generators, StandardFamiliesAllConnected) {
+  Rng rng(6);
+  for (const auto& fam : standard_families(48, rng)) {
+    EXPECT_TRUE(is_connected(fam.graph)) << fam.name;
+    EXPECT_GE(fam.graph.node_count(), 40u) << fam.name;
+  }
+}
+
+TEST(Generators, RandomWeightsInRange) {
+  Rng rng(8);
+  const Graph g = ring(20);
+  const auto w = random_integer_weights(g, 5, 9, rng);
+  ASSERT_EQ(w.size(), g.edge_count());
+  for (auto x : w) {
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+}  // namespace
+}  // namespace cpr

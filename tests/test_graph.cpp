@@ -1,0 +1,211 @@
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpr {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.add_node(), 3u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallels) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 7), std::out_of_range);
+}
+
+TEST(Graph, PortsAndOpposite) {
+  Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  const EdgeId e = g.add_edge(1, 3);
+  EXPECT_EQ(g.port_to(1, 3), 2u);
+  EXPECT_EQ(g.neighbor(1, g.port_to(1, 3)), 3u);
+  EXPECT_EQ(g.port_to(1, 1), kInvalidPort);
+  EXPECT_EQ(g.opposite(e, 1), 3u);
+  EXPECT_EQ(g.opposite(e, 3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Digraph, ArcPairsAreMirrored) {
+  Digraph d(3);
+  const ArcId fwd = d.add_arc_pair(0, 1);
+  const ArcId bwd = d.reverse(fwd);
+  EXPECT_EQ(d.arc(fwd).from, 0u);
+  EXPECT_EQ(d.arc(fwd).to, 1u);
+  EXPECT_EQ(d.arc(bwd).from, 1u);
+  EXPECT_EQ(d.arc(bwd).to, 0u);
+  EXPECT_EQ(d.reverse(bwd), fwd);
+  EXPECT_EQ(d.out_degree(0), 1u);
+  EXPECT_EQ(d.in_degree(0), 1u);
+  EXPECT_THROW(d.add_arc_pair(0, 1), std::invalid_argument);
+  EXPECT_THROW(d.add_arc_pair(2, 2), std::invalid_argument);
+}
+
+TEST(Digraph, UndirectedShadowKeepsAdjacency) {
+  Digraph d(4);
+  d.add_arc_pair(0, 1);
+  d.add_arc_pair(1, 2);
+  d.add_arc_pair(2, 3);
+  const Graph g = d.undirected_shadow();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Algorithms, Connectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(is_connected(g));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Algorithms, BfsDistancesAndParents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[4], std::numeric_limits<std::size_t>::max());
+  const auto par = bfs_parents(g, 0);
+  EXPECT_EQ(par[0], 0u);
+  EXPECT_TRUE(par[2] == 1u || par[2] == 3u);
+  EXPECT_EQ(par[4], kInvalidNode);
+}
+
+TEST(Algorithms, HopDiameter) {
+  Graph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  EXPECT_EQ(hop_diameter(path), 3u);
+  EXPECT_EQ(hop_diameter(Graph(1)), 0u);
+}
+
+TEST(Algorithms, SpanningTreeCheck) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 3);
+  const EdgeId e3 = g.add_edge(3, 0);
+  EXPECT_TRUE(is_spanning_tree(g, {e0, e1, e2}));
+  EXPECT_FALSE(is_spanning_tree(g, {e0, e1}));           // too few
+  EXPECT_FALSE(is_spanning_tree(g, {e0, e1, e2, e3}));   // too many
+}
+
+TEST(Algorithms, UnionFind) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(0, 2));
+  EXPECT_EQ(uf.find(3), uf.find(1));
+}
+
+TEST(Algorithms, StronglyConnectedComponents) {
+  // 0 -> 1 -> 2 -> 0 form an SCC; 3 hangs off it.
+  const auto succ = [](NodeId v) -> std::vector<NodeId> {
+    switch (v) {
+      case 0: return {1};
+      case 1: return {2};
+      case 2: return {0, 3};
+      default: return {};
+    }
+  };
+  const auto comp = strongly_connected_components(4, succ);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Algorithms, TopologicalOrderDetectsCycles) {
+  const auto dag = [](NodeId v) -> std::vector<NodeId> {
+    return v == 0 ? std::vector<NodeId>{1, 2}
+                  : (v == 1 ? std::vector<NodeId>{2} : std::vector<NodeId>{});
+  };
+  const auto order = topological_order(3, dag);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->front(), 0u);
+  EXPECT_EQ(order->back(), 2u);
+
+  const auto cyclic = [](NodeId v) -> std::vector<NodeId> {
+    return {static_cast<NodeId>((v + 1) % 3)};
+  };
+  EXPECT_FALSE(topological_order(3, cyclic).has_value());
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph h = read_edge_list(buffer);
+  EXPECT_EQ(h.node_count(), 4u);
+  EXPECT_EQ(h.edge_count(), 3u);
+  EXPECT_TRUE(h.has_edge(1, 2));
+}
+
+TEST(GraphIo, WeightedEdgeListRoundTrip) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EdgeMap<std::uint64_t> w = {7, 9};
+  std::stringstream buffer;
+  write_weighted_edge_list(g, w, buffer);
+  EdgeMap<std::uint64_t> w2;
+  const Graph h = read_weighted_edge_list(buffer, w2);
+  EXPECT_EQ(h.edge_count(), 2u);
+  EXPECT_EQ(w2, w);
+}
+
+TEST(GraphIo, MalformedInputThrows) {
+  std::stringstream buffer("not a header");
+  EXPECT_THROW(read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, DotContainsAllEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<std::string> labels = {"a", "b"};
+  const std::string dot = to_dot(g, &labels);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+
+  Digraph d(2);
+  d.add_arc_pair(0, 1);
+  const std::string ddot = to_dot(d);
+  EXPECT_NE(ddot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(ddot.find("n1 -> n0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpr

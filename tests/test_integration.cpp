@@ -1,0 +1,188 @@
+// Cross-module integration sweeps: generate a topology family instance,
+// sample weights for an algebra, build every applicable scheme, route
+// every pair, and check delivery + algebraic optimality/stretch. These
+// are the "does the whole pipeline hold together" tests, parameterized
+// over (algebra, family, seed).
+#include "algebra/lex_product.hpp"
+#include "algebra/more_algebras.hpp"
+#include "algebra/policy_parser.hpp"
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/path_vector.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+struct Instance {
+  std::string family;
+  Graph graph;
+};
+
+Instance make_instance(std::size_t family_index, std::size_t n,
+                       std::uint64_t seed) {
+  Rng rng(seed * 101 + family_index);
+  switch (family_index) {
+    case 0: return {"erdos-renyi", erdos_renyi_connected(n, 0.15, rng)};
+    case 1: return {"barabasi-albert", barabasi_albert(n, 2, rng)};
+    case 2: return {"watts-strogatz", watts_strogatz(n, 2, 0.2, rng)};
+    case 3: return {"grid", grid(n / 6, 6)};
+    case 4: return {"random-tree", random_tree(n, rng)};
+    default: return {"ring", ring(n)};
+  }
+}
+
+class IntegrationSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(IntegrationSweep, RegularAlgebrasFullPipeline) {
+  const auto [family, seed] = GetParam();
+  const Instance inst = make_instance(family, 30, seed);
+  const Graph& g = inst.graph;
+  Rng rng(seed);
+
+  // Run the pipeline for the two regular archetypes: incompressible
+  // (widest-shortest) and selective (widest).
+  {
+    const WidestShortest ws{ShortestPath{32}, WidestPath{16}};
+    EdgeMap<WidestShortest::Weight> w(g.edge_count());
+    for (auto& x : w) x = ws.sample(rng);
+    const auto tables = DestinationTableScheme::from_algebra(ws, g, w);
+    const auto cowen = CowenScheme<WidestShortest>::build(ws, g, w, rng);
+    const auto trees = all_pairs_trees(ws, g, w);
+    for (NodeId s = 0; s < g.node_count(); s += 3) {
+      for (NodeId t = 0; t < g.node_count(); t += 2) {
+        if (s == t) continue;
+        const RouteResult via_table = simulate_route(tables, g, s, t);
+        ASSERT_TRUE(via_table.delivered)
+            << inst.family << " table s=" << s << " t=" << t;
+        const auto tw = weight_of_path(ws, g, w, via_table.path);
+        ASSERT_TRUE(tw.has_value());
+        EXPECT_TRUE(order_equal(ws, *tw, *trees[t].weight[s]))
+            << inst.family << " s=" << s << " t=" << t;
+
+        const RouteResult via_cowen = simulate_route(cowen, g, s, t);
+        ASSERT_TRUE(via_cowen.delivered)
+            << inst.family << " cowen s=" << s << " t=" << t;
+        const auto cw = weight_of_path(ws, g, w, via_cowen.path);
+        ASSERT_TRUE(cw.has_value());
+        EXPECT_TRUE(
+            algebraic_stretch(ws, *trees[t].weight[s], *cw, 3).has_value())
+            << inst.family << " stretch>3 s=" << s << " t=" << t;
+      }
+    }
+  }
+  {
+    const WidestPath wp{16};
+    EdgeMap<std::uint64_t> w(g.edge_count());
+    for (auto& x : w) x = wp.sample(rng);
+    const auto tree_edges = preferred_spanning_tree(wp, g, w);
+    const TreeRouter router(g, tree_edges);
+    const auto trees = all_pairs_trees(wp, g, w);
+    for (NodeId s = 0; s < g.node_count(); s += 2) {
+      for (NodeId t = 0; t < g.node_count(); t += 3) {
+        if (s == t) continue;
+        const RouteResult r = simulate_route(router, g, s, t);
+        ASSERT_TRUE(r.delivered) << inst.family;
+        const auto rw = weight_of_path(wp, g, w, r.path);
+        ASSERT_TRUE(rw.has_value());
+        EXPECT_TRUE(order_equal(wp, *rw, *trees[t].weight[s]))
+            << inst.family << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(IntegrationSweep, SolversAgreeAcrossEngines) {
+  const auto [family, seed] = GetParam();
+  const Instance inst = make_instance(family, 24, seed + 7);
+  const Graph& g = inst.graph;
+  Rng rng(seed);
+  const ShortestPath alg{16};
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  for (NodeId t = 0; t < g.node_count(); t += 5) {
+    const auto dij = dijkstra(alg, g, w, t);
+    const auto pv = path_vector(alg, dg, aw, t);
+    ASSERT_TRUE(pv.converged);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (u == t) continue;
+      ASSERT_TRUE(dij.reachable(u));
+      ASSERT_TRUE(pv.reachable(u));
+      EXPECT_TRUE(order_equal(alg, *dij.weight[u], *pv.weight[u]))
+          << inst.family << " u=" << u << " t=" << t;
+    }
+  }
+}
+
+TEST_P(IntegrationSweep, ParsedPoliciesMatchConcreteOnInstances) {
+  const auto [family, seed] = GetParam();
+  const Instance inst = make_instance(family, 18, seed + 13);
+  const Graph& g = inst.graph;
+  Rng rng(seed);
+  const WidestShortest concrete{ShortestPath{64}, WidestPath{64}};
+  const AnyAlgebra parsed = parse_policy("lex(shortest, widest)");
+  EdgeMap<WidestShortest::Weight> cw(g.edge_count());
+  EdgeMap<AnyWeight> pw(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    cw[e] = concrete.sample(rng);
+    pw[e] = AnyWeight{std::any{std::make_pair(
+        AnyWeight{std::any{cw[e].first}}, AnyWeight{std::any{cw[e].second}})}};
+  }
+  for (NodeId s = 0; s < g.node_count(); s += 4) {
+    const auto a = dijkstra(concrete, g, cw, s);
+    const auto b = dijkstra(parsed, g, pw, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      ASSERT_TRUE(a.reachable(t));
+      ASSERT_TRUE(b.reachable(t));
+      const auto& pair_w = b.weight[t]->as<std::pair<AnyWeight, AnyWeight>>();
+      EXPECT_EQ(pair_w.first.as<std::uint64_t>(), a.weight[t]->first);
+      EXPECT_EQ(pair_w.second.as<std::uint64_t>(), a.weight[t]->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, IntegrationSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3, 4, 5),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Integration, CappedPolicyEndToEnd) {
+  // Bounded-delay routing through the full pipeline: parse, sample, build
+  // tables, verify every delivered route respects the budget.
+  Rng rng(5);
+  const AnyAlgebra policy = parse_policy("capped(shortest(8), 30)");
+  const Graph g = erdos_renyi_connected(25, 0.25, rng);
+  EdgeMap<AnyWeight> w(g.edge_count());
+  for (auto& x : w) x = policy.sample(rng);
+  const auto tables = DestinationTableScheme::from_algebra(policy, g, w);
+  std::size_t delivered = 0, refused = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = simulate_route(tables, g, s, t);
+      if (!r.delivered) {
+        ++refused;  // no within-budget path exists
+        continue;
+      }
+      ++delivered;
+      const auto rw = weight_of_path(policy, g, w, r.path);
+      ASSERT_TRUE(rw.has_value());
+      EXPECT_FALSE(policy.is_phi(*rw)) << "s=" << s << " t=" << t;
+    }
+  }
+  EXPECT_GT(delivered, 0u);
+}
+
+}  // namespace
+}  // namespace cpr

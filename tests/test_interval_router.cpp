@@ -1,0 +1,91 @@
+// Classic interval routing: correctness on every pair plus the ablation
+// claim — identical labels, but Θ(deg·log n) node state versus the
+// heavy-path router's O(log n).
+#include "graph/generators.hpp"
+#include "scheme/interval_router.hpp"
+#include "scheme/tree_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace cpr {
+namespace {
+
+std::vector<EdgeId> all_edges(const Graph& g) {
+  std::vector<EdgeId> e(g.edge_count());
+  std::iota(e.begin(), e.end(), EdgeId{0});
+  return e;
+}
+
+class IntervalSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSeeds, DeliversOnRandomTrees) {
+  Rng rng(GetParam());
+  const Graph tree = random_tree(35, rng);
+  const NodeId root = static_cast<NodeId>(rng.index(35));
+  const IntervalRouter router(tree, all_edges(tree), root);
+  for (NodeId s = 0; s < tree.node_count(); ++s) {
+    for (NodeId t = 0; t < tree.node_count(); ++t) {
+      const RouteResult r = simulate_route(router, tree, s, t);
+      ASSERT_TRUE(r.delivered) << "s=" << s << " t=" << t;
+      // Tree paths are unique, so hops must match the tree router's.
+      const TreeRouter reference(tree, all_edges(tree), root);
+      EXPECT_EQ(r.hops(), reference.tree_path(s, t).size() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, IntervalSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(IntervalRouter, DeliversOnPathAndStar) {
+  for (const Graph& g : {path_graph(20), star(20)}) {
+    const IntervalRouter router(g, all_edges(g), 0);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        EXPECT_TRUE(simulate_route(router, g, s, t).delivered);
+      }
+    }
+  }
+}
+
+TEST(IntervalRouter, HubPaysLinearMemoryOnStars) {
+  // The ablation: per-child boundaries make the star hub Θ(n log n) while
+  // the heavy-path scheme stays logarithmic there.
+  const std::size_t n = 512;
+  const Graph g = star(n);
+  const IntervalRouter interval(g, all_edges(g), 0);
+  const TreeRouter heavy(g, all_edges(g), 0);
+  const double lg = std::log2(static_cast<double>(n));
+  EXPECT_GT(interval.local_memory_bits(0), n);  // ≥ 1 boundary per child
+  EXPECT_LE(heavy.local_memory_bits(0), 5 * lg + 16);
+  // Leaves are cheap in both.
+  EXPECT_LE(interval.local_memory_bits(1), 4 * lg + 16);
+}
+
+TEST(IntervalRouter, MatchesHeavyPathOnBoundedDegree) {
+  // On a binary tree both schemes are logarithmic per node.
+  const std::size_t n = 255;
+  const Graph g = kary_tree(n, 2);
+  const IntervalRouter interval(g, all_edges(g), 0);
+  const TreeRouter heavy(g, all_edges(g), 0);
+  const double lg = std::log2(static_cast<double>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(interval.local_memory_bits(v), 6 * lg + 24) << "v=" << v;
+    EXPECT_LE(heavy.local_memory_bits(v), 5 * lg + 16) << "v=" << v;
+  }
+}
+
+TEST(IntervalRouter, LabelsAreBareDfsNumbers) {
+  const Graph g = random_tree(64, *std::make_unique<Rng>(9));
+  const IntervalRouter router(g, all_edges(g), 0);
+  for (NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(router.label_bits(v), 6u);  // log2(64)
+    EXPECT_LT(router.make_header(v), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace cpr

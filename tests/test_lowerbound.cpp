@@ -1,0 +1,284 @@
+// The lower-bound constructions: Fig.-1 gadgets (Lemma 1 necessity), the
+// Theorem-4/Fig.-2 family with shortest-widest weights, and the BGP
+// constructions of Theorems 5 and 8.
+#include "algebra/primitives.hpp"
+#include "lowerbound/counterexamples.hpp"
+#include "lowerbound/counting.hpp"
+#include "lowerbound/entropy.hpp"
+#include "lowerbound/fg_family.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/path_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+// All simple s→t paths of an undirected graph (tiny graphs only).
+std::vector<NodePath> all_simple_paths(const Graph& g, NodeId s, NodeId t) {
+  std::vector<NodePath> out;
+  NodePath current{s};
+  std::vector<bool> visited(g.node_count(), false);
+  visited[s] = true;
+  const auto dfs = [&](auto&& self, NodeId u) -> void {
+    if (u == t) {
+      out.push_back(current);
+      return;
+    }
+    for (const auto& adj : g.neighbors(u)) {
+      if (visited[adj.neighbor]) continue;
+      visited[adj.neighbor] = true;
+      current.push_back(adj.neighbor);
+      self(self, adj.neighbor);
+      current.pop_back();
+      visited[adj.neighbor] = false;
+    }
+  };
+  dfs(dfs, s);
+  return out;
+}
+
+// ---- Fig. 1 gadgets ----
+
+TEST(Fig1, AutoSelectivityViolationKillsTheTree) {
+  // Shortest path with w = 1: 1 ⊕ 1 = 2 ≻ 1. Preferred paths are exactly
+  // the three direct edges — no spanning tree holds them all.
+  const ShortestPath s;
+  const auto [g, w] = fig1a_gadget(s, 1);
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 3; ++b) {
+      const auto preferred = all_preferred_paths(s, g, w, a, b);
+      ASSERT_EQ(preferred.size(), 1u);
+      EXPECT_EQ(preferred[0], (NodePath{a, b}));
+    }
+  }
+  EXPECT_FALSE(exists_preferred_spanning_tree(s, g, w));
+}
+
+TEST(Fig1, SelectiveControlAlgebraKeepsTheTree) {
+  // The same triangle under widest path (selective): a tree suffices.
+  const WidestPath wp;
+  const auto [g, w] = fig1a_gadget(wp, 5);
+  EXPECT_TRUE(exists_preferred_spanning_tree(wp, g, w));
+}
+
+TEST(Fig1, CaseBViolation) {
+  // w1 = 1 ≺ w2 = 2 with w1 ⊕ w2 = 3 ≻ w2 (shortest path).
+  const ShortestPath s;
+  const auto [g, w] = fig1b_gadget(s, 1, 2);
+  EXPECT_FALSE(exists_preferred_spanning_tree(s, g, w));
+  // Preferred paths are the direct edges here too.
+  for (NodeId a = 0; a < 3; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 3; ++b) {
+      const auto best = exhaustive_preferred(s, g, w, a, b);
+      EXPECT_EQ(best.path, (NodePath{a, b}));
+    }
+  }
+}
+
+TEST(Fig1, CaseCViolationWithEqualWeights) {
+  // Most-reliable path with w1 = w2 = 1/2: composing two halves gives 1/4,
+  // strictly worse — preferred paths are the cycle edges only.
+  const MostReliablePath r;
+  const auto [g, w] = fig1c_gadget(r, 0.5, 0.5);
+  EXPECT_FALSE(exists_preferred_spanning_tree(r, g, w));
+  // Adjacent pairs prefer the direct edge; diagonal pairs get a two-hop
+  // path of weight 1/4 (traversable, per the delimitedness remark).
+  const auto diag = exhaustive_preferred(r, g, w, 0, 2);
+  ASSERT_TRUE(diag.traversable());
+  EXPECT_DOUBLE_EQ(*diag.weight, 0.25);
+  EXPECT_EQ(diag.path.size(), 3u);
+}
+
+TEST(Fig1, UsablePathAlwaysMapsToATree) {
+  const UsablePath u;
+  const auto [g, w] = fig1c_gadget(u, 1, 1);
+  EXPECT_TRUE(exists_preferred_spanning_tree(u, g, w));
+}
+
+// ---- Theorem 4 / Fig. 2 family ----
+
+TEST(FgFamily, StructureMatchesFig2) {
+  // p = 2, δ = 2, all words: the Fig.-2 sample graph (2 centers, 4
+  // gadgets, 4 targets).
+  const FgFamily f = make_fg_family(2, 2, all_words(2, 2));
+  EXPECT_EQ(f.centers.size(), 2u);
+  EXPECT_EQ(f.gadgets[0].size(), 2u);
+  EXPECT_EQ(f.targets.size(), 4u);
+  EXPECT_EQ(f.graph.node_count(), 2u + 4u + 4u);
+  // Edges: 2*2 center-gadget + 4 targets * 2 = 12.
+  EXPECT_EQ(f.graph.edge_count(), 12u);
+  // Target for word [1,0] attaches to z[0][1] and z[1][0].
+  const NodeId t10 = f.targets[2];  // lexicographic order: 00,01,10,11
+  EXPECT_TRUE(f.graph.has_edge(f.gadgets[0][1], t10));
+  EXPECT_TRUE(f.graph.has_edge(f.gadgets[1][0], t10));
+  EXPECT_FALSE(f.graph.has_edge(f.gadgets[0][0], t10));
+}
+
+TEST(FgFamily, RejectsMalformedWords) {
+  EXPECT_THROW(make_fg_family(2, 2, {{0}}), std::invalid_argument);
+  EXPECT_THROW(make_fg_family(2, 2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(make_fg_family(0, 2, {}), std::invalid_argument);
+}
+
+TEST(FgFamily, WordEnumerationAndSampling) {
+  EXPECT_EQ(all_words(3, 2).size(), 8u);
+  EXPECT_EQ(all_words(2, 3).size(), 9u);
+  Rng rng(1);
+  const auto ws = random_words(4, 3, 10, rng);
+  EXPECT_EQ(ws.size(), 10u);
+  for (const auto& w : ws) {
+    EXPECT_EQ(w.size(), 4u);
+    for (auto sym : w) EXPECT_LT(sym, 3u);
+  }
+}
+
+TEST(Theorem4, SwWeightsSatisfyCondition1) {
+  const ShortestWidest sw;
+  for (std::size_t k : {1u, 2u, 3u}) {
+    for (std::size_t p : {2u, 3u, 4u}) {
+      const auto ws = theorem4_sw_weights(p, k);
+      EXPECT_TRUE(satisfies_condition_1(sw, ws, k))
+          << "p=" << p << " k=" << k;
+    }
+  }
+}
+
+TEST(Theorem4, EqualWeightsViolateCondition1) {
+  const ShortestWidest sw;
+  const std::vector<ShortestWidest::Weight> ws = {{1, 1}, {1, 1}};
+  EXPECT_FALSE(satisfies_condition_1(sw, ws, 1));
+}
+
+TEST(Theorem4, PreferredPathsAreTwoHopAndDetoursBreachStretch) {
+  const std::size_t k = 2;
+  const ShortestWidest sw;
+  const FgFamily f = make_fg_family(2, 2, all_words(2, 2));
+  const auto ws = theorem4_sw_weights(2, k);
+  ASSERT_TRUE(satisfies_condition_1(sw, ws, k));
+  const auto w = instantiate_weights<ShortestWidest>(f, ws);
+
+  for (std::size_t i = 0; i < f.centers.size(); ++i) {
+    for (std::size_t word_idx = 0; word_idx < f.targets.size(); ++word_idx) {
+      const NodeId c = f.centers[i];
+      const NodeId t = f.targets[word_idx];
+      const auto best = exhaustive_preferred(sw, f.graph, w, c, t);
+      ASSERT_TRUE(best.traversable());
+      // Preferred path: c_i → z_i,word[i] → t with weight w_i².
+      EXPECT_EQ(best.path.size(), 3u);
+      EXPECT_EQ(best.path[1], f.gadgets[i][f.words[word_idx][i]]);
+      EXPECT_TRUE(order_equal(sw, *best.weight, power(sw, ws[i], 2)));
+      // Every other simple path breaches stretch k.
+      for (const auto& path : all_simple_paths(f.graph, c, t)) {
+        if (path == best.path) continue;
+        const auto pw = weight_of_path(sw, f.graph, w, path);
+        ASSERT_TRUE(pw.has_value());
+        const auto stretch = algebraic_stretch(sw, *best.weight, *pw, k);
+        EXPECT_FALSE(stretch.has_value())
+            << "a detour within stretch " << k << " exists: c=" << c
+            << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Entropy, SaturatesAtTheCountingBound) {
+  // τ = 2, δ = 2: only 4 possible port maps at a center; with many
+  // sampled instances all of them must appear — measured entropy equals
+  // the theoretical τ·log₂δ exactly.
+  const ShortestWidest sw;
+  const auto ws = theorem4_sw_weights(2, 2);
+  Rng rng(5);
+  const auto est = measure_center_entropy(sw, 2, 2, 2, ws, 64, rng,
+                                          sw_exact_solver(sw));
+  EXPECT_EQ(est.distinct_maps, 4u);
+  EXPECT_DOUBLE_EQ(est.log2_distinct, 2.0);
+  EXPECT_DOUBLE_EQ(est.theoretical_bits, 2.0);
+}
+
+TEST(Entropy, SwSolverAgreesWithExhaustive) {
+  const ShortestWidest sw;
+  const auto ws = theorem4_sw_weights(2, 2);
+  const FgFamily f = make_fg_family(2, 2, all_words(2, 2));
+  const auto fast =
+      center_port_map(sw, f, ws, 0, sw_exact_solver(sw));
+  const auto slow = center_port_map(sw, f, ws, 0, exhaustive_solver(sw));
+  EXPECT_EQ(fast, slow);
+  // On the full-word family the map at center 0 is exactly the word
+  // projection: targets in lexicographic order have first symbols
+  // 0,0,1,1.
+  EXPECT_EQ(fast, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(CountingBound, MatchesClosedForm) {
+  const CountingBound b = fg_family_counting_bound(4, 8, 100);
+  EXPECT_DOUBLE_EQ(b.per_center_bits, 300.0);   // 100 · log2 8
+  EXPECT_DOUBLE_EQ(b.total_center_bits, 1200.0);
+  EXPECT_DOUBLE_EQ(b.family_log2, 1200.0);
+}
+
+// ---- Theorems 5 and 8: BGP constructions ----
+
+TEST(Theorem5, B1DetoursAreValleys) {
+  const B1ProviderCustomer b1;
+  const AsTopology topo = fg_b1_topology(2, 2, all_words(2, 2));
+  const auto labels = topo.labels();
+  const Graph shadow = topo.graph.undirected_shadow();
+  const FgFamily f = make_fg_family(2, 2, all_words(2, 2));
+
+  // The construction violates A1 (centers cannot reach each other)...
+  EXPECT_FALSE(satisfies_a1_global_reachability(topo));
+  // ...which is exactly why Theorem 6's fix needs A1.
+  for (std::size_t i = 0; i < f.centers.size(); ++i) {
+    for (NodeId t : f.targets) {
+      const NodeId c = f.centers[i];
+      for (const auto& path : all_simple_paths(shadow, c, t)) {
+        const auto pw = weight_of_path(b1, topo.graph, labels, path);
+        ASSERT_TRUE(pw.has_value());
+        if (path.size() == 3) {
+          // Two-hop down-down paths are the preferred ones (weight c).
+          EXPECT_EQ(*pw, BgpLabel::kCustomer);
+        } else {
+          EXPECT_TRUE(b1.is_phi(*pw))
+              << "non-preferred path is traversable: c=" << c << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(Theorem8, B3DetoursWeighAtLeastPeer) {
+  const B3LocalPref b3;
+  const AsTopology topo = fg_b3_topology(2, 2, all_words(2, 2));
+  // The peer patch restores A1 and keeps A2.
+  EXPECT_TRUE(satisfies_a1_global_reachability(topo));
+  EXPECT_TRUE(satisfies_a2_no_provider_loops(topo));
+
+  const auto labels = topo.labels();
+  const FgFamily f = make_fg_family(2, 2, all_words(2, 2));
+  for (std::size_t i = 0; i < f.centers.size(); ++i) {
+    for (NodeId t : f.targets) {
+      const NodeId c_node = f.centers[i];
+      const auto routes = path_vector(b3, topo.graph, labels, t);
+      ASSERT_TRUE(routes.reachable(c_node));
+      // Preferred: the customer route (weight c, 2 hops).
+      EXPECT_EQ(*routes.weight[c_node], BgpLabel::kCustomer);
+      EXPECT_EQ(routes.path[c_node].size(), 3u);
+    }
+  }
+  // Stretch is powerless: r ≻ c^k for every k since c^k = c.
+  EXPECT_FALSE(algebraic_stretch(b3, BgpLabel::kCustomer, BgpLabel::kPeer, 64)
+                   .has_value());
+}
+
+TEST(Theorem5, ConstructionScalesWithParameters) {
+  const AsTopology small = fg_b1_topology(2, 2, all_words(2, 2));
+  const AsTopology large = fg_b1_topology(3, 3, all_words(3, 3));
+  EXPECT_GT(large.graph.node_count(), small.graph.node_count());
+  const CountingBound bs = fg_family_counting_bound(2, 2, 4);
+  const CountingBound bl = fg_family_counting_bound(3, 3, 27);
+  EXPECT_GT(bl.per_center_bits, bs.per_center_bits);
+}
+
+}  // namespace
+}  // namespace cpr

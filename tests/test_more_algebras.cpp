@@ -1,0 +1,190 @@
+// Hop count, real-valued costs, and the capped (non-delimited) algebra —
+// including the Section-4.1 pitfall: a regular but non-delimited algebra
+// where a within-stretch-3 detour simply does not exist.
+#include "algebra/more_algebras.hpp"
+#include "algebra/primitives.hpp"
+#include "algebra/property_check.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/exhaustive.hpp"
+#include "scheme/cowen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(HopCountAlgebra, AxiomsAndClaims) {
+  Rng rng(1);
+  const HopCount h;
+  const PropertyReport r = check_properties_sampled(h, rng, 8);
+  EXPECT_TRUE(r.axioms_hold());
+  EXPECT_TRUE(validate_claims(h.properties(), r).empty());
+  EXPECT_EQ(h.combine(2, 3), 5u);
+  EXPECT_TRUE(h.is_phi(h.combine(h.phi(), 1)));
+}
+
+TEST(HopCountAlgebra, MatchesBfsDistances) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_connected(20, 0.2, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  const auto tree = dijkstra(HopCount{}, g, w, 0);
+  const auto bfs = bfs_distances(g, 0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    EXPECT_EQ(*tree.weight[v], bfs[v]) << "v=" << v;
+  }
+}
+
+TEST(RealCostAlgebra, AxiomsAndClaims) {
+  Rng rng(3);
+  const RealCost rc;
+  const PropertyReport r = check_properties_sampled(rc, rng, 16);
+  EXPECT_TRUE(r.axioms_hold()) << describe(r);
+  EXPECT_TRUE(validate_claims(rc.properties(), r).empty());
+  EXPECT_TRUE(rc.is_phi(rc.combine(rc.phi(), 1.0)));
+  EXPECT_DOUBLE_EQ(rc.combine(1.25, 2.5), 3.75);
+}
+
+TEST(CappedAlgebra, CombinesUpToBudgetThenPhi) {
+  const auto bounded = capped(ShortestPath{8}, std::uint64_t{10});
+  EXPECT_EQ(bounded.combine(4, 5), 9u);
+  EXPECT_EQ(bounded.combine(5, 5), 10u);
+  EXPECT_TRUE(bounded.is_phi(bounded.combine(6, 5)));
+  EXPECT_TRUE(bounded.is_phi(bounded.combine(bounded.phi(), 1)));
+  EXPECT_NE(bounded.name().find("capped at 10"), std::string::npos);
+}
+
+TEST(CappedAlgebra, RemainsRegularButNotDelimited) {
+  const auto bounded = capped(ShortestPath{8}, std::uint64_t{12});
+  const AlgebraProperties p = bounded.properties();
+  EXPECT_TRUE(p.regular());
+  EXPECT_TRUE(p.strictly_monotone);
+  EXPECT_FALSE(p.delimited);
+  EXPECT_FALSE(p.incompressible_by_thm2());  // Thm 2 premise needs D
+  Rng rng(4);
+  const PropertyReport r = check_properties_sampled(bounded, rng, 14);
+  EXPECT_TRUE(r.monotone);
+  EXPECT_TRUE(r.isotone) << describe(r);
+  EXPECT_TRUE(r.strictly_monotone);
+  EXPECT_FALSE(r.delimited);  // the checker must find a capped pair
+  EXPECT_TRUE(validate_claims(p, r).empty());
+}
+
+TEST(CappedAlgebra, SamplesRespectBudget) {
+  const auto bounded = capped(ShortestPath{100}, std::uint64_t{7});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(bounded.sample(rng), 7u);
+  }
+}
+
+TEST(CappedAlgebra, DijkstraRespectsTheBudget) {
+  // Bounded-delay routing: a long cheap chain becomes unreachable once
+  // the accumulated delay exceeds the budget.
+  const auto bounded = capped(ShortestPath{8}, std::uint64_t{5});
+  const Graph g = path_graph(8);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  const auto tree = dijkstra(bounded, g, w, 0);
+  EXPECT_TRUE(tree.reachable(5));   // delay 5 = budget
+  EXPECT_FALSE(tree.reachable(6));  // delay 6 > budget
+  EXPECT_FALSE(tree.reachable(7));
+}
+
+TEST(CappedAlgebra, AgreesWithExhaustiveOnRandomGraphs) {
+  const auto bounded = capped(ShortestPath{6}, std::uint64_t{14});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Graph g = erdos_renyi_connected(9, 0.35, rng);
+    EdgeMap<std::uint64_t> w(g.edge_count());
+    for (auto& x : w) x = bounded.sample(rng);
+    for (NodeId s = 0; s < g.node_count(); ++s) {
+      const auto tree = dijkstra(bounded, g, w, s);
+      for (NodeId t = 0; t < g.node_count(); ++t) {
+        if (s == t) continue;
+        const auto truth = exhaustive_preferred(bounded, g, w, s, t);
+        ASSERT_EQ(tree.reachable(t), truth.traversable())
+            << "seed=" << seed << " s=" << s << " t=" << t;
+        if (truth.traversable()) {
+          EXPECT_TRUE(order_equal(bounded, *tree.weight[t], *truth.weight));
+        }
+      }
+    }
+  }
+}
+
+TEST(CappedAlgebra, Section41PitfallStretchedPathMayBePhi) {
+  // The paper (Section 4.1): for non-delimited algebras "stretch-k" is
+  // not even well defined, because w(p*)^k can be φ. Here w(p*) = 4 with
+  // budget 10: the preferred path exists, but its cube 12 is already
+  // untraversable — a stretch-3 detour is a contradiction in terms.
+  const auto bounded = capped(ShortestPath{8}, std::uint64_t{10});
+  const std::uint64_t preferred = 4;
+  EXPECT_TRUE(bounded.is_phi(power(bounded, preferred, 3)));
+  // Definition 3 taken literally now certifies an *untraversable* route
+  // as "stretch 3", because φ ⪯ (w(p*))³ = φ — exactly the absurdity the
+  // paper points out ("it allows the stretched path to be of infinite
+  // weight"). We pin the pathology:
+  EXPECT_EQ(algebraic_stretch(bounded, preferred, bounded.phi(), 8),
+            std::optional<std::size_t>{3});
+  // A within-budget detour of weight 8 still certifies at k = 2.
+  EXPECT_EQ(algebraic_stretch(bounded, preferred, std::uint64_t{8}, 8),
+            std::optional<std::size_t>{2});
+}
+
+TEST(CappedAlgebra, CowenDeliversWhenBudgetIsGenerous) {
+  // With a budget comfortably above 3x the diameter cost, the capped
+  // algebra behaves like plain shortest path and the Cowen scheme works.
+  const auto bounded = capped(ShortestPath{4}, std::uint64_t{1000});
+  Rng rng(6);
+  const Graph g = erdos_renyi_connected(20, 0.3, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = bounded.sample(rng);
+  const auto scheme =
+      CowenScheme<CappedAlgebra<ShortestPath>>::build(bounded, g, w, rng);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      EXPECT_TRUE(simulate_route(scheme, g, s, t).delivered);
+    }
+  }
+}
+
+TEST(CappedAlgebra, CowenCanStrandPacketsWhenBudgetIsTight) {
+  // The executable form of the Section-4.1 warning: on a ring with a
+  // tight budget, landmark detours can exceed the budget — the route the
+  // scheme produces is not traversable under the algebra even though a
+  // preferred path exists. We detect it as a delivered-but-φ route (or a
+  // failed delivery), and require that at least one pair exhibits it.
+  const auto bounded = capped(ShortestPath{1}, std::uint64_t{6});
+  const Graph g = ring(12);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  bool pitfall = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !pitfall; ++seed) {
+    Rng rng(seed);
+    CowenOptions opt;
+    opt.initial_landmarks = 2;
+    const auto scheme = CowenScheme<CappedAlgebra<ShortestPath>>::build(
+        bounded, g, w, rng, opt);
+    for (NodeId s = 0; s < g.node_count() && !pitfall; ++s) {
+      for (NodeId t = 0; t < g.node_count() && !pitfall; ++t) {
+        if (s == t) continue;
+        const auto truth = dijkstra(bounded, g, w, s);
+        if (!truth.reachable(t)) continue;  // preferred path must exist
+        const RouteResult r = simulate_route(scheme, g, s, t);
+        if (!r.delivered) {
+          pitfall = true;
+        } else {
+          const auto achieved = weight_of_path(bounded, g, w, r.path);
+          if (achieved.has_value() && bounded.is_phi(*achieved)) {
+            pitfall = true;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(pitfall)
+      << "expected at least one stranded/untraversable route on the ring";
+}
+
+}  // namespace
+}  // namespace cpr

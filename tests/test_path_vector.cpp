@@ -1,0 +1,138 @@
+// Path-vector solver: agreement with Dijkstra on regular algebras
+// (independent algorithms, same preferred weights) and right-associative
+// behaviour on directed BGP-labeled graphs.
+#include "algebra/primitives.hpp"
+#include "bgp/bgp_algebra.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/path_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+class PathVectorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathVectorSeeds, AgreesWithDijkstraOnShortestPath) {
+  Rng rng(GetParam());
+  const ShortestPath alg{16};
+  const Graph g = erdos_renyi_connected(14, 0.3, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  for (NodeId t = 0; t < g.node_count(); t += 3) {
+    const auto routes = path_vector(alg, dg, aw, t);
+    EXPECT_TRUE(routes.converged);
+    const auto tree = dijkstra(alg, g, w, t);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (u == t) continue;
+      ASSERT_TRUE(routes.reachable(u));
+      EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight[u]))
+          << "u=" << u << " t=" << t;
+      // The advertised path must start at u, end at t, and realize the
+      // advertised weight.
+      const NodePath& p = routes.path[u];
+      ASSERT_GE(p.size(), 2u);
+      EXPECT_EQ(p.front(), u);
+      EXPECT_EQ(p.back(), t);
+      const auto pw = weight_of_path(alg, dg, aw, p);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(alg, *pw, *routes.weight[u]));
+    }
+  }
+}
+
+TEST_P(PathVectorSeeds, AgreesWithDijkstraOnWidestPath) {
+  Rng rng(GetParam() + 100);
+  const WidestPath alg{8};
+  const Graph g = erdos_renyi_connected(12, 0.3, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  const auto tree = dijkstra(alg, g, w, 0);
+  const auto routes = path_vector(alg, dg, aw, 0);
+  EXPECT_TRUE(routes.converged);
+  for (NodeId u = 1; u < g.node_count(); ++u) {
+    ASSERT_TRUE(routes.reachable(u));
+    EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight[u]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PathVectorSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(PathVector, RespectsRightAssociativeComposition) {
+  // Directed 3-node line with B1 labels: 0 →p 1 →c 2 (up then down).
+  // Weight must compose p ⊕ c = p and the path must be traversable;
+  // the reverse direction 2 →p 1 →c 0 likewise.
+  const B1ProviderCustomer b1;
+  Digraph d(3);
+  ArcMap<BgpLabel> w;
+  d.add_arc_pair(0, 1);  // 0→1 provider link ("up")
+  w.push_back(BgpLabel::kProvider);
+  w.push_back(BgpLabel::kCustomer);
+  d.add_arc_pair(1, 2);  // 1→2 customer link ("down")
+  w.push_back(BgpLabel::kCustomer);
+  w.push_back(BgpLabel::kProvider);
+
+  const auto to2 = path_vector(b1, d, w, 2);
+  ASSERT_TRUE(to2.reachable(0));
+  EXPECT_EQ(*to2.weight[0], BgpLabel::kProvider);  // p ⊕ c = p
+  EXPECT_EQ(to2.path[0], (NodePath{0, 1, 2}));
+
+  const auto to0 = path_vector(b1, d, w, 0);
+  ASSERT_TRUE(to0.reachable(2));
+  EXPECT_EQ(*to0.weight[2], BgpLabel::kProvider);
+}
+
+TEST(PathVector, ValleyPathsAreRejected) {
+  // Node 1 is a customer of both 0 and 2 (a classic stub AS): 0 and 2
+  // cannot transit through 1 in either direction (c ⊕ p = φ), while 1
+  // reaches both of its providers directly.
+  const B1ProviderCustomer b1;
+  Digraph d(3);
+  ArcMap<BgpLabel> w;
+  d.add_arc_pair(0, 1);  // 0→1 is "down": 1 is 0's customer
+  w.push_back(BgpLabel::kCustomer);
+  w.push_back(BgpLabel::kProvider);
+  d.add_arc_pair(1, 2);  // 1→2 is "up": 2 is 1's provider
+  w.push_back(BgpLabel::kProvider);
+  w.push_back(BgpLabel::kCustomer);
+
+  const auto to2 = path_vector(b1, d, w, 2);
+  EXPECT_FALSE(to2.reachable(0));  // 0→1→2 is c ⊕ p = φ: a valley
+  EXPECT_TRUE(to2.reachable(1));
+  EXPECT_EQ(*to2.weight[1], BgpLabel::kProvider);
+  const auto to0 = path_vector(b1, d, w, 0);
+  EXPECT_FALSE(to0.reachable(2));  // 2→1→0 is the mirrored valley
+  EXPECT_TRUE(to0.reachable(1));
+}
+
+TEST(PathVector, TieBreakIsDeterministicAndHopMinimal) {
+  // Ring of 5 unit-weight edges: two routes per pair; the shorter arc
+  // must win, and reruns give identical paths.
+  const ShortestPath alg;
+  const Graph g = ring(5);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  const auto a = path_vector(alg, dg, aw, 0);
+  const auto b = path_vector(alg, dg, aw, 0);
+  for (NodeId u = 1; u < 5; ++u) {
+    EXPECT_EQ(a.path[u], b.path[u]);
+    EXPECT_LE(a.path[u].size() - 1, 2u);  // ring distance ≤ 2 from node 0
+  }
+}
+
+TEST(PathVector, ReportsNonConvergenceWithinBudget) {
+  // With max_rounds = 1 on a long line, distant nodes cannot have settled.
+  const ShortestPath alg;
+  const Graph g = path_graph(8);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  const auto routes = path_vector(alg, dg, aw, 7, /*max_rounds=*/1);
+  EXPECT_FALSE(routes.converged);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,156 @@
+// The type-erased algebra and the policy-expression parser: erased
+// algebras must behave identically to their concrete counterparts through
+// the whole pipeline (checker, Dijkstra, schemes), and the parser must
+// build the right compositions.
+#include "algebra/any_algebra.hpp"
+#include "algebra/policy_parser.hpp"
+#include "algebra/property_check.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/dest_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(AnyAlgebra, MirrorsTheWrappedAlgebra) {
+  const ShortestPath concrete{16};
+  const AnyAlgebra erased = AnyAlgebra::wrap(concrete);
+  EXPECT_EQ(erased.name(), concrete.name());
+  EXPECT_TRUE(erased.properties().strictly_monotone);
+  const auto a = erased.weight_from_integer(3);
+  const auto b = erased.weight_from_integer(4);
+  EXPECT_EQ(erased.combine(a, b).as<std::uint64_t>(), 7u);
+  EXPECT_TRUE(erased.less(a, b));
+  EXPECT_FALSE(erased.less(b, a));
+  EXPECT_TRUE(erased.is_phi(erased.phi()));
+  EXPECT_EQ(erased.to_string(a), "3");
+}
+
+TEST(AnyAlgebra, PassesThePropertyChecker) {
+  Rng rng(1);
+  const AnyAlgebra erased = AnyAlgebra::wrap(WidestPath{16});
+  const PropertyReport r = check_properties_sampled(erased, rng, 14);
+  EXPECT_TRUE(r.axioms_hold());
+  EXPECT_TRUE(r.selective);
+  EXPECT_TRUE(validate_claims(erased.properties(), r).empty());
+}
+
+TEST(AnyAlgebra, DijkstraMatchesConcrete) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_connected(14, 0.3, rng);
+  const auto ints = random_integer_weights(g, 1, 9, rng);
+  const ShortestPath concrete;
+  const AnyAlgebra erased = AnyAlgebra::wrap(concrete);
+  EdgeMap<AnyWeight> erased_weights;
+  for (const auto w : ints) {
+    erased_weights.push_back(erased.weight_from_integer(w));
+  }
+  const auto truth = dijkstra(concrete, g, ints, 0);
+  const auto wrapped = dijkstra(erased, g, erased_weights, 0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ASSERT_TRUE(wrapped.reachable(v));
+    EXPECT_EQ(wrapped.weight[v]->as<std::uint64_t>(), *truth.weight[v]);
+  }
+}
+
+TEST(PolicyParser, ParsesPrimitives) {
+  EXPECT_EQ(parse_policy("shortest").name(), "shortest-path");
+  EXPECT_EQ(parse_policy("widest(8)").name(), "widest-path");
+  EXPECT_EQ(parse_policy("usable").name(), "usable-path");
+  EXPECT_EQ(parse_policy("hops").name(), "hop-count");
+  EXPECT_EQ(parse_policy("b3").name(), "B3 local-pref");
+  EXPECT_EQ(parse_policy("  reliable  ").name(), "most-reliable-path");
+}
+
+TEST(PolicyParser, ParsesCompositions) {
+  const AnyAlgebra ws = parse_policy("lex(shortest, widest)");
+  EXPECT_EQ(ws.name(), "shortest-path x widest-path");
+  // Proposition-1 flags flow through the erased product.
+  EXPECT_TRUE(ws.properties().strictly_monotone);
+  EXPECT_TRUE(ws.properties().isotone);
+
+  const AnyAlgebra sw = parse_policy("lex(widest, shortest)");
+  EXPECT_TRUE(sw.properties().strictly_monotone);
+  EXPECT_FALSE(sw.properties().isotone);
+
+  const AnyAlgebra nested = parse_policy("lex(lex(shortest,widest),usable)");
+  EXPECT_TRUE(nested.properties().regular());
+}
+
+TEST(PolicyParser, ParsedWidestShortestComputesLikeConcrete) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_connected(10, 0.4, rng);
+  const WidestShortest concrete;
+  EdgeMap<WidestShortest::Weight> cw(g.edge_count());
+  for (auto& x : cw) x = {rng.uniform(1, 9), rng.uniform(1, 9)};
+
+  const AnyAlgebra parsed = parse_policy("lex(shortest, widest)");
+  EdgeMap<AnyWeight> pw;
+  for (const auto& x : cw) {
+    pw.push_back(AnyWeight{
+        std::any{std::make_pair(AnyWeight{std::any{x.first}},
+                                AnyWeight{std::any{x.second}})}});
+  }
+  const auto truth = dijkstra(concrete, g, cw, 0);
+  const auto erased = dijkstra(parsed, g, pw, 0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ASSERT_TRUE(erased.reachable(v));
+    const auto& w = erased.weight[v]->as<std::pair<AnyWeight, AnyWeight>>();
+    EXPECT_EQ(w.first.as<std::uint64_t>(), truth.weight[v]->first);
+    EXPECT_EQ(w.second.as<std::uint64_t>(), truth.weight[v]->second);
+  }
+}
+
+TEST(PolicyParser, CappedBudgetsWork) {
+  const AnyAlgebra capped_sp = parse_policy("capped(shortest, 10)");
+  EXPECT_FALSE(capped_sp.properties().delimited);
+  const auto a = capped_sp.weight_from_integer(6);
+  const auto b = capped_sp.weight_from_integer(5);
+  EXPECT_TRUE(capped_sp.is_phi(capped_sp.combine(a, b)));
+  const auto c = capped_sp.weight_from_integer(4);
+  // capped() wraps an erased inner algebra, so the payload is one level
+  // of AnyWeight deeper than for a primitive.
+  EXPECT_EQ(
+      capped_sp.combine(c, b).as<AnyWeight>().as<std::uint64_t>(), 9u);
+  // Order dispatches through both layers.
+  EXPECT_TRUE(capped_sp.less(c, b));
+}
+
+TEST(PolicyParser, EndToEndThroughDestinationTables) {
+  Rng rng(4);
+  const AnyAlgebra policy = parse_policy("lex(shortest(16), widest(8))");
+  const Graph g = erdos_renyi_connected(12, 0.35, rng);
+  EdgeMap<AnyWeight> w(g.edge_count());
+  for (auto& x : w) x = policy.sample(rng);
+  const auto scheme = DestinationTableScheme::from_algebra(policy, g, w);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      EXPECT_TRUE(simulate_route(scheme, g, s, t).delivered);
+    }
+  }
+}
+
+TEST(PolicyParser, RejectsMalformedExpressions) {
+  EXPECT_THROW(parse_policy(""), PolicyParseError);
+  EXPECT_THROW(parse_policy("nonsense"), PolicyParseError);
+  EXPECT_THROW(parse_policy("lex(shortest)"), PolicyParseError);
+  EXPECT_THROW(parse_policy("lex(shortest, widest) trailing"),
+               PolicyParseError);
+  EXPECT_THROW(parse_policy("capped(shortest)"), PolicyParseError);
+  EXPECT_THROW(parse_policy("capped(shortest, widest)"), PolicyParseError);
+  EXPECT_THROW(parse_policy("lex(shortest,"), PolicyParseError);
+  EXPECT_THROW(parse_policy("shortest(1,2,3"), PolicyParseError);
+  // BGP labels have no integer interpretation for a cap budget.
+  EXPECT_THROW(parse_policy("capped(b1, 3)"), std::invalid_argument);
+  EXPECT_THROW(parse_policy("bottleneck(0)"), PolicyParseError);
+}
+
+TEST(PolicyParser, VocabularyIsNonEmpty) {
+  EXPECT_GE(policy_vocabulary().size(), 14u);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,201 @@
+// The asynchronous path-vector protocol simulator: convergence to the
+// synchronous fixed point for monotone algebras regardless of message
+// timing, valley handling under BGP algebras, and link-failure
+// reconvergence (implicit withdrawals).
+#include "algebra/primitives.hpp"
+#include "bgp/as_topology.hpp"
+#include "bgp/valley_free.hpp"
+#include "graph/generators.hpp"
+#include "proto/path_vector_protocol.hpp"
+#include "routing/path_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+class ProtocolSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolSeeds, ConvergesToFixedPointShortestPath) {
+  Rng rng(GetParam());
+  const ShortestPath alg{16};
+  const Graph g = erdos_renyi_connected(16, 0.3, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+
+  const NodeId dest = 0;
+  const auto truth = path_vector(alg, dg, aw, dest);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  // Several asynchrony seeds: the final weights must be timing-invariant.
+  for (std::uint64_t timing = 1; timing <= 3; ++timing) {
+    Rng timing_rng(timing * 1000 + GetParam());
+    const auto result = proto.run(dest, timing_rng);
+    ASSERT_TRUE(result.converged);
+    for (NodeId u = 1; u < g.node_count(); ++u) {
+      ASSERT_TRUE(result.has_route(u)) << "u=" << u;
+      ASSERT_TRUE(truth.reachable(u));
+      EXPECT_TRUE(order_equal(alg, *result.weight[u], *truth.weight[u]))
+          << "u=" << u << " timing=" << timing;
+      // The selected path must realize the selected weight.
+      const auto pw = weight_of_path(alg, dg, aw, result.path[u]);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(alg, *pw, *result.weight[u]));
+    }
+  }
+}
+
+TEST_P(ProtocolSeeds, ConvergesOnBgpTopologies) {
+  Rng rng(GetParam() + 40);
+  AsTopologyOptions opt;
+  opt.nodes = 20;
+  opt.tier1 = 2;
+  opt.extra_peer_prob = 0.05;
+  const AsTopology topo = generate_as_topology(opt, rng);
+  const B3LocalPref b3;
+  const auto labels = topo.labels();
+  PathVectorProtocol<B3LocalPref> proto(b3, topo.graph, labels);
+
+  const NodeId dest = static_cast<NodeId>(opt.nodes - 1);
+  const auto truth = valley_free_reachability(topo, dest);
+  Rng timing_rng(GetParam());
+  const auto result = proto.run(dest, timing_rng);
+  ASSERT_TRUE(result.converged);
+  for (NodeId u = 0; u < topo.graph.node_count(); ++u) {
+    if (u == dest) continue;
+    const bool reachable = truth.klass[u] != ValleyFreeClass::kUnreachable;
+    ASSERT_EQ(result.has_route(u), reachable) << "u=" << u;
+    if (reachable) {
+      EXPECT_EQ(*result.weight[u], truth.weight(u)) << "u=" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ProtocolSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Protocol, LineTopologyMessageCount) {
+  // On a line, each node advertises once: messages = Θ(n).
+  const ShortestPath alg;
+  const Graph g = path_graph(10);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  Rng rng(1);
+  const auto result = proto.run(0, rng);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GE(result.messages_delivered, 9u);
+  EXPECT_LE(result.messages_delivered, 40u);
+  EXPECT_EQ(result.path[9].size(), 10u);
+}
+
+TEST(Protocol, LinkFailureTriggersReconvergence) {
+  // Square 0-1-2-3: route 2→0 initially may use either side; failing the
+  // arc (1,0) must leave 1 and 2 routed via 3.
+  const ShortestPath alg;
+  Graph g(4);
+  EdgeMap<std::uint64_t> w;
+  g.add_edge(0, 1);
+  w.push_back(1);
+  g.add_edge(1, 2);
+  w.push_back(1);
+  g.add_edge(2, 3);
+  w.push_back(1);
+  g.add_edge(3, 0);
+  w.push_back(1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+
+  const ArcId failing = dg.find_arc(0, 1);
+  ASSERT_NE(failing, kInvalidArc);
+  Rng rng(3);
+  const auto result =
+      proto.run(0, rng, {}, {{/*time=*/50.0, /*arc=*/failing}});
+  ASSERT_TRUE(result.converged);
+  // After the failure, 1 must route via 2-3-0.
+  ASSERT_TRUE(result.has_route(1));
+  EXPECT_EQ(result.path[1], (NodePath{1, 2, 3, 0}));
+  EXPECT_EQ(*result.weight[1], 3u);
+  ASSERT_TRUE(result.has_route(2));
+  EXPECT_EQ(*result.weight[2], 2u);
+}
+
+TEST(Protocol, PartitionWithdrawsRoutes) {
+  // Failing the only link strands the far side with no route.
+  const ShortestPath alg;
+  Graph g(3);
+  EdgeMap<std::uint64_t> w;
+  g.add_edge(0, 1);
+  w.push_back(1);
+  g.add_edge(1, 2);
+  w.push_back(1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  const ArcId cut = dg.find_arc(0, 1);
+  Rng rng(4);
+  const auto result = proto.run(0, rng, {}, {{60.0, cut}});
+  ASSERT_TRUE(result.converged);
+  EXPECT_FALSE(result.has_route(1));
+  EXPECT_FALSE(result.has_route(2));
+}
+
+TEST(Protocol, FailureBeforeAnnouncementIsHarmless) {
+  const ShortestPath alg;
+  const Graph g = ring(6);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 2);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  const ArcId cut = dg.find_arc(2, 3);
+  Rng rng(5);
+  // Fail at t=0 (before most announcements land): ring minus one edge is
+  // a line; everything still converges with routes around the other way.
+  const auto result = proto.run(0, rng, {}, {{0.0, cut}});
+  ASSERT_TRUE(result.converged);
+  for (NodeId u = 1; u < 6; ++u) {
+    EXPECT_TRUE(result.has_route(u)) << "u=" << u;
+  }
+  EXPECT_EQ(*result.weight[3], 6u);  // 3-4-5-0, not 3-2-1-0
+}
+
+TEST(Protocol, RunAllDestinationsCoversEveryTarget) {
+  const ShortestPath alg;
+  const Graph g = ring(8);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  Rng rng(9);
+  const auto all = proto.run_all_destinations(rng);
+  ASSERT_EQ(all.size(), 8u);
+  for (NodeId t = 0; t < 8; ++t) {
+    EXPECT_TRUE(all[t].converged);
+    for (NodeId u = 0; u < 8; ++u) {
+      if (u == t) continue;
+      ASSERT_TRUE(all[t].has_route(u)) << "u=" << u << " t=" << t;
+      // Ring distances: min(|u-t|, 8-|u-t|).
+      const std::uint64_t d = u > t ? u - t : t - u;
+      EXPECT_EQ(*all[t].weight[u], std::min<std::uint64_t>(d, 8 - d));
+    }
+    // Adj-RIB state is populated (each node heard from both neighbors).
+    for (NodeId u = 0; u < 8; ++u) {
+      if (u != t) {
+        EXPECT_GT(all[t].rib_path_nodes[u], 0u);
+      }
+    }
+  }
+}
+
+TEST(Protocol, OscillationGuardReportsNonConvergence) {
+  const ShortestPath alg;
+  const Graph g = complete(6);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  auto [dg, aw] = as_symmetric_digraph(g, w);
+  PathVectorProtocol<ShortestPath> proto(alg, dg, aw);
+  Rng rng(6);
+  ProtocolOptions opt;
+  opt.max_events = 3;  // far too few to converge
+  const auto result = proto.run(0, rng, opt);
+  EXPECT_FALSE(result.converged);
+}
+
+}  // namespace
+}  // namespace cpr

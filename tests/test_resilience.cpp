@@ -1,0 +1,151 @@
+// Failure-injection harness semantics + AS-relationship serialization.
+#include "algebra/primitives.hpp"
+#include "bgp/as_io.hpp"
+#include "graph/generators.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/tree_router.hpp"
+#include "sim/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+namespace cpr {
+namespace {
+
+TEST(Resilience, NoFailuresMeansFullDelivery) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_connected(20, 0.3, rng);
+  const auto w = random_integer_weights(g, 1, 9, rng);
+  const auto scheme =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  const ResilienceReport r = measure_resilience(scheme, g, 0, 500, rng);
+  EXPECT_EQ(r.delivered, r.pairs_tested);
+  EXPECT_EQ(r.lost_but_connected, 0u);
+}
+
+TEST(Resilience, PacketDropsAtTheDeadLink) {
+  // Path 0-1-2: failing edge (1,2) strands destination 2 exactly at the
+  // failed hop, with the path recording the progress made.
+  const Graph g = path_graph(3);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  const auto scheme =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  std::vector<bool> down(g.edge_count(), false);
+  down[1] = true;  // edge 1-2
+  const RouteResult r = simulate_route_with_failures(scheme, g, down, 0, 2);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.path, (NodePath{0, 1}));
+  EXPECT_TRUE(simulate_route_with_failures(scheme, g, down, 0, 1).delivered);
+}
+
+TEST(Resilience, TreeSchemesLoseWholeSubtrees) {
+  // Star: failing one spoke cuts exactly the pairs involving that leaf.
+  const std::size_t n = 16;
+  const Graph g = star(n);
+  std::vector<EdgeId> edges(g.edge_count());
+  std::iota(edges.begin(), edges.end(), EdgeId{0});
+  const TreeRouter tree(g, edges, 0);
+  std::vector<bool> down(g.edge_count(), false);
+  down[3] = true;  // spoke to leaf 4 (edge ids follow construction order)
+  const NodeId cut_leaf = g.opposite(3, 0);
+  std::size_t lost = 0, tested = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      ++tested;
+      const bool delivered =
+          simulate_route_with_failures(tree, g, down, s, t).delivered;
+      if (!delivered) {
+        ++lost;
+        EXPECT_TRUE(s == cut_leaf || t == cut_leaf);
+      }
+    }
+  }
+  EXPECT_EQ(lost, 2 * (n - 2) + 2);  // every pair touching the cut leaf
+  EXPECT_EQ(tested, n * (n - 1));
+}
+
+TEST(Resilience, LostButConnectedSeparatesPartitionFromFragility) {
+  // Ring: one failure leaves the graph connected, but the tree scheme
+  // (path spanning tree) loses all pairs across the cut — all of them
+  // "lost but connected".
+  const std::size_t n = 12;
+  const Graph g = ring(n);
+  // Spanning tree = the ring minus the last edge.
+  std::vector<EdgeId> tree_edges(n - 1);
+  std::iota(tree_edges.begin(), tree_edges.end(), EdgeId{0});
+  const TreeRouter tree(g, tree_edges, 0);
+  Rng rng(5);
+  // Fail a known tree edge deterministically by monkey-patching the RNG
+  // path: use measure_resilience with 1 failure repeatedly until a tree
+  // edge happens to fail, then check accounting.
+  bool saw_fragility = false;
+  for (int attempt = 0; attempt < 20 && !saw_fragility; ++attempt) {
+    const ResilienceReport r = measure_resilience(tree, g, 1, 400, rng);
+    if (r.delivered < r.pairs_tested) {
+      EXPECT_GT(r.lost_but_connected, 0u);  // ring stays connected
+      saw_fragility = true;
+    }
+  }
+  EXPECT_TRUE(saw_fragility);
+}
+
+TEST(AsIo, RoundTripPreservesRelationships) {
+  Rng rng(3);
+  AsTopologyOptions opt;
+  opt.nodes = 24;
+  opt.tier1 = 3;
+  opt.extra_peer_prob = 0.05;
+  const AsTopology topo = generate_as_topology(opt, rng);
+
+  std::stringstream buffer;
+  write_as_rel(topo, buffer);
+  const AsRelLoadResult loaded = read_as_rel(buffer);
+  ASSERT_EQ(loaded.topology.graph.node_count(), topo.graph.node_count());
+  ASSERT_EQ(loaded.topology.graph.arc_count(), topo.graph.arc_count());
+  // Identity mapping here (ids are already dense), so relations must
+  // match arc for arc after lookup.
+  for (ArcId a = 0; a < topo.graph.arc_count(); ++a) {
+    const auto& arc = topo.graph.arc(a);
+    const ArcId b = loaded.topology.graph.find_arc(arc.from, arc.to);
+    ASSERT_NE(b, kInvalidArc);
+    EXPECT_EQ(loaded.topology.relation[b], topo.relation[a])
+        << arc.from << "->" << arc.to;
+  }
+}
+
+TEST(AsIo, ParsesCaidaStyleInput) {
+  std::stringstream in(
+      "# inferred relationships\n"
+      "100|200|-1\n"   // 100 provides transit to 200
+      "200|300|-1\n"
+      "100|400|0\n");  // 100 and 400 peer
+  const AsRelLoadResult loaded = read_as_rel(in);
+  EXPECT_EQ(loaded.topology.graph.node_count(), 4u);
+  const NodeId as100 = loaded.id_of_asn.at(100);
+  const NodeId as200 = loaded.id_of_asn.at(200);
+  const NodeId as400 = loaded.id_of_asn.at(400);
+  // 200's out-arc to 100 is "to my provider".
+  const ArcId up = loaded.topology.graph.find_arc(as200, as100);
+  ASSERT_NE(up, kInvalidArc);
+  EXPECT_EQ(loaded.topology.relation[up], Relationship::kProvider);
+  const ArcId peer = loaded.topology.graph.find_arc(as100, as400);
+  ASSERT_NE(peer, kInvalidArc);
+  EXPECT_EQ(loaded.topology.relation[peer], Relationship::kPeer);
+  // Exactly one root (AS 100 has no provider).
+  EXPECT_EQ(loaded.topology.roots().size(), 2u);  // 100 and 400
+}
+
+TEST(AsIo, RejectsMalformedLines) {
+  std::stringstream bad1("1|2\n");
+  EXPECT_THROW(read_as_rel(bad1), std::runtime_error);
+  std::stringstream bad2("1|2|7\n");
+  EXPECT_THROW(read_as_rel(bad2), std::runtime_error);
+  std::stringstream bad3("a|2|-1\n");
+  EXPECT_THROW(read_as_rel(bad3), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpr

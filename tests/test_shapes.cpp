@@ -1,0 +1,64 @@
+// The adversarial tree/graph shapes added for the ablations.
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "scheme/tree_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace cpr {
+namespace {
+
+TEST(Shapes, CaterpillarStructure) {
+  const Graph g = caterpillar(10, 3);
+  EXPECT_EQ(g.node_count(), 40u);
+  EXPECT_EQ(g.edge_count(), 39u);  // a tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 4u);   // spine end: 1 spine + 3 legs
+  EXPECT_EQ(g.degree(5), 5u);   // interior spine: 2 spine + 3 legs
+  EXPECT_EQ(g.degree(39), 1u);  // leg
+}
+
+TEST(Shapes, BroomStructure) {
+  const Graph g = broom(6, 10);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.degree(5), 11u);  // hub: 1 handle + 10 bristles
+  EXPECT_EQ(hop_diameter(g), 6u);  // handle end (5 hops to hub) + bristle
+}
+
+TEST(Shapes, LollipopStructure) {
+  const Graph g = lollipop(5, 4);
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.edge_count(), 10u + 4u);  // K5 + tail
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(hop_diameter(g), 5u);  // across the clique then down the tail
+}
+
+TEST(Shapes, CompleteBipartiteStructure) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 4u);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(hop_diameter(g), 2u);
+}
+
+TEST(Shapes, TreeRouterHandlesTheTreeShapes) {
+  for (const Graph& tree :
+       {caterpillar(8, 4), broom(10, 20), kary_tree(31, 2)}) {
+    std::vector<EdgeId> edges(tree.edge_count());
+    std::iota(edges.begin(), edges.end(), EdgeId{0});
+    const TreeRouter router(tree, edges, 0);
+    for (NodeId s = 0; s < tree.node_count(); s += 3) {
+      for (NodeId t = 0; t < tree.node_count(); t += 2) {
+        EXPECT_TRUE(simulate_route(router, tree, s, t).delivered)
+            << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpr

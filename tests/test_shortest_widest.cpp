@@ -1,0 +1,103 @@
+// The exact shortest-widest solver against exhaustive ground truth (SW is
+// the algebra where Dijkstra is unsound, so this solver is the scalable
+// reference for the Table-1 SW row and the source-destination tables).
+#include "graph/generators.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+EdgeMap<ShortestWidest::Weight> random_sw_weights(const Graph& g, Rng& rng,
+                                                  std::uint64_t cap_max = 5,
+                                                  std::uint64_t cost_max = 9) {
+  EdgeMap<ShortestWidest::Weight> w(g.edge_count());
+  for (auto& x : w) {
+    x = {rng.uniform(1, cap_max), rng.uniform(1, cost_max)};
+  }
+  return w;
+}
+
+class SwSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwSeeds, MatchesExhaustiveOnRandomGraphs) {
+  Rng rng(GetParam());
+  const ShortestWidest sw;
+  const Graph g = erdos_renyi_connected(9, 0.35, rng);
+  const auto w = random_sw_weights(g, rng);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto row = shortest_widest_exact(sw, g, w, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      const auto truth = exhaustive_preferred(sw, g, w, s, t);
+      ASSERT_TRUE(truth.traversable());
+      ASSERT_TRUE(row.weight[t].has_value()) << "s=" << s << " t=" << t;
+      EXPECT_TRUE(order_equal(sw, *row.weight[t], *truth.weight))
+          << "s=" << s << " t=" << t << " exact=" << sw.to_string(*row.weight[t])
+          << " truth=" << sw.to_string(*truth.weight);
+      // The returned explicit path realizes the weight.
+      const auto pw = weight_of_path(sw, g, w, row.paths[t]);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(sw, *pw, *row.weight[t]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SwSeeds,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ShortestWidestExact, PrefersWiderOverCheaper) {
+  // 0-1: cap 1, cost 1. 0-2-1: caps 5, costs 10 each. Widest wins even
+  // though it is 20x more expensive.
+  const ShortestWidest sw;
+  Graph g(3);
+  EdgeMap<ShortestWidest::Weight> w;
+  g.add_edge(0, 1);
+  w.push_back({1, 1});
+  g.add_edge(0, 2);
+  w.push_back({5, 10});
+  g.add_edge(2, 1);
+  w.push_back({5, 10});
+  const auto row = shortest_widest_exact(sw, g, w, 0);
+  ASSERT_TRUE(row.weight[1].has_value());
+  EXPECT_EQ(row.weight[1]->first, 5u);
+  EXPECT_EQ(row.weight[1]->second, 20u);
+  EXPECT_EQ(row.paths[1], (NodePath{0, 2, 1}));
+}
+
+TEST(ShortestWidestExact, AmongWidestPicksCheapest) {
+  // Two disjoint cap-4 routes with costs 9 and 3.
+  const ShortestWidest sw;
+  Graph g(4);
+  EdgeMap<ShortestWidest::Weight> w;
+  g.add_edge(0, 2);
+  w.push_back({4, 5});
+  g.add_edge(2, 1);
+  w.push_back({4, 4});
+  g.add_edge(0, 3);
+  w.push_back({4, 1});
+  g.add_edge(3, 1);
+  w.push_back({4, 2});
+  const auto row = shortest_widest_exact(sw, g, w, 0);
+  EXPECT_EQ(row.weight[1]->first, 4u);
+  EXPECT_EQ(row.weight[1]->second, 3u);
+  EXPECT_EQ(row.paths[1], (NodePath{0, 3, 1}));
+}
+
+TEST(ShortestWidestExact, ZeroCapacityIsUnreachable) {
+  const ShortestWidest sw;
+  Graph g(3);
+  EdgeMap<ShortestWidest::Weight> w;
+  g.add_edge(0, 1);
+  w.push_back({3, 1});
+  g.add_edge(1, 2);
+  w.push_back({0, 1});  // φ capacity
+  const auto row = shortest_widest_exact(sw, g, w, 0);
+  EXPECT_TRUE(row.weight[1].has_value());
+  EXPECT_FALSE(row.weight[2].has_value());
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,112 @@
+// The hop-by-hop simulator itself: loop guard, invalid ports, header
+// rewriting, footprint aggregation.
+#include "scheme/scheme.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+// A deliberately broken scheme that always forwards on port 0: on a ring
+// it loops forever (caught by the guard); on a path it bounces.
+struct Port0Scheme {
+  using Header = NodeId;
+  Header make_header(NodeId t) const { return t; }
+  Decision forward(NodeId u, Header& h) const {
+    if (u == h) return Decision::delivered();
+    return Decision::via(0);
+  }
+  std::size_t local_memory_bits(NodeId) const { return 1; }
+  std::size_t label_bits(NodeId) const { return 1; }
+};
+static_assert(CompactRoutingScheme<Port0Scheme>);
+
+TEST(Simulator, LoopGuardTrips) {
+  const Graph g = ring(6);
+  const Port0Scheme s;
+  const RouteResult r = simulate_route(s, g, 0, 3, /*max_hops=*/20);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.hops(), 21u);  // guard allows max_hops+1 forwards then stops
+}
+
+TEST(Simulator, DefaultGuardScalesWithGraph) {
+  const Graph g = ring(8);
+  const Port0Scheme s;
+  const RouteResult r = simulate_route(s, g, 0, 4);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_GT(r.hops(), 8u);
+}
+
+struct InvalidPortScheme {
+  using Header = NodeId;
+  Header make_header(NodeId t) const { return t; }
+  Decision forward(NodeId, Header&) const { return Decision::via(99); }
+  std::size_t local_memory_bits(NodeId) const { return 0; }
+  std::size_t label_bits(NodeId) const { return 0; }
+};
+static_assert(CompactRoutingScheme<InvalidPortScheme>);
+
+TEST(Simulator, OutOfRangePortAborts) {
+  const Graph g = ring(4);
+  const InvalidPortScheme s;
+  const RouteResult r = simulate_route(s, g, 0, 2);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.path, (NodePath{0}));
+}
+
+// A scheme that counts down in the header — exercises header rewriting.
+struct CountdownScheme {
+  using Header = std::pair<NodeId, int>;
+  Header make_header(NodeId t) const { return {t, 3}; }
+  Decision forward(NodeId u, Header& h) const {
+    if (u == h.first) return Decision::delivered();
+    if (h.second-- <= 0) return Decision::via(kInvalidPort);
+    return Decision::via(1);  // "right" around the ring
+  }
+  std::size_t local_memory_bits(NodeId) const { return 0; }
+  std::size_t label_bits(NodeId) const { return 0; }
+};
+static_assert(CompactRoutingScheme<CountdownScheme>);
+
+TEST(Simulator, HeaderStatePersistsAcrossHops) {
+  const Graph g = ring(8);
+  const CountdownScheme s;
+  // Target 3 hops away in port-1 direction is reached before the counter
+  // dies; farther targets are not.
+  NodeId three_away = g.neighbor(0, 1);
+  three_away = g.neighbor(three_away, 1);
+  three_away = g.neighbor(three_away, 1);
+  EXPECT_TRUE(simulate_route(s, g, 0, three_away).delivered);
+}
+
+TEST(Simulator, SourceEqualsTargetDeliversInPlace) {
+  const Graph g = ring(4);
+  const Port0Scheme s;
+  const RouteResult r = simulate_route(s, g, 2, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+struct VaryingBitsScheme {
+  using Header = NodeId;
+  Header make_header(NodeId t) const { return t; }
+  Decision forward(NodeId u, Header& h) const {
+    return u == h ? Decision::delivered() : Decision::via(kInvalidPort);
+  }
+  std::size_t local_memory_bits(NodeId v) const { return 10 * (v + 1); }
+  std::size_t label_bits(NodeId v) const { return v + 1; }
+};
+static_assert(CompactRoutingScheme<VaryingBitsScheme>);
+
+TEST(Simulator, FootprintAggregatesMaxAndMean) {
+  const VaryingBitsScheme s;
+  const auto fp = measure_footprint(s, 4);
+  EXPECT_EQ(fp.max_node_bits, 40u);
+  EXPECT_DOUBLE_EQ(fp.mean_node_bits, 25.0);
+  EXPECT_EQ(fp.max_label_bits, 4u);
+  EXPECT_DOUBLE_EQ(fp.mean_label_bits, 2.5);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,135 @@
+// Lemma 1, constructive direction: for monotone + selective algebras the
+// Kruskal-by-⪯ tree contains a preferred path for every pair.
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/exhaustive.hpp"
+#include "scheme/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+// In-tree s→t path via the rooted-tree parent pointers.
+NodePath in_tree_path(const RootedTree& t, NodeId s, NodeId target) {
+  // Climb both to the root recording the chains, then splice at the LCA.
+  std::vector<NodeId> sa, sb;
+  for (NodeId x = s;; x = t.parent[x]) {
+    sa.push_back(x);
+    if (x == t.root) break;
+  }
+  for (NodeId x = target;; x = t.parent[x]) {
+    sb.push_back(x);
+    if (x == t.root) break;
+  }
+  // Trim the common suffix, keep one shared node.
+  while (sa.size() >= 2 && sb.size() >= 2 &&
+         sa[sa.size() - 2] == sb[sb.size() - 2]) {
+    sa.pop_back();
+    sb.pop_back();
+  }
+  NodePath p(sa.begin(), sa.end());
+  for (std::size_t i = sb.size() - 1; i-- > 0;) p.push_back(sb[i]);
+  return p;
+}
+
+template <RoutingAlgebra A>
+void expect_tree_paths_preferred(const A& alg, std::uint64_t seed,
+                                 std::size_t n = 10) {
+  Rng rng(seed);
+  const Graph g = erdos_renyi_connected(n, 0.35, rng);
+  EdgeMap<typename A::Weight> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  const auto tree_edges = preferred_spanning_tree(alg, g, w);
+  ASSERT_TRUE(is_spanning_tree(g, tree_edges));
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = static_cast<NodeId>(s + 1); t < g.node_count(); ++t) {
+      const auto truth = exhaustive_preferred(alg, g, w, s, t);
+      ASSERT_TRUE(truth.traversable());
+      const NodePath p = in_tree_path(tree, s, t);
+      ASSERT_TRUE(is_simple_path(g, p));
+      const auto pw = weight_of_path(alg, g, w, p);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(alg, *pw, *truth.weight))
+          << alg.name() << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+class TreeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeSeeds, WidestPathTreeIsOptimal) {
+  expect_tree_paths_preferred(WidestPath{8}, GetParam());
+}
+TEST_P(TreeSeeds, UsablePathTreeIsOptimal) {
+  expect_tree_paths_preferred(UsablePath{}, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, TreeSeeds,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(PreferredSpanningTree, WidestIsMaximumSpanningTree) {
+  // On a 4-cycle with capacities 4,3,2,1 Kruskal-by-⪯ keeps the three
+  // widest edges.
+  Graph g = ring(4);
+  EdgeMap<std::uint64_t> w = {4, 3, 2, 1};
+  const auto tree = preferred_spanning_tree(WidestPath{}, g, w);
+  ASSERT_EQ(tree.size(), 3u);
+  for (EdgeId e : tree) EXPECT_NE(e, 3u);  // capacity-1 edge excluded
+}
+
+TEST(PreferredSpanningTree, NotOptimalForNonSelectiveAlgebra) {
+  // Shortest path is not selective; on a triangle 1-1-1 the tree must
+  // miss one direct edge, so some pair is forced onto a 2-hop path with
+  // weight 2 ≻ 1. (Lemma 1 necessity, algebra side.)
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EdgeMap<std::uint64_t> w = {1, 1, 1};
+  const auto tree_edges = preferred_spanning_tree(ShortestPath{}, g, w);
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges);
+  bool some_pair_suboptimal = false;
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId t = static_cast<NodeId>(s + 1); t < 3; ++t) {
+      const NodePath p = in_tree_path(tree, s, t);
+      const auto pw = weight_of_path(ShortestPath{}, g, w, p);
+      if (pw.has_value() && *pw > 1) some_pair_suboptimal = true;
+    }
+  }
+  EXPECT_TRUE(some_pair_suboptimal);
+}
+
+TEST(RootedTree, StructureAndSizes) {
+  Graph g(5);
+  std::vector<EdgeId> edges;
+  edges.push_back(g.add_edge(0, 1));
+  edges.push_back(g.add_edge(0, 2));
+  edges.push_back(g.add_edge(2, 3));
+  edges.push_back(g.add_edge(2, 4));
+  const RootedTree t = RootedTree::from_edges(g, edges, 0);
+  EXPECT_EQ(t.parent[0], 0u);
+  EXPECT_EQ(t.parent[3], 2u);
+  EXPECT_EQ(t.subtree_size[0], 5u);
+  EXPECT_EQ(t.subtree_size[2], 3u);
+  EXPECT_EQ(t.children[0].size(), 2u);
+}
+
+TEST(RootedTree, RejectsNonSpanningInput) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(2, 3);
+  // Too few edges.
+  EXPECT_THROW(RootedTree::from_edges(g, {e0, e2}, 0), std::invalid_argument);
+  // Right count, but a triangle leaves node 3 uncovered.
+  const EdgeId e3 = g.add_edge(0, 2);
+  (void)e3;
+  EXPECT_THROW(RootedTree::from_edges(g, {e0, e1, e3}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpr {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(Summary, KnownDistribution) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_line({1.0}, {2.0}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit_line({2.0, 2.0}, {1.0, 5.0}).slope, 0.0);
+}
+
+TEST(GrowthClass, RecognizesLinear) {
+  std::vector<double> n, bits;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    n.push_back(x);
+    bits.push_back(12.0 * x + 30);
+  }
+  const GrowthClass g = classify_growth(n, bits);
+  EXPECT_EQ(g.best_label, "n");
+  EXPECT_NEAR(g.power_exponent, 1.0, 0.05);
+}
+
+TEST(GrowthClass, RecognizesLogarithmic) {
+  std::vector<double> n, bits;
+  for (double x : {64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0}) {
+    n.push_back(x);
+    bits.push_back(5.0 * std::log2(x));
+  }
+  const GrowthClass g = classify_growth(n, bits);
+  EXPECT_EQ(g.best_label, "log n");
+  EXPECT_LT(g.power_exponent, 0.5);
+}
+
+TEST(GrowthClass, RecognizesQuadratic) {
+  std::vector<double> n, bits;
+  for (double x : {32.0, 64.0, 128.0, 256.0}) {
+    n.push_back(x);
+    bits.push_back(2.0 * x * x);
+  }
+  EXPECT_EQ(classify_growth(n, bits).best_label, "n^2");
+}
+
+TEST(GrowthClass, RecognizesSqrt) {
+  std::vector<double> n, bits;
+  for (double x : {64.0, 256.0, 1024.0, 4096.0, 16384.0}) {
+    n.push_back(x);
+    bits.push_back(40.0 * std::sqrt(x));
+  }
+  EXPECT_EQ(classify_growth(n, bits).best_label, "sqrt(n)");
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.5);
+  h.add(42);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("#"), std::string::npos);
+}
+
+TEST(TextTable, AlignsAndPads) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b"});  // short row padded
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::size_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace cpr

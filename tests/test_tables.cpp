@@ -1,0 +1,152 @@
+// Destination tables (Observation 1 / Proposition 2) and the
+// source-destination fallback for non-isotone algebras.
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/dest_table.hpp"
+#include "scheme/srcdest_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpr {
+namespace {
+
+// Delivery along a path whose weight is order-equal to the preferred
+// weight, for every pair — Proposition 2's "implements A on G".
+template <RoutingAlgebra A>
+void expect_dest_tables_implement(const A& alg, std::uint64_t seed,
+                                  std::size_t n = 16) {
+  Rng rng(seed);
+  const Graph g = erdos_renyi_connected(n, 0.3, rng);
+  EdgeMap<typename A::Weight> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  const auto scheme = DestinationTableScheme::from_algebra(alg, g, w);
+  const auto trees = all_pairs_trees(alg, g, w);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      const RouteResult r = simulate_route(scheme, g, s, t);
+      ASSERT_TRUE(r.delivered) << alg.name() << " s=" << s << " t=" << t;
+      if (s == t) continue;
+      const auto pw = weight_of_path(alg, g, w, r.path);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(alg, *pw, *trees[t].weight[s]))
+          << alg.name() << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+class DestTableSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DestTableSeeds, ShortestPath) {
+  expect_dest_tables_implement(ShortestPath{16}, GetParam());
+}
+TEST_P(DestTableSeeds, WidestPath) {
+  expect_dest_tables_implement(WidestPath{8}, GetParam());
+}
+TEST_P(DestTableSeeds, MostReliable) {
+  expect_dest_tables_implement(MostReliablePath{}, GetParam());
+}
+TEST_P(DestTableSeeds, WidestShortest) {
+  expect_dest_tables_implement(
+      WidestShortest{ShortestPath{16}, WidestPath{8}}, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DestTableSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(DestTable, MemoryIsThetaNLogD) {
+  // On a ring (degree 2) the table costs ~2 bits per destination: one
+  // reachability flag + one port bit.
+  Rng rng(1);
+  const std::size_t n = 128;
+  const Graph g = ring(n);
+  const auto w = random_integer_weights(g, 1, 9, rng);
+  const auto scheme =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  const auto fp = measure_footprint(scheme, n);
+  EXPECT_GE(fp.max_node_bits, n - 1);      // at least 1 bit per destination
+  EXPECT_LE(fp.max_node_bits, 4 * n);      // and O(n log d) with d = 2
+  EXPECT_EQ(scheme.label_bits(0), 7u);     // log2(128)
+}
+
+TEST(DestTable, UnreachableDestinationsFailClosed) {
+  // Disconnected pair: the scheme reports an invalid port, the simulator
+  // gives up, nothing loops.
+  Graph g(3);
+  g.add_edge(0, 1);
+  EdgeMap<std::uint64_t> w = {1};
+  const auto scheme =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  const RouteResult r = simulate_route(scheme, g, 0, 2);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.path, (NodePath{0}));
+}
+
+TEST(SrcDestTable, ImplementsShortestWidest) {
+  const ShortestWidest sw;
+  Rng rng(7);
+  const Graph g = erdos_renyi_connected(14, 0.3, rng);
+  EdgeMap<ShortestWidest::Weight> w(g.edge_count());
+  for (auto& x : w) x = {rng.uniform(1, 5), rng.uniform(1, 9)};
+
+  std::vector<std::vector<NodePath>> paths(g.node_count());
+  std::vector<std::vector<std::optional<ShortestWidest::Weight>>> truth(
+      g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto row = shortest_widest_exact(sw, g, w, s);
+    paths[s] = row.paths;
+    truth[s] = row.weight;
+  }
+  const SourceDestTableScheme scheme(g, paths);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (s == t) continue;
+      const RouteResult r = simulate_route(scheme, g, s, t);
+      ASSERT_TRUE(r.delivered) << "s=" << s << " t=" << t;
+      const auto pw = weight_of_path(sw, g, w, r.path);
+      ASSERT_TRUE(pw.has_value());
+      EXPECT_TRUE(order_equal(sw, *pw, *truth[s][t]));
+    }
+  }
+}
+
+TEST(SrcDestTable, StoresOnlyTransitEntries) {
+  // On a path graph the middle node carries entries for pairs crossing
+  // it; a leaf only for pairs it originates/terminates.
+  const Graph g = path_graph(5);
+  std::vector<std::vector<NodePath>> paths(5, std::vector<NodePath>(5));
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId t = 0; t < 5; ++t) {
+      if (s == t) continue;
+      NodePath p;
+      if (s < t) {
+        for (NodeId x = s; x <= t; ++x) p.push_back(x);
+      } else {
+        for (NodeId x = s; x != t; --x) p.push_back(x);
+        p.push_back(t);
+      }
+      paths[s][t] = p;
+    }
+  }
+  const SourceDestTableScheme scheme(g, paths);
+  EXPECT_GT(scheme.entry_count(2), scheme.entry_count(0));
+  // Node 0 appears as transit for no pair: only its own 4 destinations.
+  EXPECT_EQ(scheme.entry_count(0), 4u);
+  // Memory grows with entries.
+  EXPECT_GT(scheme.local_memory_bits(2), scheme.local_memory_bits(0));
+}
+
+TEST(SrcDestTable, MissingEntryFailsClosed) {
+  const Graph g = path_graph(3);
+  std::vector<std::vector<NodePath>> paths(3, std::vector<NodePath>(3));
+  paths[0][2] = {0, 1, 2};  // only one route installed
+  const SourceDestTableScheme scheme(g, paths);
+  EXPECT_TRUE(simulate_route(scheme, g, 0, 2).delivered);
+  EXPECT_FALSE(simulate_route(scheme, g, 2, 0).delivered);
+}
+
+}  // namespace
+}  // namespace cpr

@@ -1,0 +1,78 @@
+// Workload generators and the evaluation harness.
+#include "algebra/primitives.hpp"
+#include "graph/generators.hpp"
+#include "scheme/dest_table.hpp"
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+TEST(Workload, DemandsNeverSelfLoop) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_connected(20, 0.3, rng);
+  for (const auto kind :
+       {WorkloadGenerator::Kind::kUniform, WorkloadGenerator::Kind::kGravity,
+        WorkloadGenerator::Kind::kHotspot}) {
+    WorkloadGenerator w(kind, g, rng);
+    for (int i = 0; i < 500; ++i) {
+      const Demand d = w.next();
+      EXPECT_NE(d.source, d.target);
+      EXPECT_LT(d.source, g.node_count());
+      EXPECT_LT(d.target, g.node_count());
+    }
+  }
+}
+
+TEST(Workload, GravityFavorsHighDegreeNodes) {
+  // A star: the hub has degree n-1; gravity sampling must pick it far
+  // more often than any leaf.
+  Rng rng(2);
+  const Graph g = star(40);
+  WorkloadGenerator w(WorkloadGenerator::Kind::kGravity, g, rng);
+  std::size_t hub_hits = 0, total = 4000;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Demand d = w.next();
+    hub_hits += (d.source == 0) + (d.target == 0);
+  }
+  // Hub mass = 39/(2*39) = 1/2 of endpoint picks.
+  EXPECT_GT(hub_hits, total * 2 / 3);  // of 2*total endpoints
+}
+
+TEST(Workload, HotspotConcentratesTargets) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_connected(50, 0.15, rng);
+  WorkloadGenerator w(WorkloadGenerator::Kind::kHotspot, g, rng,
+                      /*hotspot_count=*/2, /*hotspot_fraction=*/0.9);
+  std::map<NodeId, std::size_t> target_counts;
+  for (int i = 0; i < 3000; ++i) ++target_counts[w.next().target];
+  std::vector<std::size_t> counts;
+  for (const auto& [node, c] : target_counts) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // The top two targets soak up most of the traffic.
+  EXPECT_GT(counts[0] + counts[1], 3000u * 3 / 5);
+}
+
+TEST(Workload, EvaluationOnPerfectSchemeIsStretchOne) {
+  Rng rng(4);
+  const ShortestPath alg{16};
+  const Graph g = erdos_renyi_connected(24, 0.3, rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  const auto trees = all_pairs_trees(alg, g, w);
+  const auto scheme = DestinationTableScheme::from_algebra(alg, g, w);
+  WorkloadGenerator workload(WorkloadGenerator::Kind::kUniform, g, rng);
+  const auto ev = evaluate_workload(
+      scheme, alg, g, w, trees, workload, 800,
+      [](std::uint64_t p, std::uint64_t a) {
+        return static_cast<double>(a) / static_cast<double>(p);
+      });
+  EXPECT_EQ(ev.delivered, ev.demands);
+  EXPECT_DOUBLE_EQ(ev.stretch_1_fraction, 1.0);
+  EXPECT_NEAR(ev.stretch_stats.max, 1.0, 1e-12);
+  EXPECT_GT(ev.hop_stats.mean, 1.0);
+}
+
+}  // namespace
+}  // namespace cpr
