@@ -16,6 +16,7 @@
 #include "scheme/dest_table.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -145,6 +146,39 @@ void BM_CowenBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CowenBuild)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Construction throughput of the parallel build path: same graph, same
+// seed, pools of 1 and 8 threads. Construction is deterministic in the
+// thread count, so the two runs produce identical schemes and the ratio
+// is a pure wall-clock speedup. Run with
+//   --benchmark_filter=BM_CowenBuildParallel --benchmark_min_time=1x
+// on a multi-core box; on a single hardware thread the ratio is ~1.
+void BM_CowenBuildParallel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  Rng rng(n);
+  const Graph g = bench::sweep_graph(n, 3);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    Rng build_rng(42);
+    CowenOptions opt;
+    opt.pool = &pool;
+    const auto scheme = CowenScheme<ShortestPath>::build(ShortestPath{}, g, w,
+                                                         build_rng, opt);
+    benchmark::DoNotOptimize(scheme.landmark_count());
+  }
+  state.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_CowenBuildParallel)
+    ->Args({1000, 1})
+    ->Args({1000, 8})
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace cpr

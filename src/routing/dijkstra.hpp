@@ -14,6 +14,7 @@
 
 #include "algebra/algebra.hpp"
 #include "routing/path.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <optional>
@@ -121,15 +122,19 @@ PathTree<typename A::Weight> dijkstra(const A& alg, const Graph& g,
 // All-source trees (n Dijkstra runs). In an undirected graph with a
 // commutative algebra, the tree rooted at t also encodes every node's
 // preferred path *to* t, which is how destination-based routing tables are
-// filled (Observation 1).
+// filled (Observation 1). The runs are independent policy-Dijkstras, so
+// they fan out over the pool; each root writes only its own pre-sized
+// slot, making the result bit-identical to the sequential loop for any
+// thread count. Pass nullptr to use the process-global pool.
 template <RoutingAlgebra A>
 std::vector<PathTree<typename A::Weight>> all_pairs_trees(
-    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w) {
-  std::vector<PathTree<typename A::Weight>> trees;
-  trees.reserve(g.node_count());
-  for (NodeId s = 0; s < g.node_count(); ++s) {
-    trees.push_back(dijkstra(alg, g, w, s));
-  }
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    ThreadPool* pool = nullptr) {
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  std::vector<PathTree<typename A::Weight>> trees(g.node_count());
+  parallel_for(p, 0, g.node_count(), [&](std::size_t s) {
+    trees[s] = dijkstra(alg, g, w, static_cast<NodeId>(s));
+  });
   return trees;
 }
 

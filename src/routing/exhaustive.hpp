@@ -11,6 +11,7 @@
 
 #include "algebra/algebra.hpp"
 #include "routing/path.hpp"
+#include "util/thread_pool.hpp"
 
 #include <optional>
 
@@ -81,6 +82,31 @@ PreferredPath<typename A::Weight> exhaustive_preferred(
     stack.push_back({adj.neighbor, 0, cand});
   }
   return best;
+}
+
+// All-pairs ground truth: result[s][t] is the preferred s→t path. The n²
+// DFS enumerations are independent, so they fan out across the pool one
+// source-row at a time (each row is a single task: rows share no state and
+// write disjoint pre-sized slots, so the matrix is bit-identical to the
+// sequential double loop for any thread count). Still exponential per
+// pair — same ~12-node intended scale as above, just wall-clock compressed
+// for the differential harnesses that cross-check whole graphs.
+template <RoutingAlgebra A>
+std::vector<std::vector<PreferredPath<typename A::Weight>>>
+exhaustive_all_pairs(const A& alg, const Graph& g,
+                     const EdgeMap<typename A::Weight>& w,
+                     ThreadPool* pool = nullptr) {
+  using W = typename A::Weight;
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<PreferredPath<W>>> truth(
+      n, std::vector<PreferredPath<W>>(n));
+  parallel_for(p, 0, n, [&](std::size_t s) {
+    for (NodeId t = 0; t < n; ++t) {
+      truth[s][t] = exhaustive_preferred(alg, g, w, static_cast<NodeId>(s), t);
+    }
+  });
+  return truth;
 }
 
 // Enumerates *all* traversable preferred paths (every path whose weight is

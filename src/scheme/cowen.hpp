@@ -27,6 +27,15 @@
 // an initial random sample of ~sqrt(n ln n) landmarks, then any node whose
 // cluster exceeds the cap is promoted to a landmark and balls are
 // recomputed, which terminates and keeps max |C(u)| bounded.
+//
+// Parallel construction: the heavy phases — per-root preferred-path trees,
+// nearest-landmark assignment, ball/cluster scans, table fill — are
+// independent per node, so they fan out over a ThreadPool. All randomness
+// (the landmark sample) is drawn sequentially before any parallel region,
+// every parallel loop writes only the slot of its own index, and the
+// promotion reduction runs on the calling thread in node order, so the
+// resulting scheme is bit-identical for every thread count (pinned by
+// tests/test_parallel_determinism.cpp).
 #pragma once
 
 #include "algebra/algebra.hpp"
@@ -34,6 +43,7 @@
 #include "scheme/scheme.hpp"
 #include "util/bitstream.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cmath>
 #include <map>
@@ -49,6 +59,9 @@ struct CowenOptions {
   std::size_t cluster_cap = 0;
   // Force strict/non-strict balls; by default follows the SM flag.
   enum class Balls { kAuto, kStrict, kNonStrict } balls = Balls::kAuto;
+  // Pool for the parallel construction phases; nullptr = process-global
+  // pool. The built scheme does not depend on the pool's thread count.
+  ThreadPool* pool = nullptr;
 };
 
 template <RoutingAlgebra A>
@@ -87,10 +100,12 @@ class CowenScheme {
         break;
     }
 
+    s.pool_ = opt.pool ? opt.pool : &ThreadPool::global();
+
     // Preferred-path trees from every root; tree[t] gives both w(p*_t,u)
-    // and u's next hop toward t (undirected + commutative).
-    s.trees_.reserve(n);
-    for (NodeId t = 0; t < n; ++t) s.trees_.push_back(dijkstra(alg, g, w, t));
+    // and u's next hop toward t (undirected + commutative). One
+    // policy-Dijkstra per root, fanned out across the pool.
+    s.trees_ = all_pairs_trees(alg, g, w, s.pool_);
 
     s.is_landmark_.assign(n, false);
     for (std::size_t i : rng.sample_without_replacement(n, std::min(init, n))) {
@@ -175,7 +190,12 @@ class CowenScheme {
   }
   bool strict_balls() const { return strict_balls_; }
   NodeId landmark_of(NodeId v) const { return landmark_of_[v]; }
+  bool is_landmark(NodeId v) const { return is_landmark_[v]; }
   const PathTree<W>& tree(NodeId t) const { return trees_[t]; }
+  // The raw (target → port) table of node u, exposed so the determinism
+  // tests can compare parallel builds entry-by-entry.
+  const std::map<NodeId, Port>& table(NodeId u) const { return tables_[u]; }
+  Port port_at_landmark(NodeId v) const { return port_at_landmark_[v]; }
 
  private:
   CowenScheme(const A& alg, const Graph& g) : alg_(alg), graph_(&g) {}
@@ -200,40 +220,69 @@ class CowenScheme {
     return a < b;
   }
 
+  // Ball radius of v (⪯-distance to its landmark); nullopt for landmarks
+  // and disconnected nodes. Shared by the cluster scan and the table fill.
+  std::vector<std::optional<W>> ball_radii() const {
+    const std::size_t n = graph_->node_count();
+    std::vector<std::optional<W>> radius(n);
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t v) {
+          if (is_landmark_[v]) return;  // B(landmark) = ∅
+          const NodeId lv = landmark_of_[v];
+          if (lv == kInvalidNode) return;
+          radius[v] = dist(static_cast<NodeId>(v), lv);
+        },
+        /*grain=*/64);
+    return radius;
+  }
+
   void recompute_until_stable() {
     const std::size_t n = graph_->node_count();
     for (int round = 0;; ++round) {
-      // Nearest landmark per node.
+      // Nearest landmark per node; each u scans the landmarks in ascending
+      // id order, so the deterministic tie-break is schedule-independent.
+      std::vector<NodeId> landmarks;
+      for (NodeId l = 0; l < n; ++l) {
+        if (is_landmark_[l]) landmarks.push_back(l);
+      }
       landmark_of_.assign(n, kInvalidNode);
-      for (NodeId u = 0; u < n; ++u) {
-        if (is_landmark_[u]) {
-          landmark_of_[u] = u;
-          continue;
-        }
-        NodeId best = kInvalidNode;
-        for (NodeId l = 0; l < n; ++l) {
-          if (!is_landmark_[l]) continue;
-          if (best == kInvalidNode || landmark_better(u, l, best)) best = l;
-        }
-        landmark_of_[u] = best;
-      }
-      // Cluster sizes: C(u) = { v : u ∈ B(v) }.
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t i) {
+            const NodeId u = static_cast<NodeId>(i);
+            if (is_landmark_[u]) {
+              landmark_of_[u] = u;
+              return;
+            }
+            NodeId best = kInvalidNode;
+            for (NodeId l : landmarks) {
+              if (best == kInvalidNode || landmark_better(u, l, best)) best = l;
+            }
+            landmark_of_[u] = best;
+          },
+          /*grain=*/16);
+      // Cluster sizes: C(u) = { v : u ∈ B(v) }, counted from u's side so
+      // each task owns exactly one counter slot (no shared accumulators).
+      const auto radius = ball_radii();
       cluster_sizes_.assign(n, 0);
-      for (NodeId v = 0; v < n; ++v) {
-        if (is_landmark_[v]) continue;  // B(landmark) = ∅
-        const NodeId lv = landmark_of_[v];
-        if (lv == kInvalidNode) continue;
-        const auto& radius = dist(v, lv);
-        if (!radius.has_value()) continue;
-        for (NodeId u = 0; u < n; ++u) {
-          if (u == v) continue;
-          const auto& d = dist(v, u);
-          if (!d.has_value()) continue;
-          const bool inside = strict_balls_ ? alg_.less(*d, *radius)
-                                            : leq(alg_, *d, *radius);
-          if (inside) ++cluster_sizes_[u];
-        }
-      }
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t i) {
+            const NodeId u = static_cast<NodeId>(i);
+            std::size_t count = 0;
+            for (NodeId v = 0; v < n; ++v) {
+              if (v == u || !radius[v].has_value()) continue;
+              const auto& d = dist(v, u);
+              if (!d.has_value()) continue;
+              const bool inside = strict_balls_ ? alg_.less(*d, *radius[v])
+                                                : leq(alg_, *d, *radius[v]);
+              if (inside) ++count;
+            }
+            cluster_sizes_[u] = count;
+          },
+          /*grain=*/8);
+      // Ordered promotion reduction on the calling thread.
       bool promoted = false;
       for (NodeId u = 0; u < n; ++u) {
         if (!is_landmark_[u] && cluster_sizes_[u] > cluster_cap_) {
@@ -247,52 +296,59 @@ class CowenScheme {
 
   void build_tables() {
     const std::size_t n = graph_->node_count();
+    const auto radius = ball_radii();
     tables_.assign(n, {});
-    // Landmark entries everywhere; cluster entries where u ∈ B(v).
-    for (NodeId u = 0; u < n; ++u) {
-      for (NodeId l = 0; l < n; ++l) {
-        if (!is_landmark_[l] || l == u) continue;
-        if (trees_[l].reachable(u)) {
-          tables_[u][l] = graph_->port_to(u, trees_[l].parent[u]);
-        }
-      }
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      if (is_landmark_[v]) continue;
-      const NodeId lv = landmark_of_[v];
-      if (lv == kInvalidNode) continue;
-      const auto& radius = dist(v, lv);
-      if (!radius.has_value()) continue;
-      for (NodeId u = 0; u < n; ++u) {
-        if (u == v || !trees_[v].reachable(u)) continue;
-        const auto& d = dist(v, u);
-        if (!d.has_value()) continue;
-        const bool inside = strict_balls_ ? alg_.less(*d, *radius)
-                                          : leq(alg_, *d, *radius);
-        if (inside) {
-          tables_[u][v] = graph_->port_to(u, trees_[v].parent[u]);
-        }
-      }
-    }
+    // Each task fills one node's table — landmark entries everywhere,
+    // cluster entries where u ∈ B(v). The per-u std::map keeps entries in
+    // target order, so the encoded tables are schedule-independent.
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId u = static_cast<NodeId>(i);
+          for (NodeId l = 0; l < n; ++l) {
+            if (!is_landmark_[l] || l == u) continue;
+            if (trees_[l].reachable(u)) {
+              tables_[u][l] = graph_->port_to(u, trees_[l].parent[u]);
+            }
+          }
+          for (NodeId v = 0; v < n; ++v) {
+            if (v == u || !radius[v].has_value()) continue;
+            if (!trees_[v].reachable(u)) continue;
+            const auto& d = dist(v, u);
+            if (!d.has_value()) continue;
+            const bool inside = strict_balls_ ? alg_.less(*d, *radius[v])
+                                              : leq(alg_, *d, *radius[v]);
+            if (inside) {
+              tables_[u][v] = graph_->port_to(u, trees_[v].parent[u]);
+            }
+          }
+        },
+        /*grain=*/8);
     // Labels: first hop out of l_v on the preferred l_v→v path.
     port_at_landmark_.assign(n, kInvalidPort);
-    for (NodeId v = 0; v < n; ++v) {
-      const NodeId lv = landmark_of_[v];
-      if (lv == kInvalidNode || lv == v) continue;
-      // Walk v's parent chain in tree(lv) to find the hop adjacent to lv.
-      NodeId x = v;
-      while (trees_[lv].parent[x] != lv) {
-        x = trees_[lv].parent[x];
-        if (x == kInvalidNode) break;
-      }
-      if (x != kInvalidNode) {
-        port_at_landmark_[v] = graph_->port_to(lv, x);
-      }
-    }
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId v = static_cast<NodeId>(i);
+          const NodeId lv = landmark_of_[v];
+          if (lv == kInvalidNode || lv == v) return;
+          // Walk v's parent chain in tree(lv) to find the hop adjacent to
+          // lv.
+          NodeId x = v;
+          while (trees_[lv].parent[x] != lv) {
+            x = trees_[lv].parent[x];
+            if (x == kInvalidNode) break;
+          }
+          if (x != kInvalidNode) {
+            port_at_landmark_[v] = graph_->port_to(lv, x);
+          }
+        },
+        /*grain=*/64);
   }
 
   const A alg_;
   const Graph* graph_;
+  ThreadPool* pool_ = nullptr;
   std::vector<PathTree<W>> trees_;
   std::vector<bool> is_landmark_;
   std::vector<NodeId> landmark_of_;

@@ -1,5 +1,7 @@
 #include "scheme/spanning_tree.hpp"
 
+#include "util/thread_pool.hpp"
+
 #include <deque>
 #include <stdexcept>
 
@@ -49,6 +51,18 @@ RootedTree RootedTree::from_edges(const Graph& g,
     if (u != root) t.subtree_size[t.parent[u]] += t.subtree_size[u];
   }
   return t;
+}
+
+std::vector<RootedTree> rooted_forest(const Graph& g,
+                                      const std::vector<EdgeId>& tree_edges,
+                                      const std::vector<NodeId>& roots,
+                                      ThreadPool* pool) {
+  ThreadPool& p = pool ? *pool : ThreadPool::global();
+  std::vector<RootedTree> forest(roots.size());
+  parallel_for(p, 0, roots.size(), [&](std::size_t i) {
+    forest[i] = RootedTree::from_edges(g, tree_edges, roots[i]);
+  });
+  return forest;
 }
 
 }  // namespace cpr

@@ -51,4 +51,16 @@ struct RootedTree {
                                NodeId root = 0);
 };
 
+class ThreadPool;
+
+// One rooted view per requested root, built in parallel (each root is an
+// independent BFS over the same edge set, writing only its own slot — the
+// result is identical to calling from_edges per root sequentially). This
+// is how the multi-root tree-router and ablation experiments amortize
+// forest construction. Pass nullptr to use the process-global pool.
+std::vector<RootedTree> rooted_forest(const Graph& g,
+                                      const std::vector<EdgeId>& tree_edges,
+                                      const std::vector<NodeId>& roots,
+                                      ThreadPool* pool = nullptr);
+
 }  // namespace cpr

@@ -13,7 +13,8 @@ namespace cpr {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : seed_(seed), engine_(seed) {}
 
   // Uniform integer in [lo, hi] inclusive.
   std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
@@ -53,7 +54,21 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  // Deterministic child stream for parallel task `stream`: the returned
+  // Rng is a pure function of (construction seed, stream), independent of
+  // how much this Rng has been consumed and of any thread schedule. This
+  // is what keeps parallel constructions bit-identical across thread
+  // counts — task i always draws from fork(i), never from a shared stream.
+  Rng fork(std::uint64_t stream) const {
+    // splitmix64 finalizer over seed ⊕ golden-ratio-scrambled stream id.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

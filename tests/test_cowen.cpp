@@ -7,6 +7,7 @@
 #include "routing/shortest_widest.hpp"
 #include "scheme/cowen.hpp"
 #include "scheme/dest_table.hpp"
+#include "test_support.hpp"
 
 #include <gtest/gtest.h>
 
@@ -18,25 +19,20 @@ namespace {
 template <RoutingAlgebra A>
 void expect_stretch3(const A& alg, std::uint64_t seed, std::size_t n,
                      CowenOptions opt = {}) {
-  Rng rng(seed);
-  const Graph g = erdos_renyi_connected(n, 0.25, rng);
-  EdgeMap<typename A::Weight> w(g.edge_count());
-  for (auto& x : w) x = alg.sample(rng);
-  const auto scheme = CowenScheme<A>::build(alg, g, w, rng, opt);
+  auto inst = test::seeded_instance(alg, seed, n, 0.25);
+  const Graph& g = inst.graph;
+  const auto& w = inst.weights;
+  const auto scheme = CowenScheme<A>::build(alg, g, w, inst.rng, opt);
   for (NodeId s = 0; s < g.node_count(); ++s) {
     for (NodeId t = 0; t < g.node_count(); ++t) {
       const RouteResult r = simulate_route(scheme, g, s, t);
       ASSERT_TRUE(r.delivered) << alg.name() << " s=" << s << " t=" << t;
       if (s == t) continue;
-      const auto achieved = weight_of_path(alg, g, w, r.path);
-      ASSERT_TRUE(achieved.has_value());
       const auto& preferred = scheme.tree(t).weight[s];
       ASSERT_TRUE(preferred.has_value());
-      const auto k = algebraic_stretch(alg, *preferred, *achieved, 3);
-      EXPECT_TRUE(k.has_value())
-          << alg.name() << " s=" << s << " t=" << t
-          << " preferred=" << alg.to_string(*preferred)
-          << " achieved=" << alg.to_string(*achieved);
+      EXPECT_TRUE(test::path_weight_within_stretch(alg, g, w, r.path,
+                                                   *preferred, 3))
+          << " s=" << s << " t=" << t;
     }
   }
 }
@@ -66,15 +62,13 @@ TEST(Cowen, AutoBallStrictnessFollowsSm) {
   Rng rng(1);
   const Graph g = erdos_renyi_connected(16, 0.3, rng);
   {
-    EdgeMap<std::uint64_t> w(g.edge_count());
-    for (auto& x : w) x = rng.uniform(1, 9);
+    const auto w = test::integer_weights(g, rng, 1, 9);
     const auto s =
         CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
     EXPECT_TRUE(s.strict_balls());
   }
   {
-    EdgeMap<std::uint64_t> w(g.edge_count());
-    for (auto& x : w) x = rng.uniform(1, 9);
+    const auto w = test::integer_weights(g, rng, 1, 9);
     const auto s = CowenScheme<WidestPath>::build(WidestPath{}, g, w, rng);
     EXPECT_FALSE(s.strict_balls());
   }
@@ -83,8 +77,7 @@ TEST(Cowen, AutoBallStrictnessFollowsSm) {
 TEST(Cowen, LandmarkPromotionCapsClusters) {
   Rng rng(2);
   const Graph g = erdos_renyi_connected(60, 0.15, rng);
-  EdgeMap<std::uint64_t> w(g.edge_count());
-  for (auto& x : w) x = rng.uniform(1, 50);
+  const auto w = test::integer_weights(g, rng, 1, 50);
   CowenOptions opt;
   opt.initial_landmarks = 2;  // tiny start forces promotion
   opt.cluster_cap = 8;
@@ -100,8 +93,7 @@ TEST(Cowen, LabelsAreThreeFieldsOfLogN) {
   Rng rng(3);
   const std::size_t n = 64;
   const Graph g = erdos_renyi_connected(n, 0.2, rng);
-  EdgeMap<std::uint64_t> w(g.edge_count());
-  for (auto& x : w) x = rng.uniform(1, 9);
+  const auto w = test::integer_weights(g, rng, 1, 9);
   const auto s = CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
   const double lg = std::log2(static_cast<double>(n));
   const double lgd = std::log2(static_cast<double>(g.max_degree()) + 1);
@@ -116,8 +108,7 @@ TEST(Cowen, TablesBeatFullTablesOnLargerGraphs) {
   Rng rng(4);
   const std::size_t n = 600;
   const Graph g = erdos_renyi_connected(n, 0.015, rng);
-  EdgeMap<std::uint64_t> w(g.edge_count());
-  for (auto& x : w) x = rng.uniform(1, 1000);
+  const auto w = test::integer_weights(g, rng, 1, 1000);
   const auto cowen =
       CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
   const auto tables =
@@ -132,8 +123,7 @@ TEST(Cowen, HeaderCodecRoundTripsAtReportedSize) {
   Rng rng(8);
   const std::size_t n = 48;
   const Graph g = erdos_renyi_connected(n, 0.2, rng);
-  EdgeMap<std::uint64_t> w(g.edge_count());
-  for (auto& x : w) x = rng.uniform(1, 99);
+  const auto w = test::integer_weights(g, rng, 1, 99);
   const auto s = CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, rng);
   for (NodeId v = 0; v < n; ++v) {
     const auto header = s.make_header(v);
@@ -151,8 +141,7 @@ TEST(Cowen, EveryNodeLandmarkDegeneratesGracefully) {
   // stretch 1, tables of size n-1 (like destination tables).
   Rng rng(5);
   const Graph g = erdos_renyi_connected(12, 0.4, rng);
-  EdgeMap<std::uint64_t> w(g.edge_count());
-  for (auto& x : w) x = rng.uniform(1, 9);
+  const auto w = test::integer_weights(g, rng, 1, 9);
   CowenOptions opt;
   opt.initial_landmarks = 12;
   const auto s =

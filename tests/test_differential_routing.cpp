@@ -1,0 +1,165 @@
+// Differential test harness: the batched query runtime (`route_batch`)
+// cross-checked against exhaustive ground truth (routing/exhaustive.hpp)
+// on a corpus of seeded random graphs, one algebra per Table-1 row shape:
+//
+//   S  (shortest path)   : Cowen scheme, algebraic stretch w(p) ⪯ w(p*)³
+//                          (Theorem 3 / Lemma 4).
+//   WS (widest-shortest) : regular lex product, same stretch-3 bound.
+//   W  (widest path)     : selective ⇒ w³ = w, so the stretch bound
+//                          collapses to exact preference; additionally the
+//                          preferred spanning tree routes every pair
+//                          exactly (Theorem 1).
+//   SW (shortest-widest) : not isotone — Cowen/Dijkstra are off the table;
+//                          the src-dest table scheme built from the exact
+//                          solver must reproduce ground truth at stretch 1.
+//
+// Everything is routed through route_batch over a multithreaded pool, so a
+// scheduling bug that reordered or crossed query state would surface as a
+// weight mismatch here.
+#include "algebra/primitives.hpp"
+#include "routing/exhaustive.hpp"
+#include "routing/shortest_widest.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/srcdest_table.hpp"
+#include "scheme/tree_router.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+// Corpus shape: ~50 seeds × 9 nodes keeps exhaustive enumeration instant
+// while staying above the gadget sizes where schemes degenerate.
+constexpr std::size_t kNodes = 9;
+constexpr double kEdgeProbability = 0.35;
+
+std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> qs;
+  qs.reserve(n * (n - 1));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) qs.emplace_back(s, t);
+    }
+  }
+  return qs;
+}
+
+// Routes all pairs through the scheme in one batch and checks every
+// delivered path against the exhaustive optimum at algebraic stretch ≤ k.
+template <RoutingAlgebra A, CompactRoutingScheme S>
+void expect_batch_within_stretch(const A& alg, const Graph& g,
+                                 const EdgeMap<typename A::Weight>& w,
+                                 const S& scheme, std::size_t k,
+                                 ThreadPool& pool) {
+  const auto truth = exhaustive_all_pairs(alg, g, w, &pool);
+  const auto queries = all_pairs(g.node_count());
+  const auto results = route_batch(scheme, g, queries, &pool);
+  ASSERT_EQ(results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [s, t] = queries[i];
+    ASSERT_TRUE(truth[s][t].traversable())
+        << alg.name() << " s=" << s << " t=" << t;
+    ASSERT_TRUE(results[i].delivered)
+        << alg.name() << " s=" << s << " t=" << t;
+    EXPECT_TRUE(test::path_weight_within_stretch(alg, g, w, results[i].path,
+                                                 *truth[s][t].weight, k))
+        << " s=" << s << " t=" << t;
+  }
+}
+
+class DifferentialSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSeeds, ShortestPathCowenStretch3) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kNodes, kEdgeProbability);
+  ThreadPool pool(4);
+  CowenOptions opt;
+  opt.pool = &pool;
+  const auto scheme = CowenScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng, opt);
+  expect_batch_within_stretch(alg, inst.graph, inst.weights, scheme, 3, pool);
+}
+
+TEST_P(DifferentialSeeds, WidestShortestCowenStretch3) {
+  const WidestShortest alg{ShortestPath{16}, WidestPath{8}};
+  auto inst = test::seeded_instance(alg, GetParam(), kNodes, kEdgeProbability);
+  ThreadPool pool(4);
+  CowenOptions opt;
+  opt.pool = &pool;
+  const auto scheme = CowenScheme<WidestShortest>::build(
+      alg, inst.graph, inst.weights, inst.rng, opt);
+  expect_batch_within_stretch(alg, inst.graph, inst.weights, scheme, 3, pool);
+}
+
+TEST_P(DifferentialSeeds, WidestPathCowenCollapsesToExact) {
+  // Selective algebra: w ⊕ w = w, so stretch ≤ 3 *is* exact preference —
+  // the harness pins the collapse by asking for k = 1.
+  const WidestPath alg{8};
+  auto inst = test::seeded_instance(alg, GetParam(), kNodes, kEdgeProbability);
+  ThreadPool pool(4);
+  CowenOptions opt;
+  opt.pool = &pool;
+  const auto scheme = CowenScheme<WidestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng, opt);
+  expect_batch_within_stretch(alg, inst.graph, inst.weights, scheme, 1, pool);
+}
+
+TEST_P(DifferentialSeeds, WidestPathSpanningTreeIsExact) {
+  // Theorem 1: for selective + monotone algebras the preferred spanning
+  // tree carries a preferred path for every pair, so tree routing is
+  // stretch-free. Routed through route_batch over the tree router.
+  const WidestPath alg{8};
+  auto inst = test::seeded_instance(alg, GetParam(), kNodes, kEdgeProbability);
+  const Graph& g = inst.graph;
+  ThreadPool pool(4);
+  const auto truth = exhaustive_all_pairs(alg, g, inst.weights, &pool);
+  const auto tree_edges = preferred_spanning_tree(alg, g, inst.weights);
+  const TreeRouter router(g, tree_edges, 0);
+  const auto queries = all_pairs(g.node_count());
+  const auto results = route_batch(router, g, queries, &pool);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [s, t] = queries[i];
+    ASSERT_TRUE(results[i].delivered) << "s=" << s << " t=" << t;
+    EXPECT_TRUE(test::path_weight_order_equal(alg, g, inst.weights,
+                                              results[i].path,
+                                              *truth[s][t].weight))
+        << " s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(DifferentialSeeds, ShortestWidestSrcDestTablesAreExact) {
+  // SW is monotone but not isotone: no Cowen scheme, no Dijkstra. The
+  // paper's fallback — per-(source, destination) tables filled from the
+  // exact solver — must reproduce the exhaustive optimum at stretch 1.
+  const ShortestWidest alg;
+  Rng rng(GetParam());
+  const Graph g = erdos_renyi_connected(kNodes, kEdgeProbability, rng);
+  const auto w = test::random_sw_weights(g, rng);
+  ThreadPool pool(4);
+  const auto truth = exhaustive_all_pairs(alg, g, w, &pool);
+  std::vector<std::vector<NodePath>> paths(g.node_count());
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    paths[s] = shortest_widest_exact(alg, g, w, s).paths;
+  }
+  const SourceDestTableScheme scheme(g, paths);
+  const auto queries = all_pairs(g.node_count());
+  const auto results = route_batch(scheme, g, queries, &pool);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [s, t] = queries[i];
+    ASSERT_TRUE(results[i].delivered) << "s=" << s << " t=" << t;
+    EXPECT_TRUE(test::path_weight_order_equal(alg, g, w, results[i].path,
+                                              *truth[s][t].weight))
+        << " s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphCorpus, DifferentialSeeds,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace cpr

@@ -4,21 +4,14 @@
 #include "graph/generators.hpp"
 #include "routing/exhaustive.hpp"
 #include "routing/shortest_widest.hpp"
+#include "test_support.hpp"
 
 #include <gtest/gtest.h>
 
 namespace cpr {
 namespace {
 
-EdgeMap<ShortestWidest::Weight> random_sw_weights(const Graph& g, Rng& rng,
-                                                  std::uint64_t cap_max = 5,
-                                                  std::uint64_t cost_max = 9) {
-  EdgeMap<ShortestWidest::Weight> w(g.edge_count());
-  for (auto& x : w) {
-    x = {rng.uniform(1, cap_max), rng.uniform(1, cost_max)};
-  }
-  return w;
-}
+using test::random_sw_weights;
 
 class SwSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -38,9 +31,9 @@ TEST_P(SwSeeds, MatchesExhaustiveOnRandomGraphs) {
           << "s=" << s << " t=" << t << " exact=" << sw.to_string(*row.weight[t])
           << " truth=" << sw.to_string(*truth.weight);
       // The returned explicit path realizes the weight.
-      const auto pw = weight_of_path(sw, g, w, row.paths[t]);
-      ASSERT_TRUE(pw.has_value());
-      EXPECT_TRUE(order_equal(sw, *pw, *row.weight[t]));
+      EXPECT_TRUE(test::path_weight_order_equal(sw, g, w, row.paths[t],
+                                                *row.weight[t]))
+          << " s=" << s << " t=" << t;
     }
   }
 }

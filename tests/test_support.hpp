@@ -1,0 +1,123 @@
+// Shared test scaffolding: the seeded random-graph corpus, algebra weight
+// fixtures, and path-weight comparators that the scheme/solver tests keep
+// needing. Everything is a pure function of the seeds passed in, so test
+// cases stay reproducible and the parallel-determinism harness can rebuild
+// byte-identical instances at will.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/generators.hpp"
+#include "routing/path.hpp"
+#include "routing/shortest_widest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace cpr::test {
+
+// Every edge id of g in id order — the "whole graph is the tree" input of
+// the tree-router tests.
+inline std::vector<EdgeId> all_edges(const Graph& g) {
+  std::vector<EdgeId> e(g.edge_count());
+  std::iota(e.begin(), e.end(), EdgeId{0});
+  return e;
+}
+
+// One alg-sampled weight per edge, drawn in edge-id order.
+template <RoutingAlgebra A>
+EdgeMap<typename A::Weight> sampled_weights(const A& alg, const Graph& g,
+                                            Rng& rng) {
+  EdgeMap<typename A::Weight> w(g.edge_count());
+  for (auto& x : w) x = alg.sample(rng);
+  return w;
+}
+
+// Integer weights in [lo, hi], in edge-id order.
+inline EdgeMap<std::uint64_t> integer_weights(const Graph& g, Rng& rng,
+                                              std::uint64_t lo,
+                                              std::uint64_t hi) {
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(lo, hi);
+  return w;
+}
+
+// Shortest-widest fixtures: {capacity in [1, cap_max], cost in
+// [1, cost_max]} per edge. Small ranges on purpose — ties are where SW
+// solvers go wrong.
+inline EdgeMap<ShortestWidest::Weight> random_sw_weights(
+    const Graph& g, Rng& rng, std::uint64_t cap_max = 5,
+    std::uint64_t cost_max = 9) {
+  EdgeMap<ShortestWidest::Weight> w(g.edge_count());
+  for (auto& x : w) {
+    x = {rng.uniform(1, cap_max), rng.uniform(1, cost_max)};
+  }
+  return w;
+}
+
+// A seeded instance of the random-graph corpus: connected G(n, p) plus
+// alg-sampled edge weights, all drawn from Rng(seed). The returned rng has
+// consumed exactly the graph + weights, matching the historical pattern
+// where scheme construction continues on the same stream.
+template <RoutingAlgebra A>
+struct SeededInstance {
+  Rng rng;
+  Graph graph;
+  EdgeMap<typename A::Weight> weights;
+};
+
+template <RoutingAlgebra A>
+SeededInstance<A> seeded_instance(const A& alg, std::uint64_t seed,
+                                  std::size_t n, double p) {
+  SeededInstance<A> inst{Rng(seed), Graph{}, {}};
+  inst.graph = erdos_renyi_connected(n, p, inst.rng);
+  inst.weights = sampled_weights(alg, inst.graph, inst.rng);
+  return inst;
+}
+
+// ---- Path-weight comparators ----
+
+// The path realizes exactly the expected weight (up to order-equality).
+template <RoutingAlgebra A>
+::testing::AssertionResult path_weight_order_equal(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const NodePath& path, const typename A::Weight& expected) {
+  const auto achieved = weight_of_path(alg, g, w, path);
+  if (!achieved.has_value()) {
+    return ::testing::AssertionFailure()
+           << alg.name() << ": path has no weight (size " << path.size()
+           << ")";
+  }
+  if (!order_equal(alg, *achieved, expected)) {
+    return ::testing::AssertionFailure()
+           << alg.name() << ": achieved " << alg.to_string(*achieved)
+           << " != expected " << alg.to_string(expected);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// The path's weight is within algebraic stretch k of the preferred weight:
+// w(path) ⪯ preferred^k (Definition 3).
+template <RoutingAlgebra A>
+::testing::AssertionResult path_weight_within_stretch(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const NodePath& path, const typename A::Weight& preferred,
+    std::size_t k) {
+  const auto achieved = weight_of_path(alg, g, w, path);
+  if (!achieved.has_value()) {
+    return ::testing::AssertionFailure()
+           << alg.name() << ": path has no weight (size " << path.size()
+           << ")";
+  }
+  const auto stretch = algebraic_stretch(alg, preferred, *achieved, k);
+  if (!stretch.has_value()) {
+    return ::testing::AssertionFailure()
+           << alg.name() << ": achieved " << alg.to_string(*achieved)
+           << " exceeds stretch " << k << " of preferred "
+           << alg.to_string(preferred);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace cpr::test

@@ -3,21 +3,17 @@
 // Theorem 1's Θ(log n) rows of Table 1 real.
 #include "graph/generators.hpp"
 #include "scheme/tree_router.hpp"
+#include "test_support.hpp"
 #include "util/bitstream.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numeric>
 
 namespace cpr {
 namespace {
 
-std::vector<EdgeId> all_edges(const Graph& g) {
-  std::vector<EdgeId> e(g.edge_count());
-  std::iota(e.begin(), e.end(), EdgeId{0});
-  return e;
-}
+using test::all_edges;
 
 void expect_all_pairs_delivered(const Graph& tree, NodeId root) {
   const TreeRouter router(tree, all_edges(tree), root);
