@@ -50,7 +50,7 @@ Run evaluate(const Graph& g, const EdgeMap<std::uint64_t>& w,
     if (!r.delivered) continue;
     ++delivered;
     const auto achieved = weight_of_path(alg, g, w, r.path);
-    const auto& preferred = scheme.tree(t).weight[s];
+    const auto preferred = scheme.tree(t).weight(s);
     const auto k = algebraic_stretch(alg, *preferred, *achieved, 8);
     if (k.has_value()) run.worst_stretch = std::max(run.worst_stretch, *k);
   }

@@ -44,7 +44,7 @@ void report_row(const A& alg, std::size_t n, TextTable& table) {
     if (!r.delivered) continue;
     ++delivered;
     const auto achieved = weight_of_path(alg, g, w, r.path);
-    const auto& preferred = cowen.tree(t).weight[s];
+    const auto preferred = cowen.tree(t).weight(s);
     if (achieved.has_value() && preferred.has_value()) {
       const auto k = algebraic_stretch(alg, *preferred, *achieved, 8);
       if (k.has_value()) {

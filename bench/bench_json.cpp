@@ -1,0 +1,264 @@
+// Machine-readable benchmark trajectory (BENCH_hotpath.json).
+//
+// Runs the three hot-path suites — single-source generalized Dijkstra,
+// Cowen landmark-scheme construction, and tree routing (spanning-tree
+// build + routed queries) — on the fixed-seed sweep graphs and emits one
+// JSON document so successive PRs are held to a measured baseline instead
+// of prose claims. All timing is single-threaded (pool of one worker) so
+// the numbers isolate per-relaxation cost from parallel speedup; the
+// parallel story is bench_cowen's BM_CowenBuildParallel.
+//
+// Usage:
+//   bench_json [--quick] [--filter=substr] [--out=path]
+//
+// --quick shrinks the sweep for CI smoke runs (the schema is identical);
+// --filter keeps only suites whose name contains the substring. The
+// default output path is BENCH_hotpath.json in the working directory.
+//
+// Metrics per suite entry: wall seconds, ops/sec (settled nodes for
+// Dijkstra, constructed nodes for Cowen, routed queries for tree
+// routing), and ns/relaxation where a relaxation count is well-defined
+// (every settle scans the full adjacency, so one run relaxes ~2m edges).
+// Peak RSS is recorded once, process-wide, at the end of the run.
+#include "bench_util.hpp"
+
+#include "algebra/primitives.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/tree_router.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "util/thread_pool.hpp"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t peak_rss_bytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+struct SuiteResult {
+  std::string name;
+  std::string algebra;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t runs = 0;
+  double wall_s = 0;
+  double ops_per_s = 0;
+  double ns_per_relaxation = -1;  // < 0: not defined for this suite
+};
+
+// ---- Suites ----
+
+SuiteResult dijkstra_suite(std::size_t n, std::size_t sources) {
+  const Graph g = bench::sweep_graph(n, 3);
+  Rng rng(n);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const ShortestPath alg{1024};
+
+  SuiteResult r;
+  r.name = "dijkstra_sssp";
+  r.algebra = alg.name();
+  r.n = n;
+  r.m = g.edge_count();
+  r.runs = sources;
+
+  std::size_t settled = 0;
+  const double t0 = now_seconds();
+  for (std::size_t i = 0; i < sources; ++i) {
+    const NodeId s = static_cast<NodeId>((i * 7919) % n);
+    const auto tree = dijkstra(alg, g, w, s);
+    for (NodeId v = 0; v < n; ++v) settled += tree.reachable(v) ? 1 : 0;
+  }
+  r.wall_s = now_seconds() - t0;
+  r.ops_per_s = static_cast<double>(settled) / r.wall_s;
+  // Each settled node scans its full adjacency, so a run over a connected
+  // graph performs ~2m candidate relaxations.
+  const double relaxations = 2.0 * static_cast<double>(g.edge_count()) *
+                             static_cast<double>(sources);
+  r.ns_per_relaxation = 1e9 * r.wall_s / relaxations;
+  return r;
+}
+
+SuiteResult cowen_suite(std::size_t n) {
+  const Graph g = bench::sweep_graph(n, 3);
+  Rng rng(n);
+  const auto w = random_integer_weights(g, 1, 1024, rng);
+  ThreadPool pool(1);  // single worker: the headline is per-core throughput
+
+  SuiteResult r;
+  r.name = "cowen_build";
+  r.algebra = "shortest-path";
+  r.n = n;
+  r.m = g.edge_count();
+  r.runs = 1;
+
+  const double t0 = now_seconds();
+  Rng build_rng(42);
+  CowenOptions opt;
+  opt.pool = &pool;
+  const auto scheme =
+      CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, build_rng, opt);
+  r.wall_s = now_seconds() - t0;
+  r.ops_per_s = static_cast<double>(n) / r.wall_s;
+  // The build is dominated by n policy-Dijkstra sweeps (~2m relaxations
+  // each) plus the O(n^2) ball/cluster scans; we normalize by the Dijkstra
+  // relaxations only, so this is an upper bound on per-relaxation cost.
+  const double relaxations = 2.0 * static_cast<double>(g.edge_count()) *
+                             static_cast<double>(n);
+  r.ns_per_relaxation = 1e9 * r.wall_s / relaxations;
+  if (scheme.landmark_count() == 0) r.ops_per_s = 0;  // defensive; unused
+  return r;
+}
+
+SuiteResult tree_routing_suite(std::size_t n, std::size_t queries) {
+  const Graph g = bench::sweep_graph(n, 3);
+  Rng rng(n);
+  const auto w = random_integer_weights(g, 1, 64, rng);
+  const WidestPath alg{64};
+
+  SuiteResult r;
+  r.name = "tree_routing";
+  r.algebra = alg.name();
+  r.n = n;
+  r.m = g.edge_count();
+  r.runs = queries;
+
+  const double t0 = now_seconds();
+  const auto tree_edges = preferred_spanning_tree(alg, g, w);
+  const TreeRouter router(g, tree_edges, /*root=*/0);
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.index(n));
+    const NodeId t = static_cast<NodeId>(rng.index(n));
+    if (simulate_route(router, g, s, t).delivered) ++delivered;
+  }
+  r.wall_s = now_seconds() - t0;
+  r.ops_per_s = static_cast<double>(queries) / r.wall_s;
+  if (delivered == 0 && n > 1) {
+    std::cerr << "tree_routing: no queries delivered (bug?)\n";
+  }
+  return r;
+}
+
+// ---- JSON output ----
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
+                bool quick) {
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n";
+  os << "  \"schema\": \"cpr-bench-hotpath-v1\",\n";
+  os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  os << "  \"threads\": 1,\n";
+  os << "  \"suites\": [\n";
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    const SuiteResult& s = suites[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(s.name) << "\",\n";
+    os << "      \"algebra\": \"" << json_escape(s.algebra) << "\",\n";
+    os << "      \"n\": " << s.n << ",\n";
+    os << "      \"m\": " << s.m << ",\n";
+    os << "      \"runs\": " << s.runs << ",\n";
+    os << "      \"wall_s\": " << s.wall_s << ",\n";
+    os << "      \"ops_per_s\": " << s.ops_per_s;
+    if (s.ns_per_relaxation >= 0) {
+      os << ",\n      \"ns_per_relaxation\": " << s.ns_per_relaxation;
+    }
+    os << "\n    }" << (i + 1 < suites.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"peak_rss_bytes\": " << peak_rss_bytes() << "\n";
+  os << "}\n";
+}
+
+}  // namespace
+}  // namespace cpr
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string filter;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(9);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: bench_json [--quick] [--filter=substr] "
+                   "[--out=path]\n";
+      return 2;
+    }
+  }
+
+  const auto want = [&](const char* name) {
+    return filter.empty() || std::string(name).find(filter) != std::string::npos;
+  };
+
+  std::vector<cpr::SuiteResult> suites;
+  const auto run = [&](cpr::SuiteResult r) {
+    std::cout << r.name << " n=" << r.n << ": " << r.wall_s << " s, "
+              << r.ops_per_s << " ops/s\n";
+    suites.push_back(std::move(r));
+  };
+
+  // Sweep sizes. Cowen stops at 10k in full mode: the construction stores
+  // all n preferred-path trees (Theta(n^2) weights), which at 50k would
+  // need tens of GB — recorded here rather than silently skipped.
+  const std::vector<std::size_t> dijkstra_ns =
+      quick ? std::vector<std::size_t>{256, 1000}
+            : std::vector<std::size_t>{1000, 10000, 50000};
+  const std::vector<std::size_t> cowen_ns =
+      quick ? std::vector<std::size_t>{256} : std::vector<std::size_t>{1000, 10000};
+  const std::vector<std::size_t> tree_ns = dijkstra_ns;
+
+  if (want("dijkstra_sssp")) {
+    for (std::size_t n : dijkstra_ns) {
+      run(cpr::dijkstra_suite(n, n >= 50000 ? 5 : (n >= 10000 ? 10 : 20)));
+    }
+  }
+  if (want("cowen_build")) {
+    for (std::size_t n : cowen_ns) run(cpr::cowen_suite(n));
+  }
+  if (want("tree_routing")) {
+    for (std::size_t n : tree_ns) run(cpr::tree_routing_suite(n, 2000));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  cpr::write_json(out, suites, quick);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -52,8 +52,8 @@ FamilyResult evaluate(const A& alg, const std::string& family_name,
     ++delivered;
     const auto truth = dijkstra(alg, g, w, s);
     const auto achieved = weight_of_path(alg, g, w, r.path);
-    if (truth.weight[t].has_value() && achieved.has_value() &&
-        order_equal(alg, *achieved, *truth.weight[t])) {
+    if (truth.weight(t).has_value() && achieved.has_value() &&
+        order_equal(alg, *achieved, *truth.weight(t))) {
       ++optimal;
     }
   }

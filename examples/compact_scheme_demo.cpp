@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto achieved = weight_of_path(alg, g, w, r.path);
-    const auto& preferred = cowen.tree(t).weight[s];
+    const auto preferred = cowen.tree(t).weight(s);
     const double ratio = static_cast<double>(*achieved) /
                          static_cast<double>(*preferred);
     worst_ratio = std::max(worst_ratio, ratio);

@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   if (tree.reachable(far)) {
     std::cout << "\npreferred 0 -> " << far << ":";
     for (NodeId hop : tree.extract_path(far)) std::cout << " " << hop;
-    std::cout << "  weight " << policy.to_string(*tree.weight[far]) << "\n";
+    std::cout << "  weight " << policy.to_string(*tree.weight(far)) << "\n";
   }
   return 0;
 }

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     const auto tree = dijkstra(s, g, cost, src);
     const auto scheme = DestinationTableScheme::from_algebra(s, g, cost);
     table.add_row({s.name(), render_path(tree.extract_path(dst)),
-                   s.to_string(*tree.weight[dst]),
+                   s.to_string(*tree.weight(dst)),
                    TextTable::num(measure_footprint(scheme, n).max_node_bits),
                    "dest tables"});
   }
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     const auto st = preferred_spanning_tree(w, g, capacity);
     const TreeRouter router(g, st);
     table.add_row({w.name(), render_path(tree.extract_path(dst)),
-                   w.to_string(*tree.weight[dst]),
+                   w.to_string(*tree.weight(dst)),
                    TextTable::num(measure_footprint(router, n).max_node_bits),
                    "tree router"});
   }
@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     const auto scheme =
         DestinationTableScheme::from_algebra(r, g, reliability);
     table.add_row({r.name(), render_path(tree.extract_path(dst)),
-                   r.to_string(*tree.weight[dst]),
+                   r.to_string(*tree.weight(dst)),
                    TextTable::num(measure_footprint(scheme, n).max_node_bits),
                    "dest tables"});
   }

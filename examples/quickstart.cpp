@@ -56,7 +56,7 @@ int main() {
   for (NodeId t = 1; t < g.node_count(); ++t) {
     std::cout << "preferred 0 -> " << t << ": ";
     for (NodeId hop : tree.extract_path(t)) std::cout << hop << " ";
-    std::cout << " weight = " << ws.to_string(*tree.weight[t]) << "\n";
+    std::cout << " weight = " << ws.to_string(*tree.weight(t)) << "\n";
   }
 
   // 5. Build destination tables (Observation 1) and route a packet.

@@ -76,6 +76,23 @@ concept RoutingAlgebra = requires(const A a, const typename A::Weight w,
   { a.to_string(w) } -> std::convertible_to<std::string>;
 };
 
+// Optional order embedding: the algebra additionally maps each weight to a
+// 64-bit key with
+//     less(a, b)  ⟺  order_key(a) < order_key(b)
+// and weight_from_order_key inverting the map exactly (bit-identical
+// round trip) on every weight the caller may compare — δ-delimited scalar
+// orders (Table 1's shortest/widest/reliable/usable) all embed this way.
+// Dijkstra exploits it to pack its whole settle-order key into one flat
+// integer (routing/indexed_heap.hpp); algebras without an embedding (lex
+// products, erased policies) take the generic comparator path instead.
+template <typename A>
+concept OrderKeyedAlgebra =
+    RoutingAlgebra<A> &&
+    requires(const A a, const typename A::Weight w, std::uint64_t k) {
+      { a.order_key(w) } -> std::same_as<std::uint64_t>;
+      { a.weight_from_order_key(k) } -> std::same_as<typename A::Weight>;
+    };
+
 // ---- Order helpers (all in terms of the strict relation `less`) ----
 
 template <RoutingAlgebra A>

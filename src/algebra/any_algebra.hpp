@@ -12,32 +12,85 @@
 //   AnyAlgebra b = AnyAlgebra::wrap(WidestPath{});
 //   AnyAlgebra ws = AnyAlgebra::wrap(lex_product(a, b));   // S × W, erased
 //
-// Weights are held in std::any behind a value wrapper; every operation
-// dispatches through one virtual call.
+// Weights are held behind a value wrapper with a small-buffer-optimized
+// variant store: trivially-copyable weights of at most 16 bytes (every
+// Table 1 primitive, integer/double lex pairs, the BGP label enums) live
+// inline in the wrapper, so combine/less on erased policies allocate
+// nothing; anything bigger or non-trivial falls back to std::any. Every
+// operation dispatches through one virtual call either way.
 #pragma once
 
 #include "algebra/algebra.hpp"
 
 #include <any>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
 
 namespace cpr {
 
 class AnyWeight {
  public:
+  static constexpr std::size_t kInlineBytes = 16;
+
+  template <typename T>
+  static constexpr bool fits_inline =
+      std::is_trivially_copyable_v<T> && sizeof(T) <= kInlineBytes &&
+      alignof(T) <= alignof(std::max_align_t);
+
   AnyWeight() = default;
-  explicit AnyWeight(std::any v) : value_(std::move(v)) {}
+  // Boxed construction from a pre-made std::any (external callers that
+  // already hold one); prefer `of` which picks the inline store. The
+  // constraint keeps this candidate out of is_constructible queries for
+  // other argument types — without it, converting-to-std::any would ask
+  // whether AnyWeight is copy-constructible while that very trait is
+  // being computed (infinite recursion).
+  template <typename T>
+    requires std::is_same_v<std::decay_t<T>, std::any>
+  explicit AnyWeight(T&& v)
+      : boxed_(std::forward<T>(v)), kind_(boxed_.has_value() ? kBoxed : kEmpty) {}
+
+  // Wraps a weight value, inline when the type qualifies.
+  template <typename T>
+  static AnyWeight of(T v) {
+    AnyWeight w;
+    if constexpr (fits_inline<T>) {
+      new (static_cast<void*>(w.inline_)) T(std::move(v));
+      w.type_ = &typeid(T);
+      w.kind_ = kInline;
+    } else {
+      w.boxed_ = std::move(v);
+      w.kind_ = kBoxed;
+    }
+    return w;
+  }
 
   template <typename T>
   const T& as() const {
-    return std::any_cast<const T&>(value_);
+    if (kind_ == kInline) {
+      if (type_ != &typeid(T) && *type_ != typeid(T)) {
+        throw std::bad_any_cast{};
+      }
+      return *std::launder(reinterpret_cast<const T*>(inline_));
+    }
+    return std::any_cast<const T&>(boxed_);
   }
-  bool empty() const { return !value_.has_value(); }
+  bool empty() const { return kind_ == kEmpty; }
 
  private:
-  std::any value_;
+  enum Kind : std::uint8_t { kEmpty, kInline, kBoxed };
+
+  // Inline slot first for alignment; only trivially-copyable payloads land
+  // here, so the defaulted copy/move of the byte array is their copy.
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes] = {};
+  const std::type_info* type_ = nullptr;
+  std::any boxed_;
+  Kind kind_ = kEmpty;
 };
 
 class AnyAlgebra {
@@ -101,17 +154,17 @@ class AnyAlgebra {
     using W = typename A::Weight;
 
     AnyWeight combine(const AnyWeight& a, const AnyWeight& b) const override {
-      return AnyWeight{std::any{alg.combine(a.as<W>(), b.as<W>())}};
+      return AnyWeight::of(alg.combine(a.as<W>(), b.as<W>()));
     }
     bool less(const AnyWeight& a, const AnyWeight& b) const override {
       return alg.less(a.as<W>(), b.as<W>());
     }
-    AnyWeight phi() const override { return AnyWeight{std::any{alg.phi()}}; }
+    AnyWeight phi() const override { return AnyWeight::of(alg.phi()); }
     bool is_phi(const AnyWeight& w) const override {
       return alg.is_phi(w.as<W>());
     }
     AnyWeight sample(Rng& rng) const override {
-      return AnyWeight{std::any{alg.sample(rng)}};
+      return AnyWeight::of(alg.sample(rng));
     }
     std::size_t encoded_bits(const AnyWeight& w) const override {
       return alg.encoded_bits(w.as<W>());
@@ -123,7 +176,7 @@ class AnyAlgebra {
     AlgebraProperties properties() const override { return alg.properties(); }
     AnyWeight weight_from_integer(std::uint64_t v) const override {
       if constexpr (std::is_integral_v<W> || std::is_floating_point_v<W>) {
-        return AnyWeight{std::any{static_cast<W>(v)}};
+        return AnyWeight::of(static_cast<W>(v));
       } else if constexpr (requires {
                              {
                                alg.root().weight_from_integer(v)
@@ -131,7 +184,7 @@ class AnyAlgebra {
                            }) {
         // Wrappers over an erased algebra (e.g. CappedAlgebra<AnyAlgebra>)
         // delegate to the inner algebra's interpretation.
-        return AnyWeight{std::any{alg.root().weight_from_integer(v)}};
+        return AnyWeight::of(alg.root().weight_from_integer(v));
       } else {
         throw std::invalid_argument(
             alg.name() + ": weights have no integer interpretation");

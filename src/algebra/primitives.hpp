@@ -14,6 +14,7 @@
 
 #include "algebra/algebra.hpp"
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <sstream>
@@ -34,6 +35,9 @@ class ShortestPath {
     return a > phi() - b ? phi() : a + b;
   }
   bool less(Weight a, Weight b) const { return a < b; }
+  // ≤ on weights is ≤ on the weights themselves: identity embedding.
+  std::uint64_t order_key(Weight w) const { return w; }
+  Weight weight_from_order_key(std::uint64_t k) const { return k; }
   Weight phi() const { return std::numeric_limits<Weight>::max(); }
   bool is_phi(Weight w) const { return w == phi(); }
   Weight sample(Rng& rng) const { return rng.uniform(1, max_sample_); }
@@ -71,6 +75,9 @@ class WidestPath {
 
   Weight combine(Weight a, Weight b) const { return a < b ? a : b; }
   bool less(Weight a, Weight b) const { return a > b; }  // wider ≺ narrower
+  // Preference is the *reverse* of numeric order: complement embeds it.
+  std::uint64_t order_key(Weight w) const { return ~w; }
+  Weight weight_from_order_key(std::uint64_t k) const { return ~k; }
   Weight phi() const { return 0; }
   bool is_phi(Weight w) const { return w == 0; }
   Weight sample(Rng& rng) const { return rng.uniform(1, max_sample_); }
@@ -114,6 +121,16 @@ class MostReliablePath {
 
   Weight combine(Weight a, Weight b) const { return a * b; }
   bool less(Weight a, Weight b) const { return a > b; }
+  // Weights are non-negative doubles, whose IEEE-754 bit patterns sort
+  // like the values; complement reverses into preference order. The
+  // round trip is bit-exact, so reconstructed weights compose
+  // identically.
+  std::uint64_t order_key(Weight w) const {
+    return ~std::bit_cast<std::uint64_t>(w);
+  }
+  Weight weight_from_order_key(std::uint64_t k) const {
+    return std::bit_cast<double>(~k);
+  }
   Weight phi() const { return 0.0; }
   bool is_phi(Weight w) const { return w == 0.0; }
   Weight sample(Rng& rng) const {
@@ -157,6 +174,12 @@ class UsablePath {
     return (a != 0 && b != 0) ? 1 : 0;
   }
   bool less(Weight a, Weight b) const { return a > b; }  // usable ≺ φ
+  std::uint64_t order_key(Weight w) const {
+    return ~static_cast<std::uint64_t>(w);
+  }
+  Weight weight_from_order_key(std::uint64_t k) const {
+    return static_cast<Weight>(~k);
+  }
   Weight phi() const { return 0; }
   bool is_phi(Weight w) const { return w == 0; }
   Weight sample(Rng&) const { return 1; }

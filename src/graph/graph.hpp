@@ -9,6 +9,7 @@
 // by edge id, so one topology can carry weights from many algebras at once.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <vector>
 
@@ -77,6 +78,21 @@ class Graph {
  private:
   std::vector<std::vector<Adjacency>> adj_;
   std::vector<Edge> edges_;
+};
+
+// Read-only topology interface shared by Graph and the flat CsrGraph view
+// (graph/csr_graph.hpp). Algorithms that only traverse adjacency (Dijkstra,
+// exhaustive enumeration) are templated over this, so callers that sweep
+// the same topology many times can hand in the CSR snapshot and pay the
+// pointer-chasing layout only once.
+template <typename G>
+concept GraphTopology = requires(const G g, NodeId v, Port p) {
+  { g.node_count() } -> std::convertible_to<std::size_t>;
+  { g.degree(v) } -> std::convertible_to<std::size_t>;
+  { g.neighbors(v) };
+  { g.neighbor(v, p) } -> std::convertible_to<NodeId>;
+  { g.edge_at(v, p) } -> std::convertible_to<EdgeId>;
+  { g.port_to(v, v) } -> std::convertible_to<Port>;
 };
 
 }  // namespace cpr

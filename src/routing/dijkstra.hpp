@@ -10,33 +10,109 @@
 //
 // Ties in ⪯ are broken by hop count and then node id, giving a
 // deterministic tree without affecting algebraic optimality.
+//
+// Hot-path layout. The sweep is built for the all-pairs fan-outs the
+// schemes run (n sources over one topology):
+//   - the frontier is an indexed 4-ary heap with decrease-key
+//     (indexed_heap.hpp) instead of a lazy-duplicate priority queue, so
+//     each node is pushed/popped once; entries carry their {weight, hops,
+//     node} key so sift comparisons never gather from the tree arrays —
+//     and for order-keyed algebras (OrderKeyedAlgebra) the whole key
+//     packs into one 128-bit integer, making each sift step a single
+//     compare;
+//   - the result tree stores weights in a flat array plus a reached
+//     bitmap instead of std::optional<W> per node, halving the memory the
+//     O(n²) scheme scans walk;
+//   - the heap's buffers live in a per-thread scratch slot and are reused
+//     across runs on the same worker (ThreadPool workers are long-lived),
+//     so a sweep allocates only its output trees;
+//   - the algorithm is generic over GraphTopology: pass the CsrGraph
+//     snapshot (all_pairs_trees does this internally) to read adjacency
+//     from packed rows.
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "graph/csr_graph.hpp"
+#include "routing/indexed_heap.hpp"
 #include "routing/path.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace cpr {
 
+template <typename W>
+struct PathTree;
+
+// Optional-like view of one node's weight in a PathTree; what
+// `tree.weight(v)` returns now that the storage is a flat array + bitmap
+// rather than std::optional<W>. Valid as long as the tree is alive.
+template <typename W>
+class PathWeightRef {
+ public:
+  PathWeightRef(const PathTree<W>* tree, NodeId v) : tree_(tree), v_(v) {}
+
+  bool has_value() const { return tree_->has_weight(v_); }
+  explicit operator bool() const { return has_value(); }
+  const W& operator*() const { return tree_->weights[v_]; }
+  const W* operator->() const { return &tree_->weights[v_]; }
+  const W& value() const { return tree_->weights[v_]; }
+
+ private:
+  const PathTree<W>* tree_;
+  NodeId v_;
+};
+
 // Preferred-path tree rooted at `source`: parent pointers lead back toward
-// the source; weight[v] is the weight of the preferred source→v path
-// (nullopt: unreachable or v == source, where the empty path has no
-// weight).
+// the source; weight(v) is the weight of the preferred source→v path
+// (absent: unreachable or v == source, where the empty path has no
+// weight). Weights live in a flat `weights` array whose entries are
+// meaningful only where the `reached` bitmap is set (unreached slots hold
+// the φ fill value); `weight(v)` wraps the pair in an optional-like view.
 template <typename W>
 struct PathTree {
   NodeId source = kInvalidNode;
   std::vector<NodeId> parent;
   std::vector<EdgeId> parent_edge;
-  std::vector<std::optional<W>> weight;
-  std::vector<std::size_t> hops;
+  std::vector<W> weights;            // flat; meaningful iff has_weight(v)
+  std::vector<std::uint32_t> hops;
+  std::vector<std::uint64_t> reached;  // bitmap over non-source reached nodes
 
-  bool reachable(NodeId v) const {
-    return v == source || weight[v].has_value();
+  // Sizes every array for n nodes and clears previous state; `fill` (the
+  // algebra's φ) pads the unreached weight slots.
+  void reset(std::size_t n, NodeId src, const W& fill) {
+    source = src;
+    parent.assign(n, kInvalidNode);
+    parent_edge.assign(n, kInvalidEdge);
+    weights.assign(n, fill);
+    hops.assign(n, 0);
+    reached.assign((n + 63) / 64, 0);
+    parent[src] = src;
+  }
+
+  // v was reached on a non-empty path (true for every node but the source
+  // in a connected component).
+  bool has_weight(NodeId v) const {
+    return (reached[v >> 6] >> (v & 63)) & 1;
+  }
+  bool reachable(NodeId v) const { return v == source || has_weight(v); }
+
+  // The weight slot itself; caller must have checked has_weight(v).
+  const W& weight_at(NodeId v) const { return weights[v]; }
+
+  // Optional-like view (has_value / * / ->) of v's weight.
+  PathWeightRef<W> weight(NodeId v) const { return {this, v}; }
+
+  // Installs/overwrites v's tentative entry.
+  void record(NodeId v, NodeId from, EdgeId via, W w, std::uint32_t h) {
+    parent[v] = from;
+    parent_edge[v] = via;
+    weights[v] = std::move(w);
+    hops[v] = h;
+    reached[v >> 6] |= std::uint64_t{1} << (v & 63);
   }
 
   // The source→v node sequence (empty if unreachable).
@@ -50,72 +126,180 @@ struct PathTree {
   }
 };
 
-template <RoutingAlgebra A>
-PathTree<typename A::Weight> dijkstra(const A& alg, const Graph& g,
-                                      const EdgeMap<typename A::Weight>& w,
-                                      NodeId source) {
+namespace detail {
+
+// Per-thread scratch heap for weight type W: ThreadPool workers (and the
+// calling thread) are long-lived, so the frontier buffers of repeated
+// single-source runs are reused instead of reallocated. State never leaks
+// across runs — every sweep starts with reset(n) — so results are
+// independent of which worker executes which source (pinned by the
+// determinism tests).
+template <typename W>
+inline IndexedDaryHeap<W>& dijkstra_scratch_heap() {
+  thread_local IndexedDaryHeap<W> heap;
+  return heap;
+}
+
+inline KeyedDaryHeap& dijkstra_scratch_keyed_heap() {
+  thread_local KeyedDaryHeap heap;
+  return heap;
+}
+
+// The sweep itself, generic over how an out-edge's weight is fetched:
+// `weight_at(u, p, adj)` returns the weight of port p's edge at u. The
+// EdgeMap entry points pass w[adj.edge]; all_pairs_trees instead passes a
+// CSR-slot-aligned copy so the inner loop streams neighbor and weight
+// from parallel arrays rather than dereferencing a random edge id per
+// relaxation.
+template <RoutingAlgebra A, GraphTopology G, typename WeightAt>
+void dijkstra_run(const A& alg, const G& g, NodeId source,
+                  PathTree<typename A::Weight>& tree,
+                  IndexedDaryHeap<typename A::Weight>& heap,
+                  const WeightAt& weight_at) {
+  using W = typename A::Weight;
+  using Entry = typename IndexedDaryHeap<W>::Entry;
+  const std::size_t n = g.node_count();
+  tree.reset(n, source, alg.phi());
+  heap.reset(n);
+
+  // Strict "a settles before b" order: algebra preference, then hop
+  // count, then node id — identical to the lazy-queue tie-break. Entries
+  // carry the whole key, so sift comparisons stay inside the heap array.
+  const auto better = [&alg](const Entry& a, const Entry& b) {
+    if (alg.less(a.weight, b.weight)) return true;
+    if (alg.less(b.weight, a.weight)) return false;
+    if (a.hops != b.hops) return a.hops < b.hops;
+    return a.node < b.node;
+  };
+
+  const auto relax = [&](NodeId from, const Graph::Adjacency& adj, W cand,
+                         std::uint32_t hops) {
+    const NodeId v = adj.neighbor;
+    if (heap.settled(v)) return;  // includes the source
+    if (alg.is_phi(cand)) return;
+    if (heap.never_seen(v)) {
+      heap.push(Entry{cand, hops, v}, better);
+      tree.record(v, from, adj.edge, std::move(cand), hops);
+      return;
+    }
+    const bool improves =
+        alg.less(cand, tree.weights[v]) ||
+        (order_equal(alg, cand, tree.weights[v]) && hops < tree.hops[v]);
+    if (improves) {
+      heap.update(Entry{cand, hops, v}, better);  // decrease-key
+      tree.record(v, from, adj.edge, std::move(cand), hops);
+    }
+  };
+
+  heap.mark_settled(source);
+  {
+    const auto row = g.neighbors(source);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(source, row[p], weight_at(source, p, row[p]), 1);
+    }
+  }
+  while (!heap.empty()) {
+    const Entry top = heap.pop(better);
+    const std::uint32_t hu = top.hops + 1;
+    const auto row = g.neighbors(top.node);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(top.node, row[p], alg.combine(top.weight, weight_at(top.node, p, row[p])),
+            hu);
+    }
+  }
+}
+
+// Same sweep over the flat-key frontier: for order-keyed algebras the
+// settle-order tuple lives in one 128-bit integer (KeyedDaryHeap), the
+// relax decisions are unchanged, and the popped key hands back node, hops
+// and (via the exact inverse embedding) the weight. Settles in exactly
+// the same order as dijkstra_run — pinned by the differential tests.
+template <OrderKeyedAlgebra A, GraphTopology G, typename WeightAt>
+void dijkstra_run_keyed(const A& alg, const G& g, NodeId source,
+                        PathTree<typename A::Weight>& tree,
+                        KeyedDaryHeap& heap, const WeightAt& weight_at) {
   using W = typename A::Weight;
   const std::size_t n = g.node_count();
-  PathTree<W> tree;
-  tree.source = source;
-  tree.parent.assign(n, kInvalidNode);
-  tree.parent_edge.assign(n, kInvalidEdge);
-  tree.weight.assign(n, std::nullopt);
-  tree.hops.assign(n, 0);
-  tree.parent[source] = source;
+  tree.reset(n, source, alg.phi());
+  heap.reset(n);
 
-  struct Entry {
-    W weight;
-    std::size_t hops;
-    NodeId node;
-  };
-  auto worse = [&alg](const Entry& a, const Entry& b) {
-    if (alg.less(a.weight, b.weight)) return false;
-    if (alg.less(b.weight, a.weight)) return true;
-    if (a.hops != b.hops) return a.hops > b.hops;
-    return a.node > b.node;
-  };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(
-      worse);
-  std::vector<bool> settled(n, false);
-
-  auto relax = [&](NodeId from, const Graph::Adjacency& adj, const W& cand,
-                   std::size_t hops) {
-    if (alg.is_phi(cand)) return;
+  const auto relax = [&](NodeId from, const Graph::Adjacency& adj, W cand,
+                         std::uint32_t hops) {
     const NodeId v = adj.neighbor;
-    if (settled[v] || v == source) return;
+    if (heap.settled(v)) return;  // includes the source
+    if (alg.is_phi(cand)) return;
+    if (heap.never_seen(v)) {
+      heap.push(KeyedDaryHeap::make_key(alg.order_key(cand), hops, v));
+      tree.record(v, from, adj.edge, std::move(cand), hops);
+      return;
+    }
     const bool improves =
-        !tree.weight[v].has_value() || alg.less(cand, *tree.weight[v]) ||
-        (order_equal(alg, cand, *tree.weight[v]) && hops < tree.hops[v]);
+        alg.less(cand, tree.weights[v]) ||
+        (order_equal(alg, cand, tree.weights[v]) && hops < tree.hops[v]);
     if (improves) {
-      tree.weight[v] = cand;
-      tree.hops[v] = hops;
-      tree.parent[v] = from;
-      tree.parent_edge[v] = adj.edge;
-      queue.push({cand, hops, v});
+      heap.update(KeyedDaryHeap::make_key(alg.order_key(cand), hops, v));
+      tree.record(v, from, adj.edge, std::move(cand), hops);
     }
   };
 
-  settled[source] = true;
-  for (const auto& adj : g.neighbors(source)) {
-    relax(source, adj, w[adj.edge], 1);
-  }
-  while (!queue.empty()) {
-    const Entry top = queue.top();
-    queue.pop();
-    if (settled[top.node]) continue;
-    // Stale entry: a better weight was queued later.
-    if (!tree.weight[top.node].has_value() ||
-        !order_equal(alg, *tree.weight[top.node], top.weight) ||
-        tree.hops[top.node] != top.hops) {
-      continue;
-    }
-    settled[top.node] = true;
-    for (const auto& adj : g.neighbors(top.node)) {
-      relax(top.node, adj, alg.combine(top.weight, w[adj.edge]),
-            top.hops + 1);
+  heap.mark_settled(source);
+  {
+    const auto row = g.neighbors(source);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(source, row[p], weight_at(source, p, row[p]), 1);
     }
   }
+  while (!heap.empty()) {
+    const KeyedDaryHeap::Key top = heap.pop();
+    const NodeId u = KeyedDaryHeap::node_of(top);
+    const W wu = alg.weight_from_order_key(KeyedDaryHeap::order_of(top));
+    const std::uint32_t hu = KeyedDaryHeap::hops_of(top) + 1;
+    const auto row = g.neighbors(u);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(u, row[p], alg.combine(wu, weight_at(u, p, row[p])), hu);
+    }
+  }
+}
+
+// Picks the frontier for the algebra — flat 128-bit keys when the order
+// embeds, the generic comparator heap otherwise — using the calling
+// thread's scratch buffers.
+template <RoutingAlgebra A, GraphTopology G, typename WeightAt>
+void dijkstra_dispatch(const A& alg, const G& g, NodeId source,
+                       PathTree<typename A::Weight>& tree,
+                       const WeightAt& weight_at) {
+  if constexpr (OrderKeyedAlgebra<A>) {
+    dijkstra_run_keyed(alg, g, source, tree, dijkstra_scratch_keyed_heap(),
+                       weight_at);
+  } else {
+    dijkstra_run(alg, g, source, tree,
+                 dijkstra_scratch_heap<typename A::Weight>(), weight_at);
+  }
+}
+
+}  // namespace detail
+
+// Runs the sweep into a caller-provided output tree (scratch frontier
+// buffers are per-thread and reused); the building block behind
+// `dijkstra` for callers that manage output reuse themselves.
+template <RoutingAlgebra A, GraphTopology G>
+void dijkstra_into(const A& alg, const G& g,
+                   const EdgeMap<typename A::Weight>& w, NodeId source,
+                   PathTree<typename A::Weight>& tree) {
+  using W = typename A::Weight;
+  detail::dijkstra_dispatch(alg, g, source, tree,
+                            [&w](NodeId, std::size_t,
+                                 const Graph::Adjacency& adj) -> const W& {
+                              return w[adj.edge];
+                            });
+}
+
+template <RoutingAlgebra A, GraphTopology G>
+PathTree<typename A::Weight> dijkstra(const A& alg, const G& g,
+                                      const EdgeMap<typename A::Weight>& w,
+                                      NodeId source) {
+  PathTree<typename A::Weight> tree;
+  dijkstra_into(alg, g, w, source, tree);
   return tree;
 }
 
@@ -128,14 +312,41 @@ PathTree<typename A::Weight> dijkstra(const A& alg, const Graph& g,
 // thread count. Pass nullptr to use the process-global pool.
 template <RoutingAlgebra A>
 std::vector<PathTree<typename A::Weight>> all_pairs_trees(
-    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const A& alg, const CsrGraph& g, const EdgeMap<typename A::Weight>& w,
     ThreadPool* pool = nullptr) {
+  using W = typename A::Weight;
   ThreadPool& p = pool ? *pool : ThreadPool::global();
-  std::vector<PathTree<typename A::Weight>> trees(g.node_count());
-  parallel_for(p, 0, g.node_count(), [&](std::size_t s) {
-    trees[s] = dijkstra(alg, g, w, static_cast<NodeId>(s));
+  const std::size_t n = g.node_count();
+  // Gather edge weights into CSR slot order once for the whole sweep
+  // batch: every run then reads the weight of port p at u from the slot
+  // next to the adjacency record it is scanning, instead of chasing
+  // w[edge] at a random index per relaxation. Shared read-only across
+  // workers.
+  std::vector<W> slot_w;
+  slot_w.reserve(2 * g.edge_count());
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& adj : g.neighbors(v)) slot_w.push_back(w[adj.edge]);
+  }
+  std::vector<PathTree<W>> trees(n);
+  parallel_for(p, 0, n, [&](std::size_t s) {
+    detail::dijkstra_dispatch(alg, g, static_cast<NodeId>(s), trees[s],
+                              [&slot_w, &g](NodeId u, std::size_t port,
+                                            const Graph::Adjacency&)
+                                  -> const W& {
+                                return slot_w[g.row_begin(u) + port];
+                              });
   });
   return trees;
+}
+
+// Graph entry point: snapshots the topology into CSR once (O(n + m),
+// negligible next to n sweeps) and fans out over it.
+template <RoutingAlgebra A>
+std::vector<PathTree<typename A::Weight>> all_pairs_trees(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    ThreadPool* pool = nullptr) {
+  const CsrGraph csr(g);
+  return all_pairs_trees(alg, csr, w, pool);
 }
 
 }  // namespace cpr

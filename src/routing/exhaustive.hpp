@@ -10,6 +10,7 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "graph/csr_graph.hpp"
 #include "routing/path.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,9 +26,9 @@ struct PreferredPath {
   bool traversable() const { return weight.has_value(); }
 };
 
-template <RoutingAlgebra A>
+template <RoutingAlgebra A, GraphTopology G>
 PreferredPath<typename A::Weight> exhaustive_preferred(
-    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const A& alg, const G& g, const EdgeMap<typename A::Weight>& w,
     NodeId s, NodeId t) {
   using W = typename A::Weight;
   PreferredPath<W> best;
@@ -93,7 +94,7 @@ PreferredPath<typename A::Weight> exhaustive_preferred(
 // for the differential harnesses that cross-check whole graphs.
 template <RoutingAlgebra A>
 std::vector<std::vector<PreferredPath<typename A::Weight>>>
-exhaustive_all_pairs(const A& alg, const Graph& g,
+exhaustive_all_pairs(const A& alg, const CsrGraph& g,
                      const EdgeMap<typename A::Weight>& w,
                      ThreadPool* pool = nullptr) {
   using W = typename A::Weight;
@@ -109,13 +110,24 @@ exhaustive_all_pairs(const A& alg, const Graph& g,
   return truth;
 }
 
+// Graph entry point: snapshots the topology into CSR once so the n² DFS
+// enumerations read packed adjacency rows.
+template <RoutingAlgebra A>
+std::vector<std::vector<PreferredPath<typename A::Weight>>>
+exhaustive_all_pairs(const A& alg, const Graph& g,
+                     const EdgeMap<typename A::Weight>& w,
+                     ThreadPool* pool = nullptr) {
+  const CsrGraph csr(g);
+  return exhaustive_all_pairs(alg, csr, w, pool);
+}
+
 // Enumerates *all* traversable preferred paths (every path whose weight is
 // order-equal to the optimum). Used by the Fig.-1 experiments, which argue
 // about the full preferred-path set ("the preferred paths are exactly the
 // direct edges").
-template <RoutingAlgebra A>
+template <RoutingAlgebra A, GraphTopology G>
 std::vector<NodePath> all_preferred_paths(
-    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    const A& alg, const G& g, const EdgeMap<typename A::Weight>& w,
     NodeId s, NodeId t) {
   using W = typename A::Weight;
   const PreferredPath<W> best = exhaustive_preferred(alg, g, w, s, t);

@@ -1,0 +1,268 @@
+// Indexed d-ary heap for the generalized-Dijkstra hot loop.
+//
+// The classic lazy-deletion std::priority_queue pays for every improved
+// tentative weight twice: a stale duplicate entry is pushed, then popped
+// and discarded later, each pop calling the algebra comparator O(log size)
+// times on a queue inflated by the duplicates. This heap instead keys
+// nodes directly: `pos[v]` tracks where v sits in the heap array, so an
+// improvement is a decrease-key (sift-up from the current slot) and every
+// node is pushed and popped at most once.
+//
+// Entries carry their key ({weight, hops, node} — the full tie-break
+// tuple) rather than referencing the tree's per-node arrays: sift
+// comparisons then read adjacent heap slots instead of gathering two
+// random cache lines per comparison, and pop hands the settle loop the
+// weight it needs without a further load. Keys must only change via
+// `update` (decrease-key), never behind the heap's back.
+//
+// Arity 4 instead of 2: sift-down does the same number of comparisons per
+// level-of-4 but halves the tree height, and the children of i are
+// adjacent slots of one array. For comparator-heavy algebras (erased
+// AnyAlgebra, lex products) fewer levels means fewer virtual calls.
+//
+// `pos_` doubles as the visited state Dijkstra needs anyway: never-seen /
+// in-heap / settled (popped). Buffers are reused across runs via `reset`;
+// dijkstra holds one heap per worker thread (thread_local), so a sweep of
+// n single-source runs does not reallocate per source. See dijkstra.hpp.
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+template <typename W>
+class IndexedDaryHeap {
+ public:
+  static constexpr std::uint32_t kNever = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kSettled = static_cast<std::uint32_t>(-2);
+  static constexpr std::size_t kArity = 4;
+
+  struct Entry {
+    W weight;
+    std::uint32_t hops;
+    NodeId node;
+  };
+
+  // Prepares for a run over n nodes: empties the heap, marks every node
+  // never-seen. Reuses capacity from previous runs.
+  void reset(std::size_t n) {
+    heap_.clear();
+    pos_.assign(n, kNever);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool never_seen(NodeId v) const { return pos_[v] == kNever; }
+  bool settled(NodeId v) const { return pos_[v] == kSettled; }
+  bool in_heap(NodeId v) const {
+    return pos_[v] != kNever && pos_[v] != kSettled;
+  }
+
+  // Marks v settled without it ever entering the heap (Dijkstra's source).
+  void mark_settled(NodeId v) { pos_[v] = kSettled; }
+
+  // Inserts e.node (must be never-seen). `better(a, b)` is the strict
+  // settle-order predicate over entries.
+  template <typename Better>
+  void push(Entry e, const Better& better) {
+    pos_[e.node] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(std::move(e));
+    sift_up(heap_.size() - 1, better);
+  }
+
+  // Replaces e.node's entry with a strictly better one (sift-up only:
+  // keys never worsen in Dijkstra).
+  template <typename Better>
+  void update(Entry e, const Better& better) {
+    const std::size_t i = pos_[e.node];
+    heap_[i] = std::move(e);
+    sift_up(i, better);
+  }
+
+  // Removes and returns the best entry, marking its node settled.
+  template <typename Better>
+  Entry pop(const Better& better) {
+    Entry top = std::move(heap_.front());
+    pos_[top.node] = kSettled;
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      pos_[heap_.front().node] = 0;
+      sift_down(0, better);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+ private:
+  template <typename Better>
+  void sift_up(std::size_t i, const Better& better) {
+    Entry e = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!better(e, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = std::move(e);
+    pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+  }
+
+  template <typename Better>
+  void sift_down(std::size_t i, const Better& better) {
+    Entry e = std::move(heap_[i]);
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first_child = kArity * i + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child =
+          first_child + kArity < size ? first_child + kArity : size;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (better(heap_[c], heap_[best])) best = c;
+      }
+      if (!better(heap_[best], e)) break;
+      heap_[i] = std::move(heap_[best]);
+      pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = std::move(e);
+    pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;
+};
+
+// Specialized sibling of IndexedDaryHeap for order-keyed algebras
+// (OrderKeyedAlgebra in algebra/algebra.hpp): the entire settle-order
+// tuple packs into one 128-bit integer
+//     key = order_key(weight) << 64 | hops << 32 | node
+// whose natural `<` is exactly (⪯, then hops, then node id) — the
+// Dijkstra tie-break — so this heap settles in the same order as the
+// generic one, bit for bit. Entries are 16 bytes and every sift step is a
+// single integer compare, where the generic comparator pays two algebra
+// calls plus tie-break branches per step; on sparse sweeps that halves
+// the per-source cost. The algebra's weight is recovered from the key on
+// pop (order_key is an exact bijection by contract), so no weight copy is
+// stored at all.
+class KeyedDaryHeap {
+ public:
+  using Key = unsigned __int128;
+
+  static constexpr std::uint32_t kNever = static_cast<std::uint32_t>(-1);
+  static constexpr std::uint32_t kSettled = static_cast<std::uint32_t>(-2);
+  static constexpr std::size_t kArity = 4;
+
+  static Key make_key(std::uint64_t order_key, std::uint32_t hops,
+                      NodeId node) {
+    static_assert(sizeof(NodeId) == 4, "key layout packs node into 32 bits");
+    return (static_cast<Key>(order_key) << 64) |
+           (static_cast<std::uint64_t>(hops) << 32) | node;
+  }
+  static NodeId node_of(Key k) {
+    return static_cast<NodeId>(static_cast<std::uint64_t>(k));
+  }
+  static std::uint32_t hops_of(Key k) {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(k) >> 32);
+  }
+  static std::uint64_t order_of(Key k) {
+    return static_cast<std::uint64_t>(k >> 64);
+  }
+
+  void reset(std::size_t n) {
+    heap_.clear();
+    pos_.assign(n, kNever);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool never_seen(NodeId v) const { return pos_[v] == kNever; }
+  bool settled(NodeId v) const { return pos_[v] == kSettled; }
+  bool in_heap(NodeId v) const {
+    return pos_[v] != kNever && pos_[v] != kSettled;
+  }
+
+  void mark_settled(NodeId v) { pos_[v] = kSettled; }
+
+  void push(Key k) {
+    pos_[node_of(k)] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(k);
+    sift_up(heap_.size() - 1);
+  }
+
+  // Decrease-key: replaces node_of(k)'s entry with the strictly smaller k.
+  void update(Key k) {
+    const std::size_t i = pos_[node_of(k)];
+    heap_[i] = k;
+    sift_up(i);
+  }
+
+  Key pop() {
+    const Key top = heap_.front();
+    pos_[node_of(top)] = kSettled;
+    if (heap_.size() > 1) {
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      pos_[node_of(heap_.front())] = 0;
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    const Key k = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!(k < heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[node_of(heap_[i])] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = k;
+    pos_[node_of(k)] = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const Key k = heap_[i];
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first = kArity * i + 1;
+      if (first >= size) break;
+      const std::size_t last =
+          first + kArity < size ? first + kArity : size;
+      // Best-of-children via conditional moves: the candidates sit in
+      // adjacent slots, so this scan stays branch-predictable even on
+      // random keys.
+      std::size_t best = first;
+      Key best_key = heap_[first];
+      for (std::size_t c = first + 1; c < last; ++c) {
+        const bool b = heap_[c] < best_key;
+        best_key = b ? heap_[c] : best_key;
+        best = b ? c : best;
+      }
+      if (!(best_key < k)) break;
+      heap_[i] = best_key;
+      pos_[node_of(best_key)] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = k;
+    pos_[node_of(k)] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Key> heap_;
+  std::vector<std::uint32_t> pos_;
+};
+
+}  // namespace cpr

@@ -34,9 +34,9 @@ struct ShortestWidestRow {
   std::vector<NodePath> paths;            // explicit s→t node sequences
 };
 
-template <typename SW = ShortestWidest>
+template <typename SW = ShortestWidest, GraphTopology G = Graph>
 ShortestWidestRow<typename SW::Weight> shortest_widest_exact(
-    const SW& alg, const Graph& g,
+    const SW& alg, const G& g,
     const EdgeMap<typename SW::Weight>& weights, NodeId source) {
   using W = typename SW::Weight;
   const std::size_t n = g.node_count();
@@ -55,8 +55,8 @@ ShortestWidestRow<typename SW::Weight> shortest_widest_exact(
   // Group destinations by bottleneck value.
   std::map<WidestPath::Weight, std::vector<NodeId>> by_bottleneck;
   for (NodeId t = 0; t < n; ++t) {
-    if (t == source || !widest.weight[t].has_value()) continue;
-    by_bottleneck[*widest.weight[t]].push_back(t);
+    if (t == source || !widest.has_weight(t)) continue;
+    by_bottleneck[widest.weight_at(t)].push_back(t);
   }
 
   // Phase 2: per distinct bottleneck b, cheapest paths in the subgraph of
@@ -70,8 +70,8 @@ ShortestWidestRow<typename SW::Weight> shortest_widest_exact(
     }
     const auto cheapest = dijkstra(sp, g, costs, source);
     for (NodeId t : destinations) {
-      if (!cheapest.weight[t].has_value()) continue;  // cannot happen
-      row.weight[t] = W{bottleneck, *cheapest.weight[t]};
+      if (!cheapest.has_weight(t)) continue;  // cannot happen
+      row.weight[t] = W{bottleneck, cheapest.weight_at(t)};
       row.parent[t] = cheapest.parent[t];
       row.paths[t] = cheapest.extract_path(t);
     }

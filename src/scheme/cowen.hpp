@@ -39,14 +39,16 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "graph/csr_graph.hpp"
 #include "routing/dijkstra.hpp"
 #include "scheme/scheme.hpp"
 #include "util/bitstream.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace cpr {
@@ -102,10 +104,14 @@ class CowenScheme {
 
     s.pool_ = opt.pool ? opt.pool : &ThreadPool::global();
 
+    // Flat CSR snapshot: every later phase (tree fan-out, ball/cluster
+    // scans, table fill with its O(log deg) port lookups) reads it.
+    s.csr_ = CsrGraph(g);
+
     // Preferred-path trees from every root; tree[t] gives both w(p*_t,u)
     // and u's next hop toward t (undirected + commutative). One
     // policy-Dijkstra per root, fanned out across the pool.
-    s.trees_ = all_pairs_trees(alg, g, w, s.pool_);
+    s.trees_ = all_pairs_trees(alg, s.csr_, w, s.pool_);
 
     s.is_landmark_.assign(n, false);
     for (std::size_t i : rng.sample_without_replacement(n, std::min(init, n))) {
@@ -126,11 +132,13 @@ class CowenScheme {
 
   Decision forward(NodeId u, Header& h) const {
     if (u == h.target) return Decision::delivered();
-    const auto direct = tables_[u].find(h.target);
-    if (direct != tables_[u].end()) return Decision::via(direct->second);
+    if (const Port* direct = table_lookup(u, h.target)) {
+      return Decision::via(*direct);
+    }
     if (u == h.landmark) return Decision::via(h.port_at_landmark);
-    const auto toward = tables_[u].find(h.landmark);
-    if (toward != tables_[u].end()) return Decision::via(toward->second);
+    if (const Port* toward = table_lookup(u, h.landmark)) {
+      return Decision::via(*toward);
+    }
     return Decision::via(kInvalidPort);
   }
 
@@ -192,46 +200,70 @@ class CowenScheme {
   NodeId landmark_of(NodeId v) const { return landmark_of_[v]; }
   bool is_landmark(NodeId v) const { return is_landmark_[v]; }
   const PathTree<W>& tree(NodeId t) const { return trees_[t]; }
-  // The raw (target → port) table of node u, exposed so the determinism
-  // tests can compare parallel builds entry-by-entry.
-  const std::map<NodeId, Port>& table(NodeId u) const { return tables_[u]; }
+  // The raw (target, port) table of node u — sorted by target, flat so
+  // the fill phase is a single allocation-free append stream — exposed so
+  // the determinism tests can compare parallel builds entry-by-entry.
+  const std::vector<std::pair<NodeId, Port>>& table(NodeId u) const {
+    return tables_[u];
+  }
   Port port_at_landmark(NodeId v) const { return port_at_landmark_[v]; }
 
  private:
   CowenScheme(const A& alg, const Graph& g) : alg_(alg), graph_(&g) {}
 
-  // ⪯-distance from u to node x, read off tree(x); nullopt = unreachable.
-  const std::optional<W>& dist(NodeId u, NodeId x) const {
-    return trees_[x].weight[u];
+  // Binary search into u's flat sorted table; nullptr when target has no
+  // entry (forwarding then falls back to the landmark route).
+  const Port* table_lookup(NodeId u, NodeId target) const {
+    const auto& t = tables_[u];
+    const auto it = std::lower_bound(
+        t.begin(), t.end(), target,
+        [](const std::pair<NodeId, Port>& e, NodeId v) { return e.first < v; });
+    return (it != t.end() && it->first == target) ? &it->second : nullptr;
   }
+
+  // ⪯-distance from u to node x, read off tree(x)'s flat arrays.
+  bool has_dist(NodeId u, NodeId x) const { return trees_[x].has_weight(u); }
+  const W& dist_at(NodeId u, NodeId x) const { return trees_[x].weights[u]; }
 
   // Deterministic "closer landmark" comparison: algebra order, then hops,
   // then id.
   bool landmark_better(NodeId u, NodeId a, NodeId b) const {
-    const auto& wa = dist(u, a);
-    const auto& wb = dist(u, b);
-    if (wa.has_value() != wb.has_value()) return wa.has_value();
-    if (!wa.has_value()) return a < b;
-    if (alg_.less(*wa, *wb)) return true;
-    if (alg_.less(*wb, *wa)) return false;
+    const bool ha = has_dist(u, a);
+    const bool hb = has_dist(u, b);
+    if (ha != hb) return ha;
+    if (!ha) return a < b;
+    const W& wa = dist_at(u, a);
+    const W& wb = dist_at(u, b);
+    if (alg_.less(wa, wb)) return true;
+    if (alg_.less(wb, wa)) return false;
     if (trees_[a].hops[u] != trees_[b].hops[u]) {
       return trees_[a].hops[u] < trees_[b].hops[u];
     }
     return a < b;
   }
 
-  // Ball radius of v (⪯-distance to its landmark); nullopt for landmarks
-  // and disconnected nodes. Shared by the cluster scan and the table fill.
-  std::vector<std::optional<W>> ball_radii() const {
+  // Ball radius of v (⪯-distance to its landmark); absent for landmarks
+  // and disconnected nodes. Shared by the cluster scan and the table fill;
+  // flat value array + presence flags so the O(n²) scans stream it.
+  struct BallRadii {
+    std::vector<W> value;
+    std::vector<std::uint8_t> present;
+    bool has(NodeId v) const { return present[v] != 0; }
+  };
+  BallRadii ball_radii() const {
     const std::size_t n = graph_->node_count();
-    std::vector<std::optional<W>> radius(n);
+    BallRadii radius;
+    radius.value.assign(n, alg_.phi());
+    radius.present.assign(n, 0);
     parallel_for(
         *pool_, 0, n,
         [&](std::size_t v) {
           if (is_landmark_[v]) return;  // B(landmark) = ∅
           const NodeId lv = landmark_of_[v];
           if (lv == kInvalidNode) return;
-          radius[v] = dist(static_cast<NodeId>(v), lv);
+          if (!has_dist(static_cast<NodeId>(v), lv)) return;
+          radius.value[v] = dist_at(static_cast<NodeId>(v), lv);
+          radius.present[v] = 1;
         },
         /*grain=*/64);
     return radius;
@@ -270,13 +302,16 @@ class CowenScheme {
           *pool_, 0, n,
           [&](std::size_t i) {
             const NodeId u = static_cast<NodeId>(i);
+            // dist(v, u) for all v is tree u's flat weight row — the
+            // whole scan streams two arrays plus the radius row.
+            const PathTree<W>& tree_u = trees_[u];
             std::size_t count = 0;
             for (NodeId v = 0; v < n; ++v) {
-              if (v == u || !radius[v].has_value()) continue;
-              const auto& d = dist(v, u);
-              if (!d.has_value()) continue;
-              const bool inside = strict_balls_ ? alg_.less(*d, *radius[v])
-                                                : leq(alg_, *d, *radius[v]);
+              if (v == u || !radius.has(v) || !tree_u.has_weight(v)) continue;
+              const W& d = tree_u.weights[v];
+              const bool inside = strict_balls_
+                                      ? alg_.less(d, radius.value[v])
+                                      : leq(alg_, d, radius.value[v]);
               if (inside) ++count;
             }
             cluster_sizes_[u] = count;
@@ -298,28 +333,35 @@ class CowenScheme {
     const std::size_t n = graph_->node_count();
     const auto radius = ball_radii();
     tables_.assign(n, {});
-    // Each task fills one node's table — landmark entries everywhere,
-    // cluster entries where u ∈ B(v). The per-u std::map keeps entries in
-    // target order, so the encoded tables are schedule-independent.
+    // Each task fills one node's table in a single ascending scan over
+    // the targets: landmarks contribute wherever they are reachable (they
+    // carry no ball, so the two entry kinds are disjoint), non-landmarks
+    // where u ∈ B(v). Scanning targets in id order appends the flat table
+    // already sorted — no per-entry allocation, no rebalancing — and the
+    // encoded tables stay schedule-independent. Port lookups go through
+    // the CSR view.
     parallel_for(
         *pool_, 0, n,
         [&](std::size_t i) {
           const NodeId u = static_cast<NodeId>(i);
-          for (NodeId l = 0; l < n; ++l) {
-            if (!is_landmark_[l] || l == u) continue;
-            if (trees_[l].reachable(u)) {
-              tables_[u][l] = graph_->port_to(u, trees_[l].parent[u]);
-            }
-          }
+          const PathTree<W>& tree_u = trees_[u];
+          auto& table = tables_[u];
           for (NodeId v = 0; v < n; ++v) {
-            if (v == u || !radius[v].has_value()) continue;
+            if (v == u) continue;
+            if (is_landmark_[v]) {
+              if (trees_[v].reachable(u)) {
+                table.emplace_back(v, csr_.port_to(u, trees_[v].parent[u]));
+              }
+              continue;
+            }
+            if (!radius.has(v) || !tree_u.has_weight(v)) continue;
             if (!trees_[v].reachable(u)) continue;
-            const auto& d = dist(v, u);
-            if (!d.has_value()) continue;
-            const bool inside = strict_balls_ ? alg_.less(*d, *radius[v])
-                                              : leq(alg_, *d, *radius[v]);
+            const W& d = tree_u.weights[v];
+            const bool inside = strict_balls_
+                                    ? alg_.less(d, radius.value[v])
+                                    : leq(alg_, d, radius.value[v]);
             if (inside) {
-              tables_[u][v] = graph_->port_to(u, trees_[v].parent[u]);
+              table.emplace_back(v, csr_.port_to(u, trees_[v].parent[u]));
             }
           }
         },
@@ -340,7 +382,7 @@ class CowenScheme {
             if (x == kInvalidNode) break;
           }
           if (x != kInvalidNode) {
-            port_at_landmark_[v] = graph_->port_to(lv, x);
+            port_at_landmark_[v] = csr_.port_to(lv, x);
           }
         },
         /*grain=*/64);
@@ -348,12 +390,13 @@ class CowenScheme {
 
   const A alg_;
   const Graph* graph_;
+  CsrGraph csr_;
   ThreadPool* pool_ = nullptr;
   std::vector<PathTree<W>> trees_;
   std::vector<bool> is_landmark_;
   std::vector<NodeId> landmark_of_;
   std::vector<std::size_t> cluster_sizes_;
-  std::vector<std::map<NodeId, Port>> tables_;
+  std::vector<std::vector<std::pair<NodeId, Port>>> tables_;
   std::vector<Port> port_at_landmark_;
   std::size_t cluster_cap_ = 0;
   bool strict_balls_ = true;

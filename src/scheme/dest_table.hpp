@@ -11,6 +11,7 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "graph/csr_graph.hpp"
 #include "routing/dijkstra.hpp"
 #include "scheme/scheme.hpp"
 #include "util/bitstream.hpp"
@@ -27,7 +28,7 @@ class DestinationTableScheme {
   // u == t or t unreachable from u).
   DestinationTableScheme(const Graph& g,
                          std::vector<std::vector<NodeId>> next_hop)
-      : graph_(&g), next_hop_(std::move(next_hop)) {}
+      : graph_(&g), csr_(g), next_hop_(std::move(next_hop)) {}
 
   // Builds tables from preferred-path trees rooted at every destination
   // (undirected graph, commutative algebra: the tree rooted at t encodes
@@ -38,8 +39,9 @@ class DestinationTableScheme {
     const std::size_t n = g.node_count();
     std::vector<std::vector<NodeId>> next_hop(n,
                                               std::vector<NodeId>(n, kInvalidNode));
+    const CsrGraph csr(g);  // one snapshot for the n sweeps
     for (NodeId t = 0; t < n; ++t) {
-      const auto tree = dijkstra(alg, g, w, t);
+      const auto tree = dijkstra(alg, csr, w, t);
       for (NodeId u = 0; u < n; ++u) {
         if (u != t && tree.reachable(u)) next_hop[t][u] = tree.parent[u];
       }
@@ -53,7 +55,7 @@ class DestinationTableScheme {
     if (u == h) return Decision::delivered();
     const NodeId nh = next_hop_[h][u];
     if (nh == kInvalidNode) return Decision::via(kInvalidPort);
-    return Decision::via(graph_->port_to(u, nh));
+    return Decision::via(csr_.port_to(u, nh));
   }
 
   // Destination-indexed port array: (n-1) entries of ceil(log2 deg(u))
@@ -66,7 +68,7 @@ class DestinationTableScheme {
       const NodeId nh = next_hop_[t][u];
       bits.write_bit(nh != kInvalidNode);
       if (nh != kInvalidNode) {
-        bits.write_bounded(graph_->port_to(u, nh),
+        bits.write_bounded(csr_.port_to(u, nh),
                            std::max<std::size_t>(graph_->degree(u), 1));
       }
     }
@@ -79,6 +81,7 @@ class DestinationTableScheme {
 
  private:
   const Graph* graph_;
+  CsrGraph csr_;  // O(log deg) port lookups for forwarding + accounting
   std::vector<std::vector<NodeId>> next_hop_;
 };
 

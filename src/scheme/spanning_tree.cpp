@@ -7,19 +7,28 @@
 
 namespace cpr {
 
-RootedTree RootedTree::from_edges(const Graph& g,
-                                  const std::vector<EdgeId>& tree_edges,
-                                  NodeId root) {
+namespace {
+
+// Tree-restricted adjacency, per node in tree_edges order (the order
+// from_edges always used, so sharing it across roots changes nothing).
+using TreeAdjacency = std::vector<std::vector<std::pair<NodeId, EdgeId>>>;
+
+TreeAdjacency tree_adjacency(const Graph& g,
+                             const std::vector<EdgeId>& tree_edges) {
   const std::size_t n = g.node_count();
   if (n > 0 && tree_edges.size() != n - 1) {
     throw std::invalid_argument("RootedTree: not a spanning edge set");
   }
-  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  TreeAdjacency adj(n);
   for (EdgeId e : tree_edges) {
     adj[g.edge(e).u].push_back({g.edge(e).v, e});
     adj[g.edge(e).v].push_back({g.edge(e).u, e});
   }
+  return adj;
+}
 
+RootedTree root_over(const TreeAdjacency& adj, NodeId root) {
+  const std::size_t n = adj.size();
   RootedTree t;
   t.root = root;
   t.parent.assign(n, kInvalidNode);
@@ -53,14 +62,25 @@ RootedTree RootedTree::from_edges(const Graph& g,
   return t;
 }
 
+}  // namespace
+
+RootedTree RootedTree::from_edges(const Graph& g,
+                                  const std::vector<EdgeId>& tree_edges,
+                                  NodeId root) {
+  return root_over(tree_adjacency(g, tree_edges), root);
+}
+
 std::vector<RootedTree> rooted_forest(const Graph& g,
                                       const std::vector<EdgeId>& tree_edges,
                                       const std::vector<NodeId>& roots,
                                       ThreadPool* pool) {
   ThreadPool& p = pool ? *pool : ThreadPool::global();
+  // One shared adjacency for every root: each BFS only reads it, so the
+  // fan-out stays write-disjoint and bit-identical to the sequential loop.
+  const TreeAdjacency adj = tree_adjacency(g, tree_edges);
   std::vector<RootedTree> forest(roots.size());
   parallel_for(p, 0, roots.size(), [&](std::size_t i) {
-    forest[i] = RootedTree::from_edges(g, tree_edges, roots[i]);
+    forest[i] = root_over(adj, roots[i]);
   });
   return forest;
 }

@@ -11,9 +11,16 @@ namespace cpr {
 TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
                        NodeId root)
     : graph_(&g), root_(root) {
-  const RootedTree tree = RootedTree::from_edges(g, tree_edges, root);
+  RootedTree tree = RootedTree::from_edges(g, tree_edges, root);
   const std::size_t n = g.node_count();
   parent_ = tree.parent;
+  port_up_.assign(n, kInvalidPort);
+  port_down_.assign(n, kInvalidPort);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == root) continue;
+    port_up_[u] = g.port_to(u, parent_[u]);
+    port_down_[u] = g.port_to(parent_[u], u);
+  }
   dfs_in_.assign(n, 0);
   dfs_out_.assign(n, 0);
   light_depth_.assign(n, 0);
@@ -26,7 +33,7 @@ TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
   // decreasing subtree size, which is what makes the gamma codes
   // telescope.
   for (NodeId u = 0; u < n; ++u) {
-    std::vector<NodeId> kids = tree.children[u];
+    std::vector<NodeId>& kids = tree.children[u];
     std::sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
       if (tree.subtree_size[a] != tree.subtree_size[b]) {
         return tree.subtree_size[a] > tree.subtree_size[b];
@@ -86,25 +93,21 @@ TreeRouter::Header TreeRouter::make_header(NodeId target) const {
 Decision TreeRouter::forward(NodeId u, Header& h) const {
   const std::uint64_t x = h.target_dfs;
   if (x == dfs_in_[u]) return Decision::delivered();
-  NodeId next;
   if (x < dfs_in_[u] || x > dfs_out_[u]) {
-    next = parent_[u];  // target outside my subtree: climb
-  } else {
-    const NodeId heavy = heavy_child_[u];
-    if (heavy != kInvalidNode && x >= dfs_in_[heavy] && x <= dfs_out_[heavy]) {
-      next = heavy;
-    } else {
-      // Descend on a light edge; my entry is #light_depth_[u] because
-      // root→u contributes exactly that many light edges to the label.
-      const std::uint32_t idx = light_depth_[u];
-      if (idx >= h.light_sequence.size() ||
-          h.light_sequence[idx] >= light_children_[u].size()) {
-        return Decision::via(kInvalidPort);  // malformed label
-      }
-      next = light_children_[u][h.light_sequence[idx]];
-    }
+    return Decision::via(port_up_[u]);  // target outside my subtree: climb
   }
-  return Decision::via(graph_->port_to(u, next));
+  const NodeId heavy = heavy_child_[u];
+  if (heavy != kInvalidNode && x >= dfs_in_[heavy] && x <= dfs_out_[heavy]) {
+    return Decision::via(port_down_[heavy]);
+  }
+  // Descend on a light edge; my entry is #light_depth_[u] because
+  // root→u contributes exactly that many light edges to the label.
+  const std::uint32_t idx = light_depth_[u];
+  if (idx >= h.light_sequence.size() ||
+      h.light_sequence[idx] >= light_children_[u].size()) {
+    return Decision::via(kInvalidPort);  // malformed label
+  }
+  return Decision::via(port_down_[light_children_[u][h.light_sequence[idx]]]);
 }
 
 std::size_t TreeRouter::local_memory_bits(NodeId u) const {

@@ -74,6 +74,11 @@ class TreeRouter {
   const Graph* graph_;
   NodeId root_;
   std::vector<NodeId> parent_;
+  // forward() only ever exits along a tree edge, so the two ports of every
+  // tree edge are resolved once at construction: port_up_[u] exits u toward
+  // parent(u), port_down_[u] exits parent(u) toward u. O(1) per hop, no
+  // adjacency lookup on the query path.
+  std::vector<Port> port_up_, port_down_;
   std::vector<std::uint32_t> dfs_in_, dfs_out_;
   std::vector<std::uint32_t> light_depth_;
   std::vector<NodeId> heavy_child_;                 // kInvalidNode if leaf

@@ -161,7 +161,7 @@ WorkloadEvaluation evaluate_workload(
     ++eval.delivered;
     hops.push_back(static_cast<double>(r.hops()));
     const auto achieved = weight_of_path(alg, g, w, r.path);
-    const auto& preferred = trees[target].weight[source];
+    const auto preferred = trees[target].weight(source);
     if (achieved.has_value() && preferred.has_value()) {
       const double s = ratio(*preferred, *achieved);
       stretches.push_back(s);

@@ -59,6 +59,13 @@ class Rng {
   // how much this Rng has been consumed and of any thread schedule. This
   // is what keeps parallel constructions bit-identical across thread
   // counts — task i always draws from fork(i), never from a shared stream.
+  //
+  // This independence is also what the pooled per-thread scratch buffers
+  // (e.g. the thread_local Dijkstra heap in routing/dijkstra.hpp) lean
+  // on: a worker's scratch may have served any mix of earlier tasks, so
+  // nothing random may flow through it — randomness enters a task only
+  // via its fork stream, and scratch state is fully reset per run.
+  // test_parallel_determinism.cpp pins both halves of this contract.
   Rng fork(std::uint64_t stream) const {
     // splitmix64 finalizer over seed ⊕ golden-ratio-scrambled stream id.
     std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull * (stream + 1);

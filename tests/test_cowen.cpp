@@ -28,7 +28,7 @@ void expect_stretch3(const A& alg, std::uint64_t seed, std::size_t n,
       const RouteResult r = simulate_route(scheme, g, s, t);
       ASSERT_TRUE(r.delivered) << alg.name() << " s=" << s << " t=" << t;
       if (s == t) continue;
-      const auto& preferred = scheme.tree(t).weight[s];
+      const auto preferred = scheme.tree(t).weight(s);
       ASSERT_TRUE(preferred.has_value());
       EXPECT_TRUE(test::path_weight_within_stretch(alg, g, w, r.path,
                                                    *preferred, 3))

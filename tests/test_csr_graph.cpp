@@ -1,0 +1,124 @@
+// CsrGraph must be an exact read-only replica of the Graph it snapshots:
+// same counts, same port numbering, same edge ids, and port_to/has_edge
+// answers identical to Graph's linear scan — the binary search over the
+// sorted-neighbor permutation is only allowed to be faster, never
+// different. Checked over the seeded random corpus plus the degenerate
+// shapes (empty, single node, path, star) where off-by-ones in the offset
+// array or the per-row sort would hide.
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpr {
+namespace {
+
+void expect_equivalent(const Graph& g, const CsrGraph& c) {
+  ASSERT_EQ(c.node_count(), g.node_count());
+  ASSERT_EQ(c.edge_count(), g.edge_count());
+  EXPECT_EQ(c.max_degree(), g.max_degree());
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_EQ(c.degree(v), g.degree(v)) << "v=" << v;
+    const auto& row = g.neighbors(v);
+    const auto span = c.neighbors(v);
+    ASSERT_EQ(span.size(), row.size()) << "v=" << v;
+    for (Port p = 0; p < row.size(); ++p) {
+      // Port numbering is the contract: position p must be the same
+      // Adjacency record in both views.
+      EXPECT_EQ(c.neighbor(v, p), row[p].neighbor) << "v=" << v << " p=" << p;
+      EXPECT_EQ(c.edge_at(v, p), row[p].edge) << "v=" << v << " p=" << p;
+      EXPECT_EQ(span[p].neighbor, row[p].neighbor);
+      EXPECT_EQ(span[p].edge, row[p].edge);
+    }
+  }
+
+  // port_to / has_edge agree with Graph's answer for every ordered pair.
+  // Simple graphs have at most one port per neighbor, so equality of the
+  // port (not just of existence) is required.
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(c.port_to(u, v), g.port_to(u, v)) << "u=" << u << " v=" << v;
+      EXPECT_EQ(c.has_edge(u, v), g.has_edge(u, v)) << "u=" << u << " v=" << v;
+    }
+  }
+
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(c.edge(e).u, g.edge(e).u) << "e=" << e;
+    EXPECT_EQ(c.edge(e).v, g.edge(e).v) << "e=" << e;
+    EXPECT_EQ(c.opposite(e, g.edge(e).u), g.edge(e).v);
+    EXPECT_EQ(c.opposite(e, g.edge(e).v), g.edge(e).u);
+  }
+  EXPECT_EQ(c.edges().size(), g.edges().size());
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const Graph g;
+  const CsrGraph c(g);
+  EXPECT_EQ(c.node_count(), 0u);
+  EXPECT_EQ(c.edge_count(), 0u);
+}
+
+TEST(CsrGraph, SingleNodeNoEdges) {
+  const Graph g(1);
+  const CsrGraph c(g);
+  ASSERT_EQ(c.node_count(), 1u);
+  EXPECT_EQ(c.degree(0), 0u);
+  EXPECT_TRUE(c.neighbors(0).empty());
+  EXPECT_EQ(c.port_to(0, 0), kInvalidPort);
+}
+
+TEST(CsrGraph, PathGraph) {
+  Graph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  expect_equivalent(g, CsrGraph(g));
+}
+
+TEST(CsrGraph, StarGraph) {
+  // High-degree hub: the row sort and binary search get a row that spans
+  // multiple cache lines; the leaves get one-entry rows.
+  Graph g(33);
+  for (NodeId v = 1; v < 33; ++v) g.add_edge(0, v);
+  const CsrGraph c(g);
+  expect_equivalent(g, c);
+  for (NodeId v = 1; v < 33; ++v) {
+    EXPECT_EQ(c.neighbor(0, c.port_to(0, v)), v);
+  }
+}
+
+TEST(CsrGraph, IsolatedNodesBetweenEdges) {
+  // Zero-degree rows in the middle of the offset array.
+  Graph g(6);
+  g.add_edge(0, 5);
+  g.add_edge(2, 5);
+  expect_equivalent(g, CsrGraph(g));
+  EXPECT_EQ(CsrGraph(g).degree(1), 0u);
+  EXPECT_EQ(CsrGraph(g).degree(3), 0u);
+}
+
+TEST(CsrGraph, SnapshotDoesNotTrackLaterMutation) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const CsrGraph c(g);
+  g.add_edge(1, 2);
+  EXPECT_EQ(c.edge_count(), 1u);
+  EXPECT_FALSE(c.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+class CsrGraphSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrGraphSeeds, MatchesGraphOnRandomCorpus) {
+  Rng rng(GetParam());
+  const std::size_t n = 8 + rng.index(40);
+  const double p = 0.05 + 0.3 * rng.real();
+  const Graph g = erdos_renyi_connected(n, p, rng);
+  expect_equivalent(g, CsrGraph(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CsrGraphSeeds,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace cpr

@@ -30,15 +30,15 @@ void expect_matches_exhaustive(const A& alg, std::uint64_t seed) {
       ASSERT_EQ(tree.reachable(t), truth.traversable())
           << alg.name() << " s=" << s << " t=" << t;
       if (!truth.traversable()) continue;
-      EXPECT_TRUE(order_equal(alg, *tree.weight[t], *truth.weight))
+      EXPECT_TRUE(order_equal(alg, *tree.weight(t), *truth.weight))
           << alg.name() << " s=" << s << " t=" << t << " dijkstra="
-          << alg.to_string(*tree.weight[t])
+          << alg.to_string(*tree.weight(t))
           << " exhaustive=" << alg.to_string(*truth.weight);
       // The extracted path must realize the reported weight.
       const auto path = tree.extract_path(t);
       const auto pw = weight_of_path(alg, g, w, path);
       ASSERT_TRUE(pw.has_value());
-      EXPECT_TRUE(order_equal(alg, *pw, *tree.weight[t]));
+      EXPECT_TRUE(order_equal(alg, *pw, *tree.weight(t)));
     }
   }
 }
@@ -69,9 +69,9 @@ TEST(Dijkstra, LineGraphDistances) {
   const Graph g = path_graph(5);
   EdgeMap<std::uint64_t> w = {1, 2, 3, 4};
   const auto tree = dijkstra(ShortestPath{}, g, w, 0);
-  EXPECT_FALSE(tree.weight[0].has_value());  // empty path has no weight
-  EXPECT_EQ(*tree.weight[1], 1u);
-  EXPECT_EQ(*tree.weight[4], 10u);
+  EXPECT_FALSE(tree.weight(0).has_value());  // empty path has no weight
+  EXPECT_EQ(*tree.weight(1), 1u);
+  EXPECT_EQ(*tree.weight(4), 10u);
   EXPECT_EQ(tree.extract_path(4), (NodePath{0, 1, 2, 3, 4}));
   EXPECT_EQ(tree.hops[4], 4u);
 }
@@ -102,7 +102,7 @@ TEST(Dijkstra, HopTieBreakPrefersShorterPaths) {
   g.add_edge(0, 3);
   w.push_back(4);
   const auto tree = dijkstra(ShortestPath{}, g, w, 0);
-  EXPECT_EQ(*tree.weight[3], 4u);
+  EXPECT_EQ(*tree.weight(3), 4u);
   EXPECT_EQ(tree.hops[3], 1u);
   EXPECT_EQ(tree.extract_path(3), (NodePath{0, 3}));
 }
@@ -131,7 +131,7 @@ TEST(Dijkstra, UnsoundOnShortestWidest) {
   // Ground truth: bottleneck 1 either way, so cost decides: 0-1-2-3 = 3.
   EXPECT_EQ(truth.weight->second, 3u);
   // Dijkstra settled 2 via the wide edge and reports cost 11 — suboptimal.
-  EXPECT_TRUE(sw.less(*truth.weight, *tree.weight[3]));
+  EXPECT_TRUE(sw.less(*truth.weight, *tree.weight(3)));
 }
 
 TEST(Dijkstra, AllPairsTreesCoverEveryRoot) {

@@ -37,8 +37,8 @@ TEST_P(EmbeddingSeeds, ReliabilityEmbedsShortestPaths) {
       ASSERT_TRUE(int_tree.reachable(t));
       ASSERT_TRUE(pow_tree.reachable(t));
       // Same optimum: (1/2)^(shortest distance).
-      EXPECT_DOUBLE_EQ(*pow_tree.weight[t],
-                       std::pow(0.5, static_cast<double>(*int_tree.weight[t])))
+      EXPECT_DOUBLE_EQ(*pow_tree.weight(t),
+                       std::pow(0.5, static_cast<double>(*int_tree.weight(t))))
           << "src=" << src << " t=" << t;
     }
   }
@@ -59,7 +59,7 @@ TEST_P(EmbeddingSeeds, CappedAlgebraEmbedsWhenBudgetAllows) {
   const auto int_tree = dijkstra(s, g, ints, 0);
   const auto scaled_tree = dijkstra(bounded, g, scaled, 0);
   for (NodeId t = 1; t < g.node_count(); ++t) {
-    EXPECT_EQ(*scaled_tree.weight[t], 3 * *int_tree.weight[t]);
+    EXPECT_EQ(*scaled_tree.weight(t), 3 * *int_tree.weight(t));
   }
 }
 
@@ -86,7 +86,7 @@ TEST(Theorem6Reduction, UsablePathsCoverAllPairsThroughTheRoot) {
   for (NodeId v = 0; v < red.shadow.node_count(); ++v) {
     ASSERT_TRUE(tree.reachable(v)) << "v=" << v;
     if (v != red.root) {
-      EXPECT_EQ(*tree.weight[v], 1);
+      EXPECT_EQ(*tree.weight(v), 1);
     }
   }
 

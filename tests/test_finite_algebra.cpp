@@ -75,8 +75,8 @@ TEST(FiniteAlgebra, BottleneckEmulatesWidestPath) {
       if (s == t) continue;
       ASSERT_TRUE(wide.reachable(t));
       ASSERT_TRUE(fin.reachable(t));
-      EXPECT_EQ(static_cast<std::uint64_t>(k - *fin.weight[t]),
-                *wide.weight[t])
+      EXPECT_EQ(static_cast<std::uint64_t>(k - *fin.weight(t)),
+                *wide.weight(t))
           << "s=" << s << " t=" << t;
     }
   }

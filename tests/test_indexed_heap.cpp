@@ -1,0 +1,287 @@
+// The indexed-heap Dijkstra must be a drop-in replacement for the
+// lazy-deletion priority-queue version it displaced: same comparator →
+// same settle order → bit-identical trees. `reference_dijkstra` below *is*
+// the displaced implementation (std::priority_queue, stale-entry skipping,
+// std::optional weights), kept here as the differential oracle; the
+// equivalence is checked field-for-field over the seeded corpus for every
+// Table 1 algebra the greedy is sound on. Plus direct unit tests of the
+// heap's decrease-key mechanics, which the differential test alone could
+// mask (a heap that degenerated to a sorted scan would still be correct).
+#include "algebra/primitives.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/indexed_heap.hpp"
+#include "routing/shortest_widest.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+// ---- Differential oracle: the pre-refactor lazy-queue Dijkstra ----
+
+template <typename W>
+struct ReferenceTree {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::optional<W>> weight;
+  std::vector<std::size_t> hops;
+};
+
+template <RoutingAlgebra A>
+ReferenceTree<typename A::Weight> reference_dijkstra(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w,
+    NodeId source) {
+  using W = typename A::Weight;
+  const std::size_t n = g.node_count();
+  ReferenceTree<W> tree;
+  tree.source = source;
+  tree.parent.assign(n, kInvalidNode);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.weight.assign(n, std::nullopt);
+  tree.hops.assign(n, 0);
+  tree.parent[source] = source;
+
+  struct Entry {
+    W weight;
+    std::size_t hops;
+    NodeId node;
+  };
+  auto worse = [&alg](const Entry& a, const Entry& b) {
+    if (alg.less(a.weight, b.weight)) return false;
+    if (alg.less(b.weight, a.weight)) return true;
+    if (a.hops != b.hops) return a.hops > b.hops;
+    return a.node > b.node;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
+  std::vector<bool> settled(n, false);
+
+  auto relax = [&](NodeId from, const Graph::Adjacency& adj, const W& cand,
+                   std::size_t hops) {
+    if (alg.is_phi(cand)) return;
+    const NodeId v = adj.neighbor;
+    if (settled[v] || v == source) return;
+    const bool improves =
+        !tree.weight[v].has_value() || alg.less(cand, *tree.weight[v]) ||
+        (order_equal(alg, cand, *tree.weight[v]) && hops < tree.hops[v]);
+    if (improves) {
+      tree.weight[v] = cand;
+      tree.hops[v] = hops;
+      tree.parent[v] = from;
+      tree.parent_edge[v] = adj.edge;
+      queue.push({cand, hops, v});
+    }
+  };
+
+  settled[source] = true;
+  for (const auto& adj : g.neighbors(source)) {
+    relax(source, adj, w[adj.edge], 1);
+  }
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.node]) continue;
+    if (!tree.weight[top.node].has_value() ||
+        !order_equal(alg, *tree.weight[top.node], top.weight) ||
+        tree.hops[top.node] != top.hops) {
+      continue;  // stale entry
+    }
+    settled[top.node] = true;
+    for (const auto& adj : g.neighbors(top.node)) {
+      relax(top.node, adj, alg.combine(top.weight, w[adj.edge]), top.hops + 1);
+    }
+  }
+  return tree;
+}
+
+// Bit-identical, not just order-equal: same parents, same parent edges,
+// same hop counts, same reachability, and exactly equal weight values.
+template <RoutingAlgebra A>
+void expect_trees_identical(const A& alg, const Graph& g,
+                            const EdgeMap<typename A::Weight>& w) {
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto got = dijkstra(alg, g, w, s);
+    const auto want = reference_dijkstra(alg, g, w, s);
+    ASSERT_EQ(got.source, want.source);
+    ASSERT_EQ(got.parent, want.parent) << alg.name() << " s=" << s;
+    ASSERT_EQ(got.parent_edge, want.parent_edge) << alg.name() << " s=" << s;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      ASSERT_EQ(got.has_weight(v), want.weight[v].has_value())
+          << alg.name() << " s=" << s << " v=" << v;
+      if (want.weight[v].has_value()) {
+        EXPECT_EQ(got.hops[v], want.hops[v])
+            << alg.name() << " s=" << s << " v=" << v;
+        EXPECT_EQ(got.weight_at(v), *want.weight[v])
+            << alg.name() << " s=" << s << " v=" << v;
+      }
+    }
+  }
+}
+
+class HeapDijkstraSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapDijkstraSeeds, ShortestPathMatchesLazyQueue) {
+  const ShortestPath alg{1024};
+  auto inst = test::seeded_instance(alg, GetParam(), 36, 0.15);
+  expect_trees_identical(alg, inst.graph, inst.weights);
+}
+
+TEST_P(HeapDijkstraSeeds, WidestPathMatchesLazyQueue) {
+  // Widest path is tie-heavy (few distinct capacities), exercising the
+  // hop/id tie-break arms of the comparator.
+  const WidestPath alg{8};
+  auto inst = test::seeded_instance(alg, GetParam(), 36, 0.2);
+  expect_trees_identical(alg, inst.graph, inst.weights);
+}
+
+TEST_P(HeapDijkstraSeeds, MostReliableMatchesLazyQueue) {
+  const MostReliablePath alg{};
+  auto inst = test::seeded_instance(alg, GetParam(), 30, 0.2);
+  expect_trees_identical(alg, inst.graph, inst.weights);
+}
+
+TEST_P(HeapDijkstraSeeds, UsablePathMatchesLazyQueue) {
+  // Boolean weights: everything reachable ties, so the tree is decided
+  // entirely by hops-then-id.
+  const UsablePath alg{};
+  auto inst = test::seeded_instance(alg, GetParam(), 30, 0.2);
+  expect_trees_identical(alg, inst.graph, inst.weights);
+}
+
+TEST_P(HeapDijkstraSeeds, WidestShortestMatchesLazyQueue) {
+  const WidestShortest alg{ShortestPath{64}, WidestPath{8}};
+  auto inst = test::seeded_instance(alg, GetParam(), 30, 0.2);
+  expect_trees_identical(alg, inst.graph, inst.weights);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, HeapDijkstraSeeds,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(IndexedHeapDijkstra, DisconnectedComponentStaysUnreached) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EdgeMap<std::uint64_t> w{3, 5};
+  const auto tree = dijkstra(ShortestPath{64}, g, w, 0);
+  EXPECT_TRUE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(2));
+  EXPECT_FALSE(tree.reachable(3));
+  EXPECT_FALSE(tree.weight(2).has_value());
+  EXPECT_TRUE(tree.extract_path(3).empty());
+}
+
+// ---- Direct heap mechanics ----
+
+using Heap = IndexedDaryHeap<std::uint64_t>;
+using HeapEntry = Heap::Entry;
+
+// Smaller weight first, node id tie-break — the shape the Dijkstra
+// comparator has (hops unused here).
+struct EntryBetter {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.node < b.node;
+  }
+};
+
+HeapEntry entry(std::uint64_t key, NodeId node) { return {key, 0, node}; }
+
+TEST(IndexedHeap, PopsInKeyOrder) {
+  const std::vector<std::uint64_t> key{50, 10, 40, 20, 30, 10};
+  EntryBetter better;
+  Heap h;
+  h.reset(key.size());
+  for (NodeId v = 0; v < key.size(); ++v) h.push(entry(key[v], v), better);
+  std::vector<NodeId> popped;
+  while (!h.empty()) popped.push_back(h.pop(better).node);
+  // Equal keys (10 at nodes 1 and 5) resolve by node id.
+  EXPECT_EQ(popped, (std::vector<NodeId>{1, 5, 3, 4, 2, 0}));
+}
+
+TEST(IndexedHeap, DecreaseKeyReordersWithoutDuplicates) {
+  EntryBetter better;
+  Heap h;
+  h.reset(5);
+  for (NodeId v = 0; v < 5; ++v) h.push(entry(9 - v, v), better);
+  ASSERT_EQ(h.size(), 5u);
+
+  h.update(entry(1, 0), better);  // improve the worst node to best...
+  EXPECT_EQ(h.size(), 5u);        // ...without growing the heap
+  const HeapEntry top = h.pop(better);
+  EXPECT_EQ(top.node, 0u);
+  EXPECT_EQ(top.weight, 1u);  // pop returns the improved key
+  EXPECT_TRUE(h.settled(0));
+
+  h.update(entry(2, 3), better);  // decrease-key mid-drain
+  EXPECT_EQ(h.pop(better).node, 3u);
+  EXPECT_EQ(h.pop(better).node, 4u);
+}
+
+TEST(IndexedHeap, TracksNodeStates) {
+  EntryBetter better;
+  Heap h;
+  h.reset(3);
+  EXPECT_TRUE(h.never_seen(0));
+  h.mark_settled(0);  // the source never enters the heap
+  EXPECT_TRUE(h.settled(0));
+  EXPECT_FALSE(h.in_heap(0));
+  h.push(entry(1, 1), better);
+  EXPECT_TRUE(h.in_heap(1));
+  EXPECT_FALSE(h.settled(1));
+  EXPECT_EQ(h.pop(better).node, 1u);
+  EXPECT_TRUE(h.settled(1));
+  EXPECT_TRUE(h.never_seen(2));
+}
+
+TEST(IndexedHeap, ResetClearsStateForReuse) {
+  EntryBetter better;
+  Heap h;
+  h.reset(2);
+  h.push(entry(3, 0), better);
+  h.push(entry(1, 1), better);
+  (void)h.pop(better);
+
+  h.reset(2);  // same buffers, fresh run
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.never_seen(0));
+  EXPECT_TRUE(h.never_seen(1));
+  h.push(entry(3, 0), better);
+  EXPECT_EQ(h.pop(better).node, 0u);
+}
+
+TEST(IndexedHeap, RandomizedAgainstSortedOrder) {
+  // 200 nodes with random (often colliding) keys must drain in exactly
+  // the comparator's total order, after a burst of random decreases.
+  Rng rng(99);
+  std::vector<std::uint64_t> key(200);
+  for (auto& k : key) k = rng.uniform(0, 30);
+  EntryBetter better;
+  Heap h;
+  h.reset(key.size());
+  for (NodeId v = 0; v < key.size(); ++v) h.push(entry(key[v], v), better);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.index(key.size()));
+    if (!h.in_heap(v) || key[v] == 0) continue;
+    key[v] -= rng.uniform(1, key[v]);
+    h.update(entry(key[v], v), better);
+  }
+  std::vector<NodeId> want(key.size());
+  std::iota(want.begin(), want.end(), NodeId{0});
+  std::sort(want.begin(), want.end(), [&key](NodeId a, NodeId b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    return a < b;
+  });
+  std::vector<NodeId> got;
+  while (!h.empty()) got.push_back(h.pop(better).node);
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace cpr

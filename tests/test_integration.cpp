@@ -66,7 +66,7 @@ TEST_P(IntegrationSweep, RegularAlgebrasFullPipeline) {
             << inst.family << " table s=" << s << " t=" << t;
         const auto tw = weight_of_path(ws, g, w, via_table.path);
         ASSERT_TRUE(tw.has_value());
-        EXPECT_TRUE(order_equal(ws, *tw, *trees[t].weight[s]))
+        EXPECT_TRUE(order_equal(ws, *tw, *trees[t].weight(s)))
             << inst.family << " s=" << s << " t=" << t;
 
         const RouteResult via_cowen = simulate_route(cowen, g, s, t);
@@ -75,7 +75,7 @@ TEST_P(IntegrationSweep, RegularAlgebrasFullPipeline) {
         const auto cw = weight_of_path(ws, g, w, via_cowen.path);
         ASSERT_TRUE(cw.has_value());
         EXPECT_TRUE(
-            algebraic_stretch(ws, *trees[t].weight[s], *cw, 3).has_value())
+            algebraic_stretch(ws, *trees[t].weight(s), *cw, 3).has_value())
             << inst.family << " stretch>3 s=" << s << " t=" << t;
       }
     }
@@ -94,7 +94,7 @@ TEST_P(IntegrationSweep, RegularAlgebrasFullPipeline) {
         ASSERT_TRUE(r.delivered) << inst.family;
         const auto rw = weight_of_path(wp, g, w, r.path);
         ASSERT_TRUE(rw.has_value());
-        EXPECT_TRUE(order_equal(wp, *rw, *trees[t].weight[s]))
+        EXPECT_TRUE(order_equal(wp, *rw, *trees[t].weight(s)))
             << inst.family << " s=" << s << " t=" << t;
       }
     }
@@ -118,7 +118,7 @@ TEST_P(IntegrationSweep, SolversAgreeAcrossEngines) {
       if (u == t) continue;
       ASSERT_TRUE(dij.reachable(u));
       ASSERT_TRUE(pv.reachable(u));
-      EXPECT_TRUE(order_equal(alg, *dij.weight[u], *pv.weight[u]))
+      EXPECT_TRUE(order_equal(alg, *dij.weight(u), *pv.weight[u]))
           << inst.family << " u=" << u << " t=" << t;
     }
   }
@@ -145,9 +145,9 @@ TEST_P(IntegrationSweep, ParsedPoliciesMatchConcreteOnInstances) {
       if (s == t) continue;
       ASSERT_TRUE(a.reachable(t));
       ASSERT_TRUE(b.reachable(t));
-      const auto& pair_w = b.weight[t]->as<std::pair<AnyWeight, AnyWeight>>();
-      EXPECT_EQ(pair_w.first.as<std::uint64_t>(), a.weight[t]->first);
-      EXPECT_EQ(pair_w.second.as<std::uint64_t>(), a.weight[t]->second);
+      const auto& pair_w = b.weight(t)->as<std::pair<AnyWeight, AnyWeight>>();
+      EXPECT_EQ(pair_w.first.as<std::uint64_t>(), a.weight(t)->first);
+      EXPECT_EQ(pair_w.second.as<std::uint64_t>(), a.weight(t)->second);
     }
   }
 }

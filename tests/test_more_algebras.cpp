@@ -32,7 +32,7 @@ TEST(HopCountAlgebra, MatchesBfsDistances) {
   const auto tree = dijkstra(HopCount{}, g, w, 0);
   const auto bfs = bfs_distances(g, 0);
   for (NodeId v = 1; v < g.node_count(); ++v) {
-    EXPECT_EQ(*tree.weight[v], bfs[v]) << "v=" << v;
+    EXPECT_EQ(*tree.weight(v), bfs[v]) << "v=" << v;
   }
 }
 
@@ -106,7 +106,7 @@ TEST(CappedAlgebra, AgreesWithExhaustiveOnRandomGraphs) {
         ASSERT_EQ(tree.reachable(t), truth.traversable())
             << "seed=" << seed << " s=" << s << " t=" << t;
         if (truth.traversable()) {
-          EXPECT_TRUE(order_equal(bounded, *tree.weight[t], *truth.weight));
+          EXPECT_TRUE(order_equal(bounded, *tree.weight(t), *truth.weight));
         }
       }
     }

@@ -105,10 +105,10 @@ TEST(ParallelDeterminism, AllPairsTreesMatchSequentialDijkstra) {
     ASSERT_EQ(parallel[s].parent_edge, seq.parent_edge) << "s=" << s;
     ASSERT_EQ(parallel[s].hops, seq.hops) << "s=" << s;
     for (NodeId v = 0; v < inst.graph.node_count(); ++v) {
-      ASSERT_EQ(parallel[s].weight[v].has_value(),
-                seq.weight[v].has_value());
-      if (seq.weight[v].has_value()) {
-        EXPECT_TRUE(order_equal(alg, *parallel[s].weight[v], *seq.weight[v]));
+      ASSERT_EQ(parallel[s].weight(v).has_value(),
+                seq.weight(v).has_value());
+      if (seq.weight(v).has_value()) {
+        EXPECT_TRUE(order_equal(alg, *parallel[s].weight(v), *seq.weight(v)));
       }
     }
   }
@@ -135,6 +135,40 @@ TEST(ParallelDeterminism, RootedForestMatchesPerRootBuilds) {
       ASSERT_EQ(f->children, seq.children) << "root=" << roots[i];
       ASSERT_EQ(f->subtree_size, seq.subtree_size) << "root=" << roots[i];
     }
+  }
+}
+
+TEST(ParallelDeterminism, PooledScratchDoesNotLeakAcrossRuns) {
+  // Dijkstra's frontier heap is thread_local and reused across runs
+  // (routing/dijkstra.hpp), and construction randomness reaches tasks
+  // only via Rng::fork streams. Neither may make a build depend on what
+  // the worker did before: a scheme built on a thread whose scratch is
+  // dirty from unrelated sweeps must equal one built on fresh threads.
+  const ShortestPath alg{16};
+
+  ThreadPool fresh_pool(2);
+  test::SeededInstance<ShortestPath> fresh_host;
+  const auto fresh = build_with_pool(alg, 5, 24, fresh_pool, fresh_host);
+
+  ThreadPool dirty_pool(2);
+  // Pollute the pool's (and the calling thread's) scratch heaps with
+  // sweeps over differently-sized graphs and a different algebra.
+  for (std::uint64_t seed : {91u, 92u}) {
+    auto junk = test::seeded_instance(WidestPath{8}, seed, 57, 0.1);
+    (void)all_pairs_trees(WidestPath{8}, junk.graph, junk.weights,
+                          &dirty_pool);
+    (void)dijkstra(WidestPath{8}, junk.graph, junk.weights, 0);
+  }
+  test::SeededInstance<ShortestPath> dirty_host;
+  const auto dirty = build_with_pool(alg, 5, 24, dirty_pool, dirty_host);
+
+  ASSERT_EQ(dirty.landmark_count(), fresh.landmark_count());
+  for (NodeId u = 0; u < fresh_host.graph.node_count(); ++u) {
+    EXPECT_EQ(dirty.is_landmark(u), fresh.is_landmark(u)) << "u=" << u;
+    EXPECT_EQ(dirty.landmark_of(u), fresh.landmark_of(u)) << "u=" << u;
+    ASSERT_EQ(dirty.table(u), fresh.table(u)) << "u=" << u;
+    EXPECT_EQ(dirty.local_memory_bits(u), fresh.local_memory_bits(u))
+        << "u=" << u;
   }
 }
 

@@ -28,7 +28,7 @@ TEST_P(PathVectorSeeds, AgreesWithDijkstraOnShortestPath) {
     for (NodeId u = 0; u < g.node_count(); ++u) {
       if (u == t) continue;
       ASSERT_TRUE(routes.reachable(u));
-      EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight[u]))
+      EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight(u)))
           << "u=" << u << " t=" << t;
       // The advertised path must start at u, end at t, and realize the
       // advertised weight.
@@ -55,7 +55,7 @@ TEST_P(PathVectorSeeds, AgreesWithDijkstraOnWidestPath) {
   EXPECT_TRUE(routes.converged);
   for (NodeId u = 1; u < g.node_count(); ++u) {
     ASSERT_TRUE(routes.reachable(u));
-    EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight[u]));
+    EXPECT_TRUE(order_equal(alg, *routes.weight[u], *tree.weight(u)));
   }
 }
 

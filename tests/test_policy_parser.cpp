@@ -52,7 +52,7 @@ TEST(AnyAlgebra, DijkstraMatchesConcrete) {
   const auto wrapped = dijkstra(erased, g, erased_weights, 0);
   for (NodeId v = 1; v < g.node_count(); ++v) {
     ASSERT_TRUE(wrapped.reachable(v));
-    EXPECT_EQ(wrapped.weight[v]->as<std::uint64_t>(), *truth.weight[v]);
+    EXPECT_EQ(wrapped.weight(v)->as<std::uint64_t>(), *truth.weight(v));
   }
 }
 
@@ -98,9 +98,9 @@ TEST(PolicyParser, ParsedWidestShortestComputesLikeConcrete) {
   const auto erased = dijkstra(parsed, g, pw, 0);
   for (NodeId v = 1; v < g.node_count(); ++v) {
     ASSERT_TRUE(erased.reachable(v));
-    const auto& w = erased.weight[v]->as<std::pair<AnyWeight, AnyWeight>>();
-    EXPECT_EQ(w.first.as<std::uint64_t>(), truth.weight[v]->first);
-    EXPECT_EQ(w.second.as<std::uint64_t>(), truth.weight[v]->second);
+    const auto& w = erased.weight(v)->as<std::pair<AnyWeight, AnyWeight>>();
+    EXPECT_EQ(w.first.as<std::uint64_t>(), truth.weight(v)->first);
+    EXPECT_EQ(w.second.as<std::uint64_t>(), truth.weight(v)->second);
   }
 }
 

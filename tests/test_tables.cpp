@@ -32,7 +32,7 @@ void expect_dest_tables_implement(const A& alg, std::uint64_t seed,
       if (s == t) continue;
       const auto pw = weight_of_path(alg, g, w, r.path);
       ASSERT_TRUE(pw.has_value());
-      EXPECT_TRUE(order_equal(alg, *pw, *trees[t].weight[s]))
+      EXPECT_TRUE(order_equal(alg, *pw, *trees[t].weight(s)))
           << alg.name() << " s=" << s << " t=" << t;
     }
   }
