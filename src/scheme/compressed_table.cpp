@@ -12,6 +12,17 @@ CompressedTableScheme::CompressedTableScheme(
   if (relabel_.size() != n) {
     throw std::invalid_argument("CompressedTableScheme: relabel size");
   }
+  // The relabeling must be a permutation of [0, n): a duplicate label
+  // would alias two destinations onto one table column and silently
+  // misroute every packet for one of them.
+  std::vector<std::uint8_t> seen(n, 0);
+  for (NodeId label : relabel_) {
+    if (label >= n || seen[label]) {
+      throw std::invalid_argument(
+          "CompressedTableScheme: relabel is not a permutation");
+    }
+    seen[label] = 1;
+  }
   ports_by_label_.assign(n, std::vector<Port>(n, kInvalidPort));
   for (NodeId t = 0; t < n; ++t) {
     for (NodeId u = 0; u < n; ++u) {
@@ -27,6 +38,11 @@ CompressedTableScheme::CompressedTableScheme(
 std::vector<NodeId> CompressedTableScheme::dfs_relabeling(
     const Graph& g, const std::vector<NodeId>& parent, NodeId root) {
   const std::size_t n = g.node_count();
+  if (root >= n) {
+    // Covers the empty graph: the seed push below would write
+    // relabel[root] out of bounds.
+    throw std::invalid_argument("dfs_relabeling: root out of range");
+  }
   std::vector<std::vector<NodeId>> children(n);
   for (NodeId v = 0; v < n; ++v) {
     if (v != root && parent[v] != kInvalidNode) {

@@ -66,6 +66,14 @@ struct CowenOptions {
   ThreadPool* pool = nullptr;
 };
 
+// What CowenScheme::apply_event did for one churn event.
+struct CowenRepairStats {
+  std::size_t dirty_trees = 0;       // |D|: roots whose tree was recomputed
+  std::size_t reassigned_nodes = 0;  // nodes whose nearest landmark was redone
+  std::size_t patched_targets = 0;   // |D ∪ R|: targets merged into tables
+  bool full_rebuild = false;         // dirty fraction exceeded the threshold
+};
+
 template <RoutingAlgebra A>
 class CowenScheme {
  public:
@@ -75,6 +83,10 @@ class CowenScheme {
     NodeId target = kInvalidNode;
     NodeId landmark = kInvalidNode;
     Port port_at_landmark = kInvalidPort;
+
+    // (node, header) pairs determine forwarding steps; equality feeds the
+    // simulator's loop detection.
+    bool operator==(const Header&) const = default;
   };
 
   static CowenScheme build(const A& alg, const Graph& g,
@@ -120,6 +132,192 @@ class CowenScheme {
     s.recompute_until_stable();
     s.build_tables();
     return s;
+  }
+
+  // Pinned-landmark full rebuild on the weight map `w`: recomputes every
+  // tree, assignment, ball, cluster count and table, but keeps the
+  // landmark *set* fixed (no promotion). This is both the bounded-
+  // staleness fallback of apply_event and the differential oracle the
+  // incremental path is tested against. Landmarks stay pinned under
+  // churn so repair is a pure function of the event — the price is that
+  // clusters may grow past cluster_cap_ until the operator rebuilds with
+  // promotion (`build`); cluster_size() exposes the drift
+  // (docs/dynamic_topology.md derives the staleness bound).
+  void rebuild_from(const EdgeMap<W>& w) {
+    trees_ = all_pairs_trees(alg_, csr_, w, pool_);
+    assign_landmarks();
+    refresh_cluster_sizes(ball_radii());
+    build_tables();
+  }
+
+  // Incremental repair for one churn event on edge e. old_w/new_w use
+  // the φ encoding (φ = down); `w` is the post-event weight map. The
+  // repaired scheme is byte-identical to rebuild_from(w) — pinned per
+  // event by tests/test_churn_differential.cpp. When more than
+  // rebuild_dirty_fraction of the per-root trees are dirty, repair
+  // degenerates to the parallel full rebuild (tracking beats patching
+  // only while the dirty set is small).
+  CowenRepairStats apply_event(EdgeId e, const W& old_w, const W& new_w,
+                               const EdgeMap<W>& w,
+                               double rebuild_dirty_fraction = 0.25) {
+    (void)old_w;
+    CowenRepairStats stats;
+    const std::size_t n = graph_->node_count();
+    if (n == 0 || e >= graph_->edge_count()) return stats;
+    const NodeId ea = graph_->edge(e).u;
+    const NodeId eb = graph_->edge(e).v;
+
+    // Phase 1 — dirty-tree detection, O(1) per root: tree t must be
+    // recomputed iff it uses e, or the event creates a candidate through
+    // e that ties-or-beats t's current entry at e's far endpoint (ties
+    // included: first-arrival and hop tie-breaks can flip on a tie; a
+    // conservative recompute of a tied tree is still byte-exact).
+    std::vector<std::uint8_t> dirty(n, 0);
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t t) {
+          dirty[t] = tree_dirty(static_cast<NodeId>(t), e, ea, eb, new_w) ? 1 : 0;
+        },
+        /*grain=*/256);
+    std::vector<NodeId> dirty_roots;
+    for (NodeId t = 0; t < n; ++t) {
+      if (dirty[t]) dirty_roots.push_back(t);
+    }
+    stats.dirty_trees = dirty_roots.size();
+    if (dirty_roots.empty()) return stats;  // forwarding provably unchanged
+
+    if (static_cast<double>(dirty_roots.size()) >
+        rebuild_dirty_fraction * static_cast<double>(n)) {
+      rebuild_from(w);
+      stats.full_rebuild = true;
+      return stats;
+    }
+
+    // Snapshots the repair needs for deltas: pre-event radii, pre-event
+    // rows of every dirty *landmark* tree (assignment depends on them),
+    // and the pre-event assignment itself.
+    const BallRadii old_radii = ball_radii();
+    std::vector<std::pair<NodeId, PathTree<W>>> saved_landmark_trees;
+    for (NodeId t : dirty_roots) {
+      if (is_landmark_[t]) saved_landmark_trees.emplace_back(t, trees_[t]);
+    }
+    const std::vector<NodeId> old_landmark_of = landmark_of_;
+
+    // Phase 2 — recompute the dirty trees (same per-root sweep
+    // all_pairs_trees fans out, so results are bitwise identical to the
+    // full-rebuild oracle's).
+    parallel_for(*pool_, 0, dirty_roots.size(), [&](std::size_t i) {
+      dijkstra_into(alg_, csr_, w, dirty_roots[i], trees_[dirty_roots[i]]);
+    });
+
+    // Phase 3 — landmark reassignment, only where a dirty landmark's row
+    // changed in a way landmark_better can see: every pairwise comparison
+    // at u reads (presence, weight order, hops) of landmark rows, and
+    // only dirty trees moved.
+    std::vector<std::uint8_t> reassess(n, 0);
+    for (const auto& [l, old_tree] : saved_landmark_trees) {
+      const PathTree<W>& now = trees_[l];
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t u) {
+            if (reassess[u]) return;
+            if (row_changed(old_tree, now, static_cast<NodeId>(u))) {
+              reassess[u] = 1;
+            }
+          },
+          /*grain=*/512);
+    }
+    std::vector<NodeId> landmarks;
+    for (NodeId l = 0; l < n; ++l) {
+      if (is_landmark_[l]) landmarks.push_back(l);
+    }
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          if (!reassess[i]) return;
+          landmark_of_[i] = nearest_landmark(static_cast<NodeId>(i), landmarks);
+        },
+        /*grain=*/64);
+    for (NodeId u = 0; u < n; ++u) {
+      stats.reassigned_nodes += reassess[u] ? 1 : 0;
+    }
+
+    // Phase 4 — new radii; R = targets whose ball radius changed at the
+    // order level (order-equal radii keep every ball predicate intact).
+    const BallRadii new_radii = ball_radii();
+    std::vector<std::uint8_t> radius_changed(n, 0);
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t v) {
+          if (old_radii.present[v] != new_radii.present[v]) {
+            radius_changed[v] = 1;
+          } else if (new_radii.present[v] &&
+                     !order_equal(alg_, old_radii.value[v],
+                                  new_radii.value[v])) {
+            radius_changed[v] = 1;
+          }
+        },
+        /*grain=*/512);
+
+    // Patch targets V* = D ∪ R, ascending (merged in id order below).
+    std::vector<NodeId> patch;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dirty[v] || radius_changed[v]) patch.push_back(v);
+    }
+    stats.patched_targets = patch.size();
+
+    // Phase 5 — tables: nodes whose own tree moved refill from scratch;
+    // everyone else merges recomputed entries for V* into their sorted
+    // flat table (all other entries are provably byte-identical).
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId u = static_cast<NodeId>(i);
+          if (dirty[u]) {
+            fill_table(u, new_radii);
+          } else {
+            patch_table(u, patch, new_radii);
+          }
+        },
+        /*grain=*/8);
+
+    // Phase 6 — cluster sizes: full recount where u's tree moved, exact
+    // delta over the radius-changed targets elsewhere (for v ∉ R both
+    // ball predicates at an unchanged tree_u row are unchanged).
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId u = static_cast<NodeId>(i);
+          if (dirty[u]) {
+            cluster_sizes_[u] = count_cluster(u, new_radii);
+            return;
+          }
+          const PathTree<W>& tree_u = trees_[u];
+          std::size_t c = cluster_sizes_[u];
+          for (NodeId v : patch) {
+            if (v == u || !radius_changed[v]) continue;
+            const bool was = in_ball(tree_u, v, old_radii);
+            const bool is = in_ball(tree_u, v, new_radii);
+            if (was && !is) --c;
+            if (!was && is) ++c;
+          }
+          cluster_sizes_[u] = c;
+        },
+        /*grain=*/8);
+
+    // Phase 7 — labels: the first-hop-at-landmark port moves only when
+    // v's landmark changed or that landmark's tree was recomputed.
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId v = static_cast<NodeId>(i);
+          const NodeId lv = landmark_of_[v];
+          const bool need = lv != old_landmark_of[v] ||
+                            (lv != kInvalidNode && dirty[lv]);
+          if (need) port_at_landmark_[v] = compute_port_at_landmark(v);
+        },
+        /*grain=*/64);
+    return stats;
   }
 
   Header make_header(NodeId target) const {
@@ -269,54 +467,132 @@ class CowenScheme {
     return radius;
   }
 
+  // Nearest landmark per node; each u scans the landmarks in ascending
+  // id order, so the deterministic tie-break is schedule-independent.
+  void assign_landmarks() {
+    const std::size_t n = graph_->node_count();
+    std::vector<NodeId> landmarks;
+    for (NodeId l = 0; l < n; ++l) {
+      if (is_landmark_[l]) landmarks.push_back(l);
+    }
+    landmark_of_.assign(n, kInvalidNode);
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          const NodeId u = static_cast<NodeId>(i);
+          landmark_of_[u] = nearest_landmark(u, landmarks);
+        },
+        /*grain=*/16);
+  }
+
+  NodeId nearest_landmark(NodeId u, const std::vector<NodeId>& landmarks) const {
+    if (is_landmark_[u]) return u;
+    NodeId best = kInvalidNode;
+    for (NodeId l : landmarks) {
+      if (best == kInvalidNode || landmark_better(u, l, best)) best = l;
+    }
+    return best;
+  }
+
+  // u ∈ B(v) under the current radius row?
+  bool in_ball(const PathTree<W>& tree_u, NodeId v, const BallRadii& radius) const {
+    if (!radius.has(v) || !tree_u.has_weight(v)) return false;
+    const W& d = tree_u.weights[v];
+    return strict_balls_ ? alg_.less(d, radius.value[v])
+                         : leq(alg_, d, radius.value[v]);
+  }
+
+  std::size_t count_cluster(NodeId u, const BallRadii& radius) const {
+    // dist(v, u) for all v is tree u's flat weight row — the whole scan
+    // streams two arrays plus the radius row.
+    const PathTree<W>& tree_u = trees_[u];
+    const std::size_t n = graph_->node_count();
+    std::size_t count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != u && in_ball(tree_u, v, radius)) ++count;
+    }
+    return count;
+  }
+
+  // Cluster sizes: C(u) = { v : u ∈ B(v) }, counted from u's side so each
+  // task owns exactly one counter slot (no shared accumulators).
+  void refresh_cluster_sizes(const BallRadii& radius) {
+    const std::size_t n = graph_->node_count();
+    cluster_sizes_.assign(n, 0);
+    parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t i) {
+          cluster_sizes_[i] = count_cluster(static_cast<NodeId>(i), radius);
+        },
+        /*grain=*/8);
+  }
+
+  // A candidate x --e--> y at weight w_e would tie or beat tree t's
+  // current record at y (using only t's pre-event rows): the exact
+  // single-edge condition under which t's Dijkstra result can move.
+  bool candidate_matters(const PathTree<W>& tree, NodeId t, NodeId x,
+                         NodeId y, const W& w_e) const {
+    if (!tree.reachable(x)) return false;
+    if (y == t) return false;  // the source never gets relaxed
+    const W cand = x == t ? w_e : alg_.combine(tree.weights[x], w_e);
+    if (alg_.is_phi(cand)) return false;
+    if (!tree.has_weight(y)) return true;  // y may become reachable/better
+    return !alg_.less(tree.weights[y], cand);  // cand ties or beats
+  }
+
+  // Does tree t need recomputing after edge e (endpoints ea/eb) moved to
+  // new_w (φ = down)? Exact for downs of unused edges (a tree avoiding e
+  // is bitwise invariant under its removal); conservative on ties
+  // otherwise, which recomputation resolves exactly.
+  bool tree_dirty(NodeId t, EdgeId e, NodeId ea, NodeId eb,
+                  const W& new_w) const {
+    const PathTree<W>& tree = trees_[t];
+    if (ea != t && tree.parent_edge[ea] == e) return true;  // e in tree t
+    if (eb != t && tree.parent_edge[eb] == e) return true;
+    if (alg_.is_phi(new_w)) return false;  // down + unused: invariant
+    return candidate_matters(tree, t, ea, eb, new_w) ||
+           candidate_matters(tree, t, eb, ea, new_w);
+  }
+
+  // Did l's row at u change in a way landmark_better can observe?
+  // (parent/parent_edge are included so the port-bearing consumers can
+  // share the same predicate — conservative for assignment, exact cost.)
+  bool row_changed(const PathTree<W>& before, const PathTree<W>& after,
+                   NodeId u) const {
+    if (before.has_weight(u) != after.has_weight(u)) return true;
+    if (before.parent[u] != after.parent[u]) return true;
+    if (before.parent_edge[u] != after.parent_edge[u]) return true;
+    if (before.hops[u] != after.hops[u]) return true;
+    return before.has_weight(u) &&
+           !order_equal(alg_, before.weights[u], after.weights[u]);
+  }
+
+  // Merge freshly computed entries for the ascending target list `patch`
+  // into u's sorted flat table; entries for targets outside `patch` are
+  // byte-identical by construction and stream through untouched.
+  void patch_table(NodeId u, const std::vector<NodeId>& patch,
+                   const BallRadii& radius) {
+    auto& table = tables_[u];
+    std::vector<std::pair<NodeId, Port>> merged;
+    merged.reserve(table.size() + patch.size());
+    std::size_t ti = 0;
+    for (NodeId v : patch) {
+      while (ti < table.size() && table[ti].first < v) {
+        merged.push_back(table[ti++]);
+      }
+      if (ti < table.size() && table[ti].first == v) ++ti;  // drop stale
+      Port p;
+      if (entry_port(u, v, radius, &p)) merged.emplace_back(v, p);
+    }
+    while (ti < table.size()) merged.push_back(table[ti++]);
+    table = std::move(merged);
+  }
+
   void recompute_until_stable() {
     const std::size_t n = graph_->node_count();
     for (int round = 0;; ++round) {
-      // Nearest landmark per node; each u scans the landmarks in ascending
-      // id order, so the deterministic tie-break is schedule-independent.
-      std::vector<NodeId> landmarks;
-      for (NodeId l = 0; l < n; ++l) {
-        if (is_landmark_[l]) landmarks.push_back(l);
-      }
-      landmark_of_.assign(n, kInvalidNode);
-      parallel_for(
-          *pool_, 0, n,
-          [&](std::size_t i) {
-            const NodeId u = static_cast<NodeId>(i);
-            if (is_landmark_[u]) {
-              landmark_of_[u] = u;
-              return;
-            }
-            NodeId best = kInvalidNode;
-            for (NodeId l : landmarks) {
-              if (best == kInvalidNode || landmark_better(u, l, best)) best = l;
-            }
-            landmark_of_[u] = best;
-          },
-          /*grain=*/16);
-      // Cluster sizes: C(u) = { v : u ∈ B(v) }, counted from u's side so
-      // each task owns exactly one counter slot (no shared accumulators).
-      const auto radius = ball_radii();
-      cluster_sizes_.assign(n, 0);
-      parallel_for(
-          *pool_, 0, n,
-          [&](std::size_t i) {
-            const NodeId u = static_cast<NodeId>(i);
-            // dist(v, u) for all v is tree u's flat weight row — the
-            // whole scan streams two arrays plus the radius row.
-            const PathTree<W>& tree_u = trees_[u];
-            std::size_t count = 0;
-            for (NodeId v = 0; v < n; ++v) {
-              if (v == u || !radius.has(v) || !tree_u.has_weight(v)) continue;
-              const W& d = tree_u.weights[v];
-              const bool inside = strict_balls_
-                                      ? alg_.less(d, radius.value[v])
-                                      : leq(alg_, d, radius.value[v]);
-              if (inside) ++count;
-            }
-            cluster_sizes_[u] = count;
-          },
-          /*grain=*/8);
+      assign_landmarks();
+      refresh_cluster_sizes(ball_radii());
       // Ordered promotion reduction on the calling thread.
       bool promoted = false;
       for (NodeId u = 0; u < n; ++u) {
@@ -329,61 +605,63 @@ class CowenScheme {
     }
   }
 
+  // The (target v, port) entry of node u's table, if any: landmarks
+  // contribute wherever they are reachable (they carry no ball, so the
+  // two entry kinds are disjoint), non-landmarks where u ∈ B(v).
+  bool entry_port(NodeId u, NodeId v, const BallRadii& radius,
+                  Port* out) const {
+    if (v == u) return false;
+    if (is_landmark_[v]) {
+      if (!trees_[v].reachable(u)) return false;
+      *out = csr_.port_to(u, trees_[v].parent[u]);
+      return true;
+    }
+    if (!in_ball(trees_[u], v, radius)) return false;
+    if (!trees_[v].reachable(u)) return false;
+    *out = csr_.port_to(u, trees_[v].parent[u]);
+    return true;
+  }
+
+  // One node's table in a single ascending scan over the targets.
+  // Scanning targets in id order appends the flat table already sorted —
+  // no per-entry allocation, no rebalancing — and the encoded tables stay
+  // schedule-independent. Port lookups go through the CSR view.
+  void fill_table(NodeId u, const BallRadii& radius) {
+    const std::size_t n = graph_->node_count();
+    auto& table = tables_[u];
+    table.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      Port p;
+      if (entry_port(u, v, radius, &p)) table.emplace_back(v, p);
+    }
+  }
+
+  // Label ingredient: first hop out of l_v on the preferred l_v→v path,
+  // found by walking v's parent chain in tree(l_v).
+  Port compute_port_at_landmark(NodeId v) const {
+    const NodeId lv = landmark_of_[v];
+    if (lv == kInvalidNode || lv == v) return kInvalidPort;
+    NodeId x = v;
+    while (trees_[lv].parent[x] != lv) {
+      x = trees_[lv].parent[x];
+      if (x == kInvalidNode) break;
+    }
+    return x != kInvalidNode ? csr_.port_to(lv, x) : kInvalidPort;
+  }
+
   void build_tables() {
     const std::size_t n = graph_->node_count();
     const auto radius = ball_radii();
     tables_.assign(n, {});
-    // Each task fills one node's table in a single ascending scan over
-    // the targets: landmarks contribute wherever they are reachable (they
-    // carry no ball, so the two entry kinds are disjoint), non-landmarks
-    // where u ∈ B(v). Scanning targets in id order appends the flat table
-    // already sorted — no per-entry allocation, no rebalancing — and the
-    // encoded tables stay schedule-independent. Port lookups go through
-    // the CSR view.
     parallel_for(
         *pool_, 0, n,
-        [&](std::size_t i) {
-          const NodeId u = static_cast<NodeId>(i);
-          const PathTree<W>& tree_u = trees_[u];
-          auto& table = tables_[u];
-          for (NodeId v = 0; v < n; ++v) {
-            if (v == u) continue;
-            if (is_landmark_[v]) {
-              if (trees_[v].reachable(u)) {
-                table.emplace_back(v, csr_.port_to(u, trees_[v].parent[u]));
-              }
-              continue;
-            }
-            if (!radius.has(v) || !tree_u.has_weight(v)) continue;
-            if (!trees_[v].reachable(u)) continue;
-            const W& d = tree_u.weights[v];
-            const bool inside = strict_balls_
-                                    ? alg_.less(d, radius.value[v])
-                                    : leq(alg_, d, radius.value[v]);
-            if (inside) {
-              table.emplace_back(v, csr_.port_to(u, trees_[v].parent[u]));
-            }
-          }
-        },
+        [&](std::size_t i) { fill_table(static_cast<NodeId>(i), radius); },
         /*grain=*/8);
-    // Labels: first hop out of l_v on the preferred l_v→v path.
     port_at_landmark_.assign(n, kInvalidPort);
     parallel_for(
         *pool_, 0, n,
         [&](std::size_t i) {
-          const NodeId v = static_cast<NodeId>(i);
-          const NodeId lv = landmark_of_[v];
-          if (lv == kInvalidNode || lv == v) return;
-          // Walk v's parent chain in tree(lv) to find the hop adjacent to
-          // lv.
-          NodeId x = v;
-          while (trees_[lv].parent[x] != lv) {
-            x = trees_[lv].parent[x];
-            if (x == kInvalidNode) break;
-          }
-          if (x != kInvalidNode) {
-            port_at_landmark_[v] = csr_.port_to(lv, x);
-          }
+          port_at_landmark_[i] = compute_port_at_landmark(static_cast<NodeId>(i));
         },
         /*grain=*/64);
   }

@@ -56,6 +56,10 @@ concept CompactRoutingScheme =
 
 struct RouteResult {
   bool delivered = false;
+  // The walk revisited an exact (node, header) state — a proven forwarding
+  // loop, as opposed to merely exhausting the hop budget. Only set by
+  // simulators that track visited states (simulate_route_with_failures).
+  bool looped = false;
   NodePath path;  // nodes visited, starting at the source
 
   std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }

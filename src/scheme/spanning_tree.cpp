@@ -2,16 +2,25 @@
 
 #include "util/thread_pool.hpp"
 
-#include <deque>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cpr {
 
 namespace {
 
-// Tree-restricted adjacency, per node in tree_edges order (the order
-// from_edges always used, so sharing it across roots changes nothing).
-using TreeAdjacency = std::vector<std::vector<std::pair<NodeId, EdgeId>>>;
+// Tree-restricted adjacency in flat CSR form — counting sort over the
+// edge list, no per-node vectors. Slots per node keep tree_edges order
+// (the order the old vector-of-vectors build produced), so BFS discovery
+// order — and with it every children list and DFS labeling downstream —
+// is unchanged. This sits on the churn-repair hot path: every tree swap
+// re-roots, so allocation count matters as much as asymptotics.
+struct TreeAdjacency {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> offset;  // n + 1 prefix sums
+  std::vector<NodeId> neighbor;       // 2 (n - 1) endpoints
+  std::vector<EdgeId> via;            // matching edge ids
+};
 
 TreeAdjacency tree_adjacency(const Graph& g,
                              const std::vector<EdgeId>& tree_edges) {
@@ -19,41 +28,71 @@ TreeAdjacency tree_adjacency(const Graph& g,
   if (n > 0 && tree_edges.size() != n - 1) {
     throw std::invalid_argument("RootedTree: not a spanning edge set");
   }
-  TreeAdjacency adj(n);
+  TreeAdjacency adj;
+  adj.n = n;
+  adj.offset.assign(n + 1, 0);
   for (EdgeId e : tree_edges) {
-    adj[g.edge(e).u].push_back({g.edge(e).v, e});
-    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+    ++adj.offset[g.edge(e).u + 1];
+    ++adj.offset[g.edge(e).v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) adj.offset[i] += adj.offset[i - 1];
+  adj.neighbor.resize(2 * tree_edges.size());
+  adj.via.resize(2 * tree_edges.size());
+  std::vector<std::uint32_t> cursor(adj.offset.begin(), adj.offset.end() - 1);
+  for (EdgeId e : tree_edges) {
+    const NodeId u = g.edge(e).u, v = g.edge(e).v;
+    adj.neighbor[cursor[u]] = v;
+    adj.via[cursor[u]++] = e;
+    adj.neighbor[cursor[v]] = u;
+    adj.via[cursor[v]++] = e;
   }
   return adj;
 }
 
-RootedTree root_over(const TreeAdjacency& adj, NodeId root) {
-  const std::size_t n = adj.size();
+RootedTree root_over(const TreeAdjacency& adj, NodeId root,
+                     bool with_children = true) {
+  const std::size_t n = adj.n;
+  if (root >= n) {
+    // Covers the empty graph (no node can be a root of nothing) and bad
+    // callers — fail loudly instead of indexing out of bounds below.
+    throw std::invalid_argument("RootedTree: root out of range");
+  }
   RootedTree t;
   t.root = root;
   t.parent.assign(n, kInvalidNode);
   t.parent_edge.assign(n, kInvalidEdge);
-  t.children.assign(n, {});
   t.subtree_size.assign(n, 1);
   t.parent[root] = root;
 
+  // The BFS order vector doubles as the queue (head chases the tail).
   std::vector<NodeId> bfs_order;
   bfs_order.reserve(n);
-  std::deque<NodeId> queue{root};
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    bfs_order.push_back(u);
-    for (const auto& [v, e] : adj[u]) {
+  bfs_order.push_back(root);
+  for (std::size_t head = 0; head < bfs_order.size(); ++head) {
+    const NodeId u = bfs_order[head];
+    for (std::uint32_t i = adj.offset[u]; i < adj.offset[u + 1]; ++i) {
+      const NodeId v = adj.neighbor[i];
       if (t.parent[v] != kInvalidNode) continue;
       t.parent[v] = u;
-      t.parent_edge[v] = e;
-      t.children[u].push_back(v);
-      queue.push_back(v);
+      t.parent_edge[v] = adj.via[i];
+      bfs_order.push_back(v);
     }
   }
   if (bfs_order.size() != n) {
     throw std::invalid_argument("RootedTree: edges do not span the graph");
+  }
+  // Children lists rebuilt from the BFS order (global discovery order =
+  // per-parent discovery order), with exact-size reserves.
+  if (with_children) {
+    std::vector<std::uint32_t> child_count(n, 0);
+    for (const NodeId v : bfs_order) {
+      if (v != root) ++child_count[t.parent[v]];
+    }
+    t.children.assign(n, {});
+    for (NodeId u = 0; u < n; ++u) t.children[u].reserve(child_count[u]);
+    for (const NodeId v : bfs_order) {
+      if (v != root) t.children[t.parent[v]].push_back(v);
+    }
   }
   for (std::size_t i = bfs_order.size(); i-- > 0;) {
     const NodeId u = bfs_order[i];
@@ -66,8 +105,8 @@ RootedTree root_over(const TreeAdjacency& adj, NodeId root) {
 
 RootedTree RootedTree::from_edges(const Graph& g,
                                   const std::vector<EdgeId>& tree_edges,
-                                  NodeId root) {
-  return root_over(tree_adjacency(g, tree_edges), root);
+                                  NodeId root, bool with_children) {
+  return root_over(tree_adjacency(g, tree_edges), root, with_children);
 }
 
 std::vector<RootedTree> rooted_forest(const Graph& g,

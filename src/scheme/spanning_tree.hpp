@@ -13,9 +13,12 @@
 #include "algebra/algebra.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
+#include "scheme/tree_router.hpp"
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace cpr {
@@ -46,9 +49,13 @@ struct RootedTree {
   std::vector<std::vector<NodeId>> children;
   std::vector<std::size_t> subtree_size;
 
+  // with_children=false skips the per-node children lists (they cost one
+  // allocation per branching node — the churn repair path rebuilds the
+  // tree every event and its consumers derive everything from parent +
+  // subtree_size).
   static RootedTree from_edges(const Graph& g,
                                const std::vector<EdgeId>& tree_edges,
-                               NodeId root = 0);
+                               NodeId root = 0, bool with_children = true);
 };
 
 class ThreadPool;
@@ -62,5 +69,237 @@ std::vector<RootedTree> rooted_forest(const Graph& g,
                                       const std::vector<EdgeId>& tree_edges,
                                       const std::vector<NodeId>& roots,
                                       ThreadPool* pool = nullptr);
+
+// What an incremental repair did, for stats and bench accounting.
+enum class ChurnRepairKind : std::uint8_t {
+  kNoop,     // the event provably cannot change the preferred tree
+  kSwap,     // one edge swapped; subtree re-hung, router re-ranked
+  kRerank,   // tree edges unchanged, only their ⪯-rank order moved
+};
+
+// Theorem-1 tree routing as a *dynamic* scheme: the Kruskal preferred
+// spanning tree plus a heavy-path TreeRouter over it, with incremental
+// repair under churn events.
+//
+// Exactness argument. `precedes` extends ⪯ to a strict total order on
+// edges ((weight, edge-id) lexicographically), under which the
+// minimum-spanning-tree is *unique* and equal to what the Kruskal build
+// emits. Single-edge updates are then the textbook dynamic-MST rules:
+//  - tree edge down (cut rule): the replacement is the precedes-minimum
+//    alive edge crossing the cut the removal opens; non-tree edge down
+//    is a no-op (fast path).
+//  - edge up (cycle rule): the new edge enters iff it precedes the
+//    precedes-maximum edge on the tree path between its endpoints,
+//    which then leaves.
+//  - weight change: on a tree edge, re-run the cut rule with the edge's
+//    new weight competing (if it still wins its cut the tree is
+//    unchanged — at most the rank order moved); on a non-tree edge,
+//    the cycle rule.
+// Each repair is O(n + m) against the O(m α(m) + sort) full rebuild; the
+// router rebuild on a tree change is O(n log n). apply_event must leave
+// the scheme identical to `build` on the post-event weights — pinned per
+// event by tests/test_churn_differential.cpp.
+template <RoutingAlgebra A>
+class SpanningTreeScheme {
+ public:
+  using W = typename A::Weight;
+  using Header = TreeRouter::Header;
+
+  static SpanningTreeScheme build(const A& alg, const Graph& g,
+                                  const EdgeMap<W>& w, NodeId root = 0) {
+    SpanningTreeScheme s(alg, g, root);
+    s.rebuild(w);
+    return s;
+  }
+
+  Header make_header(NodeId target) const { return router_->make_header(target); }
+  Decision forward(NodeId u, Header& h) const { return router_->forward(u, h); }
+  std::size_t local_memory_bits(NodeId u) const {
+    return router_->local_memory_bits(u);
+  }
+  std::size_t label_bits(NodeId v) const { return router_->label_bits(v); }
+
+  const TreeRouter& router() const { return *router_; }
+  // Current tree edges, sorted by the (⪯, edge-id) total order.
+  const std::vector<EdgeId>& tree_edges() const { return tree_edges_; }
+  bool in_tree(EdgeId e) const { return in_tree_[e]; }
+  NodeId root() const { return root_; }
+
+  // Full rebuild on the current overlay — the oracle the incremental
+  // path is differentially tested against.
+  void rebuild(const EdgeMap<W>& w) {
+    const std::size_t n = graph_->node_count();
+    std::vector<EdgeId> order;
+    order.reserve(graph_->edge_count());
+    for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+      if (!alg_.is_phi(w[e])) order.push_back(e);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+      return alg_.less(w[a], w[b]);  // stable: ties keep id order
+    });
+    UnionFind uf(n);
+    tree_edges_.clear();
+    tree_edges_.reserve(n > 0 ? n - 1 : 0);
+    for (EdgeId e : order) {
+      if (uf.unite(graph_->edge(e).u, graph_->edge(e).v)) {
+        tree_edges_.push_back(e);
+      }
+    }
+    if (n > 0 && tree_edges_.size() != n - 1) {
+      throw std::runtime_error("SpanningTreeScheme: graph is not connected");
+    }
+    // Kruskal consumed `order`, which is exactly the (⪯, edge-id) total
+    // order, so tree_edges_ already carries the canonical sort adopt
+    // relies on.
+    adopt();
+  }
+
+  // Incremental repair for one churn event on edge e: old_w/new_w use the
+  // φ encoding (φ = down), `w` is the post-event weight map (what
+  // ChurnEngine::weights() holds after apply()).
+  ChurnRepairKind apply_event(EdgeId e, const W& old_w, const W& new_w,
+                              const EdgeMap<W>& w) {
+    const bool was_alive = !alg_.is_phi(old_w);
+    const bool is_alive = !alg_.is_phi(new_w);
+    if (!was_alive && !is_alive) return ChurnRepairKind::kNoop;
+
+    if (was_alive && !is_alive) {  // edge down
+      if (!in_tree_[e]) return ChurnRepairKind::kNoop;  // fast path
+      const EdgeId replacement = best_cut_edge(e, w, /*include_self=*/false);
+      if (replacement == kInvalidEdge) {
+        throw std::runtime_error(
+            "SpanningTreeScheme: churn disconnected the graph");
+      }
+      swap_edges(e, replacement, w);
+      return ChurnRepairKind::kSwap;
+    }
+
+    if (!was_alive && is_alive) {  // edge up: cycle rule
+      return try_cycle_insert(e, w);
+    }
+
+    // Weight change on a live edge.
+    if (!in_tree_[e]) return try_cycle_insert(e, w);
+    // Tree edge re-weighted: re-run its cut with the edge itself
+    // competing at the new weight.
+    const EdgeId winner = best_cut_edge(e, w, /*include_self=*/true);
+    if (winner == e) {
+      // Still the cut minimum: same edge set, but its rank among the
+      // tree edges may have moved — re-place it to keep the canonical
+      // order for set comparisons. Only e's weight changed, so every
+      // other pair's relative order is intact and one ordered
+      // erase+insert restores sortedness. Forwarding is unchanged.
+      reinsert_sorted(e, w);
+      return ChurnRepairKind::kRerank;
+    }
+    swap_edges(e, winner, w);
+    return ChurnRepairKind::kSwap;
+  }
+
+ private:
+  SpanningTreeScheme(const A& alg, const Graph& g, NodeId root)
+      : alg_(alg), graph_(&g), root_(root) {}
+
+  // The strict total order that makes the preferred tree unique: ⪯ on
+  // weights, edge id on ties (exactly the stable_sort order of `rebuild`).
+  bool precedes(EdgeId a, EdgeId b, const EdgeMap<W>& w) const {
+    if (alg_.less(w[a], w[b])) return true;
+    if (alg_.less(w[b], w[a])) return false;
+    return a < b;
+  }
+
+  // Recomputes every tree-derived structure from tree_edges_: membership
+  // bitmap, parent/depth arrays, heavy-path router. Precondition:
+  // tree_edges_ is sorted by `precedes` on the current weights — rebuild's
+  // Kruskal emits that order, swap/rerank maintain it with an ordered
+  // erase+insert. The rooted tree is built once and handed to the router
+  // (the repair hot path pays one BFS per event, not two).
+  void adopt() {
+    in_tree_.assign(graph_->edge_count(), false);
+    for (EdgeId e : tree_edges_) in_tree_[e] = true;
+    RootedTree tree = RootedTree::from_edges(*graph_, tree_edges_, root_,
+                                             /*with_children=*/false);
+    parent_ = tree.parent;
+    parent_edge_ = tree.parent_edge;
+    router_.emplace(*graph_, std::move(tree));
+    depth_ = router_->depths();  // byproduct of the labeling DFS
+  }
+
+  // Drop `out`, then place `in` at its sorted position. Every edge other
+  // than `in` kept its weight, so pairwise order among the survivors is
+  // untouched and one lower_bound insert restores the canonical order.
+  void swap_edges(EdgeId out, EdgeId in, const EdgeMap<W>& w) {
+    tree_edges_.erase(
+        std::find(tree_edges_.begin(), tree_edges_.end(), out));
+    const auto pos = std::lower_bound(
+        tree_edges_.begin(), tree_edges_.end(), in,
+        [&](EdgeId a, EdgeId b) { return precedes(a, b, w); });
+    tree_edges_.insert(pos, in);
+    adopt();
+  }
+
+  // Re-place edge e after its weight changed (set unchanged).
+  void reinsert_sorted(EdgeId e, const EdgeMap<W>& w) {
+    tree_edges_.erase(std::find(tree_edges_.begin(), tree_edges_.end(), e));
+    const auto pos = std::lower_bound(
+        tree_edges_.begin(), tree_edges_.end(), e,
+        [&](EdgeId a, EdgeId b) { return precedes(a, b, w); });
+    tree_edges_.insert(pos, e);
+  }
+
+  // Cut rule: the two sides of T − cut_edge are exactly the subtree of
+  // the cut edge's child endpoint and its complement, and the router's
+  // preorder intervals (built for the current tree, which still contains
+  // cut_edge) answer the subtree test in O(1) — the whole rule is one
+  // O(m) scan for the precedes-minimum crossing edge, no BFS.
+  // include_self lets the (re-weighted) cut edge itself compete.
+  EdgeId best_cut_edge(EdgeId cut_edge, const EdgeMap<W>& w,
+                       bool include_self) const {
+    const Graph::Edge& cut = graph_->edge(cut_edge);
+    const NodeId child =
+        parent_edge_[cut.u] == cut_edge ? cut.u : cut.v;
+    const TreeRouter& r = *router_;
+    EdgeId best = kInvalidEdge;
+    for (EdgeId f = 0; f < graph_->edge_count(); ++f) {
+      if (f == cut_edge && !include_self) continue;
+      if (alg_.is_phi(w[f])) continue;
+      const Graph::Edge& ef = graph_->edge(f);
+      if (r.in_subtree(child, ef.u) == r.in_subtree(child, ef.v)) continue;
+      if (best == kInvalidEdge || precedes(f, best, w)) best = f;
+    }
+    return best;
+  }
+
+  // Cycle rule: e joins iff it precedes the precedes-maximum edge on the
+  // tree path between its endpoints (that edge then leaves).
+  ChurnRepairKind try_cycle_insert(EdgeId e, const EdgeMap<W>& w) {
+    NodeId a = graph_->edge(e).u;
+    NodeId b = graph_->edge(e).v;
+    EdgeId max_edge = kInvalidEdge;
+    const auto consider = [&](EdgeId f) {
+      if (max_edge == kInvalidEdge || precedes(max_edge, f, w)) max_edge = f;
+    };
+    while (a != b) {
+      if (depth_[a] < depth_[b]) std::swap(a, b);
+      consider(parent_edge_[a]);
+      a = parent_[a];
+    }
+    if (max_edge == kInvalidEdge || !precedes(e, max_edge, w)) {
+      return ChurnRepairKind::kNoop;
+    }
+    swap_edges(max_edge, e, w);
+    return ChurnRepairKind::kSwap;
+  }
+
+  const A alg_;
+  const Graph* graph_;
+  NodeId root_;
+  std::vector<EdgeId> tree_edges_;  // sorted by `precedes` on current w
+  std::vector<bool> in_tree_;
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> depth_;
+  std::optional<TreeRouter> router_;  // rebuilt whenever the tree changes
+};
 
 }  // namespace cpr

@@ -10,10 +10,13 @@ namespace cpr {
 
 TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
                        NodeId root)
-    : graph_(&g), root_(root) {
-  RootedTree tree = RootedTree::from_edges(g, tree_edges, root);
+    : TreeRouter(g, RootedTree::from_edges(g, tree_edges, root)) {}
+
+TreeRouter::TreeRouter(const Graph& g, RootedTree tree)
+    : graph_(&g), root_(tree.root) {
+  const NodeId root = tree.root;
   const std::size_t n = g.node_count();
-  parent_ = tree.parent;
+  parent_ = std::move(tree.parent);
   port_up_.assign(n, kInvalidPort);
   port_down_.assign(n, kInvalidPort);
   for (NodeId u = 0; u < n; ++u) {
@@ -26,23 +29,48 @@ TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
   light_depth_.assign(n, 0);
   depth_.assign(n, 0);
   heavy_child_.assign(n, kInvalidNode);
-  light_children_.assign(n, {});
   by_dfs_.assign(n, kInvalidNode);
 
   // Heavy child = largest subtree (ties: smaller id); light children in
   // decreasing subtree size, which is what makes the gamma codes
-  // telescope.
-  for (NodeId u = 0; u < n; ++u) {
-    std::vector<NodeId>& kids = tree.children[u];
-    std::sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
-      if (tree.subtree_size[a] != tree.subtree_size[b]) {
-        return tree.subtree_size[a] > tree.subtree_size[b];
+  // telescope. Both are derived from parent + subtree_size alone —
+  // (size desc, id asc) is a strict total order, so the result does not
+  // depend on any children-list ordering, and the children lists are not
+  // needed at all (from_edges may skip building them on the repair path).
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    NodeId& h = heavy_child_[parent_[v]];
+    if (h == kInvalidNode || tree.subtree_size[v] > tree.subtree_size[h]) {
+      h = v;  // ascending v: first of an equal-size run keeps the slot
+    }
+  }
+  light_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root && heavy_child_[parent_[v]] != v) {
+      ++light_off_[parent_[v] + 1];
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) light_off_[u + 1] += light_off_[u];
+  light_flat_.resize(light_off_[n]);
+  {
+    std::vector<std::uint32_t> cursor(light_off_.begin(),
+                                      light_off_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != root && heavy_child_[parent_[v]] != v) {
+        light_flat_[cursor[parent_[v]]++] = v;
       }
-      return a < b;
-    });
-    if (!kids.empty()) {
-      heavy_child_[u] = kids.front();
-      light_children_[u].assign(kids.begin() + 1, kids.end());
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (light_off_[u + 1] - light_off_[u] > 1) {
+      std::sort(light_flat_.begin() + light_off_[u],
+                light_flat_.begin() + light_off_[u + 1],
+                [&](NodeId a, NodeId b) {
+                  if (tree.subtree_size[a] != tree.subtree_size[b]) {
+                    return tree.subtree_size[a] > tree.subtree_size[b];
+                  }
+                  return a < b;
+                });
     }
   }
 
@@ -64,8 +92,8 @@ TreeRouter::TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
     }
     // Push light children in reverse so they pop in designed order after
     // the heavy child.
-    for (std::size_t i = light_children_[u].size(); i-- > 0;) {
-      stack.push_back(light_children_[u][i]);
+    for (std::uint32_t i = light_off_[u + 1]; i-- > light_off_[u];) {
+      stack.push_back(light_flat_[i]);
     }
     if (heavy_child_[u] != kInvalidNode) stack.push_back(heavy_child_[u]);
   }
@@ -81,9 +109,7 @@ TreeRouter::Header TreeRouter::make_header(NodeId target) const {
   for (NodeId v = target; v != root_; v = parent_[v]) {
     const NodeId p = parent_[v];
     if (heavy_child_[p] == v) continue;
-    const auto& lights = light_children_[p];
-    const auto it = std::find(lights.begin(), lights.end(), v);
-    seq.push_back(static_cast<std::uint32_t>(it - lights.begin()));
+    seq.push_back(light_index(p, v));
   }
   std::reverse(seq.begin(), seq.end());
   h.light_sequence = std::move(seq);
@@ -104,10 +130,10 @@ Decision TreeRouter::forward(NodeId u, Header& h) const {
   // root→u contributes exactly that many light edges to the label.
   const std::uint32_t idx = light_depth_[u];
   if (idx >= h.light_sequence.size() ||
-      h.light_sequence[idx] >= light_children_[u].size()) {
+      h.light_sequence[idx] >= light_count(u)) {
     return Decision::via(kInvalidPort);  // malformed label
   }
-  return Decision::via(port_down_[light_children_[u][h.light_sequence[idx]]]);
+  return Decision::via(port_down_[light_child(u, h.light_sequence[idx])]);
 }
 
 std::size_t TreeRouter::local_memory_bits(NodeId u) const {
@@ -131,9 +157,7 @@ std::size_t TreeRouter::label_bits(NodeId v) const {
   for (NodeId x = v; x != root_; x = parent_[x]) {
     const NodeId p = parent_[x];
     if (heavy_child_[p] == x) continue;
-    const auto& lights = light_children_[p];
-    const auto it = std::find(lights.begin(), lights.end(), x);
-    bits.write_gamma(static_cast<std::uint64_t>(it - lights.begin()) + 1);
+    bits.write_gamma(std::uint64_t{light_index(p, x)} + 1);
   }
   return bits.bit_count();
 }
@@ -158,6 +182,12 @@ TreeRouter::Header TreeRouter::decode_header(
         static_cast<std::uint32_t>(reader.read_gamma() - 1));
   }
   return h;
+}
+
+std::uint32_t TreeRouter::light_index(NodeId p, NodeId v) const {
+  const auto begin = light_flat_.begin() + light_off_[p];
+  const auto end = light_flat_.begin() + light_off_[p + 1];
+  return static_cast<std::uint32_t>(std::find(begin, end, v) - begin);
 }
 
 NodePath TreeRouter::tree_path(NodeId s, NodeId t) const {

@@ -35,17 +35,29 @@
 
 namespace cpr {
 
+struct RootedTree;
+
 class TreeRouter {
  public:
   struct Header {
     std::uint64_t target_dfs = 0;
     // Light-child indices on the root→target path, in root→leaf order.
     std::vector<std::uint32_t> light_sequence;
+
+    // (node, header) pairs fully determine a forwarding step, so header
+    // equality is what the simulator's loop detection keys on.
+    bool operator==(const Header&) const = default;
   };
 
   // `tree_edges` must span g. The router routes along tree paths only.
   TreeRouter(const Graph& g, const std::vector<EdgeId>& tree_edges,
              NodeId root = 0);
+
+  // Same construction from a tree that is already rooted. The churn
+  // repair path re-hangs the tree on every swap and needs the rooted
+  // form itself (parents, depths), so handing it over here avoids a
+  // second BFS per event. Consumes `tree`.
+  TreeRouter(const Graph& g, RootedTree tree);
 
   Header make_header(NodeId target) const;
   Decision forward(NodeId u, Header& h) const;
@@ -70,6 +82,19 @@ class TreeRouter {
   NodeId root() const { return root_; }
   NodeId parent(NodeId v) const { return parent_[v]; }
 
+  // Subtrees are preorder-contiguous, so "is x in v's subtree" is one
+  // interval test. The dynamic spanning-tree cut rule keys on this: the
+  // two sides of a tree-edge cut are exactly inside/outside the child
+  // endpoint's subtree, making the replacement scan O(1) per edge with
+  // no BFS.
+  bool in_subtree(NodeId v, NodeId x) const {
+    return dfs_in_[x] >= dfs_in_[v] && dfs_in_[x] <= dfs_out_[v];
+  }
+  // Root-distance of every node, a byproduct of the labeling DFS (parents
+  // are visited first). Exposed so tree-maintenance callers need not
+  // re-walk the tree.
+  const std::vector<std::uint32_t>& depths() const { return depth_; }
+
  private:
   const Graph* graph_;
   NodeId root_;
@@ -81,10 +106,25 @@ class TreeRouter {
   std::vector<Port> port_up_, port_down_;
   std::vector<std::uint32_t> dfs_in_, dfs_out_;
   std::vector<std::uint32_t> light_depth_;
-  std::vector<NodeId> heavy_child_;                 // kInvalidNode if leaf
-  std::vector<std::vector<NodeId>> light_children_; // sorted, designed order
-  std::vector<NodeId> by_dfs_;                      // dfs number -> node id
+  std::vector<NodeId> heavy_child_;  // kInvalidNode if leaf
+  // Light children in designed (decreasing-subtree) order, flattened to
+  // CSR form: node u's lights are light_flat_[light_off_[u] ..
+  // light_off_[u+1]). One allocation instead of one per branching node —
+  // the router is rebuilt on every churn tree swap, so construction
+  // allocations are hot.
+  std::vector<std::uint32_t> light_off_;
+  std::vector<NodeId> light_flat_;
+  std::vector<NodeId> by_dfs_;  // dfs number -> node id
   std::vector<std::uint32_t> depth_;
+
+  std::size_t light_count(NodeId u) const {
+    return light_off_[u + 1] - light_off_[u];
+  }
+  NodeId light_child(NodeId u, std::uint32_t i) const {
+    return light_flat_[light_off_[u] + i];
+  }
+  // Index of light child v under its parent p (designed port order).
+  std::uint32_t light_index(NodeId p, NodeId v) const;
 };
 
 static_assert(CompactRoutingScheme<TreeRouter>);

@@ -1,0 +1,51 @@
+#include "sim/churn.hpp"
+
+#include <vector>
+
+namespace cpr {
+
+namespace {
+
+// BFS over the alive-edge subgraph, with one optional extra exclusion.
+bool connected_masked(const Graph& g, const std::vector<bool>& alive,
+                      EdgeId excluded) {
+  const std::size_t n = g.node_count();
+  if (n <= 1) return true;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Graph::Adjacency& adj : g.neighbors(u)) {
+      if (adj.edge == excluded || !alive[adj.edge]) continue;
+      if (seen[adj.neighbor]) continue;
+      seen[adj.neighbor] = 1;
+      ++reached;
+      stack.push_back(adj.neighbor);
+    }
+  }
+  return reached == n;
+}
+
+}  // namespace
+
+bool connected_under_mask(const Graph& g, const std::vector<bool>& alive) {
+  return connected_masked(g, alive, kInvalidEdge);
+}
+
+bool connected_without_edge(const Graph& g, const std::vector<bool>& alive,
+                            EdgeId e) {
+  return connected_masked(g, alive, e);
+}
+
+Digraph digraph_mirror(const Graph& g) {
+  Digraph d(g.node_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    d.add_arc_pair(g.edge(e).u, g.edge(e).v);  // arcs 2e and 2e+1
+  }
+  return d;
+}
+
+}  // namespace cpr

@@ -1,0 +1,263 @@
+// Dynamic-topology churn: timestamped edge up/down and weight-change
+// events over a mutable weight overlay.
+//
+// The paper analyzes its schemes as static objects; a serving system has
+// to survive its inputs changing. The model here keeps the Graph (and
+// with it every port number) immutable and represents liveness in the
+// *algebra*: a downed edge carries the invalid weight φ, which every
+// solver already skips (`is_phi` guards each Dijkstra relaxation, the
+// Kruskal build filters φ edges). That makes "rebuild from scratch on
+// the current overlay" a well-defined oracle for the incremental repair
+// paths: `SpanningTreeScheme::apply_event` and `CowenScheme::apply_event`
+// must leave the scheme byte-identical to a fresh build on
+// `engine.weights()` — the differential property pinned by
+// tests/test_churn_differential.cpp.
+//
+// The engine also bridges to the Section-5 protocol simulator: edge-down
+// events map to `LinkFailure`s on the mirrored digraph (failures become
+// withdrawals there), so convergence behaviour under the same trace can
+// be measured on both the compact schemes and the path-vector protocol.
+#pragma once
+
+#include "algebra/algebra.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "proto/path_vector_protocol.hpp"
+#include "util/random.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cpr {
+
+enum class ChurnKind : std::uint8_t {
+  kEdgeDown,      // the edge disappears (weight becomes φ)
+  kEdgeUp,        // a previously-down edge reappears with new_weight
+  kWeightChange,  // a live edge's weight changes to new_weight
+};
+
+template <typename W>
+struct ChurnEvent {
+  double time = 0;
+  ChurnKind kind = ChurnKind::kEdgeDown;
+  EdgeId edge = kInvalidEdge;
+  W new_weight{};  // meaningful for kEdgeUp / kWeightChange only
+};
+
+// What an applied event did to the overlay, in the φ encoding the repair
+// paths consume: old/new weight of the edge, φ meaning "down".
+template <typename W>
+struct AppliedChurn {
+  EdgeId edge = kInvalidEdge;
+  W old_weight{};
+  W new_weight{};
+};
+
+// Connectivity of g restricted to alive edges (churn.cpp). Used by the
+// trace generator to keep traces partition-free, and by tests.
+bool connected_under_mask(const Graph& g, const std::vector<bool>& alive);
+
+// Same, with edge `e` additionally considered down.
+bool connected_without_edge(const Graph& g, const std::vector<bool>& alive,
+                            EdgeId e);
+
+// Directed mirror of an undirected graph: edge e becomes the arc pair
+// {2e: u→v, 2e+1: v→u}, so churn events translate to protocol failures
+// by arc id arithmetic alone (churn.cpp).
+Digraph digraph_mirror(const Graph& g);
+
+// The topology overlay itself. Holds the last live weight of every edge
+// (so kEdgeDown needs no weight payload) and the φ-masked weight map the
+// schemes and solvers read.
+template <RoutingAlgebra A>
+class ChurnEngine {
+ public:
+  using W = typename A::Weight;
+
+  ChurnEngine(const A& alg, const Graph& g, EdgeMap<W> base)
+      : alg_(alg),
+        graph_(&g),
+        live_(base),
+        masked_(std::move(base)),
+        alive_(g.edge_count(), true) {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (alg_.is_phi(masked_[e])) alive_[e] = false;  // down from the start
+    }
+  }
+
+  const Graph& graph() const { return *graph_; }
+  // The φ-masked weight map: the authoritative current topology. Every
+  // rebuild oracle and every apply_event call reads this.
+  const EdgeMap<W>& weights() const { return masked_; }
+  bool alive(EdgeId e) const { return alive_[e]; }
+
+  std::size_t down_count() const {
+    std::size_t c = 0;
+    for (bool b : alive_) c += b ? 0 : 1;
+    return c;
+  }
+
+  // Edge-down bitmap in the polarity simulate_route_with_failures takes.
+  std::vector<bool> down_mask() const {
+    std::vector<bool> down(alive_.size());
+    for (std::size_t e = 0; e < alive_.size(); ++e) down[e] = !alive_[e];
+    return down;
+  }
+
+  bool connected() const { return connected_under_mask(*graph_, alive_); }
+
+  // Applies one event and returns the (old, new) weight transition.
+  // Inconsistent events — downing a dead edge, raising a live one,
+  // re-weighting a dead one, or a φ payload on up/change — throw, so
+  // malformed traces fail loudly instead of silently desynchronizing the
+  // engine from the schemes it feeds.
+  AppliedChurn<W> apply(const ChurnEvent<W>& ev) {
+    if (ev.edge >= graph_->edge_count()) {
+      throw std::invalid_argument("ChurnEngine: event edge out of range");
+    }
+    AppliedChurn<W> applied;
+    applied.edge = ev.edge;
+    applied.old_weight = masked_[ev.edge];
+    switch (ev.kind) {
+      case ChurnKind::kEdgeDown:
+        if (!alive_[ev.edge]) {
+          throw std::invalid_argument("ChurnEngine: edge already down");
+        }
+        alive_[ev.edge] = false;
+        masked_[ev.edge] = alg_.phi();
+        break;
+      case ChurnKind::kEdgeUp:
+        if (alive_[ev.edge]) {
+          throw std::invalid_argument("ChurnEngine: edge already up");
+        }
+        if (alg_.is_phi(ev.new_weight)) {
+          throw std::invalid_argument("ChurnEngine: up event with phi weight");
+        }
+        alive_[ev.edge] = true;
+        live_[ev.edge] = ev.new_weight;
+        masked_[ev.edge] = ev.new_weight;
+        break;
+      case ChurnKind::kWeightChange:
+        if (!alive_[ev.edge]) {
+          throw std::invalid_argument("ChurnEngine: weight change on a down edge");
+        }
+        if (alg_.is_phi(ev.new_weight)) {
+          throw std::invalid_argument(
+              "ChurnEngine: weight change to phi (use kEdgeDown)");
+        }
+        live_[ev.edge] = ev.new_weight;
+        masked_[ev.edge] = ev.new_weight;
+        break;
+    }
+    applied.new_weight = masked_[ev.edge];
+    return applied;
+  }
+
+ private:
+  const A alg_;
+  const Graph* graph_;
+  EdgeMap<W> live_;    // last live weight per edge (down edges keep theirs)
+  EdgeMap<W> masked_;  // live_ with φ substituted on down edges
+  std::vector<bool> alive_;
+};
+
+struct ChurnTraceOptions {
+  double p_down = 0.4;  // remaining mass: weight changes on live edges
+  double p_up = 0.3;
+  // Refuse to down bridges of the current overlay, so every prefix of the
+  // trace leaves the graph connected (what the spanning-tree repair and
+  // the differential oracle assume).
+  bool keep_connected = true;
+  double dt = 1.0;  // event spacing
+};
+
+// Seeded random event trace against a simulated copy of the overlay:
+// every emitted event is consistent with the state produced by its
+// prefix (no double-downs, ups only on down edges). Pure function of
+// (graph, base weights, rng state).
+template <RoutingAlgebra A>
+std::vector<ChurnEvent<typename A::Weight>> random_churn_trace(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& base,
+    std::size_t events, Rng& rng, ChurnTraceOptions opt = {}) {
+  using W = typename A::Weight;
+  std::vector<bool> alive(g.edge_count(), true);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (alg.is_phi(base[e])) alive[e] = false;
+  }
+  std::vector<ChurnEvent<W>> trace;
+  trace.reserve(events);
+  double now = 0;
+  for (std::size_t i = 0; i < events && g.edge_count() > 0; ++i) {
+    now += opt.dt;
+    ChurnEvent<W> ev;
+    ev.time = now;
+    // Retry a few draws if the chosen kind has no eligible edge (e.g. an
+    // up event while everything is alive); give up on this slot after
+    // that so sparse graphs cannot loop forever.
+    bool emitted = false;
+    for (int attempt = 0; attempt < 32 && !emitted; ++attempt) {
+      const double roll = rng.real();
+      const EdgeId e = static_cast<EdgeId>(rng.index(g.edge_count()));
+      if (roll < opt.p_down) {
+        if (!alive[e]) continue;
+        if (opt.keep_connected && !connected_without_edge(g, alive, e)) {
+          continue;  // bridge of the current overlay
+        }
+        ev.kind = ChurnKind::kEdgeDown;
+        ev.edge = e;
+        alive[e] = false;
+        emitted = true;
+      } else if (roll < opt.p_down + opt.p_up) {
+        if (alive[e]) continue;
+        ev.kind = ChurnKind::kEdgeUp;
+        ev.edge = e;
+        do {
+          ev.new_weight = alg.sample(rng);
+        } while (alg.is_phi(ev.new_weight));
+        alive[e] = true;
+        emitted = true;
+      } else {
+        if (!alive[e]) continue;
+        ev.kind = ChurnKind::kWeightChange;
+        ev.edge = e;
+        do {
+          ev.new_weight = alg.sample(rng);
+        } while (alg.is_phi(ev.new_weight));
+        emitted = true;
+      }
+    }
+    if (emitted) trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+// Protocol wiring: kEdgeDown events become LinkFailures on the
+// digraph_mirror of the same graph (arc 2e is edge e's u→v direction).
+// The protocol's fail_arc flushes the Adj-RIB entries on both sides and
+// reselection propagates the implicit withdrawals — "failures become
+// withdrawals". Up / weight-change events have no protocol counterpart
+// (BGP sessions re-establish out of band), so they are skipped.
+template <typename W>
+std::vector<LinkFailure> protocol_failures(
+    const std::vector<ChurnEvent<W>>& trace) {
+  std::vector<LinkFailure> failures;
+  for (const ChurnEvent<W>& ev : trace) {
+    if (ev.kind != ChurnKind::kEdgeDown) continue;
+    failures.push_back(LinkFailure{ev.time, static_cast<ArcId>(2 * ev.edge)});
+  }
+  return failures;
+}
+
+// Arc weights for the mirrored digraph: both directions of edge e carry
+// w[e] (the undirected weights are symmetric).
+template <typename W>
+ArcMap<W> mirror_arc_weights(const Graph& g, const EdgeMap<W>& w) {
+  ArcMap<W> arc_w(2 * g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    arc_w[2 * e] = w[e];
+    arc_w[2 * e + 1] = w[e];
+  }
+  return arc_w;
+}
+
+}  // namespace cpr

@@ -14,12 +14,22 @@
 
 #include "graph/algorithms.hpp"
 #include "scheme/scheme.hpp"
+#include "sim/churn.hpp"
 #include "util/random.hpp"
 
+#include <concepts>
+#include <utility>
 #include <vector>
 
 namespace cpr {
 
+// Walks a packet while `edge_down` edges drop it. Forwarding loops are
+// detected exactly when the header type is equality-comparable: the pair
+// (node, header-before-forward) fully determines every later step, so
+// revisiting one is a proven loop and the walk stops with `looped` set —
+// instead of burning the whole 4·n+16 hop budget and reporting the loop
+// indistinguishably from a long path. Schemes whose headers cannot be
+// compared keep the hop cap as the only guard.
 template <CompactRoutingScheme S>
 RouteResult simulate_route_with_failures(const S& scheme, const Graph& g,
                                          const std::vector<bool>& edge_down,
@@ -30,7 +40,17 @@ RouteResult simulate_route_with_failures(const S& scheme, const Graph& g,
   result.path.push_back(source);
   typename S::Header header = scheme.make_header(target);
   NodeId current = source;
+  [[maybe_unused]] std::vector<std::pair<NodeId, typename S::Header>> visited;
   for (std::size_t step = 0; step <= max_hops; ++step) {
+    if constexpr (std::equality_comparable<typename S::Header>) {
+      for (const auto& [vn, vh] : visited) {
+        if (vn == current && vh == header) {
+          result.looped = true;
+          return result;
+        }
+      }
+      visited.emplace_back(current, header);
+    }
     const Decision d = scheme.forward(current, header);
     if (d.deliver) {
       result.delivered = (current == target);
@@ -91,6 +111,69 @@ ResilienceReport measure_resilience(const S& scheme, const Graph& g,
       ++report.delivered;
     } else if (comp[s] == comp[t]) {
       ++report.lost_but_connected;
+    }
+  }
+  return report;
+}
+
+// Degradation *during* convergence, not just after a static failure set:
+// for every churn event, the same random pairs are routed twice — once
+// against the stale scheme (the event hit the topology, repair has not
+// run: the convergence window) and once after apply_event. The gap
+// between the two delivery counts is what incremental repair buys.
+struct ChurnResilienceReport {
+  std::size_t events = 0;
+  std::size_t pairs_per_event = 0;
+  std::size_t stale_delivered = 0;     // during the convergence window
+  std::size_t repaired_delivered = 0;  // after incremental repair
+  std::size_t stale_loops = 0;         // proven forwarding loops while stale
+
+  double stale_rate() const {
+    const std::size_t total = events * pairs_per_event;
+    return total ? static_cast<double>(stale_delivered) / total : 1.0;
+  }
+  double repaired_rate() const {
+    const std::size_t total = events * pairs_per_event;
+    return total ? static_cast<double>(repaired_delivered) / total : 1.0;
+  }
+};
+
+// S is a dynamic scheme (SpanningTreeScheme or CowenScheme): a
+// CompactRoutingScheme with
+//   apply_event(edge, old_w, new_w, weights).
+// The engine must be the one scheme was built against; events are played
+// through engine.apply, so afterwards both have absorbed the full trace.
+template <RoutingAlgebra A, typename S>
+ChurnResilienceReport measure_resilience_under_churn(
+    S& scheme, ChurnEngine<A>& engine,
+    const std::vector<ChurnEvent<typename A::Weight>>& trace,
+    std::size_t pairs_per_event, Rng& rng) {
+  const Graph& g = engine.graph();
+  ChurnResilienceReport report;
+  report.pairs_per_event = pairs_per_event;
+  for (const ChurnEvent<typename A::Weight>& ev : trace) {
+    const auto applied = engine.apply(ev);
+    ++report.events;
+    const std::vector<bool> down = engine.down_mask();
+    // Draw the pairs once so stale and repaired runs route identical
+    // traffic.
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(pairs_per_event);
+    while (pairs.size() < pairs_per_event) {
+      const NodeId s = static_cast<NodeId>(rng.index(g.node_count()));
+      const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
+      if (s != t) pairs.emplace_back(s, t);
+    }
+    for (const auto& [s, t] : pairs) {
+      const RouteResult r = simulate_route_with_failures(scheme, g, down, s, t);
+      report.stale_delivered += r.delivered ? 1 : 0;
+      report.stale_loops += r.looped ? 1 : 0;
+    }
+    scheme.apply_event(applied.edge, applied.old_weight, applied.new_weight,
+                       engine.weights());
+    for (const auto& [s, t] : pairs) {
+      report.repaired_delivered +=
+          simulate_route_with_failures(scheme, g, down, s, t).delivered ? 1 : 0;
     }
   }
   return report;

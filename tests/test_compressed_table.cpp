@@ -130,6 +130,59 @@ TEST(CompressedTable, RejectsBadRelabelSize) {
   EXPECT_THROW(CompressedTableScheme(g, next, {0, 1}), std::invalid_argument);
 }
 
+TEST(CompressedTable, RejectsDuplicateAndOutOfRangeLabels) {
+  // A relabeling with a duplicate aliases two destinations onto one table
+  // column and silently misroutes — it must be rejected up front, as must
+  // labels outside [0, n).
+  const Graph g = path_graph(4);
+  std::vector<std::vector<NodeId>> next(4, std::vector<NodeId>(4, kInvalidNode));
+  EXPECT_THROW(CompressedTableScheme(g, next, {0, 1, 1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(CompressedTableScheme(g, next, {0, 1, 2, 7}),
+               std::invalid_argument);
+}
+
+TEST(CompressedTable, EmptyGraphConstructsAndRelabelingThrows) {
+  const Graph g(0);
+  const std::vector<std::vector<NodeId>> next;
+  // An empty table scheme is vacuous but well-formed...
+  EXPECT_NO_THROW(CompressedTableScheme(g, next, {}));
+  // ...while a DFS relabeling has no root to start from.
+  EXPECT_THROW(CompressedTableScheme::dfs_relabeling(g, {}, 0),
+               std::invalid_argument);
+}
+
+TEST(CompressedTable, SingleNodeDeliversToItself) {
+  const Graph g(1);
+  const std::vector<std::vector<NodeId>> next{{kInvalidNode}};
+  const CompressedTableScheme scheme(
+      g, next, CompressedTableScheme::dfs_relabeling(g, {0}, 0));
+  EXPECT_TRUE(simulate_route(scheme, g, 0, 0).delivered);
+  EXPECT_EQ(scheme.run_count(0), 1u);
+}
+
+TEST(CompressedTable, StarCollapsesLeafTablesToTwoRuns) {
+  const std::size_t n = 10;
+  const Graph g = star(n);
+  std::vector<EdgeId> edges(g.edge_count());
+  std::iota(edges.begin(), edges.end(), EdgeId{0});
+  const RootedTree tree = RootedTree::from_edges(g, edges, 0);
+  const auto next = tree_next_hops(g, tree);
+  const CompressedTableScheme scheme(
+      g, next, CompressedTableScheme::dfs_relabeling(g, tree.parent, 0));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      EXPECT_TRUE(simulate_route(scheme, g, s, t).delivered)
+          << "s=" << s << " t=" << t;
+    }
+  }
+  // A leaf sees: itself (no route) and everything else via the hub —
+  // under DFS labels its own slot splits the label space into ≤ 3 runs.
+  for (NodeId leaf = 1; leaf < n; ++leaf) {
+    EXPECT_LE(scheme.run_count(leaf), 3u) << "leaf=" << leaf;
+  }
+}
+
 TEST(CompleteMesh, RoutesWithIdOnlyState) {
   const std::size_t n = 40;
   const Graph g = complete(n);

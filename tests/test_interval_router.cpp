@@ -51,6 +51,38 @@ TEST(IntervalRouter, DeliversOnPathAndStar) {
   }
 }
 
+TEST(IntervalRouter, EmptyGraphThrowsInsteadOfIndexingOutOfBounds) {
+  const Graph g(0);
+  EXPECT_THROW(IntervalRouter(g, {}, 0), std::invalid_argument);
+  EXPECT_THROW(TreeRouter(g, {}, 0), std::invalid_argument);
+}
+
+TEST(IntervalRouter, SingleNodeDeliversToItself) {
+  const Graph g(1);
+  const IntervalRouter router(g, {}, 0);
+  const RouteResult r = simulate_route(router, g, 0, 0);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops(), 0u);
+  // Out-of-range root on a non-empty graph is rejected the same way.
+  EXPECT_THROW(IntervalRouter(g, {}, 1), std::invalid_argument);
+}
+
+TEST(IntervalRouter, DeliversOnStarRootedAtLeaf) {
+  // Rooting at a leaf makes the hub an internal node with n-2 children —
+  // the child binary search and the parent fallback both get exercised on
+  // every cross-leaf route.
+  const std::size_t n = 12;
+  const Graph g = star(n);
+  const IntervalRouter router(g, all_edges(g), /*root=*/3);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      const RouteResult r = simulate_route(router, g, s, t);
+      ASSERT_TRUE(r.delivered) << "s=" << s << " t=" << t;
+      EXPECT_LE(r.hops(), 2u);
+    }
+  }
+}
+
 TEST(IntervalRouter, HubPaysLinearMemoryOnStars) {
   // The ablation: per-child boundaries make the star hub Θ(n log n) while
   // the heavy-path scheme stays logarithmic there.

@@ -9,6 +9,7 @@
 #include "scheme/cowen.hpp"
 #include "scheme/scheme.hpp"
 #include "scheme/spanning_tree.hpp"
+#include "sim/churn.hpp"
 #include "test_support.hpp"
 
 #include <gtest/gtest.h>
@@ -93,6 +94,82 @@ TEST_P(DeterminismSeeds, CowenWidestPathNonStrictBalls) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, DeterminismSeeds,
                          ::testing::Range<std::uint64_t>(1, 6));
+
+// Incremental churn repair fans its phases (dirty detection, tree
+// recompute, reassignment, table patch, cluster deltas) over the scheme's
+// pool; every phase writes disjoint slots, so the repaired state must be
+// bit-identical for any thread count. The same seeded trace is played in
+// lockstep against a 1-thread reference and the wider pools, comparing
+// after *every* event — a schedule-dependent bug can't hide behind a
+// later event that happens to repair it.
+template <RoutingAlgebra A>
+void expect_bit_identical_repairs(const A& alg, std::uint64_t seed,
+                                  std::size_t n) {
+  // Force the incremental path: the dirty fraction can never exceed 1.
+  constexpr double kNeverRebuild = 2.0;
+  constexpr std::size_t kEvents = 12;
+
+  // The trace is a pure function of (alg, seed), generated against its
+  // own copy of the seeded instance.
+  auto trace_host = test::seeded_instance(alg, seed, n, 0.25);
+  Rng trace_rng(seed * 1000 + 17);
+  const auto trace = random_churn_trace(alg, trace_host.graph,
+                                        trace_host.weights, kEvents,
+                                        trace_rng);
+  ASSERT_FALSE(trace.empty()) << alg.name() << " seed=" << seed;
+
+  for (const std::size_t threads : kThreadCounts) {
+    // Fresh reference per width (cheap at test sizes) so both sides
+    // replay the identical trace from the identical start state.
+    ThreadPool reference_pool(1);
+    test::SeededInstance<A> reference_host;
+    auto reference =
+        build_with_pool(alg, seed, n, reference_pool, reference_host);
+    ChurnEngine<A> ref_engine(alg, reference_host.graph,
+                              reference_host.weights);
+
+    ThreadPool pool(threads);
+    test::SeededInstance<A> host;
+    auto parallel = build_with_pool(alg, seed, n, pool, host);
+    ChurnEngine<A> engine(alg, host.graph, host.weights);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto applied = engine.apply(trace[i]);
+      const auto ref_applied = ref_engine.apply(trace[i]);
+      parallel.apply_event(applied.edge, applied.old_weight,
+                           applied.new_weight, engine.weights(),
+                           kNeverRebuild);
+      reference.apply_event(ref_applied.edge, ref_applied.old_weight,
+                            ref_applied.new_weight, ref_engine.weights(),
+                            kNeverRebuild);
+      for (NodeId u = 0; u < host.graph.node_count(); ++u) {
+        ASSERT_EQ(parallel.landmark_of(u), reference.landmark_of(u))
+            << alg.name() << " threads=" << threads << " event=" << i
+            << " u=" << u;
+        ASSERT_EQ(parallel.cluster_size(u), reference.cluster_size(u))
+            << alg.name() << " threads=" << threads << " event=" << i
+            << " u=" << u;
+        ASSERT_EQ(parallel.table(u), reference.table(u))
+            << alg.name() << " threads=" << threads << " event=" << i
+            << " u=" << u;
+        ASSERT_EQ(parallel.port_at_landmark(u), reference.port_at_landmark(u))
+            << alg.name() << " threads=" << threads << " event=" << i
+            << " u=" << u;
+        ASSERT_EQ(parallel.local_memory_bits(u),
+                  reference.local_memory_bits(u))
+            << alg.name() << " threads=" << threads << " event=" << i
+            << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST_P(DeterminismSeeds, ChurnRepairShortestPath) {
+  expect_bit_identical_repairs(ShortestPath{16}, GetParam(), 20);
+}
+TEST_P(DeterminismSeeds, ChurnRepairWidestPathNonStrictBalls) {
+  expect_bit_identical_repairs(WidestPath{8}, GetParam(), 16);
+}
 
 TEST(ParallelDeterminism, AllPairsTreesMatchSequentialDijkstra) {
   const ShortestPath alg{64};

@@ -92,6 +92,72 @@ TEST(Resilience, LostButConnectedSeparatesPartitionFromFragility) {
   EXPECT_TRUE(saw_fragility);
 }
 
+// A scheme that is deliberately broken: every node forwards out of port 0
+// and never delivers, so a packet on the 2-node path graph bounces
+// 0 → 1 → 0 forever. With an equality-comparable header the simulator
+// must prove the loop from the first revisited (node, header) state —
+// after 2 hops — rather than spinning through the whole 4n+16 budget and
+// reporting it indistinguishably from a long path.
+struct PingPongScheme {
+  using Header = NodeId;
+  Header make_header(NodeId target) const { return target; }
+  Decision forward(NodeId, Header&) const { return Decision::via(0); }
+  std::size_t local_memory_bits(NodeId) const { return 0; }
+  std::size_t label_bits(NodeId) const { return 0; }
+};
+static_assert(CompactRoutingScheme<PingPongScheme>);
+
+TEST(Resilience, DetectsForwardingLoopsExactly) {
+  const Graph g = path_graph(2);
+  const std::vector<bool> down(g.edge_count(), false);
+  const RouteResult r =
+      simulate_route_with_failures(PingPongScheme{}, g, down, 0, 1);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.looped);
+  // Stopped at the first revisited state: 0 → 1 → 0, not 4n+16 hops.
+  EXPECT_EQ(r.path, (NodePath{0, 1, 0}));
+}
+
+TEST(Resilience, LoopFlagStaysClearOnDeliveryAndDrops) {
+  const Graph g = path_graph(3);
+  EdgeMap<std::uint64_t> w(g.edge_count(), 1);
+  const auto scheme =
+      DestinationTableScheme::from_algebra(ShortestPath{}, g, w);
+  std::vector<bool> down(g.edge_count(), false);
+  EXPECT_FALSE(simulate_route_with_failures(scheme, g, down, 0, 2).looped);
+  down[1] = true;
+  const RouteResult dropped =
+      simulate_route_with_failures(scheme, g, down, 0, 2);
+  EXPECT_FALSE(dropped.delivered);
+  EXPECT_FALSE(dropped.looped);  // a drop is not a loop
+}
+
+// Header types without operator== (none in-tree today, but the simulator
+// supports them) must still terminate via the hop budget. Pin the
+// compile-time dispatch with a header that cannot be compared.
+struct OpaqueHeader {
+  NodeId target = kInvalidNode;
+  bool operator==(const OpaqueHeader&) const = delete;
+};
+struct OpaquePingPongScheme {
+  using Header = OpaqueHeader;
+  Header make_header(NodeId target) const { return {target}; }
+  Decision forward(NodeId, Header&) const { return Decision::via(0); }
+  std::size_t local_memory_bits(NodeId) const { return 0; }
+  std::size_t label_bits(NodeId) const { return 0; }
+};
+
+TEST(Resilience, NonComparableHeadersFallBackToHopBudget) {
+  const Graph g = path_graph(2);
+  const std::vector<bool> down(g.edge_count(), false);
+  const RouteResult r =
+      simulate_route_with_failures(OpaquePingPongScheme{}, g, down, 0, 1,
+                                   /*max_hops=*/10);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_FALSE(r.looped);          // cannot be proven without equality
+  EXPECT_EQ(r.path.size(), 12u);   // burned the whole budget instead
+}
+
 TEST(AsIo, RoundTripPreservesRelationships) {
   Rng rng(3);
   AsTopologyOptions opt;
