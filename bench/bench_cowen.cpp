@@ -27,9 +27,10 @@ namespace {
 
 template <RoutingAlgebra A>
 void report_row(const A& alg, std::size_t n, TextTable& table) {
-  Rng rng(n * 13 + 5);
-  const Graph g = bench::sweep_graph(n, 3);
-  const auto w = bench::sampled_weights(alg, g, rng);
+  auto inst = bench::algebra_instance(alg, n, 3, n * 13 + 5);
+  Rng& rng = inst.rng;
+  const Graph& g = inst.g;
+  const auto& w = inst.w;
   const auto cowen = CowenScheme<A>::build(alg, g, w, rng);
   const auto tables = DestinationTableScheme::from_algebra(alg, g, w);
 
@@ -97,11 +98,12 @@ void print_report() {
   {
     std::vector<double> ns, cowen_bits, table_bits;
     for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
-      Rng rng(n * 13 + 5);
-      const Graph g = bench::sweep_graph(n, 3);
       const ShortestPath alg{1024};
-      const auto w = bench::sampled_weights(alg, g, rng);
-      const auto cowen = CowenScheme<ShortestPath>::build(alg, g, w, rng);
+      auto inst = bench::algebra_instance(alg, n, 3, n * 13 + 5);
+      const Graph& g = inst.g;
+      const auto& w = inst.w;
+      const auto cowen =
+          CowenScheme<ShortestPath>::build(alg, g, w, inst.rng);
       ns.push_back(static_cast<double>(n));
       cowen_bits.push_back(
           static_cast<double>(measure_footprint(cowen, n).max_node_bits));
@@ -135,9 +137,7 @@ void print_report() {
 
 void BM_CowenBuild(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Rng rng(n);
-  const Graph g = bench::sweep_graph(n, 3);
-  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const auto [g, w] = bench::sweep_instance(n);
   for (auto _ : state) {
     Rng build_rng(42);
     const auto scheme =
@@ -156,9 +156,7 @@ BENCHMARK(BM_CowenBuild)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 void BM_CowenBuildParallel(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t threads = static_cast<std::size_t>(state.range(1));
-  Rng rng(n);
-  const Graph g = bench::sweep_graph(n, 3);
-  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const auto [g, w] = bench::sweep_instance(n);
   ThreadPool pool(threads);
   for (auto _ : state) {
     Rng build_rng(42);

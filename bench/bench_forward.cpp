@@ -1,0 +1,374 @@
+// Machine-readable forwarding-plane trajectory (BENCH_forward.json).
+//
+// The compiled-plane claim is quantitative: serving a query batch from a
+// FlatFib arena (fib/forward_engine.cpp) must beat the object-based
+// route_batch oracle it is differentially tested against. Per scheme
+// family (heavy-path tree, interval, Cowen landmarks, RLE tables) and
+// sweep size, this bench times the same seeded query batch three ways —
+// object oracle (per-query make_header + virtual-free but pointer-chasing
+// forward()), compiled plane with path recording (what the rewired
+// route_batch serves), and compiled plane stats-only (record_paths off,
+// the production serving mode) — and reports queries/s and ns/hop for
+// each, at pools of 1 and 8 threads. compile_s and blob_bytes record the
+// one-time cost and footprint of the arena the batch runs amortize.
+//
+// Usage: bench_forward [--quick] [--filter=substr] [--out=path]
+//                      [--baseline=path]
+// --quick shrinks the sweep to n=1000 for CI smoke runs (entries keep
+// keys the full baseline also has). --baseline= points at a committed
+// BENCH_forward.json; the run fails (exit 1) if any matching
+// (family, n, threads) entry regresses ns_per_hop by more than 25%.
+#include "bench_util.hpp"
+
+#include "algebra/primitives.hpp"
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/compressed_table.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/interval_router.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+using bench::now_seconds;
+
+struct SuiteResult {
+  std::string family;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t threads = 0;
+  std::size_t queries = 0;
+  std::uint64_t hops = 0;          // total hops walked by the batch
+  double compile_s = 0;            // one-time scheme -> arena cost
+  std::size_t blob_bytes = 0;      // arena footprint
+  double object_queries_per_s = 0;
+  double queries_per_s_paths = 0;  // compiled, record_paths on
+  double ns_per_hop_paths = 0;
+  double queries_per_s = 0;        // compiled, record_paths off (headline)
+  double ns_per_hop = 0;
+  double speedup_vs_object = 0;    // paths-on compiled vs object oracle
+};
+
+std::vector<std::pair<NodeId, NodeId>> make_queries(std::size_t n,
+                                                    std::size_t count) {
+  Rng rng(n * 8009 + 11);
+  std::vector<std::pair<NodeId, NodeId>> q;
+  q.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.index(n));
+    NodeId t = static_cast<NodeId>(rng.index(n));
+    if (t == s) t = static_cast<NodeId>((t + 1) % n);
+    q.push_back({s, t});
+  }
+  return q;
+}
+
+template <typename S>
+SuiteResult run_suite(const char* family, const S& scheme, const Graph& g,
+                      std::size_t n_queries, std::size_t threads) {
+  SuiteResult r;
+  r.family = family;
+  r.n = g.node_count();
+  r.m = g.edge_count();
+  r.threads = threads;
+  r.queries = n_queries;
+
+  const auto queries = make_queries(g.node_count(), n_queries);
+  ThreadPool pool(threads);
+
+  double t0 = now_seconds();
+  const auto oracle = route_batch_object(scheme, g, queries, &pool);
+  const double object_wall = now_seconds() - t0;
+  r.object_queries_per_s = static_cast<double>(n_queries) / object_wall;
+  std::size_t object_delivered = 0;
+  for (const auto& o : oracle) object_delivered += o.delivered ? 1 : 0;
+
+  t0 = now_seconds();
+  const FlatFib fib = compile_fib(scheme, g);
+  r.compile_s = now_seconds() - t0;
+  r.blob_bytes = fib.blob().size();
+
+  FibBatchOptions opt;
+  opt.pool = &pool;
+  t0 = now_seconds();
+  const FibBatchOutput with_paths = forward_batch(fib, queries, opt);
+  const double paths_wall = now_seconds() - t0;
+
+  opt.record_paths = false;
+  t0 = now_seconds();
+  const FibBatchOutput stats_only = forward_batch(fib, queries, opt);
+  const double nopaths_wall = now_seconds() - t0;
+
+  std::size_t delivered = 0;
+  for (const auto& res : stats_only.results) {
+    r.hops += res.hops();
+    delivered += res.delivered;
+  }
+  if (delivered != object_delivered) {
+    std::cerr << family << " n=" << r.n
+              << ": compiled delivered count diverges from oracle ("
+              << delivered << " vs " << object_delivered << ")\n";
+  }
+
+  const double hops = static_cast<double>(r.hops);
+  r.queries_per_s_paths = static_cast<double>(n_queries) / paths_wall;
+  r.ns_per_hop_paths = 1e9 * paths_wall / hops;
+  r.queries_per_s = static_cast<double>(n_queries) / nopaths_wall;
+  r.ns_per_hop = 1e9 * nopaths_wall / hops;
+  r.speedup_vs_object = r.queries_per_s_paths / r.object_queries_per_s;
+  (void)with_paths;
+  return r;
+}
+
+// ---- Families ----
+
+void run_tree(std::size_t n, std::size_t n_queries,
+              std::vector<SuiteResult>& out) {
+  const auto [g, w] = bench::sweep_instance(n);
+  const ShortestPath alg{1024};
+  const auto scheme = SpanningTreeScheme<ShortestPath>::build(alg, g, w);
+  for (const std::size_t threads : {1, 8}) {
+    out.push_back(run_suite("tree", scheme, g, n_queries, threads));
+  }
+}
+
+void run_interval(std::size_t n, std::size_t n_queries,
+                  std::vector<SuiteResult>& out) {
+  const auto [g, w] = bench::sweep_instance(n);
+  const ShortestPath alg{1024};
+  const IntervalRouter router(g, preferred_spanning_tree(alg, g, w));
+  for (const std::size_t threads : {1, 8}) {
+    out.push_back(run_suite("interval", router, g, n_queries, threads));
+  }
+}
+
+void run_cowen(std::size_t n, std::size_t n_queries,
+               std::vector<SuiteResult>& out) {
+  const auto [g, w] = bench::sweep_instance(n);
+  const ShortestPath alg{1024};
+  Rng build_rng(42);
+  const auto scheme =
+      CowenScheme<ShortestPath>::build(alg, g, w, build_rng);
+  for (const std::size_t threads : {1, 8}) {
+    out.push_back(run_suite("cowen", scheme, g, n_queries, threads));
+  }
+}
+
+void run_ctable(std::size_t n, std::size_t n_queries,
+                std::vector<SuiteResult>& out) {
+  const auto [g, w] = bench::sweep_instance(n);
+  const ShortestPath alg{1024};
+  const auto trees = all_pairs_trees(alg, g, w);
+  std::vector<std::vector<NodeId>> next_hop(n);
+  for (NodeId t = 0; t < n; ++t) next_hop[t] = trees[t].parent;
+  const auto tree_edges = preferred_spanning_tree(alg, g, w);
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges, 0);
+  const CompressedTableScheme scheme(
+      g, next_hop, CompressedTableScheme::dfs_relabeling(g, tree.parent, 0));
+  for (const std::size_t threads : {1, 8}) {
+    out.push_back(run_suite("ctable", scheme, g, n_queries, threads));
+  }
+}
+
+// ---- JSON output ----
+
+void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
+                bool quick) {
+  os << std::setprecision(6) << std::fixed;
+  os << "{\n";
+  os << "  \"schema\": \"cpr-bench-forward-v1\",\n";
+  bench::write_json_meta(os, bench::BenchMeta::collect());
+  os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  os << "  \"suites\": [\n";
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    const SuiteResult& s = suites[i];
+    os << "    {\n";
+    os << "      \"family\": \"" << bench::json_escape(s.family) << "\",\n";
+    os << "      \"n\": " << s.n << ",\n";
+    os << "      \"m\": " << s.m << ",\n";
+    os << "      \"threads\": " << s.threads << ",\n";
+    os << "      \"queries\": " << s.queries << ",\n";
+    os << "      \"hops\": " << s.hops << ",\n";
+    os << "      \"compile_s\": " << s.compile_s << ",\n";
+    os << "      \"blob_bytes\": " << s.blob_bytes << ",\n";
+    os << "      \"object_queries_per_s\": " << s.object_queries_per_s
+       << ",\n";
+    os << "      \"queries_per_s_paths\": " << s.queries_per_s_paths << ",\n";
+    os << "      \"ns_per_hop_paths\": " << s.ns_per_hop_paths << ",\n";
+    os << "      \"queries_per_s\": " << s.queries_per_s << ",\n";
+    os << "      \"ns_per_hop\": " << s.ns_per_hop << ",\n";
+    os << "      \"speedup_vs_object\": " << s.speedup_vs_object << "\n";
+    os << "    }" << (i + 1 < suites.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"peak_rss_bytes\": " << bench::peak_rss_bytes() << "\n";
+  os << "}\n";
+}
+
+// ---- Baseline regression guard ----
+//
+// Minimal self-parse of a previously committed BENCH_forward.json: the
+// writer above emits suite fields in a fixed order, so a forward scan per
+// "family" occurrence recovers (family, n, threads, ns_per_hop) without a
+// JSON library.
+
+struct BaselineEntry {
+  std::string family;
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  double ns_per_hop = -1;
+};
+
+bool scan_number(const std::string& text, std::size_t from, std::size_t until,
+                 const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return false;
+  *out = std::strtod(text.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<BaselineEntry> entries;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"family\":", pos)) != std::string::npos) {
+    const std::size_t q0 = text.find('"', pos + 9);
+    const std::size_t q1 =
+        q0 == std::string::npos ? std::string::npos : text.find('"', q0 + 1);
+    if (q1 == std::string::npos) break;
+    const std::size_t next =
+        std::min(text.find("\"family\":", q1), text.size());
+    BaselineEntry e;
+    e.family = text.substr(q0 + 1, q1 - q0 - 1);
+    double n = 0, threads = 0, ns = -1;
+    if (scan_number(text, q1, next, "n", &n) &&
+        scan_number(text, q1, next, "threads", &threads) &&
+        scan_number(text, q1, next, "ns_per_hop", &ns)) {
+      e.n = static_cast<std::size_t>(n);
+      e.threads = static_cast<std::size_t>(threads);
+      e.ns_per_hop = ns;
+      entries.push_back(std::move(e));
+    }
+    pos = q1;
+  }
+  return entries;
+}
+
+int check_baseline(const std::string& path,
+                   const std::vector<SuiteResult>& suites) {
+  constexpr double kMaxRegression = 1.25;  // fail if ns/hop worsens > 25%
+  const auto baseline = parse_baseline(path);
+  if (baseline.empty()) {
+    std::cerr << "baseline " << path << " is missing or unparseable\n";
+    return 1;
+  }
+  std::size_t matched = 0, regressed = 0;
+  for (const SuiteResult& s : suites) {
+    for (const BaselineEntry& b : baseline) {
+      if (b.family != s.family || b.n != s.n || b.threads != s.threads) {
+        continue;
+      }
+      ++matched;
+      if (s.ns_per_hop > b.ns_per_hop * kMaxRegression) {
+        ++regressed;
+        std::cerr << "REGRESSION " << s.family << " n=" << s.n
+                  << " threads=" << s.threads << ": ns/hop "
+                  << b.ns_per_hop << " -> " << s.ns_per_hop << " (>"
+                  << (kMaxRegression - 1) * 100 << "%)\n";
+      }
+    }
+  }
+  if (matched == 0) {
+    std::cerr << "baseline has no entries matching this run\n";
+    return 1;
+  }
+  std::cout << "baseline check: " << matched << " entries compared, "
+            << regressed << " regressed\n";
+  return regressed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cpr
+
+int main(int argc, char** argv) {
+  const cpr::bench::BenchArgs args = cpr::bench::parse_bench_args(
+      argc, argv, "bench_forward", "BENCH_forward.json",
+      /*accept_baseline=*/true);
+  if (!args.ok) return 2;
+
+  const auto want = [&](const char* name) {
+    return cpr::bench::suite_wanted(args.filter, name);
+  };
+
+  // Quick mode keeps every family at n=1000 — keys a full-mode committed
+  // baseline also carries, so the CI smoke run can diff against it. The
+  // ctable sweep stops at 1000 in both modes (its construction needs all
+  // n preferred trees, Θ(n²) memory); cowen stops at 10k for the same
+  // reason as bench_json's cowen_build suite.
+  const std::vector<std::size_t> tree_ns =
+      args.quick ? std::vector<std::size_t>{1000}
+                 : std::vector<std::size_t>{1000, 10000, 50000};
+  const std::vector<std::size_t> cowen_ns =
+      args.quick ? std::vector<std::size_t>{1000}
+                 : std::vector<std::size_t>{1000, 10000};
+  const std::vector<std::size_t> ctable_ns{1000};
+  const std::size_t n_queries = args.quick ? 20000 : 200000;
+
+  std::vector<cpr::SuiteResult> suites;
+  const std::size_t before = suites.size();
+  if (want("tree")) {
+    for (const std::size_t n : tree_ns) {
+      cpr::run_tree(n, n_queries, suites);
+    }
+  }
+  if (want("interval")) {
+    for (const std::size_t n : tree_ns) {
+      cpr::run_interval(n, n_queries, suites);
+    }
+  }
+  if (want("cowen")) {
+    for (const std::size_t n : cowen_ns) {
+      cpr::run_cowen(n, n_queries, suites);
+    }
+  }
+  if (want("ctable")) {
+    for (const std::size_t n : ctable_ns) {
+      cpr::run_ctable(n, n_queries, suites);
+    }
+  }
+  (void)before;
+  for (const auto& s : suites) {
+    std::cout << s.family << " n=" << s.n << " threads=" << s.threads
+              << ": " << s.ns_per_hop << " ns/hop, " << s.queries_per_s
+              << " q/s (object " << s.object_queries_per_s << " q/s, "
+              << s.speedup_vs_object << "x)\n";
+  }
+
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::cerr << "cannot open " << args.out_path << "\n";
+    return 1;
+  }
+  cpr::write_json(out, suites, args.quick);
+  std::cout << "wrote " << args.out_path << "\n";
+
+  if (!args.baseline.empty()) {
+    return cpr::check_baseline(args.baseline, suites);
+  }
+  return 0;
+}

@@ -28,31 +28,17 @@
 #include "scheme/spanning_tree.hpp"
 #include "util/thread_pool.hpp"
 
-#include <sys/resource.h>
-
-#include <chrono>
-#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 namespace cpr {
 namespace {
 
-double now_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
-
-std::size_t peak_rss_bytes() {
-  struct rusage ru;
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
-  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
-}
+using bench::now_seconds;
+using bench::peak_rss_bytes;
 
 struct SuiteResult {
   std::string name;
@@ -68,9 +54,7 @@ struct SuiteResult {
 // ---- Suites ----
 
 SuiteResult dijkstra_suite(std::size_t n, std::size_t sources) {
-  const Graph g = bench::sweep_graph(n, 3);
-  Rng rng(n);
-  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const auto [g, w] = bench::sweep_instance(n);
   const ShortestPath alg{1024};
 
   SuiteResult r;
@@ -98,9 +82,7 @@ SuiteResult dijkstra_suite(std::size_t n, std::size_t sources) {
 }
 
 SuiteResult cowen_suite(std::size_t n) {
-  const Graph g = bench::sweep_graph(n, 3);
-  Rng rng(n);
-  const auto w = random_integer_weights(g, 1, 1024, rng);
+  const auto [g, w] = bench::sweep_instance(n);
   ThreadPool pool(1);  // single worker: the headline is per-core throughput
 
   SuiteResult r;
@@ -129,9 +111,8 @@ SuiteResult cowen_suite(std::size_t n) {
 }
 
 SuiteResult tree_routing_suite(std::size_t n, std::size_t queries) {
-  const Graph g = bench::sweep_graph(n, 3);
-  Rng rng(n);
-  const auto w = random_integer_weights(g, 1, 64, rng);
+  const auto [g, w] = bench::sweep_instance(n, 64);
+  Rng rng(n * 97 + 1);  // query stream, separate from the weight draw
   const WidestPath alg{64};
 
   SuiteResult r;
@@ -160,20 +141,14 @@ SuiteResult tree_routing_suite(std::size_t n, std::size_t queries) {
 
 // ---- JSON output ----
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+using bench::json_escape;
 
 void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
                 bool quick) {
   os << std::setprecision(6) << std::fixed;
   os << "{\n";
   os << "  \"schema\": \"cpr-bench-hotpath-v1\",\n";
+  bench::write_json_meta(os, bench::BenchMeta::collect());
   os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
   os << "  \"threads\": 1,\n";
   os << "  \"suites\": [\n";
@@ -201,27 +176,14 @@ void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
 }  // namespace cpr
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string filter;
-  std::string out_path = "BENCH_hotpath.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg.rfind("--filter=", 0) == 0) {
-      filter = arg.substr(9);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n"
-                << "usage: bench_json [--quick] [--filter=substr] "
-                   "[--out=path]\n";
-      return 2;
-    }
-  }
+  const cpr::bench::BenchArgs args = cpr::bench::parse_bench_args(
+      argc, argv, "bench_json", "BENCH_hotpath.json");
+  if (!args.ok) return 2;
+  const bool quick = args.quick;
+  const std::string& out_path = args.out_path;
 
   const auto want = [&](const char* name) {
-    return filter.empty() || std::string(name).find(filter) != std::string::npos;
+    return cpr::bench::suite_wanted(args.filter, name);
   };
 
   std::vector<cpr::SuiteResult> suites;

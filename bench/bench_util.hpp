@@ -1,16 +1,25 @@
-// Shared helpers for the reproduction benches: fixed-seed weight
-// generation and growth-sweep plumbing. Every bench prints its report from
-// main() with deterministic seeds so runs are comparable, and then runs
-// any registered google-benchmark microbenchmarks.
+// Shared helpers for the reproduction benches: fixed-seed instance
+// generation, wall-clock/RSS probes, CLI parsing, and the JSON metadata
+// header every machine-readable BENCH_*.json carries. Every bench prints
+// its report from main() with deterministic seeds so runs are comparable,
+// and then runs any registered google-benchmark microbenchmarks.
 #pragma once
 
 #include "algebra/algebra.hpp"
 #include "graph/generators.hpp"
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 namespace cpr::bench {
+
+// ---- Seeded instances ----
 
 template <RoutingAlgebra A>
 EdgeMap<typename A::Weight> sampled_weights(const A& alg, const Graph& g,
@@ -29,6 +38,161 @@ inline Graph sweep_graph(std::size_t n, std::uint64_t seed) {
   Rng rng(seed * 7919 + n);
   const double p = std::min(1.0, 6.0 / static_cast<double>(n - 1));
   return erdos_renyi_connected(n, p, rng);
+}
+
+// Sweep graph plus uniform integer weights in [1, cap] — the instance the
+// JSON trajectory benches (bench_json, bench_churn, bench_forward) all
+// time against, fixed per n.
+struct SweepInstance {
+  Graph g;
+  EdgeMap<std::uint64_t> w;
+};
+
+inline SweepInstance sweep_instance(std::size_t n, std::uint64_t cap = 1024) {
+  SweepInstance inst;
+  inst.g = sweep_graph(n, 3);
+  Rng rng(n);
+  inst.w = random_integer_weights(inst.g, 1, cap, rng);
+  return inst;
+}
+
+// Sweep graph plus algebra-sampled weights — the common prologue of the
+// report benches. The returned rng is in the state the weight sampling
+// left it, so callers keep drawing from it (queries, scheme builds)
+// exactly as before the helper existed; outputs stay bit-identical.
+template <RoutingAlgebra A>
+struct AlgebraInstance {
+  Rng rng;
+  Graph g;
+  EdgeMap<typename A::Weight> w;
+};
+
+template <RoutingAlgebra A>
+AlgebraInstance<A> algebra_instance(const A& alg, std::size_t n,
+                                    std::uint64_t graph_seed,
+                                    std::uint64_t rng_seed) {
+  AlgebraInstance<A> inst{Rng(rng_seed), sweep_graph(n, graph_seed), {}};
+  inst.w = sampled_weights(alg, inst.g, inst.rng);
+  return inst;
+}
+
+// ---- Timing / process probes ----
+
+inline double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+inline std::size_t peak_rss_bytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+// ---- JSON report plumbing ----
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Build provenance recorded in every BENCH_*.json: which commit and build
+// flavor produced the numbers, and on what silicon. The SHA and build
+// type are baked in at configure time (bench/CMakeLists.txt); the CPU
+// model is read at runtime so a binary copied between hosts stays honest.
+struct BenchMeta {
+  std::string git_sha;
+  std::string build_type;
+  std::string cpu_model;
+
+  static BenchMeta collect() {
+    BenchMeta m;
+#ifdef CPR_GIT_SHA
+    m.git_sha = CPR_GIT_SHA;
+#else
+    m.git_sha = "unknown";
+#endif
+#ifdef CPR_BUILD_TYPE
+    m.build_type = CPR_BUILD_TYPE;
+#else
+    m.build_type = "unspecified";
+#endif
+    if (m.build_type.empty()) m.build_type = "unspecified";
+    m.cpu_model = "unknown";
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      if (line.rfind("model name", 0) == 0) {
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          std::size_t start = colon + 1;
+          while (start < line.size() && line[start] == ' ') ++start;
+          m.cpu_model = line.substr(start);
+        }
+        break;
+      }
+    }
+    return m;
+  }
+};
+
+// Emits the shared metadata header fields (with a trailing comma); the
+// caller has printed "{" and follows with its own schema-specific fields.
+inline void write_json_meta(std::ostream& os, const BenchMeta& meta) {
+  os << "  \"meta\": {\n";
+  os << "    \"git_sha\": \"" << json_escape(meta.git_sha) << "\",\n";
+  os << "    \"build_type\": \"" << json_escape(meta.build_type) << "\",\n";
+  os << "    \"cpu_model\": \"" << json_escape(meta.cpu_model) << "\"\n";
+  os << "  },\n";
+}
+
+// ---- CLI parsing shared by the JSON trajectory benches ----
+
+struct BenchArgs {
+  bool ok = true;            // false: unknown argument, usage printed
+  bool quick = false;        // shrink sweeps for CI smoke runs
+  std::string filter;        // keep suites whose name contains this
+  std::string out_path;      // JSON output path
+  std::string baseline;      // committed baseline to regress against
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const char* bench_name,
+                                  std::string default_out,
+                                  bool accept_baseline = false) {
+  BenchArgs a;
+  a.out_path = std::move(default_out);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      a.quick = true;
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      a.filter = arg.substr(9);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      a.out_path = arg.substr(6);
+    } else if (accept_baseline && arg.rfind("--baseline=", 0) == 0) {
+      a.baseline = arg.substr(11);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: " << bench_name
+                << " [--quick] [--filter=substr] [--out=path]"
+                << (accept_baseline ? " [--baseline=path]" : "") << "\n";
+      a.ok = false;
+      return a;
+    }
+  }
+  return a;
+}
+
+// Suite-name filter predicate: empty filter keeps everything.
+inline bool suite_wanted(const std::string& filter, const char* name) {
+  return filter.empty() ||
+         std::string(name).find(filter) != std::string::npos;
 }
 
 }  // namespace cpr::bench

@@ -30,10 +30,11 @@ const char* kind_name(WorkloadGenerator::Kind k) {
 
 void print_report() {
   const std::size_t n = 400;
-  Rng rng(17);
   const ShortestPath alg{1024};
-  const Graph g = bench::sweep_graph(n, 21);
-  const auto w = bench::sampled_weights(alg, g, rng);
+  auto inst = bench::algebra_instance(alg, n, 21, 17);
+  Rng& rng = inst.rng;
+  const Graph& g = inst.g;
+  const auto& w = inst.w;
   const auto trees = all_pairs_trees(alg, g, w);
   const auto cowen = CowenScheme<ShortestPath>::build(alg, g, w, rng);
   const auto tables = DestinationTableScheme::from_algebra(alg, g, w);
@@ -101,10 +102,10 @@ void print_report() {
 
 void BM_WorkloadEvaluation(benchmark::State& state) {
   const std::size_t n = 128;
-  Rng rng(3);
   const ShortestPath alg{64};
-  const Graph g = bench::sweep_graph(n, 21);
-  const auto w = bench::sampled_weights(alg, g, rng);
+  auto inst = bench::algebra_instance(alg, n, 21, 3);
+  const Graph& g = inst.g;
+  const auto& w = inst.w;
   const auto trees = all_pairs_trees(alg, g, w);
   const auto tables = DestinationTableScheme::from_algebra(alg, g, w);
   for (auto _ : state) {

@@ -1,0 +1,116 @@
+#include "fib/compile.hpp"
+
+#include "scheme/compressed_table.hpp"
+#include "scheme/interval_router.hpp"
+#include "scheme/tree_router.hpp"
+
+namespace cpr {
+
+FlatFib compile_fib(const TreeRouter& router, const Graph& g) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kTree, n);
+  b.add_topology(g);
+
+  std::vector<FibTreeNode> nodes(n + 1);
+  std::vector<std::uint32_t> light_ports;
+  for (NodeId u = 0; u < n; ++u) {
+    FibTreeNode& r = nodes[u];
+    r.dfs_in = router.dfs_in(u);
+    r.dfs_out = router.dfs_out(u);
+    const NodeId heavy = router.heavy_child(u);
+    if (heavy != kInvalidNode) {
+      r.heavy_in = router.dfs_in(heavy);
+      r.heavy_out = router.dfs_out(heavy);
+      r.heavy_port = router.port_down(heavy);
+    }  // else keep the default empty interval [1, 0]
+    r.port_up = router.port_up(u);
+    r.light_depth = router.light_depth(u);
+    r.light_off = static_cast<std::uint32_t>(light_ports.size());
+    // Light-child descend ports in designed (decreasing-subtree) order:
+    // the header's light index selects directly into this row.
+    for (std::uint32_t i = 0; i < router.light_count(u); ++i) {
+      light_ports.push_back(router.port_down(router.light_child(u, i)));
+    }
+  }
+  nodes[n].light_off = static_cast<std::uint32_t>(light_ports.size());
+
+  // Per-target light sequences (the header payload), flattened to CSR so
+  // the engine resolves make_header with two array reads instead of a
+  // parent-chain walk per query.
+  std::vector<std::uint32_t> label_off(n + 1, 0);
+  std::vector<std::uint32_t> label_seq;
+  for (NodeId t = 0; t < n; ++t) {
+    const TreeRouter::Header h = router.make_header(t);
+    label_off[t + 1] =
+        label_off[t] + static_cast<std::uint32_t>(h.light_sequence.size());
+    label_seq.insert(label_seq.end(), h.light_sequence.begin(),
+                     h.light_sequence.end());
+  }
+
+  b.add_array(fib_section::kTreeNodes, nodes);
+  b.add_array(fib_section::kTreeLightPorts, light_ports);
+  b.add_array(fib_section::kTreeLabelOff, label_off);
+  b.add_array(fib_section::kTreeLabelSeq, label_seq);
+  return b.finish();
+}
+
+FlatFib compile_fib(const IntervalRouter& router, const Graph& g) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kInterval, n);
+  b.add_topology(g);
+
+  std::vector<FibIntervalNode> nodes(n + 1);
+  std::vector<std::uint32_t> child_in, child_port;
+  for (NodeId u = 0; u < n; ++u) {
+    FibIntervalNode& r = nodes[u];
+    r.dfs_in = router.dfs_in(u);
+    r.dfs_out = router.dfs_out(u);
+    // The object path resolves port_to(u, parent) on every climb; the
+    // arena carries the resolved port instead.
+    r.parent_port =
+        u == router.root() ? kInvalidPort : g.port_to(u, router.parent(u));
+    r.child_off = static_cast<std::uint32_t>(child_in.size());
+    for (NodeId c : router.children(u)) {  // dfs_in-sorted already
+      child_in.push_back(router.dfs_in(c));
+      child_port.push_back(g.port_to(u, c));
+    }
+  }
+  nodes[n].child_off = static_cast<std::uint32_t>(child_in.size());
+
+  b.add_array(fib_section::kIntervalNodes, nodes);
+  b.add_array(fib_section::kIntervalChildIn, child_in);
+  b.add_array(fib_section::kIntervalChildPort, child_port);
+  return b.finish();
+}
+
+FlatFib compile_fib(const CompressedTableScheme& scheme, const Graph& g) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kTable, n);
+  b.add_topology(g);
+
+  // Re-derive the RLE runs the scheme's honest bit accounting is based
+  // on: one packed (label_start, port) entry per run, first run at label
+  // 0, so a lookup is a binary search for the last run start <= label.
+  std::vector<std::uint32_t> row_off(n + 1, 0);
+  std::vector<std::uint64_t> runs;
+  std::vector<std::uint32_t> relabel(n);
+  for (NodeId u = 0; u < n; ++u) {
+    relabel[u] = scheme.relabel(u);
+    const std::vector<Port>& ports = scheme.ports_by_label(u);
+    std::size_t i = 0;
+    while (i < ports.size()) {
+      std::size_t j = i;
+      while (j < ports.size() && ports[j] == ports[i]) ++j;
+      runs.push_back(fib_pack_entry(static_cast<std::uint32_t>(i), ports[i]));
+      i = j;
+    }
+    row_off[u + 1] = static_cast<std::uint32_t>(runs.size());
+  }
+
+  b.add_array(fib_section::kTableRowOff, row_off);
+  b.add_array(fib_section::kTableRuns, runs);
+  b.add_array(fib_section::kTableRelabel, relabel);
+  return b.finish();
+}
+
+}  // namespace cpr

@@ -1,0 +1,80 @@
+// Scheme → FlatFib compilation adapters.
+//
+// Each adapter reads the construction products of a built scheme (DFS
+// labelings, resolved tree-edge ports, landmark tables, RLE rows) and
+// flattens them into the arena layout of fib/flat_fib.hpp, resolving
+// every per-hop lookup the object path performs lazily — port_to calls,
+// header construction, light-index scans — at compile time. The
+// compiled plane is then served by fib/forward_engine.hpp with
+// bit-identical results to the object path (pinned by tests/test_fib.cpp).
+//
+// Overload set: the concrete routers get non-template overloads (defined
+// in compile.cpp); the algebra-templated schemes get constrained
+// templates here, matched structurally so evaluate_workload's
+// `if constexpr (requires { compile_fib(scheme, g); })` dispatch can
+// probe for compilability without a closed kind list — schemes with no
+// adapter (DestinationTableScheme, the mesh and BGP models) simply fall
+// back to the object path.
+#pragma once
+
+#include "fib/flat_fib.hpp"
+#include "graph/graph.hpp"
+
+namespace cpr {
+
+class TreeRouter;
+class IntervalRouter;
+class CompressedTableScheme;
+
+FlatFib compile_fib(const TreeRouter& router, const Graph& g);
+FlatFib compile_fib(const IntervalRouter& router, const Graph& g);
+FlatFib compile_fib(const CompressedTableScheme& scheme, const Graph& g);
+
+// Cowen-shaped schemes: anything exposing the landmark-scheme surface
+// (sorted flat (target, port) tables plus the landmark label fields).
+template <typename S>
+  requires requires(const S& s, NodeId v) {
+    { s.table(v).size() } -> std::convertible_to<std::size_t>;
+    { s.landmark_of(v) } -> std::convertible_to<NodeId>;
+    { s.port_at_landmark(v) } -> std::convertible_to<Port>;
+  }
+FlatFib compile_fib(const S& scheme, const Graph& g) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kCowen, n);
+  b.add_topology(g);
+  std::vector<std::uint32_t> row_off(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    row_off[u + 1] =
+        row_off[u] + static_cast<std::uint32_t>(scheme.table(u).size());
+  }
+  std::vector<std::uint64_t> rows;
+  rows.reserve(row_off[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& [target, port] : scheme.table(u)) {
+      rows.push_back(fib_pack_entry(target, port));
+    }
+  }
+  std::vector<std::uint32_t> landmark(n), landmark_port(n);
+  for (NodeId v = 0; v < n; ++v) {
+    landmark[v] = scheme.landmark_of(v);
+    landmark_port[v] = scheme.port_at_landmark(v);
+  }
+  b.add_array(fib_section::kCowenRowOff, row_off);
+  b.add_array(fib_section::kCowenRows, rows);
+  b.add_array(fib_section::kCowenLandmark, landmark);
+  b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
+  return b.finish();
+}
+
+// Tree-backed dynamic schemes (SpanningTreeScheme): compile the current
+// heavy-path router. The FIB is a snapshot — churn events that swap the
+// tree require recompiling.
+template <typename S>
+  requires requires(const S& s) {
+    { s.router() } -> std::convertible_to<const TreeRouter&>;
+  }
+FlatFib compile_fib(const S& scheme, const Graph& g) {
+  return compile_fib(scheme.router(), g);
+}
+
+}  // namespace cpr

@@ -1,0 +1,405 @@
+#include "fib/flat_fib.hpp"
+
+#include "util/bitstream.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace cpr {
+namespace {
+
+// Blob layout (all little-endian, produced/consumed on the same arch):
+//   header   : magic "CPRFIB01" (8B), kind u32, node_count u32,
+//              section_count u32, reserved u32, payload_bytes u64,
+//              checksum u64 (FNV-1a over the payload region)
+//   directory: per section {id u32, pad u32, offset u64, bytes u64};
+//              offset is relative to blob start and 64-byte aligned
+//   payload  : sections back to back, zero-padded to 64-byte boundaries
+constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 8 + 8;  // 40
+constexpr std::size_t kDirEntryBytes = 4 + 4 + 8 + 8;    // 24
+constexpr std::size_t kSectionAlign = 64;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t nbytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("FlatFib: " + what);
+}
+
+std::size_t align_up(std::size_t x, std::size_t a) {
+  return (x + a - 1) / a * a;
+}
+
+struct SectionRef {
+  const std::uint8_t* data = nullptr;
+  std::size_t bytes = 0;
+  bool present = false;
+};
+
+// Directory lookup helper bound to one opened blob.
+class Directory {
+ public:
+  Directory(const std::uint8_t* base, std::size_t total_bytes)
+      : base_(base), total_(total_bytes) {}
+
+  void add(std::uint32_t id, std::uint64_t offset, std::uint64_t bytes) {
+    if (offset % kSectionAlign != 0) fail("section offset not 64-byte aligned");
+    if (offset > total_ || bytes > total_ - offset) {
+      fail("section extends past blob end");
+    }
+    for (const auto& e : entries_) {
+      if (e.id == id) fail("duplicate section id");
+    }
+    entries_.push_back({id, offset, bytes});
+  }
+
+  // Section must exist and hold exactly `count` elements of `elem_bytes`.
+  SectionRef require(std::uint32_t id, std::size_t elem_bytes,
+                     std::size_t count) const {
+    SectionRef r = find(id);
+    if (!r.present) fail("missing section " + std::to_string(id));
+    if (r.bytes != elem_bytes * count) {
+      fail("section " + std::to_string(id) + " has wrong size");
+    }
+    return r;
+  }
+
+  // Section must exist with a size that is a multiple of elem_bytes;
+  // returns the element count via *count.
+  SectionRef require_counted(std::uint32_t id, std::size_t elem_bytes,
+                             std::size_t* count) const {
+    SectionRef r = find(id);
+    if (!r.present) fail("missing section " + std::to_string(id));
+    if (r.bytes % elem_bytes != 0) {
+      fail("section " + std::to_string(id) + " has torn size");
+    }
+    *count = r.bytes / elem_bytes;
+    return r;
+  }
+
+ private:
+  SectionRef find(std::uint32_t id) const {
+    for (const auto& e : entries_) {
+      if (e.id == id) return {base_ + e.offset, e.bytes, true};
+    }
+    return {};
+  }
+
+  struct Entry {
+    std::uint32_t id;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  const std::uint8_t* base_;
+  std::size_t total_;
+  std::vector<Entry> entries_;
+};
+
+// Checks that off[0] == 0 and off is non-decreasing with off[n] == limit.
+void check_offsets(const std::uint32_t* off, std::size_t n, std::size_t limit,
+                   const char* what) {
+  if (off[0] != 0) fail(std::string(what) + ": offsets must start at 0");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (off[i + 1] < off[i]) fail(std::string(what) + ": offsets decrease");
+  }
+  if (off[n] != limit) fail(std::string(what) + ": offsets mismatch payload");
+}
+
+void check_node_ids(const std::uint32_t* ids, std::size_t count,
+                    std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ids[i] >= n) fail(std::string(what) + ": node id out of range");
+  }
+}
+
+}  // namespace
+
+FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
+  FlatFib fib;
+  fib.words_ = std::move(words);
+  const auto* base = reinterpret_cast<const std::uint8_t*>(fib.words_.data());
+  const std::size_t avail = fib.words_.size() * sizeof(std::uint64_t);
+
+  if (avail < kHeaderBytes) fail("blob shorter than header");
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) fail("bad magic");
+
+  std::uint32_t kind_raw, node_count, section_count, reserved;
+  std::uint64_t payload_bytes, checksum;
+  std::memcpy(&kind_raw, base + 8, 4);
+  std::memcpy(&node_count, base + 12, 4);
+  std::memcpy(&section_count, base + 16, 4);
+  std::memcpy(&reserved, base + 20, 4);
+  std::memcpy(&payload_bytes, base + 24, 8);
+  std::memcpy(&checksum, base + 32, 8);
+
+  if (kind_raw < 1 || kind_raw > 4) fail("unknown FIB kind");
+  if (reserved != 0) fail("reserved header field is nonzero");
+  if (node_count == 0) fail("empty FIB");
+  if (section_count == 0 || section_count > 64) fail("bad section count");
+
+  const std::size_t dir_end = kHeaderBytes + section_count * kDirEntryBytes;
+  const std::size_t payload_begin = align_up(dir_end, kSectionAlign);
+  if (payload_begin > avail || payload_bytes > avail - payload_begin) {
+    fail("blob truncated");
+  }
+  const std::size_t total = payload_begin + payload_bytes;
+  if (fnv1a(base + payload_begin, payload_bytes) != checksum) {
+    fail("checksum mismatch");
+  }
+
+  Directory dir(base, total);
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::uint8_t* e = base + kHeaderBytes + s * kDirEntryBytes;
+    std::uint32_t id, pad;
+    std::uint64_t offset, bytes;
+    std::memcpy(&id, e, 4);
+    std::memcpy(&pad, e + 4, 4);
+    std::memcpy(&offset, e + 8, 8);
+    std::memcpy(&bytes, e + 16, 8);
+    if (pad != 0) fail("directory padding is nonzero");
+    if (offset < payload_begin) fail("section overlaps header");
+    dir.add(id, offset, bytes);
+  }
+  // The gap between the directory and the first section is outside the
+  // checksummed payload region; insist it is zero so every byte of the
+  // blob is covered by some check.
+  for (std::size_t i = dir_end; i < payload_begin; ++i) {
+    if (base[i] != 0) fail("directory tail padding is nonzero");
+  }
+
+  const std::size_t n = node_count;
+  fib.bytes_ = total;
+  fib.kind_ = static_cast<FibKind>(kind_raw);
+  fib.node_count_ = n;
+
+  // Topology (every kind). Slot counts must agree across the three arrays
+  // and every neighbor id must be a valid node.
+  {
+    namespace fs = fib_section;
+    auto off = dir.require(fs::kTopoOffsets, 4, n + 1);
+    fib.topo_.offsets = reinterpret_cast<const std::uint32_t*>(off.data);
+    std::size_t slots = 0;
+    auto nbr = dir.require_counted(fs::kTopoNeighbor, 4, &slots);
+    check_offsets(fib.topo_.offsets, n, slots, "topology");
+    auto edg = dir.require(fs::kTopoEdge, 4, slots);
+    fib.topo_.neighbor = reinterpret_cast<const std::uint32_t*>(nbr.data);
+    fib.topo_.edge = reinterpret_cast<const std::uint32_t*>(edg.data);
+    check_node_ids(fib.topo_.neighbor, slots, n, "topology");
+  }
+
+  namespace fs = fib_section;
+  switch (fib.kind_) {
+    case FibKind::kTree: {
+      auto nodes = dir.require(fs::kTreeNodes, sizeof(FibTreeNode), n + 1);
+      fib.tree_.nodes = reinterpret_cast<const FibTreeNode*>(nodes.data);
+      std::size_t lights = 0;
+      auto lp = dir.require_counted(fs::kTreeLightPorts, 4, &lights);
+      fib.tree_.light_ports = reinterpret_cast<const std::uint32_t*>(lp.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto& r = fib.tree_.nodes[v];
+        if (r.light_off > fib.tree_.nodes[v + 1].light_off) {
+          fail("tree: light offsets decrease");
+        }
+        if (r.dfs_in >= n || r.dfs_out >= n || r.dfs_in > r.dfs_out) {
+          fail("tree: bad dfs interval");
+        }
+      }
+      if (fib.tree_.nodes[0].light_off != 0 ||
+          fib.tree_.nodes[n].light_off != lights) {
+        fail("tree: light offsets mismatch payload");
+      }
+      auto loff = dir.require(fs::kTreeLabelOff, 4, n + 1);
+      fib.tree_.label_off = reinterpret_cast<const std::uint32_t*>(loff.data);
+      std::size_t seq = 0;
+      auto ls = dir.require_counted(fs::kTreeLabelSeq, 4, &seq);
+      fib.tree_.label_seq = reinterpret_cast<const std::uint32_t*>(ls.data);
+      check_offsets(fib.tree_.label_off, n, seq, "tree labels");
+      break;
+    }
+    case FibKind::kInterval: {
+      auto nodes =
+          dir.require(fs::kIntervalNodes, sizeof(FibIntervalNode), n + 1);
+      fib.interval_.nodes =
+          reinterpret_cast<const FibIntervalNode*>(nodes.data);
+      std::size_t kids = 0;
+      auto ci = dir.require_counted(fs::kIntervalChildIn, 4, &kids);
+      fib.interval_.child_in = reinterpret_cast<const std::uint32_t*>(ci.data);
+      auto cp = dir.require(fs::kIntervalChildPort, 4, kids);
+      fib.interval_.child_port =
+          reinterpret_cast<const std::uint32_t*>(cp.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto& r = fib.interval_.nodes[v];
+        if (r.child_off > fib.interval_.nodes[v + 1].child_off) {
+          fail("interval: child offsets decrease");
+        }
+        if (r.dfs_in >= n || r.dfs_out >= n || r.dfs_in > r.dfs_out) {
+          fail("interval: bad dfs interval");
+        }
+      }
+      if (fib.interval_.nodes[0].child_off != 0 ||
+          fib.interval_.nodes[n].child_off != kids) {
+        fail("interval: child offsets mismatch payload");
+      }
+      break;
+    }
+    case FibKind::kCowen: {
+      auto roff = dir.require(fs::kCowenRowOff, 4, n + 1);
+      fib.cowen_.row_off = reinterpret_cast<const std::uint32_t*>(roff.data);
+      std::size_t rows = 0;
+      auto rr = dir.require_counted(fs::kCowenRows, 8, &rows);
+      fib.cowen_.rows = reinterpret_cast<const std::uint64_t*>(rr.data);
+      check_offsets(fib.cowen_.row_off, n, rows, "cowen rows");
+      auto lm = dir.require(fs::kCowenLandmark, 4, n);
+      fib.cowen_.landmark = reinterpret_cast<const std::uint32_t*>(lm.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        // kInvalidNode marks a node with no reachable landmark.
+        if (fib.cowen_.landmark[v] >= n &&
+            fib.cowen_.landmark[v] != kInvalidNode) {
+          fail("cowen: landmark out of range");
+        }
+      }
+      auto lmp = dir.require(fs::kCowenLandmarkPort, 4, n);
+      fib.cowen_.landmark_port =
+          reinterpret_cast<const std::uint32_t*>(lmp.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint32_t* ro = fib.cowen_.row_off;
+        for (std::uint32_t i = ro[v]; i + 1 < ro[v + 1]; ++i) {
+          if (fib_entry_key(fib.cowen_.rows[i]) >=
+              fib_entry_key(fib.cowen_.rows[i + 1])) {
+            fail("cowen: row keys not strictly increasing");
+          }
+        }
+      }
+      break;
+    }
+    case FibKind::kTable: {
+      auto roff = dir.require(fs::kTableRowOff, 4, n + 1);
+      fib.table_.row_off = reinterpret_cast<const std::uint32_t*>(roff.data);
+      std::size_t runs = 0;
+      auto rr = dir.require_counted(fs::kTableRuns, 8, &runs);
+      fib.table_.runs = reinterpret_cast<const std::uint64_t*>(rr.data);
+      check_offsets(fib.table_.row_off, n, runs, "table runs");
+      auto rl = dir.require(fs::kTableRelabel, 4, n);
+      fib.table_.relabel = reinterpret_cast<const std::uint32_t*>(rl.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (fib.table_.relabel[v] >= n) fail("table: relabel out of range");
+        const std::uint32_t* ro = fib.table_.row_off;
+        if (ro[v + 1] > ro[v] &&
+            fib_entry_key(fib.table_.runs[ro[v]]) != 0) {
+          fail("table: first run must start at label 0");
+        }
+        for (std::uint32_t i = ro[v]; i + 1 < ro[v + 1]; ++i) {
+          if (fib_entry_key(fib.table_.runs[i]) >=
+              fib_entry_key(fib.table_.runs[i + 1])) {
+            fail("table: run starts not strictly increasing");
+          }
+        }
+      }
+      break;
+    }
+  }
+  return fib;
+}
+
+FlatFib FlatFib::from_blob(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint64_t> words((bytes.size() + 7) / 8, 0);
+  std::memcpy(words.data(), bytes.data(), bytes.size());
+  return from_words(std::move(words));
+}
+
+FibBuilder::FibBuilder(FibKind kind, std::size_t node_count)
+    : kind_(kind), node_count_(node_count) {}
+
+void FibBuilder::add_topology(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[v + 1] =
+        offsets[v] + static_cast<std::uint32_t>(g.degree(v));
+  }
+  std::vector<std::uint32_t> neighbor(offsets[n]);
+  std::vector<std::uint32_t> edge(offsets[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& row = g.neighbors(v);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      neighbor[offsets[v] + p] = row[p].neighbor;
+      edge[offsets[v] + p] = row[p].edge;
+    }
+  }
+  add_array(fib_section::kTopoOffsets, offsets);
+  add_array(fib_section::kTopoNeighbor, neighbor);
+  add_array(fib_section::kTopoEdge, edge);
+}
+
+void FibBuilder::add_section(std::uint32_t id, const void* data,
+                             std::size_t nbytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  sections_.push_back({id, std::vector<std::uint8_t>(p, p + nbytes)});
+}
+
+FlatFib FibBuilder::finish() {
+  // Lay out offsets first so the directory can be written in one pass.
+  const std::size_t dir_end =
+      kHeaderBytes + sections_.size() * kDirEntryBytes;
+  std::size_t cursor = align_up(dir_end, kSectionAlign);
+  const std::size_t payload_begin = cursor;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(sections_.size());
+  for (const auto& s : sections_) {
+    offsets.push_back(cursor);
+    cursor = align_up(cursor + s.bytes.size(), kSectionAlign);
+  }
+  const std::size_t total = cursor;
+  const std::size_t payload_bytes = total - payload_begin;
+
+  // Assemble the payload region to checksum it before writing the header.
+  std::vector<std::uint8_t> payload(payload_bytes, 0);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    std::memcpy(payload.data() + (offsets[i] - payload_begin),
+                sections_[i].bytes.data(), sections_[i].bytes.size());
+  }
+  const std::uint64_t checksum = fnv1a(payload.data(), payload.size());
+
+  BitWriter w;
+  w.write_raw(kMagic, sizeof(kMagic));
+  const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind_);
+  const std::uint32_t node_count = static_cast<std::uint32_t>(node_count_);
+  const std::uint32_t section_count =
+      static_cast<std::uint32_t>(sections_.size());
+  const std::uint32_t reserved = 0;
+  w.write_raw(&kind_raw, 4);
+  w.write_raw(&node_count, 4);
+  w.write_raw(&section_count, 4);
+  w.write_raw(&reserved, 4);
+  const std::uint64_t payload_bytes64 = payload_bytes;
+  w.write_raw(&payload_bytes64, 8);
+  w.write_raw(&checksum, 8);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const std::uint32_t pad = 0;
+    const std::uint64_t off64 = offsets[i];
+    const std::uint64_t bytes64 = sections_[i].bytes.size();
+    w.write_raw(&sections_[i].id, 4);
+    w.write_raw(&pad, 4);
+    w.write_raw(&off64, 8);
+    w.write_raw(&bytes64, 8);
+  }
+  // Zero-pad the directory tail out to the first section boundary, then
+  // append the payload region assembled above.
+  const std::vector<std::uint8_t> zeros(payload_begin - dir_end, 0);
+  w.write_raw(zeros.data(), zeros.size());
+  w.write_raw(payload.data(), payload.size());
+
+  std::vector<std::uint64_t> words((w.bytes().size() + 7) / 8, 0);
+  std::memcpy(words.data(), w.bytes().data(), w.bytes().size());
+  return FlatFib::from_words(std::move(words));
+}
+
+}  // namespace cpr

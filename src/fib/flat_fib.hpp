@@ -1,0 +1,218 @@
+// Compiled forwarding plane: one flat, relocatable FIB arena per scheme.
+//
+// The schemes in src/scheme are *construction* objects: they carry the
+// algebra, the preferred-path trees, per-node vectors — everything needed
+// to build and account for routing state, none of it laid out for serving
+// queries. This module compiles a built scheme into a FlatFib: a single
+// contiguous arena of offset-addressed sections (64-byte aligned within
+// the blob) holding exactly the bytes a forwarding decision reads —
+//
+//   topology   : CSR port rows {neighbor, edge} shared by every kind,
+//   tree       : packed per-node records (intervals + resolved tree-edge
+//                ports) plus the per-target light-label sequences in CSR
+//                form (Theorem 1's O(log n)-bit state, flattened),
+//   interval   : per-node records plus child interval boundaries + ports,
+//   cowen      : per-node sorted (target, port) rows packed as one u64
+//                per entry, plus landmark and port-at-landmark arrays
+//                (Theorem 3's Õ(√n) tables, flattened),
+//   table      : run-length rows over label space (one u64 per run) plus
+//                the designer relabeling.
+//
+// The arena IS its serialized form: compile assembles the blob through
+// util/bitstream (bit-packed header + directory, raw aligned sections)
+// and then opens it with the same validating loader a reload uses, so a
+// FIB built once can be dumped with blob(), stored, and later re-opened
+// zero-copy — from_blob adopts the buffer and points typed views into it
+// without re-parsing a single element. No algebra, weights, or scheme
+// object is needed to serve queries (fib/forward_engine.hpp).
+//
+// Validation is total: magic/version/kind, section directory bounds,
+// FNV-1a checksum over the payload, and structural checks (monotone
+// offset arrays, neighbor/port ranges), so truncated or corrupted blobs
+// are rejected with std::runtime_error instead of misrouting packets.
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cpr {
+
+enum class FibKind : std::uint32_t {
+  kTree = 1,      // heavy-path TreeRouter / SpanningTreeScheme
+  kInterval = 2,  // classic interval routing
+  kCowen = 3,     // landmark scheme tables
+  kTable = 4,     // RLE destination tables (CompressedTableScheme)
+};
+
+// Per-node record of the tree plane; two records per cache line. The
+// heavy-child interval is stored denormalized ([in > out] when there is
+// no heavy child) so the descend test is two compares with no branch on
+// existence.
+struct FibTreeNode {
+  std::uint32_t dfs_in = 0;
+  std::uint32_t dfs_out = 0;
+  std::uint32_t heavy_in = 1;   // empty interval when no heavy child
+  std::uint32_t heavy_out = 0;
+  std::uint32_t port_up = kInvalidPort;
+  std::uint32_t heavy_port = kInvalidPort;  // port_down of the heavy child
+  std::uint32_t light_depth = 0;
+  std::uint32_t light_off = 0;  // lights of u: light_ports[[u].light_off, [u+1].light_off)
+};
+static_assert(sizeof(FibTreeNode) == 32);
+
+struct FibIntervalNode {
+  std::uint32_t dfs_in = 0;
+  std::uint32_t dfs_out = 0;
+  std::uint32_t parent_port = kInvalidPort;
+  std::uint32_t child_off = 0;  // children of u: child_*[[u].child_off, [u+1].child_off)
+};
+static_assert(sizeof(FibIntervalNode) == 16);
+
+// One (key, port) row entry packed into a u64: key in the high 32 bits,
+// port in the low 32. Rows sorted by key binary-search as plain integer
+// compares (keys are unique per row, so the port bits never decide).
+inline std::uint64_t fib_pack_entry(std::uint32_t key, std::uint32_t port) {
+  return (std::uint64_t{key} << 32) | port;
+}
+inline std::uint32_t fib_entry_key(std::uint64_t e) {
+  return static_cast<std::uint32_t>(e >> 32);
+}
+inline std::uint32_t fib_entry_port(std::uint64_t e) {
+  return static_cast<std::uint32_t>(e);
+}
+
+class FlatFib {
+ public:
+  // Typed views into the arena. Pointers alias the owned blob; they are
+  // valid as long as the FlatFib is alive and survive moves (the heap
+  // buffer does not reallocate).
+  struct TopoView {
+    const std::uint32_t* offsets = nullptr;   // n + 1
+    const std::uint32_t* neighbor = nullptr;  // offsets[n] slots, port order
+    const std::uint32_t* edge = nullptr;      // edge id per slot
+    std::size_t degree(NodeId v) const { return offsets[v + 1] - offsets[v]; }
+  };
+  struct TreeView {
+    const FibTreeNode* nodes = nullptr;        // n + 1 (sentinel for light_off)
+    const std::uint32_t* light_ports = nullptr;
+    const std::uint32_t* label_off = nullptr;  // n + 1
+    const std::uint32_t* label_seq = nullptr;  // concatenated light sequences
+  };
+  struct IntervalView {
+    const FibIntervalNode* nodes = nullptr;  // n + 1 (sentinel for child_off)
+    const std::uint32_t* child_in = nullptr;  // dfs_in per child, ascending
+    const std::uint32_t* child_port = nullptr;
+  };
+  struct CowenView {
+    const std::uint32_t* row_off = nullptr;  // n + 1
+    const std::uint64_t* rows = nullptr;     // packed (target, port), sorted
+    const std::uint32_t* landmark = nullptr;       // landmark_of per node
+    const std::uint32_t* landmark_port = nullptr;  // port_at_landmark per node
+  };
+  struct TableView {
+    const std::uint32_t* row_off = nullptr;  // n + 1
+    const std::uint64_t* runs = nullptr;     // packed (label_start, port)
+    const std::uint32_t* relabel = nullptr;  // original id -> label
+  };
+
+  FlatFib() = default;
+  FlatFib(const FlatFib&) = delete;
+  FlatFib& operator=(const FlatFib&) = delete;
+  FlatFib(FlatFib&&) = default;
+  FlatFib& operator=(FlatFib&&) = default;
+
+  // Validating zero-copy open of a serialized FIB: adopts `words` as the
+  // backing store (8-byte aligned by construction; sections are 64-byte
+  // aligned within it) and points the views into it. Throws
+  // std::runtime_error on any malformed, truncated or corrupted input.
+  static FlatFib from_words(std::vector<std::uint64_t> words);
+
+  // Byte-stream variant for blobs read back from files/sockets: copies
+  // into an aligned word buffer once, then opens it with from_words.
+  static FlatFib from_blob(std::span<const std::uint8_t> bytes);
+
+  // The serialized form (the arena itself, header + directory included).
+  std::span<const std::uint8_t> blob() const {
+    return {reinterpret_cast<const std::uint8_t*>(words_.data()), bytes_};
+  }
+
+  FibKind kind() const { return kind_; }
+  std::size_t node_count() const { return node_count_; }
+  std::size_t byte_size() const { return bytes_; }
+
+  const TopoView& topo() const { return topo_; }
+  const TreeView& tree() const { return tree_; }
+  const IntervalView& interval() const { return interval_; }
+  const CowenView& cowen() const { return cowen_; }
+  const TableView& table() const { return table_; }
+
+ private:
+  friend class FibBuilder;
+
+  std::vector<std::uint64_t> words_;  // owned blob, 8-byte aligned
+  std::size_t bytes_ = 0;             // meaningful prefix of words_
+  FibKind kind_ = FibKind::kTree;
+  std::size_t node_count_ = 0;
+  TopoView topo_;
+  TreeView tree_;
+  IntervalView interval_;
+  CowenView cowen_;
+  TableView table_;
+};
+
+// Assembles a blob section by section; compile adapters (fib/compile.hpp)
+// drive it. add_section copies; finish serializes the header + directory
+// through util/bitstream, appends the aligned sections, then opens the
+// result with the validating loader — so every FlatFib in the process,
+// freshly compiled or reloaded, went through the same checks.
+class FibBuilder {
+ public:
+  FibBuilder(FibKind kind, std::size_t node_count);
+
+  // Graph topology sections (CSR port rows), shared by every kind.
+  void add_topology(const Graph& g);
+
+  void add_section(std::uint32_t id, const void* data, std::size_t nbytes);
+
+  template <typename T>
+  void add_array(std::uint32_t id, const std::vector<T>& v) {
+    add_section(id, v.data(), v.size() * sizeof(T));
+  }
+
+  FlatFib finish();
+
+ private:
+  FibKind kind_;
+  std::size_t node_count_;
+  struct Section {
+    std::uint32_t id;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Section> sections_;
+};
+
+// Section ids of the blob directory (stable across versions).
+namespace fib_section {
+inline constexpr std::uint32_t kTopoOffsets = 1;
+inline constexpr std::uint32_t kTopoNeighbor = 2;
+inline constexpr std::uint32_t kTopoEdge = 3;
+inline constexpr std::uint32_t kTreeNodes = 10;
+inline constexpr std::uint32_t kTreeLightPorts = 11;
+inline constexpr std::uint32_t kTreeLabelOff = 12;
+inline constexpr std::uint32_t kTreeLabelSeq = 13;
+inline constexpr std::uint32_t kIntervalNodes = 20;
+inline constexpr std::uint32_t kIntervalChildIn = 21;
+inline constexpr std::uint32_t kIntervalChildPort = 22;
+inline constexpr std::uint32_t kCowenRowOff = 30;
+inline constexpr std::uint32_t kCowenRows = 31;
+inline constexpr std::uint32_t kCowenLandmark = 32;
+inline constexpr std::uint32_t kCowenLandmarkPort = 33;
+inline constexpr std::uint32_t kTableRowOff = 40;
+inline constexpr std::uint32_t kTableRuns = 41;
+inline constexpr std::uint32_t kTableRelabel = 42;
+}  // namespace fib_section
+
+}  // namespace cpr

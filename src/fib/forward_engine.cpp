@@ -1,0 +1,305 @@
+#include "fib/forward_engine.hpp"
+
+#include <algorithm>
+
+namespace cpr {
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CPR_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define CPR_PREFETCH(addr) ((void)0)
+#endif
+
+// Last entry in [begin, end) whose key is <= key, or nullptr. Rows are
+// strictly increasing by key, so this is the containing-run / exact-match
+// primitive for both row kinds.
+inline const std::uint64_t* row_search(const std::uint64_t* begin,
+                                       const std::uint64_t* end,
+                                       std::uint32_t key) {
+  // upper_bound on (key, max-port): everything <= key precedes it.
+  const std::uint64_t probe = fib_pack_entry(key, 0xffffffffu);
+  const std::uint64_t* it = std::upper_bound(begin, end, probe);
+  return it == begin ? nullptr : it - 1;
+}
+
+struct StepResult {
+  bool deliver = false;
+  Port port = kInvalidPort;
+};
+
+// One walker per FIB kind: resolve(target) precomputes the immutable
+// header once per query; step(u) is the per-hop decision, mirroring the
+// object scheme's forward() exactly; prefetch(v) pulls the rows step(v)
+// will read. Templating the walk over the walker keeps the hop loop free
+// of any per-kind dispatch.
+struct TreeWalker {
+  const FlatFib::TreeView& t;
+  std::uint32_t x = 0;                  // target's DFS number
+  const std::uint32_t* seq = nullptr;   // target's light sequence
+  std::uint32_t seq_len = 0;
+
+  explicit TreeWalker(const FlatFib& fib) : t(fib.tree()) {}
+  void resolve(NodeId target) {
+    x = t.nodes[target].dfs_in;
+    seq = t.label_seq + t.label_off[target];
+    seq_len = t.label_off[target + 1] - t.label_off[target];
+  }
+  StepResult step(NodeId u) const {
+    const FibTreeNode& r = t.nodes[u];
+    if (x == r.dfs_in) return {true, kInvalidPort};
+    if (x < r.dfs_in || x > r.dfs_out) return {false, r.port_up};
+    if (x >= r.heavy_in && x <= r.heavy_out) return {false, r.heavy_port};
+    const std::uint32_t idx = r.light_depth;
+    const std::uint32_t lights = t.nodes[u + 1].light_off - r.light_off;
+    if (idx >= seq_len || seq[idx] >= lights) return {false, kInvalidPort};
+    return {false, t.light_ports[r.light_off + seq[idx]]};
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.nodes[v]); }
+};
+
+struct IntervalWalker {
+  const FlatFib::IntervalView& t;
+  std::uint32_t h = 0;
+
+  explicit IntervalWalker(const FlatFib& fib) : t(fib.interval()) {}
+  void resolve(NodeId target) { h = t.nodes[target].dfs_in; }
+  StepResult step(NodeId u) const {
+    const FibIntervalNode& r = t.nodes[u];
+    if (h == r.dfs_in) return {true, kInvalidPort};
+    if (h < r.dfs_in || h > r.dfs_out) return {false, r.parent_port};
+    const std::uint32_t begin = r.child_off;
+    const std::uint32_t count = t.nodes[u + 1].child_off - begin;
+    if (count == 0) return {false, kInvalidPort};
+    // Same last-child-with-dfs_in<=h search as the object router.
+    std::uint32_t lo = 0, hi = count;
+    while (lo + 1 < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      if (t.child_in[begin + mid] <= h) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return {false, t.child_port[begin + lo]};
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.nodes[v]); }
+};
+
+struct CowenWalker {
+  const FlatFib::CowenView& t;
+  NodeId target = kInvalidNode;
+  NodeId landmark = kInvalidNode;
+  Port port_at_landmark = kInvalidPort;
+
+  explicit CowenWalker(const FlatFib& fib) : t(fib.cowen()) {}
+  void resolve(NodeId tgt) {
+    target = tgt;
+    landmark = t.landmark[tgt];
+    port_at_landmark = t.landmark_port[tgt];
+  }
+  StepResult step(NodeId u) const {
+    if (u == target) return {true, kInvalidPort};
+    const std::uint64_t* begin = t.rows + t.row_off[u];
+    const std::uint64_t* end = t.rows + t.row_off[u + 1];
+    // Same precedence as CowenScheme::forward: direct entry, the
+    // landmark's own hop, then the entry toward the landmark.
+    if (const std::uint64_t* e = row_search(begin, end, target);
+        e && fib_entry_key(*e) == target) {
+      return {false, fib_entry_port(*e)};
+    }
+    if (u == landmark) return {false, port_at_landmark};
+    if (const std::uint64_t* e = row_search(begin, end, landmark);
+        e && fib_entry_key(*e) == landmark) {
+      return {false, fib_entry_port(*e)};
+    }
+    return {false, kInvalidPort};
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.rows[t.row_off[v]]); }
+};
+
+struct TableWalker {
+  const FlatFib::TableView& t;
+  std::uint32_t label = 0;
+
+  explicit TableWalker(const FlatFib& fib) : t(fib.table()) {}
+  void resolve(NodeId target) { label = t.relabel[target]; }
+  StepResult step(NodeId u) const {
+    if (t.relabel[u] == label) return {true, kInvalidPort};
+    const std::uint64_t* begin = t.runs + t.row_off[u];
+    const std::uint64_t* end = t.runs + t.row_off[u + 1];
+    const std::uint64_t* run = row_search(begin, end, label);
+    if (run == nullptr) return {false, kInvalidPort};
+    return {false, fib_entry_port(*run)};  // may be "no route"
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.runs[t.row_off[v]]); }
+};
+
+// Per-shard scratch for exact loop detection without per-query clears:
+// a node counts as visited when its stamp equals the current query's.
+struct LoopStamps {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t current = 0;
+
+  explicit LoopStamps(std::size_t n) : stamp(n, 0) {}
+  void next_query() { ++current; }
+  bool revisit(NodeId v) {
+    if (stamp[v] == current) return true;
+    stamp[v] = current;
+    return false;
+  }
+};
+
+template <typename Walker, bool kFailures, bool kRecord>
+void walk_shard(const FlatFib& fib,
+                std::span<const std::pair<NodeId, NodeId>> queries,
+                std::span<const std::uint32_t> indices,
+                const FibBatchOptions& opt, std::size_t max_hops,
+                std::vector<FibRouteResult>& results,
+                std::vector<NodeId>& shard_paths) {
+  const FlatFib::TopoView& topo = fib.topo();
+  Walker walker(fib);
+  LoopStamps stamps(kFailures ? fib.node_count() : 0);
+  for (const std::uint32_t qi : indices) {
+    const auto [source, target] = queries[qi];
+    FibRouteResult& r = results[qi];
+    r.path_begin = shard_paths.size();  // shard-relative, rebased later
+    if constexpr (kRecord) shard_paths.push_back(source);
+    r.path_len = 1;
+    if constexpr (kFailures) stamps.next_query();
+    walker.resolve(target);
+    NodeId current = source;
+    for (std::size_t step = 0; step <= max_hops; ++step) {
+      if constexpr (kFailures) {
+        if (stamps.revisit(current)) {
+          r.looped = 1;
+          break;
+        }
+      }
+      const StepResult d = walker.step(current);
+      if (d.deliver) {
+        r.delivered = current == target ? 1 : 0;
+        break;
+      }
+      if (d.port == kInvalidPort || d.port >= topo.degree(current)) break;
+      const std::uint32_t slot = topo.offsets[current] + d.port;
+      if constexpr (kFailures) {
+        if ((*opt.edge_down)[topo.edge[slot]]) break;  // dead link: drop
+      }
+      current = topo.neighbor[slot];
+      walker.prefetch(current);
+      if constexpr (kRecord) shard_paths.push_back(current);
+      ++r.path_len;
+    }
+  }
+}
+
+template <typename Walker>
+void dispatch_shard(const FlatFib& fib,
+                    std::span<const std::pair<NodeId, NodeId>> queries,
+                    std::span<const std::uint32_t> indices,
+                    const FibBatchOptions& opt, std::size_t max_hops,
+                    std::vector<FibRouteResult>& results,
+                    std::vector<NodeId>& shard_paths) {
+  const bool failures = opt.edge_down != nullptr;
+  if (failures && opt.record_paths) {
+    walk_shard<Walker, true, true>(fib, queries, indices, opt, max_hops,
+                                   results, shard_paths);
+  } else if (failures) {
+    walk_shard<Walker, true, false>(fib, queries, indices, opt, max_hops,
+                                    results, shard_paths);
+  } else if (opt.record_paths) {
+    walk_shard<Walker, false, true>(fib, queries, indices, opt, max_hops,
+                                    results, shard_paths);
+  } else {
+    walk_shard<Walker, false, false>(fib, queries, indices, opt, max_hops,
+                                     results, shard_paths);
+  }
+}
+
+}  // namespace
+
+FibBatchOutput forward_batch(const FlatFib& fib,
+                             std::span<const std::pair<NodeId, NodeId>> queries,
+                             const FibBatchOptions& opt) {
+  FibBatchOutput out;
+  out.results.resize(queries.size());
+  if (queries.empty()) return out;
+
+  const std::size_t n = fib.node_count();
+  const std::size_t max_hops =
+      opt.max_hops != 0 ? opt.max_hops : 4 * n + 16;
+
+  // Bucket query indices by source shard (counting sort, stable within a
+  // shard so per-shard walk order is the input order).
+  const std::size_t shards = std::min(kFibShards, n);
+  const auto shard_of = [&](NodeId source) {
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(source) * shards / n);
+  };
+  std::vector<std::uint32_t> shard_begin(shards + 1, 0);
+  for (const auto& [source, target] : queries) {
+    ++shard_begin[shard_of(source) + 1];
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_begin[s + 1] += shard_begin[s];
+  }
+  std::vector<std::uint32_t> order(queries.size());
+  {
+    std::vector<std::uint32_t> cursor(shard_begin.begin(),
+                                      shard_begin.end() - 1);
+    for (std::uint32_t qi = 0; qi < queries.size(); ++qi) {
+      order[cursor[shard_of(queries[qi].first)]++] = qi;
+    }
+  }
+
+  // Walk the shards in parallel; each writes disjoint result slots plus
+  // its own path buffer.
+  ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
+  std::vector<std::vector<NodeId>> shard_paths(shards);
+  parallel_for(pool, 0, shards, [&](std::size_t s) {
+    const std::span<const std::uint32_t> indices{
+        order.data() + shard_begin[s], shard_begin[s + 1] - shard_begin[s]};
+    if (indices.empty()) return;
+    switch (fib.kind()) {
+      case FibKind::kTree:
+        dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,
+                                   out.results, shard_paths[s]);
+        break;
+      case FibKind::kInterval:
+        dispatch_shard<IntervalWalker>(fib, queries, indices, opt, max_hops,
+                                       out.results, shard_paths[s]);
+        break;
+      case FibKind::kCowen:
+        dispatch_shard<CowenWalker>(fib, queries, indices, opt, max_hops,
+                                    out.results, shard_paths[s]);
+        break;
+      case FibKind::kTable:
+        dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
+                                    out.results, shard_paths[s]);
+        break;
+    }
+  });
+
+  // Stitch the per-shard path buffers in shard order and rebase each
+  // query's path_begin — layout depends only on the (fixed) sharding.
+  if (opt.record_paths) {
+    std::size_t total = 0;
+    for (const auto& p : shard_paths) total += p.size();
+    out.paths.reserve(total);
+    std::vector<std::uint64_t> shard_base(shards, 0);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shard_base[s] = out.paths.size();
+      out.paths.insert(out.paths.end(), shard_paths[s].begin(),
+                       shard_paths[s].end());
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::uint32_t i = shard_begin[s]; i < shard_begin[s + 1]; ++i) {
+        out.results[order[i]].path_begin += shard_base[s];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpr

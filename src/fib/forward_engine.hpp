@@ -1,0 +1,76 @@
+// Batch query engine over compiled FIB arenas.
+//
+// forward_batch answers (source, target) queries against a FlatFib with
+// no virtual dispatch and no per-query allocation on the walk itself:
+// headers are resolved straight from the arena (two array reads instead
+// of make_header's per-target work), every hop is a handful of loads
+// over the flat sections — direct port fields for tree edges, one-compare
+// binary search over packed (key, port) rows — and the next node's row is
+// software-prefetched while the current hop finishes.
+//
+// Sharding: queries are bucketed by source node into kFibShards fixed
+// shards (contiguous source ranges), and shards fan out over the
+// ThreadPool. The shard composition does not depend on the thread count,
+// each query writes only its own result slot, and the per-shard path
+// buffers are stitched in shard order afterwards — so the output is
+// bit-identical for every thread count and schedule, which is what lets
+// the differential tests compare it against the sequential object path.
+//
+// Failure mode: with `edge_down` set, a packet directed onto a dead edge
+// is dropped *before* moving, and exact (node, header) loop detection is
+// on — every compiled kind keeps its header immutable across hops, so a
+// revisited node under an unchanged header is a proven forwarding loop.
+// Both match simulate_route_with_failures (sim/resilience.hpp) step for
+// step; without `edge_down` the walk matches route_batch/simulate_route.
+#pragma once
+
+#include "fib/flat_fib.hpp"
+#include "util/thread_pool.hpp"
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+// Fixed shard count, deliberately independent of the pool size: shard
+// composition (and with it the stitched output layout) must not change
+// with the machine's parallelism.
+inline constexpr std::size_t kFibShards = 64;
+
+struct FibBatchOptions {
+  ThreadPool* pool = nullptr;     // nullptr = process-global pool
+  std::size_t max_hops = 0;       // 0 = the simulator default, 4n + 16
+  // Record the traversed node sequence per query into the paths arena.
+  // Stats-only callers turn this off and skip the stores entirely.
+  bool record_paths = true;
+  // Dead-edge mask (by edge id). Non-null switches on drop-at-dead-link
+  // and exact loop detection, mirroring simulate_route_with_failures.
+  const std::vector<bool>* edge_down = nullptr;
+};
+
+struct FibRouteResult {
+  std::uint64_t path_begin = 0;  // offset into FibBatchOutput::paths
+  std::uint32_t path_len = 0;    // nodes visited incl. source (hops + 1)
+  std::uint8_t delivered = 0;
+  std::uint8_t looped = 0;       // only with edge_down (loop detection on)
+
+  std::size_t hops() const { return path_len == 0 ? 0 : path_len - 1; }
+};
+
+struct FibBatchOutput {
+  std::vector<FibRouteResult> results;  // one per query, input order
+  std::vector<NodeId> paths;            // concatenated walks (record_paths)
+
+  std::span<const NodeId> path(std::size_t query) const {
+    const FibRouteResult& r = results[query];
+    return {paths.data() + r.path_begin, r.path_len};
+  }
+};
+
+FibBatchOutput forward_batch(const FlatFib& fib,
+                             std::span<const std::pair<NodeId, NodeId>> queries,
+                             const FibBatchOptions& opt = {});
+
+}  // namespace cpr

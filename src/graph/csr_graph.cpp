@@ -35,11 +35,10 @@ CsrGraph::CsrGraph(const Graph& g) {
 Port CsrGraph::port_to(NodeId u, NodeId v) const {
   const std::size_t begin = offsets_[u];
   const std::size_t deg = offsets_[u + 1] - begin;
-  // Short rows: scan the port-ordered row directly. On sparse topologies
-  // (mean degree ~6 in the benchmark sweeps) a handful of contiguous
-  // compares beats the branchy binary search plus the permutation
-  // indirection; the search only pays off on hub rows.
-  if (deg <= 16) {
+  // Short rows: scan the port-ordered row directly (see the constant's
+  // comment for the crossover rationale); the binary search over the
+  // neighbor-sorted permutation only pays off on hub rows.
+  if (deg <= kPortToLinearScanCutoff) {
     const Graph::Adjacency* row = adj_.data() + begin;
     for (std::size_t p = 0; p < deg; ++p) {
       if (row[p].neighbor == v) return static_cast<Port>(p);

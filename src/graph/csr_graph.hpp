@@ -30,6 +30,14 @@ namespace cpr {
 
 class CsrGraph {
  public:
+  // port_to scans rows of at most this many neighbors linearly and
+  // binary-searches longer ones. The crossover is empirical: on the
+  // sparse sweep topologies (mean degree ~6) a handful of contiguous
+  // compares beats the branchy search plus the permutation indirection,
+  // and hub rows are where the O(log deg) search pays off.
+  // tests/test_csr_graph.cpp pins both sides of the boundary.
+  static constexpr std::size_t kPortToLinearScanCutoff = 16;
+
   CsrGraph() = default;
   explicit CsrGraph(const Graph& g);
 

@@ -30,6 +30,13 @@ class IntervalRouter {
   std::size_t local_memory_bits(NodeId u) const;
   std::size_t label_bits(NodeId) const;
 
+  // Raw labeling products, read by the FIB compiler (fib/compile.cpp).
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  std::uint32_t dfs_in(NodeId v) const { return dfs_in_[v]; }
+  std::uint32_t dfs_out(NodeId v) const { return dfs_out_[v]; }
+  const std::vector<NodeId>& children(NodeId u) const { return children_[u]; }
+
  private:
   const Graph* graph_;
   NodeId root_;

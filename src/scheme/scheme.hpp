@@ -24,6 +24,8 @@
 // checks delivery, records the traversed path, and guards against loops.
 #pragma once
 
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
 #include "graph/graph.hpp"
 #include "routing/path.hpp"
 #include "util/thread_pool.hpp"
@@ -89,16 +91,21 @@ RouteResult simulate_route(const S& scheme, const Graph& g, NodeId source,
   return result;  // loop guard tripped
 }
 
-// Batched query runtime: routes every (source, target) query and returns
-// the results in input order. Queries fan out over the pool in blocks;
-// each block keeps a per-thread scratch arena — a target → initial-header
-// cache — so workloads with repeated destinations (gravity/hotspot traffic,
+// Object-path batched query runtime: routes every (source, target) query
+// through the scheme's own forward() and returns the results in input
+// order. Queries fan out over the pool in blocks; each block keeps a
+// per-thread scratch arena — a target → initial-header cache — so
+// workloads with repeated destinations (gravity/hotspot traffic,
 // all-pairs sweeps) pay make_header's label construction once per distinct
 // target per block instead of once per packet. Every query writes only its
 // own result slot, so the output is identical to a sequential
 // simulate_route loop for any thread count and schedule.
+//
+// This is the differential oracle for the compiled forwarding plane:
+// route_batch below serves compilable schemes from a FlatFib arena and
+// must stay bit-identical to this path (tests/test_fib.cpp).
 template <CompactRoutingScheme S>
-std::vector<RouteResult> route_batch(
+std::vector<RouteResult> route_batch_object(
     const S& scheme, const Graph& g,
     std::span<const std::pair<NodeId, NodeId>> queries,
     ThreadPool* pool = nullptr, std::size_t max_hops = 0) {
@@ -134,6 +141,40 @@ std::vector<RouteResult> route_batch(
     }
   });
   return results;
+}
+
+// Batched query runtime. Schemes with a FIB compilation adapter
+// (fib/compile.hpp) are compiled once per batch and served from the flat
+// arena by the sharded engine — no virtual dispatch, no per-hop port_to,
+// no header-cache hashing; everything else falls back to the object path
+// above. Results are bit-identical either way, for any thread count.
+template <CompactRoutingScheme S>
+std::vector<RouteResult> route_batch(
+    const S& scheme, const Graph& g,
+    std::span<const std::pair<NodeId, NodeId>> queries,
+    ThreadPool* pool = nullptr, std::size_t max_hops = 0) {
+  if constexpr (requires { compile_fib(scheme, g); }) {
+    if (g.node_count() > 0 && !queries.empty()) {
+      const FlatFib fib = compile_fib(scheme, g);
+      FibBatchOptions opt;
+      opt.pool = pool;
+      opt.max_hops = max_hops;
+      const FibBatchOutput out = forward_batch(fib, queries, opt);
+      std::vector<RouteResult> results(queries.size());
+      ThreadPool& p = pool ? *pool : ThreadPool::global();
+      parallel_for_blocks(p, 0, queries.size(), 256,
+                          [&](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) {
+                              results[i].delivered =
+                                  out.results[i].delivered != 0;
+                              const auto path = out.path(i);
+                              results[i].path.assign(path.begin(), path.end());
+                            }
+                          });
+      return results;
+    }
+  }
+  return route_batch_object(scheme, g, queries, pool, max_hops);
 }
 
 // Aggregate memory statistics over all nodes (Definition 2 takes the max;

@@ -95,6 +95,21 @@ class TreeRouter {
   // re-walk the tree.
   const std::vector<std::uint32_t>& depths() const { return depth_; }
 
+  // Raw labeling products, read by the FIB compiler (fib/compile.cpp)
+  // when it flattens the router into a forwarding arena.
+  std::uint32_t dfs_in(NodeId v) const { return dfs_in_[v]; }
+  std::uint32_t dfs_out(NodeId v) const { return dfs_out_[v]; }
+  std::uint32_t light_depth(NodeId v) const { return light_depth_[v]; }
+  NodeId heavy_child(NodeId v) const { return heavy_child_[v]; }
+  Port port_up(NodeId v) const { return port_up_[v]; }
+  Port port_down(NodeId v) const { return port_down_[v]; }
+  std::size_t light_count(NodeId u) const {
+    return light_off_[u + 1] - light_off_[u];
+  }
+  NodeId light_child(NodeId u, std::uint32_t i) const {
+    return light_flat_[light_off_[u] + i];
+  }
+
  private:
   const Graph* graph_;
   NodeId root_;
@@ -117,12 +132,6 @@ class TreeRouter {
   std::vector<NodeId> by_dfs_;  // dfs number -> node id
   std::vector<std::uint32_t> depth_;
 
-  std::size_t light_count(NodeId u) const {
-    return light_off_[u + 1] - light_off_[u];
-  }
-  NodeId light_child(NodeId u, std::uint32_t i) const {
-    return light_flat_[light_off_[u] + i];
-  }
   // Index of light child v under its parent p (designed port order).
   std::uint32_t light_index(NodeId p, NodeId v) const;
 };

@@ -12,12 +12,15 @@
 // the edge.
 #pragma once
 
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "scheme/scheme.hpp"
 #include "sim/churn.hpp"
 #include "util/random.hpp"
 
 #include <concepts>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -65,6 +68,41 @@ RouteResult simulate_route_with_failures(const S& scheme, const Graph& g,
   return result;
 }
 
+// Per-pair (delivered, looped) flags under a failure mask. Schemes with a
+// FIB adapter are compiled once and the whole batch runs on the flat
+// plane (drop-at-dead-link + exact loop detection in the engine); others
+// fall back to per-query simulate_route_with_failures. The flags are
+// identical either way — the compiled kinds keep their header immutable
+// across hops, so the engine's node-revisit stamp detects exactly the
+// (node, header) revisits the oracle walk does.
+template <CompactRoutingScheme S>
+std::vector<std::pair<bool, bool>> route_pairs_with_failures(
+    const S& scheme, const Graph& g, const std::vector<bool>& edge_down,
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    std::size_t max_hops = 0) {
+  std::vector<std::pair<bool, bool>> flags(pairs.size(), {false, false});
+  if constexpr (requires { compile_fib(scheme, g); }) {
+    if (g.node_count() > 0 && !pairs.empty()) {
+      const FlatFib fib = compile_fib(scheme, g);
+      FibBatchOptions opt;
+      opt.max_hops = max_hops;
+      opt.record_paths = false;
+      opt.edge_down = &edge_down;
+      const FibBatchOutput out = forward_batch(fib, pairs, opt);
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        flags[i] = {out.results[i].delivered != 0, out.results[i].looped != 0};
+      }
+      return flags;
+    }
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const RouteResult r = simulate_route_with_failures(
+        scheme, g, edge_down, pairs[i].first, pairs[i].second, max_hops);
+    flags[i] = {r.delivered, r.looped};
+  }
+  return flags;
+}
+
 struct ResilienceReport {
   std::size_t failed_edges = 0;
   std::size_t pairs_tested = 0;
@@ -100,16 +138,21 @@ ResilienceReport measure_resilience(const S& scheme, const Graph& g,
   }
   const std::vector<NodeId> comp = connected_components(degraded);
 
+  // Draw every pair first (same rng consumption as the old one-at-a-time
+  // loop), then route them as one batch over the compiled plane.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(trials);
   for (std::size_t i = 0; i < trials; ++i) {
     const NodeId s = static_cast<NodeId>(rng.index(g.node_count()));
     const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
-    if (s == t) continue;
-    ++report.pairs_tested;
-    const RouteResult r =
-        simulate_route_with_failures(scheme, g, down, s, t);
-    if (r.delivered) {
+    if (s != t) pairs.emplace_back(s, t);
+  }
+  report.pairs_tested = pairs.size();
+  const auto flags = route_pairs_with_failures(scheme, g, down, pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (flags[i].first) {
       ++report.delivered;
-    } else if (comp[s] == comp[t]) {
+    } else if (comp[pairs[i].first] == comp[pairs[i].second]) {
       ++report.lost_but_connected;
     }
   }
@@ -164,16 +207,19 @@ ChurnResilienceReport measure_resilience_under_churn(
       const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
       if (s != t) pairs.emplace_back(s, t);
     }
-    for (const auto& [s, t] : pairs) {
-      const RouteResult r = simulate_route_with_failures(scheme, g, down, s, t);
-      report.stale_delivered += r.delivered ? 1 : 0;
-      report.stale_loops += r.looped ? 1 : 0;
+    // Both walks run batched on the compiled plane: the scheme is
+    // compiled in its *stale* state for the convergence-window pass and
+    // recompiled after apply_event for the repaired pass.
+    for (const auto& [delivered, looped] :
+         route_pairs_with_failures(scheme, g, down, pairs)) {
+      report.stale_delivered += delivered ? 1 : 0;
+      report.stale_loops += looped ? 1 : 0;
     }
     scheme.apply_event(applied.edge, applied.old_weight, applied.new_weight,
                        engine.weights());
-    for (const auto& [s, t] : pairs) {
-      report.repaired_delivered +=
-          simulate_route_with_failures(scheme, g, down, s, t).delivered ? 1 : 0;
+    for (const auto& [delivered, looped] :
+         route_pairs_with_failures(scheme, g, down, pairs)) {
+      report.repaired_delivered += delivered ? 1 : 0;
     }
   }
   return report;

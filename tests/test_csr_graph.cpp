@@ -107,6 +107,37 @@ TEST(CsrGraph, SnapshotDoesNotTrackLaterMutation) {
   EXPECT_TRUE(g.has_edge(1, 2));
 }
 
+TEST(CsrGraph, PortToCrossoverBoundary) {
+  // port_to switches from the linear row scan to the binary search when a
+  // row exceeds kPortToLinearScanCutoff neighbors. Pin both sides of the
+  // boundary: a hub of exactly cutoff neighbors (last row served by the
+  // scan) and one of cutoff + 1 (first row served by the search) must
+  // give identical, correct answers for hits and misses alike.
+  constexpr std::size_t kCut = CsrGraph::kPortToLinearScanCutoff;
+  for (const std::size_t hub_degree : {kCut, kCut + 1}) {
+    // Hub 0 connects to nodes 2, 4, 6, ... so odd ids are guaranteed
+    // misses inside the neighbor id range (not just past its ends).
+    const std::size_t n = 2 * hub_degree + 2;
+    Graph g(n);
+    for (std::size_t i = 0; i < hub_degree; ++i) {
+      g.add_edge(0, static_cast<NodeId>(2 * (i + 1)));
+    }
+    const CsrGraph c(g);
+    ASSERT_EQ(c.degree(0), hub_degree);
+    for (NodeId v = 1; v < n; ++v) {
+      EXPECT_EQ(c.port_to(0, v), g.port_to(0, v))
+          << "deg=" << hub_degree << " v=" << v;
+      if (v % 2 == 0) {
+        // Hit: the port must lead back to v (port p is slot p of the row).
+        EXPECT_EQ(c.neighbor(0, c.port_to(0, v)), v) << "deg=" << hub_degree;
+      } else {
+        EXPECT_EQ(c.port_to(0, v), kInvalidPort) << "deg=" << hub_degree;
+      }
+    }
+    EXPECT_EQ(c.port_to(0, 0), kInvalidPort);  // self is never a neighbor
+  }
+}
+
 class CsrGraphSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CsrGraphSeeds, MatchesGraphOnRandomCorpus) {

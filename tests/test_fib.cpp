@@ -1,0 +1,223 @@
+// Differential coverage for the compiled forwarding plane.
+//
+// Property, per seed of the random-graph corpus and per scheme family
+// (heavy-path tree, interval, Cowen landmarks, RLE tables): the compiled
+// FlatFib served by forward_batch is *bit-identical* — delivered flags
+// and full hop-by-hop paths — to the object-based oracle
+// (route_batch_object / simulate_route_with_failures), at 1 and 8
+// threads, both freshly compiled and after a serialize → from_blob round
+// trip. Plus: corrupted blobs (every byte position) and truncated blobs
+// are rejected by the validating loader instead of misrouting.
+#include "algebra/primitives.hpp"
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/compressed_table.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/interval_router.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "scheme/tree_router.hpp"
+#include "sim/resilience.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+constexpr std::size_t kCorpusSeeds = 50;
+constexpr std::size_t kN = 18;
+constexpr double kP = 0.25;
+
+std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> q;
+  q.reserve(n * n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
+  }
+  return q;
+}
+
+// next_hop[t][u] = neighbor of u toward t along the preferred tree of t.
+template <RoutingAlgebra A>
+std::vector<std::vector<NodeId>> preferred_next_hops(
+    const A& alg, const Graph& g, const EdgeMap<typename A::Weight>& w) {
+  const auto trees = all_pairs_trees(alg, CsrGraph(g), w);
+  std::vector<std::vector<NodeId>> next(g.node_count());
+  for (NodeId t = 0; t < g.node_count(); ++t) next[t] = trees[t].parent;
+  return next;
+}
+
+// forward_batch output == oracle RouteResults, element by element.
+void expect_identical(const std::vector<RouteResult>& oracle,
+                      const FibBatchOutput& out, const char* what) {
+  ASSERT_EQ(oracle.size(), out.results.size()) << what;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(oracle[i].delivered, out.results[i].delivered != 0)
+        << what << " query " << i;
+    const auto path = out.path(i);
+    ASSERT_EQ(oracle[i].path.size(), path.size()) << what << " query " << i;
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      EXPECT_EQ(oracle[i].path[k], path[k])
+          << what << " query " << i << " hop " << k;
+    }
+  }
+}
+
+// The full differential + round-trip battery for one built scheme.
+template <typename S>
+void check_family(const S& scheme, const Graph& g, std::uint64_t seed,
+                  const char* family) {
+  SCOPED_TRACE(testing::Message() << family << " seed " << seed);
+  const auto queries = all_pairs(g.node_count());
+  ThreadPool pool1(1), pool8(8);
+  const auto oracle = route_batch_object(scheme, g, queries, &pool1);
+
+  const FlatFib fib = compile_fib(scheme, g);
+  for (ThreadPool* pool : {&pool1, &pool8}) {
+    FibBatchOptions opt;
+    opt.pool = pool;
+    expect_identical(oracle, forward_batch(fib, queries, opt), "compiled");
+  }
+
+  // Serialize → zero-copy reload → identical answers, no reconstruction.
+  const auto blob = fib.blob();
+  const FlatFib reloaded =
+      FlatFib::from_blob({blob.data(), blob.size()});
+  EXPECT_EQ(reloaded.kind(), fib.kind());
+  EXPECT_EQ(reloaded.node_count(), fib.node_count());
+  {
+    FibBatchOptions opt;
+    opt.pool = &pool8;
+    expect_identical(oracle, forward_batch(reloaded, queries, opt),
+                     "reloaded");
+  }
+
+  // The rewired public route_batch dispatches to the compiled plane and
+  // must agree with the object oracle too.
+  const auto rewired = route_batch(scheme, g, queries, &pool8);
+  ASSERT_EQ(rewired.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(oracle[i].delivered, rewired[i].delivered) << "query " << i;
+    EXPECT_EQ(oracle[i].path, rewired[i].path) << "query " << i;
+  }
+
+  // Failure mode: dead-edge drops + loop detection against the
+  // step-by-step oracle, paths included.
+  Rng fail_rng(seed ^ 0xf00dull);
+  std::vector<bool> down(g.edge_count(), false);
+  for (std::size_t e :
+       fail_rng.sample_without_replacement(g.edge_count(),
+                                           g.edge_count() / 5)) {
+    down[e] = true;
+  }
+  FibBatchOptions fopt;
+  fopt.pool = &pool8;
+  fopt.edge_down = &down;
+  const FibBatchOutput failed = forward_batch(fib, queries, fopt);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto [s, t] = queries[i];
+    const RouteResult r = simulate_route_with_failures(scheme, g, down, s, t);
+    EXPECT_EQ(r.delivered, failed.results[i].delivered != 0)
+        << "failure query " << i;
+    EXPECT_EQ(r.looped, failed.results[i].looped != 0)
+        << "failure query " << i;
+    const auto path = failed.path(i);
+    ASSERT_EQ(r.path.size(), path.size()) << "failure query " << i;
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      EXPECT_EQ(r.path[k], path[k]) << "failure query " << i << " hop " << k;
+    }
+  }
+}
+
+class FibSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibSeeds, TreeFamilyMatchesObjectPath) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme =
+      SpanningTreeScheme<ShortestPath>::build(alg, inst.graph, inst.weights);
+  check_family(scheme, inst.graph, GetParam(), "tree");
+}
+
+TEST_P(FibSeeds, IntervalFamilyMatchesObjectPath) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const IntervalRouter router(
+      inst.graph, preferred_spanning_tree(alg, inst.graph, inst.weights));
+  check_family(router, inst.graph, GetParam(), "interval");
+}
+
+TEST_P(FibSeeds, CowenFamilyMatchesObjectPath) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, inst.graph,
+                                                       inst.weights, inst.rng);
+  check_family(scheme, inst.graph, GetParam(), "cowen");
+}
+
+TEST_P(FibSeeds, TableFamilyMatchesObjectPath) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const Graph& g = inst.graph;
+  const auto tree_edges = preferred_spanning_tree(alg, g, inst.weights);
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges, 0);
+  const CompressedTableScheme scheme(
+      g, preferred_next_hops(alg, g, inst.weights),
+      CompressedTableScheme::dfs_relabeling(g, tree.parent, 0));
+  check_family(scheme, g, GetParam(), "table");
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FibSeeds,
+                         ::testing::Range<std::uint64_t>(0, kCorpusSeeds));
+
+// ---- Blob validation ----
+
+FlatFib sample_fib() {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 7, kN, kP);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, inst.graph,
+                                                       inst.weights, inst.rng);
+  return compile_fib(scheme, inst.graph);
+}
+
+TEST(FibBlob, EveryByteFlipIsRejected) {
+  const FlatFib fib = sample_fib();
+  const auto blob = fib.blob();
+  const std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+  // Every byte of the blob is guarded: header and directory fields by
+  // explicit validation, padding by the all-zeros checks, sections by the
+  // FNV checksum. Flip one bit per byte position and expect a loud throw.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x20;
+    EXPECT_THROW(FlatFib::from_blob(corrupt), std::runtime_error)
+        << "undetected corruption at byte " << pos;
+  }
+}
+
+TEST(FibBlob, TruncationIsRejected) {
+  const FlatFib fib = sample_fib();
+  const auto blob = fib.blob();
+  const std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+  for (const double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.99}) {
+    const std::size_t keep =
+        static_cast<std::size_t>(static_cast<double>(bytes.size()) * frac);
+    const std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_THROW(FlatFib::from_blob(cut), std::runtime_error)
+        << "undetected truncation to " << keep << " bytes";
+  }
+}
+
+TEST(FibBlob, EmptyAndGarbageInputsAreRejected) {
+  EXPECT_THROW(FlatFib::from_blob({}), std::runtime_error);
+  const std::vector<std::uint8_t> garbage(256, 0xab);
+  EXPECT_THROW(FlatFib::from_blob(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpr
