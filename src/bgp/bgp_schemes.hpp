@@ -63,6 +63,7 @@ class SvfcPeerMeshScheme {
   struct Header {
     NodeId target_component = kInvalidNode;
     TreeRouter::Header tree;  // label within the target component
+    bool operator==(const Header&) const = default;
   };
 
   // Requires A2 and fully peered roots; throws otherwise.
@@ -75,6 +76,21 @@ class SvfcPeerMeshScheme {
 
   const Graph& shadow() const { return *shadow_; }
   std::size_t component_count() const { return decomposition_.component_count(); }
+
+  // Construction products exposed for the kMesh compile adapter
+  // (fib/compile.cpp), which resolves every local tree port into the
+  // shadow graph at compile time.
+  const SvfcDecomposition& decomposition() const { return decomposition_; }
+  const Graph& component_graph(std::size_t comp) const {
+    return *component_graphs_[comp];
+  }
+  const TreeRouter& component_router(std::size_t comp) const {
+    return *component_routers_[comp];
+  }
+  NodeId local_id(NodeId v) const { return local_id_[v]; }
+  NodeId global_id(std::size_t comp, NodeId local) const {
+    return global_id_[comp][local];
+  }
 
  private:
   std::unique_ptr<Graph> shadow_;

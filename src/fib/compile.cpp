@@ -1,6 +1,8 @@
 #include "fib/compile.hpp"
 
+#include "bgp/bgp_schemes.hpp"
 #include "scheme/compressed_table.hpp"
+#include "scheme/dest_table.hpp"
 #include "scheme/interval_router.hpp"
 #include "scheme/tree_router.hpp"
 
@@ -110,6 +112,123 @@ FlatFib compile_fib(const CompressedTableScheme& scheme, const Graph& g) {
   b.add_array(fib_section::kTableRowOff, row_off);
   b.add_array(fib_section::kTableRuns, runs);
   b.add_array(fib_section::kTableRelabel, relabel);
+  return b.finish();
+}
+
+FlatFib compile_fib(const DestinationTableScheme& scheme, const Graph& g) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kTable, n);
+  b.add_topology(g);
+
+  // Headers are destination ids, so the relabeling is the identity and
+  // the label-space rows are indexed by destination. Unreachable
+  // destinations RLE-compress as kInvalidPort runs, which stop the
+  // engine exactly where the object path returns via(kInvalidPort).
+  std::vector<std::uint32_t> row_off(n + 1, 0);
+  std::vector<std::uint64_t> runs;
+  std::vector<std::uint32_t> relabel(n);
+  std::vector<Port> ports(n);
+  for (NodeId u = 0; u < n; ++u) {
+    relabel[u] = u;
+    for (NodeId t = 0; t < n; ++t) {
+      const NodeId nh = scheme.next_hop(t, u);
+      ports[t] =
+          (t == u || nh == kInvalidNode) ? kInvalidPort : g.port_to(u, nh);
+    }
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j < n && ports[j] == ports[i]) ++j;
+      runs.push_back(fib_pack_entry(static_cast<std::uint32_t>(i), ports[i]));
+      i = j;
+    }
+    row_off[u + 1] = static_cast<std::uint32_t>(runs.size());
+  }
+
+  b.add_array(fib_section::kTableRowOff, row_off);
+  b.add_array(fib_section::kTableRuns, runs);
+  b.add_array(fib_section::kTableRelabel, relabel);
+  return b.finish();
+}
+
+FlatFib compile_fib(const SvfcPeerMeshScheme& scheme, const Graph& shadow) {
+  const std::size_t n = shadow.node_count();
+  const std::size_t k = scheme.component_count();
+  FibBuilder b(FibKind::kMesh, n);
+  b.add_topology(shadow);
+
+  const SvfcDecomposition& d = scheme.decomposition();
+
+  // Resolve a local (component-subgraph) port of global node u into u's
+  // port in the shadow graph — the object path does this on every hop
+  // (sub.neighbor → global_id → shadow.port_to); the arena bakes it in.
+  const auto resolve = [&](std::size_t comp, NodeId local_u, NodeId u,
+                           Port local_port) -> std::uint32_t {
+    const NodeId local_next =
+        scheme.component_graph(comp).neighbor(local_u, local_port);
+    return shadow.port_to(u, scheme.global_id(comp, local_next));
+  };
+
+  std::vector<std::uint32_t> comp(n);
+  std::vector<FibTreeNode> nodes(n + 1);
+  std::vector<std::uint32_t> light_ports;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t c = d.component[u];
+    comp[u] = static_cast<std::uint32_t>(c);
+    const TreeRouter& r = scheme.component_router(c);
+    const NodeId lu = scheme.local_id(u);
+    FibTreeNode& rec = nodes[u];
+    rec.dfs_in = r.dfs_in(lu);
+    rec.dfs_out = r.dfs_out(lu);
+    const NodeId heavy = r.heavy_child(lu);
+    if (heavy != kInvalidNode) {
+      rec.heavy_in = r.dfs_in(heavy);
+      rec.heavy_out = r.dfs_out(heavy);
+      rec.heavy_port = resolve(c, lu, u, r.port_down(heavy));
+    }  // else keep the default empty interval [1, 0]
+    if (r.port_up(lu) != kInvalidPort) {
+      rec.port_up = resolve(c, lu, u, r.port_up(lu));
+    }
+    rec.light_depth = r.light_depth(lu);
+    rec.light_off = static_cast<std::uint32_t>(light_ports.size());
+    for (std::uint32_t i = 0; i < r.light_count(lu); ++i) {
+      light_ports.push_back(resolve(c, lu, u, r.port_down(r.light_child(lu, i))));
+    }
+  }
+  nodes[n].light_off = static_cast<std::uint32_t>(light_ports.size());
+
+  // Per-target light sequences from each target's own component router;
+  // dfs numbers stay component-local (the walker compares, never indexes).
+  std::vector<std::uint32_t> label_off(n + 1, 0);
+  std::vector<std::uint32_t> label_seq;
+  for (NodeId t = 0; t < n; ++t) {
+    const std::size_t c = d.component[t];
+    const TreeRouter::Header h =
+        scheme.component_router(c).make_header(scheme.local_id(t));
+    label_off[t + 1] =
+        label_off[t] + static_cast<std::uint32_t>(h.light_sequence.size());
+    label_seq.insert(label_seq.end(), h.light_sequence.begin(),
+                     h.light_sequence.end());
+  }
+
+  // Root-to-root peering matrix (Theorem 7: roots are fully peered).
+  std::vector<std::uint32_t> peer_port(k * k, kInvalidPort);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t bb = 0; bb < k; ++bb) {
+      if (a == bb) continue;
+      peer_port[a * k + bb] =
+          shadow.port_to(d.component_root[a], d.component_root[bb]);
+    }
+  }
+
+  const std::vector<std::uint32_t> info{static_cast<std::uint32_t>(k)};
+  b.add_array(fib_section::kMeshInfo, info);
+  b.add_array(fib_section::kMeshComp, comp);
+  b.add_array(fib_section::kMeshPeerPort, peer_port);
+  b.add_array(fib_section::kMeshNodes, nodes);
+  b.add_array(fib_section::kMeshLightPorts, light_ports);
+  b.add_array(fib_section::kMeshLabelOff, label_off);
+  b.add_array(fib_section::kMeshLabelSeq, label_seq);
   return b.finish();
 }
 

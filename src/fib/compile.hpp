@@ -12,11 +12,20 @@
 // in compile.cpp); the algebra-templated schemes get constrained
 // templates here, matched structurally so evaluate_workload's
 // `if constexpr (requires { compile_fib(scheme, g); })` dispatch can
-// probe for compilability without a closed kind list — schemes with no
-// adapter (DestinationTableScheme, the mesh and BGP models) simply fall
-// back to the object path.
+// probe for compilability without a closed kind list. Every scheme
+// family now compiles: the BGP planes (ProviderTreeScheme through the
+// tree-backed template, SvfcPeerMeshScheme as the kMesh kind, the
+// valley-free DestinationTableScheme baseline as kTable) included —
+// the object path remains only as the differential oracle.
+//
+// MaintainedFib keeps a compiled arena synchronized with a scheme under
+// churn: apply_event's FibDelta patches the arena in place when it can
+// (slack reserved by FibCompileOptions), and compaction — a full
+// recompile — absorbs tree swaps, slack exhaustion and deltas touching
+// more than compaction_fraction of the nodes.
 #pragma once
 
+#include "fib/fib_delta.hpp"
 #include "fib/flat_fib.hpp"
 #include "graph/graph.hpp"
 
@@ -25,10 +34,25 @@ namespace cpr {
 class TreeRouter;
 class IntervalRouter;
 class CompressedTableScheme;
+class DestinationTableScheme;
+class SvfcPeerMeshScheme;
+
+// Per-row slack reserved at compile time so apply_delta can grow a row
+// without relayout: capacity(v) = len(v) + row_slack_min +
+// floor(row_slack_frac * len(v)). The defaults reserve nothing — a
+// static compile stays exactly as tight as v1.
+struct FibCompileOptions {
+  std::uint32_t row_slack_min = 0;
+  double row_slack_frac = 0.0;
+};
 
 FlatFib compile_fib(const TreeRouter& router, const Graph& g);
 FlatFib compile_fib(const IntervalRouter& router, const Graph& g);
 FlatFib compile_fib(const CompressedTableScheme& scheme, const Graph& g);
+FlatFib compile_fib(const DestinationTableScheme& scheme, const Graph& g);
+// The mesh compiles against the *shadow* graph (scheme.shadow()) — the
+// undirected view its ports are expressed in.
+FlatFib compile_fib(const SvfcPeerMeshScheme& scheme, const Graph& shadow);
 
 // Cowen-shaped schemes: anything exposing the landmark-scheme surface
 // (sorted flat (target, port) tables plus the landmark label fields).
@@ -38,20 +62,29 @@ template <typename S>
     { s.landmark_of(v) } -> std::convertible_to<NodeId>;
     { s.port_at_landmark(v) } -> std::convertible_to<Port>;
   }
-FlatFib compile_fib(const S& scheme, const Graph& g) {
+FlatFib compile_fib(const S& scheme, const Graph& g,
+                    const FibCompileOptions& opt = {}) {
   const std::size_t n = g.node_count();
   FibBuilder b(FibKind::kCowen, n);
   b.add_topology(g);
+  // row_off is the capacity CSR (live length + reserved slack per row);
+  // the live lengths travel separately so apply_delta can grow or shrink
+  // a row inside its capacity without relayout.
   std::vector<std::uint32_t> row_off(n + 1, 0);
+  std::vector<std::uint32_t> row_len(n, 0);
   for (NodeId u = 0; u < n; ++u) {
-    row_off[u + 1] =
-        row_off[u] + static_cast<std::uint32_t>(scheme.table(u).size());
+    const auto len = static_cast<std::uint32_t>(scheme.table(u).size());
+    row_len[u] = len;
+    const auto slack =
+        opt.row_slack_min +
+        static_cast<std::uint32_t>(opt.row_slack_frac * len);
+    row_off[u + 1] = row_off[u] + len + slack;
   }
-  std::vector<std::uint64_t> rows;
-  rows.reserve(row_off[n]);
+  std::vector<std::uint64_t> rows(row_off[n], 0);  // slack stays zeroed
   for (NodeId u = 0; u < n; ++u) {
+    std::size_t at = row_off[u];
     for (const auto& [target, port] : scheme.table(u)) {
-      rows.push_back(fib_pack_entry(target, port));
+      rows[at++] = fib_pack_entry(target, port);
     }
   }
   std::vector<std::uint32_t> landmark(n), landmark_port(n);
@@ -60,6 +93,7 @@ FlatFib compile_fib(const S& scheme, const Graph& g) {
     landmark_port[v] = scheme.port_at_landmark(v);
   }
   b.add_array(fib_section::kCowenRowOff, row_off);
+  b.add_array(fib_section::kCowenRowLen, row_len);
   b.add_array(fib_section::kCowenRows, rows);
   b.add_array(fib_section::kCowenLandmark, landmark);
   b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
@@ -76,5 +110,87 @@ template <typename S>
 FlatFib compile_fib(const S& scheme, const Graph& g) {
   return compile_fib(scheme.router(), g);
 }
+
+struct FibMaintainOptions {
+  FibCompileOptions compile;
+  // A delta touching more than this fraction of nodes compacts (full
+  // recompile) instead of patching — beyond it the patch loop costs as
+  // much as the compile and fragments slack for nothing.
+  double compaction_fraction = 0.25;
+};
+
+struct FibMaintainStats {
+  std::size_t events = 0;       // absorb() calls
+  std::size_t noops = 0;        // empty deltas: arena untouched
+  std::size_t patched = 0;      // applied in place
+  std::size_t compactions = 0;  // full recompiles
+  std::size_t slack_exhausted = 0;  // compactions forced by apply_delta
+};
+
+// Slack profile for churn service: enough headroom that single-edge
+// Cowen repairs patch in place for long event runs before compacting.
+inline FibMaintainOptions fib_churn_maintain_options() {
+  FibMaintainOptions o;
+  o.compile.row_slack_min = 8;
+  o.compile.row_slack_frac = 0.25;
+  return o;
+}
+
+// Keeps one compiled arena synchronized with a scheme across churn
+// events: construct once, then absorb() each apply_event's FibDelta.
+// The class itself is unconstrained so std::optional<MaintainedFib<S>>
+// is well-formed for any S; the methods require compile_fib(S, Graph)
+// when instantiated.
+template <typename S>
+class MaintainedFib {
+ public:
+  MaintainedFib(const S& scheme, const Graph& g,
+                const FibMaintainOptions& opt = fib_churn_maintain_options())
+      : graph_(&g), opt_(opt), fib_(recompile(scheme)) {}
+
+  const FlatFib& fib() const { return fib_; }
+  const FibMaintainStats& stats() const { return stats_; }
+
+  // Absorbs one event. Returns true when the arena was patched in place
+  // (or provably unchanged), false when it was recompiled.
+  bool absorb(const FibDelta& d, const S& scheme) {
+    ++stats_.events;
+    if (d.empty()) {
+      ++stats_.noops;
+      return true;
+    }
+    const std::size_t n = graph_->node_count();
+    const bool too_wide =
+        n > 0 && static_cast<double>(d.touched_nodes) >
+                     opt_.compaction_fraction * static_cast<double>(n);
+    if (!d.recompile && !too_wide) {
+      if (fib_.apply_delta(d)) {
+        ++stats_.patched;
+        return true;
+      }
+      ++stats_.slack_exhausted;
+    }
+    fib_ = recompile(scheme);
+    ++stats_.compactions;
+    return false;
+  }
+
+ private:
+  FlatFib recompile(const S& scheme) {
+    if constexpr (requires(const S& s, const Graph& gg,
+                           const FibCompileOptions& o) {
+                    compile_fib(s, gg, o);
+                  }) {
+      return compile_fib(scheme, *graph_, opt_.compile);
+    } else {
+      return compile_fib(scheme, *graph_);
+    }
+  }
+
+  const Graph* graph_;
+  FibMaintainOptions opt_;
+  FibMaintainStats stats_;
+  FlatFib fib_;
+};
 
 }  // namespace cpr

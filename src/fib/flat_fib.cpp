@@ -1,5 +1,6 @@
 #include "fib/flat_fib.hpp"
 
+#include "fib/fib_delta.hpp"
 #include "util/bitstream.hpp"
 
 #include <cstring>
@@ -10,15 +11,20 @@ namespace cpr {
 namespace {
 
 // Blob layout (all little-endian, produced/consumed on the same arch):
-//   header   : magic "CPRFIB01" (8B), kind u32, node_count u32,
+//   header   : magic "CPRFIB02" (8B), kind u32, node_count u32,
 //              section_count u32, reserved u32, payload_bytes u64,
 //              checksum u64 (FNV-1a over the payload region)
 //   directory: per section {id u32, pad u32, offset u64, bytes u64};
 //              offset is relative to blob start and 64-byte aligned
 //   payload  : sections back to back, zero-padded to 64-byte boundaries
-constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '1'};
+//
+// v2 over v1: kMesh kind, kCowenRowLen is mandatory for kCowen and
+// kCowenRowOff describes row *capacities* (slack past row_len[v] must be
+// zero), and node_count == 0 is legal (degenerate graphs serialize).
+constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '2'};
 constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 8 + 8;  // 40
 constexpr std::size_t kDirEntryBytes = 4 + 4 + 8 + 8;    // 24
+constexpr std::size_t kChecksumOffset = 32;              // u64 in the header
 constexpr std::size_t kSectionAlign = 64;
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t nbytes) {
@@ -129,7 +135,10 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   const std::size_t avail = fib.words_.size() * sizeof(std::uint64_t);
 
   if (avail < kHeaderBytes) fail("blob shorter than header");
-  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) fail("bad magic");
+  if (std::memcmp(base, kMagic, 6) != 0) fail("bad magic");
+  if (std::memcmp(base + 6, kMagic + 6, 2) != 0) {
+    fail("unsupported FIB blob version");
+  }
 
   std::uint32_t kind_raw, node_count, section_count, reserved;
   std::uint64_t payload_bytes, checksum;
@@ -138,11 +147,10 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   std::memcpy(&section_count, base + 16, 4);
   std::memcpy(&reserved, base + 20, 4);
   std::memcpy(&payload_bytes, base + 24, 8);
-  std::memcpy(&checksum, base + 32, 8);
+  std::memcpy(&checksum, base + kChecksumOffset, 8);
 
-  if (kind_raw < 1 || kind_raw > 4) fail("unknown FIB kind");
+  if (kind_raw < 1 || kind_raw > 5) fail("unknown FIB kind");
   if (reserved != 0) fail("reserved header field is nonzero");
-  if (node_count == 0) fail("empty FIB");
   if (section_count == 0 || section_count > 64) fail("bad section count");
 
   const std::size_t dir_end = kHeaderBytes + section_count * kDirEntryBytes;
@@ -167,6 +175,7 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
     if (pad != 0) fail("directory padding is nonzero");
     if (offset < payload_begin) fail("section overlaps header");
     dir.add(id, offset, bytes);
+    fib.sections_.push_back({id, offset, bytes});
   }
   // The gap between the directory and the first section is outside the
   // checksummed payload region; insist it is zero so every byte of the
@@ -177,6 +186,7 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
 
   const std::size_t n = node_count;
   fib.bytes_ = total;
+  fib.payload_begin_ = payload_begin;
   fib.kind_ = static_cast<FibKind>(kind_raw);
   fib.node_count_ = n;
 
@@ -257,6 +267,8 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
       auto rr = dir.require_counted(fs::kCowenRows, 8, &rows);
       fib.cowen_.rows = reinterpret_cast<const std::uint64_t*>(rr.data);
       check_offsets(fib.cowen_.row_off, n, rows, "cowen rows");
+      auto rlen = dir.require(fs::kCowenRowLen, 4, n);
+      fib.cowen_.row_len = reinterpret_cast<const std::uint32_t*>(rlen.data);
       auto lm = dir.require(fs::kCowenLandmark, 4, n);
       fib.cowen_.landmark = reinterpret_cast<const std::uint32_t*>(lm.data);
       for (std::size_t v = 0; v < n; ++v) {
@@ -269,13 +281,22 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
       auto lmp = dir.require(fs::kCowenLandmarkPort, 4, n);
       fib.cowen_.landmark_port =
           reinterpret_cast<const std::uint32_t*>(lmp.data);
+      // row_off is the capacity CSR; the live prefix of each row must be
+      // strictly increasing by key and the slack tail zeroed (apply_delta
+      // keeps both invariants, so reload == fresh compile structurally).
       for (std::size_t v = 0; v < n; ++v) {
         const std::uint32_t* ro = fib.cowen_.row_off;
-        for (std::uint32_t i = ro[v]; i + 1 < ro[v + 1]; ++i) {
+        const std::uint32_t cap = ro[v + 1] - ro[v];
+        const std::uint32_t len = fib.cowen_.row_len[v];
+        if (len > cap) fail("cowen: row length exceeds capacity");
+        for (std::uint32_t i = ro[v]; i + 1 < ro[v] + len; ++i) {
           if (fib_entry_key(fib.cowen_.rows[i]) >=
               fib_entry_key(fib.cowen_.rows[i + 1])) {
             fail("cowen: row keys not strictly increasing");
           }
+        }
+        for (std::uint32_t i = ro[v] + len; i < ro[v + 1]; ++i) {
+          if (fib.cowen_.rows[i] != 0) fail("cowen: row slack is nonzero");
         }
       }
       break;
@@ -305,6 +326,58 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
       }
       break;
     }
+    case FibKind::kMesh: {
+      auto info = dir.require(fs::kMeshInfo, 4, 1);
+      std::uint32_t k = 0;
+      std::memcpy(&k, info.data, 4);
+      if (n == 0) {
+        if (k != 0) fail("mesh: component count nonzero for empty FIB");
+      } else if (k == 0 || k > n) {
+        fail("mesh: bad component count");
+      }
+      fib.mesh_.component_count = k;
+      auto comp = dir.require(fs::kMeshComp, 4, n);
+      fib.mesh_.comp = reinterpret_cast<const std::uint32_t*>(comp.data);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (fib.mesh_.comp[v] >= k) fail("mesh: component id out of range");
+      }
+      auto pp =
+          dir.require(fs::kMeshPeerPort, 4, std::size_t{k} * std::size_t{k});
+      fib.mesh_.peer_port = reinterpret_cast<const std::uint32_t*>(pp.data);
+      auto nodes = dir.require(fs::kMeshNodes, sizeof(FibTreeNode), n + 1);
+      fib.mesh_.nodes = reinterpret_cast<const FibTreeNode*>(nodes.data);
+      std::size_t lights = 0;
+      auto lp = dir.require_counted(fs::kMeshLightPorts, 4, &lights);
+      fib.mesh_.light_ports = reinterpret_cast<const std::uint32_t*>(lp.data);
+      // DFS numbers are per-component preorders: exactly one node per
+      // component carries dfs_in == 0 (its local root) — the walker tests
+      // dfs_in == 0 to decide whether a foreign packet peers across.
+      std::vector<std::uint32_t> roots(k, 0);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto& r = fib.mesh_.nodes[v];
+        if (r.light_off > fib.mesh_.nodes[v + 1].light_off) {
+          fail("mesh: light offsets decrease");
+        }
+        if (r.dfs_in >= n || r.dfs_out >= n || r.dfs_in > r.dfs_out) {
+          fail("mesh: bad dfs interval");
+        }
+        if (r.dfs_in == 0) ++roots[fib.mesh_.comp[v]];
+      }
+      for (std::uint32_t c = 0; c < k; ++c) {
+        if (roots[c] != 1) fail("mesh: component must have exactly one root");
+      }
+      if (fib.mesh_.nodes[0].light_off != 0 ||
+          fib.mesh_.nodes[n].light_off != lights) {
+        fail("mesh: light offsets mismatch payload");
+      }
+      auto loff = dir.require(fs::kMeshLabelOff, 4, n + 1);
+      fib.mesh_.label_off = reinterpret_cast<const std::uint32_t*>(loff.data);
+      std::size_t seq = 0;
+      auto ls = dir.require_counted(fs::kMeshLabelSeq, 4, &seq);
+      fib.mesh_.label_seq = reinterpret_cast<const std::uint32_t*>(ls.data);
+      check_offsets(fib.mesh_.label_off, n, seq, "mesh labels");
+      break;
+    }
   }
   return fib;
 }
@@ -313,6 +386,138 @@ FlatFib FlatFib::from_blob(std::span<const std::uint8_t> bytes) {
   std::vector<std::uint64_t> words((bytes.size() + 7) / 8, 0);
   std::memcpy(words.data(), bytes.data(), bytes.size());
   return from_words(std::move(words));
+}
+
+FlatFib::FlatFib(FlatFib&& other) noexcept
+    : words_(std::move(other.words_)),
+      bytes_(other.bytes_),
+      payload_begin_(other.payload_begin_),
+      kind_(other.kind_),
+      node_count_(other.node_count_),
+      sections_(std::move(other.sections_)),
+      generation_(other.generation_.load(std::memory_order_acquire)),
+      checksum_stale_(other.checksum_stale_),
+      topo_(other.topo_),
+      tree_(other.tree_),
+      interval_(other.interval_),
+      cowen_(other.cowen_),
+      table_(other.table_),
+      mesh_(other.mesh_) {}
+
+FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
+  if (this != &other) {
+    words_ = std::move(other.words_);
+    bytes_ = other.bytes_;
+    payload_begin_ = other.payload_begin_;
+    kind_ = other.kind_;
+    node_count_ = other.node_count_;
+    sections_ = std::move(other.sections_);
+    generation_.store(other.generation_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+    checksum_stale_ = other.checksum_stale_;
+    topo_ = other.topo_;
+    tree_ = other.tree_;
+    interval_ = other.interval_;
+    cowen_ = other.cowen_;
+    table_ = other.table_;
+    mesh_ = other.mesh_;
+  }
+  return *this;
+}
+
+std::uint8_t* FlatFib::section_ptr(std::uint32_t id) {
+  for (const auto& s : sections_) {
+    if (s.id == id) {
+      return reinterpret_cast<std::uint8_t*>(words_.data()) + s.offset;
+    }
+  }
+  return nullptr;
+}
+
+void FlatFib::refresh_checksum() const {
+  auto* base = reinterpret_cast<std::uint8_t*>(
+      const_cast<std::uint64_t*>(words_.data()));
+  const std::uint64_t sum =
+      fnv1a(base + payload_begin_, bytes_ - payload_begin_);
+  std::memcpy(base + kChecksumOffset, &sum, 8);
+  checksum_stale_ = false;
+}
+
+bool FlatFib::apply_delta(const FibDelta& delta) {
+  namespace fs = fib_section;
+  if (delta.recompile) return false;
+  if (delta.patches.empty()) return true;
+  if (kind_ != FibKind::kCowen) return false;
+  const std::size_t n = node_count_;
+
+  // Pass 1: validate every patch against the compiled layout so a reject
+  // (slack exhausted, malformed row) leaves the arena byte-identical.
+  for (const FibRowPatch& p : delta.patches) {
+    switch (p.section) {
+      case fs::kCowenRows: {
+        if (p.row >= n || p.bytes.size() % 8 != 0) return false;
+        const std::size_t len = p.bytes.size() / 8;
+        const std::size_t cap =
+            cowen_.row_off[p.row + 1] - cowen_.row_off[p.row];
+        if (len > cap) return false;  // slack exhausted: compact instead
+        std::uint64_t prev = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t e;
+          std::memcpy(&e, p.bytes.data() + i * 8, 8);
+          if (i > 0 && fib_entry_key(e) <= fib_entry_key(prev)) return false;
+          prev = e;
+        }
+        break;
+      }
+      case fs::kCowenLandmark: {
+        if (p.row >= n || p.bytes.size() != 4) return false;
+        std::uint32_t lm;
+        std::memcpy(&lm, p.bytes.data(), 4);
+        if (lm >= n && lm != kInvalidNode) return false;
+        break;
+      }
+      case fs::kCowenLandmarkPort: {
+        if (p.row >= n || p.bytes.size() != 4) return false;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+
+  std::uint8_t* rows = section_ptr(fs::kCowenRows);
+  std::uint8_t* row_len = section_ptr(fs::kCowenRowLen);
+  std::uint8_t* landmark = section_ptr(fs::kCowenLandmark);
+  std::uint8_t* landmark_port = section_ptr(fs::kCowenLandmarkPort);
+  if (!rows || !row_len || !landmark || !landmark_port) return false;
+
+  // Odd generation marks the patch window; readers entering or spanning
+  // it see the mismatch and refuse the torn read.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  for (const FibRowPatch& p : delta.patches) {
+    switch (p.section) {
+      case fs::kCowenRows: {
+        const std::size_t begin = cowen_.row_off[p.row];
+        const std::size_t cap = cowen_.row_off[p.row + 1] - begin;
+        std::memcpy(rows + begin * 8, p.bytes.data(), p.bytes.size());
+        std::memset(rows + begin * 8 + p.bytes.size(), 0,
+                    cap * 8 - p.bytes.size());
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(p.bytes.size() / 8);
+        std::memcpy(row_len + std::size_t{p.row} * 4, &len, 4);
+        break;
+      }
+      case fs::kCowenLandmark:
+        std::memcpy(landmark + std::size_t{p.row} * 4, p.bytes.data(), 4);
+        break;
+      case fs::kCowenLandmarkPort:
+        std::memcpy(landmark_port + std::size_t{p.row} * 4, p.bytes.data(), 4);
+        break;
+    }
+  }
+  checksum_stale_ = true;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
 }
 
 FibBuilder::FibBuilder(FibKind kind, std::size_t node_count)

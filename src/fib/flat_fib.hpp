@@ -17,6 +17,10 @@
 //                (Theorem 3's Õ(√n) tables, flattened),
 //   table      : run-length rows over label space (one u64 per run) plus
 //                the designer relabeling.
+//   mesh       : the SVFC peer-mesh plane (src/bgp): per-component
+//                heavy-path tree records with ports pre-resolved into the
+//                shadow graph, a component-id array, and the root-to-root
+//                peering port matrix.
 //
 // The arena IS its serialized form: compile assembles the blob through
 // util/bitstream (bit-packed header + directory, raw aligned sections)
@@ -30,21 +34,33 @@
 // FNV-1a checksum over the payload, and structural checks (monotone
 // offset arrays, neighbor/port ranges), so truncated or corrupted blobs
 // are rejected with std::runtime_error instead of misrouting packets.
+//
+// Blob format v2 ("CPRFIB02") additionally makes the arena *patchable in
+// place*: Cowen row offsets describe per-row capacity (compile-time
+// slack, FibCompileOptions) with a separate kCowenRowLen live-length
+// array, apply_delta() rewrites changed rows from a FibDelta without
+// recompiling, a generation counter (odd while a patch is in flight)
+// lets readers detect torn reads, and the payload checksum is refreshed
+// lazily on the next blob() call rather than per patch.
 #pragma once
 
 #include "graph/graph.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace cpr {
 
+struct FibDelta;  // fib/fib_delta.hpp
+
 enum class FibKind : std::uint32_t {
   kTree = 1,      // heavy-path TreeRouter / SpanningTreeScheme
   kInterval = 2,  // classic interval routing
   kCowen = 3,     // landmark scheme tables
   kTable = 4,     // RLE destination tables (CompressedTableScheme)
+  kMesh = 5,      // SVFC peer mesh (per-component trees + peering matrix)
 };
 
 // Per-node record of the tree plane; two records per cache line. The
@@ -107,7 +123,11 @@ class FlatFib {
     const std::uint32_t* child_port = nullptr;
   };
   struct CowenView {
+    // row_off is the *capacity* CSR: node v owns slots
+    // [row_off[v], row_off[v+1]), of which the first row_len[v] are live
+    // entries and the rest are zeroed slack reserved for apply_delta.
     const std::uint32_t* row_off = nullptr;  // n + 1
+    const std::uint32_t* row_len = nullptr;  // n (live entries per row)
     const std::uint64_t* rows = nullptr;     // packed (target, port), sorted
     const std::uint32_t* landmark = nullptr;       // landmark_of per node
     const std::uint32_t* landmark_port = nullptr;  // port_at_landmark per node
@@ -117,12 +137,29 @@ class FlatFib {
     const std::uint64_t* runs = nullptr;     // packed (label_start, port)
     const std::uint32_t* relabel = nullptr;  // original id -> label
   };
+  struct MeshView {
+    // Per-node tree records exactly like TreeView, except dfs numbers are
+    // local to each component's preorder (the local root has dfs_in == 0)
+    // and every port field is already resolved into the *shadow* graph.
+    const FibTreeNode* nodes = nullptr;  // n + 1 (sentinel for light_off)
+    const std::uint32_t* light_ports = nullptr;
+    const std::uint32_t* label_off = nullptr;  // n + 1
+    const std::uint32_t* label_seq = nullptr;  // concatenated light sequences
+    const std::uint32_t* comp = nullptr;       // component id per node
+    // k × k root-to-root shadow ports (A1/SVFC: roots are fully peered);
+    // peer_port[a * k + b] routes component a's root toward b's root.
+    const std::uint32_t* peer_port = nullptr;
+    std::uint32_t component_count = 0;  // k
+  };
 
   FlatFib() = default;
   FlatFib(const FlatFib&) = delete;
   FlatFib& operator=(const FlatFib&) = delete;
-  FlatFib(FlatFib&&) = default;
-  FlatFib& operator=(FlatFib&&) = default;
+  // Moves are hand-written because of the atomic generation counter; the
+  // views survive a move (they point into the heap buffer, which the
+  // vector move transfers without reallocating).
+  FlatFib(FlatFib&& other) noexcept;
+  FlatFib& operator=(FlatFib&& other) noexcept;
 
   // Validating zero-copy open of a serialized FIB: adopts `words` as the
   // backing store (8-byte aligned by construction; sections are 64-byte
@@ -135,8 +172,26 @@ class FlatFib {
   static FlatFib from_blob(std::span<const std::uint8_t> bytes);
 
   // The serialized form (the arena itself, header + directory included).
+  // apply_delta defers the payload re-checksum; this refreshes it first,
+  // so a dumped blob always re-validates on from_blob.
   std::span<const std::uint8_t> blob() const {
+    if (checksum_stale_) refresh_checksum();
     return {reinterpret_cast<const std::uint8_t*>(words_.data()), bytes_};
+  }
+
+  // Patches the arena in place from a churn delta. Returns false — with
+  // the arena untouched — when the delta demands a recompile, targets a
+  // kind this arena is not, or any row patch cannot be applied (slack
+  // exhausted, malformed bytes); the caller then falls back to a full
+  // compile_fib. All patches are validated before the first byte moves,
+  // so a false return never leaves a half-applied arena.
+  bool apply_delta(const FibDelta& delta);
+
+  // Even while the arena is stable, odd while apply_delta is rewriting
+  // it; bumped by two per applied delta. forward_batch samples it on
+  // entry and exit to refuse torn reads.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
   }
 
   FibKind kind() const { return kind_; }
@@ -148,19 +203,35 @@ class FlatFib {
   const IntervalView& interval() const { return interval_; }
   const CowenView& cowen() const { return cowen_; }
   const TableView& table() const { return table_; }
+  const MeshView& mesh() const { return mesh_; }
 
  private:
   friend class FibBuilder;
 
+  struct SectionEntry {
+    std::uint32_t id = 0;
+    std::uint64_t offset = 0;  // from blob start
+    std::uint64_t bytes = 0;
+  };
+
+  // Mutable bytes of a section, or nullptr when absent.
+  std::uint8_t* section_ptr(std::uint32_t id);
+  void refresh_checksum() const;
+
   std::vector<std::uint64_t> words_;  // owned blob, 8-byte aligned
   std::size_t bytes_ = 0;             // meaningful prefix of words_
+  std::size_t payload_begin_ = 0;     // checksummed region [begin, bytes_)
   FibKind kind_ = FibKind::kTree;
   std::size_t node_count_ = 0;
+  std::vector<SectionEntry> sections_;
+  std::atomic<std::uint64_t> generation_{0};
+  mutable bool checksum_stale_ = false;
   TopoView topo_;
   TreeView tree_;
   IntervalView interval_;
   CowenView cowen_;
   TableView table_;
+  MeshView mesh_;
 };
 
 // Assembles a blob section by section; compile adapters (fib/compile.hpp)
@@ -210,9 +281,17 @@ inline constexpr std::uint32_t kCowenRowOff = 30;
 inline constexpr std::uint32_t kCowenRows = 31;
 inline constexpr std::uint32_t kCowenLandmark = 32;
 inline constexpr std::uint32_t kCowenLandmarkPort = 33;
+inline constexpr std::uint32_t kCowenRowLen = 34;  // v2: live entries per row
 inline constexpr std::uint32_t kTableRowOff = 40;
 inline constexpr std::uint32_t kTableRuns = 41;
 inline constexpr std::uint32_t kTableRelabel = 42;
+inline constexpr std::uint32_t kMeshInfo = 50;       // [component_count]
+inline constexpr std::uint32_t kMeshComp = 51;       // component id per node
+inline constexpr std::uint32_t kMeshPeerPort = 52;   // k × k root peering ports
+inline constexpr std::uint32_t kMeshNodes = 53;      // FibTreeNode × (n + 1)
+inline constexpr std::uint32_t kMeshLightPorts = 54;
+inline constexpr std::uint32_t kMeshLabelOff = 55;   // n + 1
+inline constexpr std::uint32_t kMeshLabelSeq = 56;
 }  // namespace fib_section
 
 }  // namespace cpr

@@ -1,6 +1,7 @@
 #include "fib/forward_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace cpr {
 namespace {
@@ -100,8 +101,10 @@ struct CowenWalker {
   }
   StepResult step(NodeId u) const {
     if (u == target) return {true, kInvalidPort};
+    // row_off[u] is the row's *capacity* base; only the live prefix
+    // (row_len[u] entries) holds data, the rest is patching slack.
     const std::uint64_t* begin = t.rows + t.row_off[u];
-    const std::uint64_t* end = t.rows + t.row_off[u + 1];
+    const std::uint64_t* end = begin + t.row_len[u];
     // Same precedence as CowenScheme::forward: direct entry, the
     // landmark's own hop, then the entry toward the landmark.
     if (const std::uint64_t* e = row_search(begin, end, target);
@@ -116,6 +119,46 @@ struct CowenWalker {
     return {false, kInvalidPort};
   }
   void prefetch(NodeId v) const { CPR_PREFETCH(&t.rows[t.row_off[v]]); }
+};
+
+// SVFC peer mesh (Theorem 7): in the target's component this is exactly
+// the tree walker over per-component DFS numbers; in a foreign component
+// the local root (preorder 0) crosses the peer mesh toward the target
+// component's root, and everyone else climbs via port_up — the same
+// decisions SvfcPeerMeshScheme::forward makes with its zero climb header,
+// with every port already resolved into the shadow graph.
+struct MeshWalker {
+  const FlatFib::MeshView& t;
+  std::uint32_t x = 0;                 // target's component-local DFS number
+  std::uint32_t tc = 0;                // target's component
+  const std::uint32_t* seq = nullptr;  // target's light sequence
+  std::uint32_t seq_len = 0;
+
+  explicit MeshWalker(const FlatFib& fib) : t(fib.mesh()) {}
+  void resolve(NodeId target) {
+    x = t.nodes[target].dfs_in;
+    tc = t.comp[target];
+    seq = t.label_seq + t.label_off[target];
+    seq_len = t.label_off[target + 1] - t.label_off[target];
+  }
+  StepResult step(NodeId u) const {
+    const FibTreeNode& r = t.nodes[u];
+    const std::uint32_t cu = t.comp[u];
+    if (cu != tc) {
+      if (r.dfs_in == 0) {
+        return {false, t.peer_port[cu * t.component_count + tc]};
+      }
+      return {false, r.port_up};
+    }
+    if (x == r.dfs_in) return {true, kInvalidPort};
+    if (x < r.dfs_in || x > r.dfs_out) return {false, r.port_up};
+    if (x >= r.heavy_in && x <= r.heavy_out) return {false, r.heavy_port};
+    const std::uint32_t idx = r.light_depth;
+    const std::uint32_t lights = t.nodes[u + 1].light_off - r.light_off;
+    if (idx >= seq_len || seq[idx] >= lights) return {false, kInvalidPort};
+    return {false, t.light_ports[r.light_off + seq[idx]]};
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.nodes[v]); }
 };
 
 struct TableWalker {
@@ -224,7 +267,14 @@ FibBatchOutput forward_batch(const FlatFib& fib,
                              const FibBatchOptions& opt) {
   FibBatchOutput out;
   out.results.resize(queries.size());
-  if (queries.empty()) return out;
+  if (queries.empty() || fib.node_count() == 0) return out;
+
+  // Torn-read guard: an odd generation means apply_delta is mid-patch;
+  // a generation change across the batch means rows moved under us.
+  const std::uint64_t gen = fib.generation();
+  if (gen & 1) {
+    throw std::runtime_error("forward_batch: FIB patch in progress");
+  }
 
   const std::size_t n = fib.node_count();
   const std::size_t max_hops =
@@ -278,6 +328,10 @@ FibBatchOutput forward_batch(const FlatFib& fib,
         dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
                                     out.results, shard_paths[s]);
         break;
+      case FibKind::kMesh:
+        dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
+                                   out.results, shard_paths[s]);
+        break;
     }
   });
 
@@ -298,6 +352,9 @@ FibBatchOutput forward_batch(const FlatFib& fib,
         out.results[order[i]].path_begin += shard_base[s];
       }
     }
+  }
+  if (fib.generation() != gen) {
+    throw std::runtime_error("forward_batch: FIB patched during batch");
   }
   return out;
 }

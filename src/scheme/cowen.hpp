@@ -39,6 +39,7 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "fib/fib_delta.hpp"
 #include "graph/csr_graph.hpp"
 #include "routing/dijkstra.hpp"
 #include "scheme/scheme.hpp"
@@ -72,6 +73,10 @@ struct CowenRepairStats {
   std::size_t reassigned_nodes = 0;  // nodes whose nearest landmark was redone
   std::size_t patched_targets = 0;   // |D ∪ R|: targets merged into tables
   bool full_rebuild = false;         // dirty fraction exceeded the threshold
+  // Footprint on the compiled plane: one row patch per table that
+  // actually changed, slot patches for moved landmark labels, recompile
+  // on full_rebuild. Empty when forwarding is provably unchanged.
+  FibDelta fib_delta;
 };
 
 template <RoutingAlgebra A>
@@ -190,6 +195,8 @@ class CowenScheme {
         rebuild_dirty_fraction * static_cast<double>(n)) {
       rebuild_from(w);
       stats.full_rebuild = true;
+      stats.fib_delta.recompile = true;
+      stats.fib_delta.touched_nodes = n;
       return stats;
     }
 
@@ -268,15 +275,20 @@ class CowenScheme {
 
     // Phase 5 — tables: nodes whose own tree moved refill from scratch;
     // everyone else merges recomputed entries for V* into their sorted
-    // flat table (all other entries are provably byte-identical).
+    // flat table (all other entries are provably byte-identical). Each
+    // task flags only its own slot, so change tracking is race-free.
+    std::vector<std::uint8_t> table_changed(n, 0);
     parallel_for(
         *pool_, 0, n,
         [&](std::size_t i) {
           const NodeId u = static_cast<NodeId>(i);
           if (dirty[u]) {
+            const std::vector<std::pair<NodeId, Port>> before =
+                std::move(tables_[u]);
             fill_table(u, new_radii);
+            table_changed[u] = before != tables_[u] ? 1 : 0;
           } else {
-            patch_table(u, patch, new_radii);
+            table_changed[u] = patch_table(u, patch, new_radii) ? 1 : 0;
           }
         },
         /*grain=*/8);
@@ -307,6 +319,7 @@ class CowenScheme {
 
     // Phase 7 — labels: the first-hop-at-landmark port moves only when
     // v's landmark changed or that landmark's tree was recomputed.
+    std::vector<std::uint8_t> lport_changed(n, 0);
     parallel_for(
         *pool_, 0, n,
         [&](std::size_t i) {
@@ -314,9 +327,39 @@ class CowenScheme {
           const NodeId lv = landmark_of_[v];
           const bool need = lv != old_landmark_of[v] ||
                             (lv != kInvalidNode && dirty[lv]);
-          if (need) port_at_landmark_[v] = compute_port_at_landmark(v);
+          if (need) {
+            const Port before = port_at_landmark_[v];
+            port_at_landmark_[v] = compute_port_at_landmark(v);
+            if (port_at_landmark_[v] != before) lport_changed[v] = 1;
+          }
         },
         /*grain=*/64);
+
+    // Emit the FIB delta: one full-row patch per table that moved plus
+    // 4-byte slot patches for landmark / port-at-landmark changes, in
+    // node-id order so the arena's patcher streams forward.
+    std::vector<std::uint64_t> row;
+    for (NodeId v = 0; v < n; ++v) {
+      const bool lm_moved = landmark_of_[v] != old_landmark_of[v];
+      if (!(table_changed[v] || lm_moved || lport_changed[v])) continue;
+      ++stats.fib_delta.touched_nodes;
+      if (table_changed[v]) {
+        row.clear();
+        for (const auto& [target, port] : tables_[v]) {
+          row.push_back(fib_pack_entry(target, port));
+        }
+        stats.fib_delta.patches.push_back(
+            fib_patch_row_u64(fib_section::kCowenRows, v, row));
+      }
+      if (lm_moved) {
+        stats.fib_delta.patches.push_back(
+            fib_patch_u32(fib_section::kCowenLandmark, v, landmark_of_[v]));
+      }
+      if (lport_changed[v]) {
+        stats.fib_delta.patches.push_back(fib_patch_u32(
+            fib_section::kCowenLandmarkPort, v, port_at_landmark_[v]));
+      }
+    }
     return stats;
   }
 
@@ -569,23 +612,35 @@ class CowenScheme {
 
   // Merge freshly computed entries for the ascending target list `patch`
   // into u's sorted flat table; entries for targets outside `patch` are
-  // byte-identical by construction and stream through untouched.
-  void patch_table(NodeId u, const std::vector<NodeId>& patch,
+  // byte-identical by construction and stream through untouched. Returns
+  // whether any entry actually changed (added, dropped, or re-ported), so
+  // apply_event emits FIB row patches only for rows that moved.
+  bool patch_table(NodeId u, const std::vector<NodeId>& patch,
                    const BallRadii& radius) {
     auto& table = tables_[u];
     std::vector<std::pair<NodeId, Port>> merged;
     merged.reserve(table.size() + patch.size());
+    bool changed = false;
     std::size_t ti = 0;
     for (NodeId v : patch) {
       while (ti < table.size() && table[ti].first < v) {
         merged.push_back(table[ti++]);
       }
-      if (ti < table.size() && table[ti].first == v) ++ti;  // drop stale
+      bool had = false;
+      Port old_p = kInvalidPort;
+      if (ti < table.size() && table[ti].first == v) {  // drop stale
+        had = true;
+        old_p = table[ti].second;
+        ++ti;
+      }
       Port p;
-      if (entry_port(u, v, radius, &p)) merged.emplace_back(v, p);
+      const bool has = entry_port(u, v, radius, &p);
+      if (has) merged.emplace_back(v, p);
+      if (has != had || (has && p != old_p)) changed = true;
     }
     while (ti < table.size()) merged.push_back(table[ti++]);
     table = std::move(merged);
+    return changed;
   }
 
   void recompute_until_stable() {

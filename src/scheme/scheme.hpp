@@ -59,8 +59,9 @@ concept CompactRoutingScheme =
 struct RouteResult {
   bool delivered = false;
   // The walk revisited an exact (node, header) state — a proven forwarding
-  // loop, as opposed to merely exhausting the hop budget. Only set by
-  // simulators that track visited states (simulate_route_with_failures).
+  // loop, as opposed to merely exhausting the hop budget. Set by the
+  // failure simulator (sim/resilience.hpp) always, and by simulate_route
+  // when detect_loops is requested.
   bool looped = false;
   NodePath path;  // nodes visited, starting at the source
 
@@ -70,15 +71,38 @@ struct RouteResult {
 // Walks a packet from `source` toward `target` under the scheme. The walk
 // aborts (delivered = false) after max_hops steps or on an invalid port,
 // so incorrect schemes fail loudly in tests instead of spinning.
+//
+// With detect_loops set (and an equality-comparable header type), the
+// walk additionally tracks every exact (node, header-before-forward)
+// state: that pair fully determines all later steps, so revisiting one
+// is a proven forwarding loop and the walk stops immediately with
+// `looped` set — distinguishing a real loop from a long-but-progressing
+// path that merely exhausts the hop budget. Promoted here from the
+// failure simulator, where a downed edge routinely turns a repaired
+// scheme's detour into a cycle; in a static scheme a loop is a
+// construction bug, which is exactly why tests want the exact signal.
 template <CompactRoutingScheme S>
 RouteResult simulate_route(const S& scheme, const Graph& g, NodeId source,
-                           NodeId target, std::size_t max_hops = 0) {
+                           NodeId target, std::size_t max_hops = 0,
+                           bool detect_loops = false) {
   if (max_hops == 0) max_hops = 4 * g.node_count() + 16;
   RouteResult result;
   result.path.push_back(source);
   typename S::Header header = scheme.make_header(target);
   NodeId current = source;
+  [[maybe_unused]] std::vector<std::pair<NodeId, typename S::Header>> visited;
   for (std::size_t step = 0; step <= max_hops; ++step) {
+    if constexpr (std::equality_comparable<typename S::Header>) {
+      if (detect_loops) {
+        for (const auto& [vn, vh] : visited) {
+          if (vn == current && vh == header) {
+            result.looped = true;
+            return result;
+          }
+        }
+        visited.emplace_back(current, header);
+      }
+    }
     const Decision d = scheme.forward(current, header);
     if (d.deliver) {
       result.delivered = (current == target);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "fib/fib_delta.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
 #include "scheme/tree_router.hpp"
@@ -75,6 +76,16 @@ enum class ChurnRepairKind : std::uint8_t {
   kNoop,     // the event provably cannot change the preferred tree
   kSwap,     // one edge swapped; subtree re-hung, router re-ranked
   kRerank,   // tree edges unchanged, only their ⪯-rank order moved
+};
+
+// Repair verdict plus its footprint on the compiled plane. kNoop and
+// kRerank leave the TreeRouter untouched, so the compiled FIB is
+// provably unchanged (empty delta); kSwap rebuilds the router — the
+// heavy-path DFS renumbers globally, so no row-level patch can express
+// it and the delta demands a recompile (a compaction on the maintainer).
+struct TreeRepair {
+  ChurnRepairKind kind = ChurnRepairKind::kNoop;
+  FibDelta fib_delta;
 };
 
 // Theorem-1 tree routing as a *dynamic* scheme: the Kruskal preferred
@@ -156,30 +167,31 @@ class SpanningTreeScheme {
 
   // Incremental repair for one churn event on edge e: old_w/new_w use the
   // φ encoding (φ = down), `w` is the post-event weight map (what
-  // ChurnEngine::weights() holds after apply()).
-  ChurnRepairKind apply_event(EdgeId e, const W& old_w, const W& new_w,
-                              const EdgeMap<W>& w) {
+  // ChurnEngine::weights() holds after apply()). The returned fib_delta
+  // tells a MaintainedFib what the repair did to the compiled plane.
+  TreeRepair apply_event(EdgeId e, const W& old_w, const W& new_w,
+                         const EdgeMap<W>& w) {
     const bool was_alive = !alg_.is_phi(old_w);
     const bool is_alive = !alg_.is_phi(new_w);
-    if (!was_alive && !is_alive) return ChurnRepairKind::kNoop;
+    if (!was_alive && !is_alive) return repair(ChurnRepairKind::kNoop);
 
     if (was_alive && !is_alive) {  // edge down
-      if (!in_tree_[e]) return ChurnRepairKind::kNoop;  // fast path
+      if (!in_tree_[e]) return repair(ChurnRepairKind::kNoop);  // fast path
       const EdgeId replacement = best_cut_edge(e, w, /*include_self=*/false);
       if (replacement == kInvalidEdge) {
         throw std::runtime_error(
             "SpanningTreeScheme: churn disconnected the graph");
       }
       swap_edges(e, replacement, w);
-      return ChurnRepairKind::kSwap;
+      return repair(ChurnRepairKind::kSwap);
     }
 
     if (!was_alive && is_alive) {  // edge up: cycle rule
-      return try_cycle_insert(e, w);
+      return repair(try_cycle_insert(e, w));
     }
 
     // Weight change on a live edge.
-    if (!in_tree_[e]) return try_cycle_insert(e, w);
+    if (!in_tree_[e]) return repair(try_cycle_insert(e, w));
     // Tree edge re-weighted: re-run its cut with the edge itself
     // competing at the new weight.
     const EdgeId winner = best_cut_edge(e, w, /*include_self=*/true);
@@ -190,15 +202,29 @@ class SpanningTreeScheme {
       // other pair's relative order is intact and one ordered
       // erase+insert restores sortedness. Forwarding is unchanged.
       reinsert_sorted(e, w);
-      return ChurnRepairKind::kRerank;
+      return repair(ChurnRepairKind::kRerank);
     }
     swap_edges(e, winner, w);
-    return ChurnRepairKind::kSwap;
+    return repair(ChurnRepairKind::kSwap);
   }
 
  private:
   SpanningTreeScheme(const A& alg, const Graph& g, NodeId root)
       : alg_(alg), graph_(&g), root_(root) {}
+
+  // kNoop and kRerank never touch router_, so the compiled arena is
+  // exactly what a fresh compile would produce — an empty delta. kSwap
+  // ran adopt(): the DFS order renumbered globally, so the delta is a
+  // recompile demand touching every node.
+  TreeRepair repair(ChurnRepairKind kind) const {
+    TreeRepair r;
+    r.kind = kind;
+    if (kind == ChurnRepairKind::kSwap) {
+      r.fib_delta.recompile = true;
+      r.fib_delta.touched_nodes = graph_->node_count();
+    }
+    return r;
+  }
 
   // The strict total order that makes the preferred tree unique: ⪯ on
   // weights, edge id on ties (exactly the stable_sort order of `rebuild`).

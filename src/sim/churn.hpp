@@ -26,6 +26,7 @@
 #include "util/random.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cpr {
@@ -106,14 +107,19 @@ class ChurnEngine {
 
   bool connected() const { return connected_under_mask(*graph_, alive_); }
 
+  // Count of successfully applied events: the index the next event will
+  // carry in diagnostics, so a throw pinpoints where a trace went bad.
+  std::size_t applied_events() const { return applied_events_; }
+
   // Applies one event and returns the (old, new) weight transition.
   // Inconsistent events — downing a dead edge, raising a live one,
   // re-weighting a dead one, or a φ payload on up/change — throw, so
   // malformed traces fail loudly instead of silently desynchronizing the
-  // engine from the schemes it feeds.
+  // engine from the schemes it feeds. Messages carry the event's index
+  // in the applied sequence, its timestamp and its edge id.
   AppliedChurn<W> apply(const ChurnEvent<W>& ev) {
     if (ev.edge >= graph_->edge_count()) {
-      throw std::invalid_argument("ChurnEngine: event edge out of range");
+      throw std::invalid_argument(fail("event edge out of range", ev));
     }
     AppliedChurn<W> applied;
     applied.edge = ev.edge;
@@ -121,17 +127,17 @@ class ChurnEngine {
     switch (ev.kind) {
       case ChurnKind::kEdgeDown:
         if (!alive_[ev.edge]) {
-          throw std::invalid_argument("ChurnEngine: edge already down");
+          throw std::invalid_argument(fail("edge already down", ev));
         }
         alive_[ev.edge] = false;
         masked_[ev.edge] = alg_.phi();
         break;
       case ChurnKind::kEdgeUp:
         if (alive_[ev.edge]) {
-          throw std::invalid_argument("ChurnEngine: edge already up");
+          throw std::invalid_argument(fail("edge already up", ev));
         }
         if (alg_.is_phi(ev.new_weight)) {
-          throw std::invalid_argument("ChurnEngine: up event with phi weight");
+          throw std::invalid_argument(fail("up event with phi weight", ev));
         }
         alive_[ev.edge] = true;
         live_[ev.edge] = ev.new_weight;
@@ -139,26 +145,34 @@ class ChurnEngine {
         break;
       case ChurnKind::kWeightChange:
         if (!alive_[ev.edge]) {
-          throw std::invalid_argument("ChurnEngine: weight change on a down edge");
+          throw std::invalid_argument(fail("weight change on a down edge", ev));
         }
         if (alg_.is_phi(ev.new_weight)) {
           throw std::invalid_argument(
-              "ChurnEngine: weight change to phi (use kEdgeDown)");
+              fail("weight change to phi (use kEdgeDown)", ev));
         }
         live_[ev.edge] = ev.new_weight;
         masked_[ev.edge] = ev.new_weight;
         break;
     }
     applied.new_weight = masked_[ev.edge];
+    ++applied_events_;
     return applied;
   }
 
  private:
+  std::string fail(const char* what, const ChurnEvent<W>& ev) const {
+    return "ChurnEngine: " + std::string(what) + " (event index " +
+           std::to_string(applied_events_) + ", t=" + std::to_string(ev.time) +
+           ", edge " + std::to_string(ev.edge) + ")";
+  }
+
   const A alg_;
   const Graph* graph_;
   EdgeMap<W> live_;    // last live weight per edge (down edges keep theirs)
   EdgeMap<W> masked_;  // live_ with φ substituted on down edges
   std::vector<bool> alive_;
+  std::size_t applied_events_ = 0;
 };
 
 struct ChurnTraceOptions {

@@ -20,6 +20,7 @@
 #include "util/random.hpp"
 
 #include <concepts>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -170,6 +171,10 @@ struct ChurnResilienceReport {
   std::size_t stale_delivered = 0;     // during the convergence window
   std::size_t repaired_delivered = 0;  // after incremental repair
   std::size_t stale_loops = 0;         // proven forwarding loops while stale
+  // How the compiled plane absorbed the trace (zero when the scheme has
+  // no FIB adapter and the measurement fell back to the object path).
+  std::size_t fib_patched = 0;      // events absorbed by in-place patching
+  std::size_t fib_compactions = 0;  // events absorbed by full recompile
 
   double stale_rate() const {
     const std::size_t total = events * pairs_per_event;
@@ -186,6 +191,14 @@ struct ChurnResilienceReport {
 //   apply_event(edge, old_w, new_w, weights).
 // The engine must be the one scheme was built against; events are played
 // through engine.apply, so afterwards both have absorbed the full trace.
+//
+// Schemes with a FIB adapter keep ONE compiled arena alive across the
+// whole trace (MaintainedFib): the stale pass routes on the arena as the
+// previous event left it, apply_event's FibDelta then patches it in
+// place (compaction recompiles when slack runs out or the delta is too
+// wide), and the repaired pass routes on the patched arena. Fresh
+// per-event recompiles — the old behaviour — survive only as the
+// differential oracle in tests/test_fib_delta.cpp.
 template <RoutingAlgebra A, typename S>
 ChurnResilienceReport measure_resilience_under_churn(
     S& scheme, ChurnEngine<A>& engine,
@@ -194,6 +207,13 @@ ChurnResilienceReport measure_resilience_under_churn(
   const Graph& g = engine.graph();
   ChurnResilienceReport report;
   report.pairs_per_event = pairs_per_event;
+  constexpr bool kCompiled = requires(const S& s, const Graph& gg) {
+    compile_fib(s, gg);
+  };
+  std::optional<MaintainedFib<S>> plane;
+  if constexpr (kCompiled) {
+    if (g.node_count() > 0) plane.emplace(scheme, g);
+  }
   for (const ChurnEvent<typename A::Weight>& ev : trace) {
     const auto applied = engine.apply(ev);
     ++report.events;
@@ -207,19 +227,53 @@ ChurnResilienceReport measure_resilience_under_churn(
       const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
       if (s != t) pairs.emplace_back(s, t);
     }
-    // Both walks run batched on the compiled plane: the scheme is
-    // compiled in its *stale* state for the convergence-window pass and
-    // recompiled after apply_event for the repaired pass.
-    for (const auto& [delivered, looped] :
-         route_pairs_with_failures(scheme, g, down, pairs)) {
+    const auto run_pairs = [&]() -> std::vector<std::pair<bool, bool>> {
+      if constexpr (kCompiled) {
+        if (plane && !pairs.empty()) {
+          FibBatchOptions opt;
+          opt.record_paths = false;
+          opt.edge_down = &down;
+          const FibBatchOutput out = forward_batch(plane->fib(), pairs, opt);
+          std::vector<std::pair<bool, bool>> flags(pairs.size());
+          for (std::size_t i = 0; i < pairs.size(); ++i) {
+            flags[i] = {out.results[i].delivered != 0,
+                        out.results[i].looped != 0};
+          }
+          return flags;
+        }
+      }
+      return route_pairs_with_failures(scheme, g, down, pairs);
+    };
+    // Stale pass: the arena still reflects the pre-event scheme — the
+    // convergence window made concrete.
+    for (const auto& [delivered, looped] : run_pairs()) {
       report.stale_delivered += delivered ? 1 : 0;
       report.stale_loops += looped ? 1 : 0;
     }
-    scheme.apply_event(applied.edge, applied.old_weight, applied.new_weight,
-                       engine.weights());
-    for (const auto& [delivered, looped] :
-         route_pairs_with_failures(scheme, g, down, pairs)) {
+    const auto repair = scheme.apply_event(
+        applied.edge, applied.old_weight, applied.new_weight,
+        engine.weights());
+    if constexpr (kCompiled) {
+      if (plane) {
+        if constexpr (requires { repair.fib_delta; }) {
+          plane->absorb(repair.fib_delta, scheme);
+        } else {
+          // Repair path without delta emission: always recompile.
+          FibDelta full;
+          full.recompile = true;
+          full.touched_nodes = g.node_count();
+          plane->absorb(full, scheme);
+        }
+      }
+    }
+    for (const auto& [delivered, looped] : run_pairs()) {
       report.repaired_delivered += delivered ? 1 : 0;
+    }
+  }
+  if constexpr (kCompiled) {
+    if (plane) {
+      report.fib_patched = plane->stats().patched;
+      report.fib_compactions = plane->stats().compactions;
     }
   }
   return report;

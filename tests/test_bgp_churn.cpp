@@ -1,0 +1,234 @@
+// BGP planes under provider-edge churn (Theorems 6 and 7 as serving
+// systems, not static objects).
+//
+// The BGP schemes have no incremental repair — a topology event means a
+// rebuild — so churn here is premise-preserving edge flaps: a provider
+// arc pair whose customer is multihomed goes down (the reduced topology
+// still satisfies A1/A2 and keeps the same roots), the schemes are
+// rebuilt, and after EVERY such down and the matching up:
+//   - every delivered path is re-checked valley-free against the
+//     directed arc labels of the *current* topology,
+//   - the compiled plane (compile_fib → forward_batch, 1 and 8 threads,
+//     with and without a dead-edge mask) stays bit-identical to the
+//     object-path oracle,
+//   - the rebuilt arena flows through MaintainedFib as a compaction,
+//     the same absorption path the sim layer uses.
+// Plus: the resilience sim runs both schemes on the compiled plane.
+#include "bgp/bgp_schemes.hpp"
+#include "fib/compile.hpp"
+#include "fib/fib_delta.hpp"
+#include "fib/forward_engine.hpp"
+#include "sim/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+AsTopology random_topo(std::uint64_t seed, std::size_t n, std::size_t tier1) {
+  Rng rng(seed);
+  AsTopologyOptions opt;
+  opt.nodes = n;
+  opt.tier1 = tier1;
+  opt.max_providers = 2;
+  return generate_as_topology(opt, rng);
+}
+
+std::size_t provider_count(const AsTopology& topo, NodeId u) {
+  std::size_t c = 0;
+  for (ArcId a : topo.graph.out_arcs(u)) {
+    if (topo.relation[a] == Relationship::kProvider) ++c;
+  }
+  return c;
+}
+
+// The topology with arc pair `pair_base` (even id, plus its reverse)
+// removed — the "edge down" state of one churn event.
+AsTopology without_arc_pair(const AsTopology& topo, ArcId pair_base) {
+  AsTopology out;
+  out.graph = Digraph(topo.graph.node_count());
+  for (ArcId a = 0; a + 1 < topo.graph.arc_count(); a += 2) {
+    if (a == pair_base) continue;
+    const auto& arc = topo.graph.arc(a);
+    out.graph.add_arc_pair(arc.from, arc.to);
+    out.relation.push_back(topo.relation[a]);
+    out.relation.push_back(topo.relation[a + 1]);
+  }
+  return out;
+}
+
+// Provider arc pairs whose removal preserves the theorems' premises:
+// the customer keeps at least one other provider, so A1/A2 and the root
+// set survive and both schemes still construct.
+std::vector<ArcId> eligible_provider_flaps(const AsTopology& topo,
+                                           std::size_t limit) {
+  std::vector<ArcId> flaps;
+  for (ArcId a = 0; a < topo.graph.arc_count() && flaps.size() < limit; ++a) {
+    if (topo.relation[a] != Relationship::kProvider) continue;
+    const ArcId base = a - (a % 2);
+    if (provider_count(topo, topo.graph.arc(a).from) >= 2) {
+      flaps.push_back(base);
+    }
+  }
+  return flaps;
+}
+
+// Every pair delivers and every delivered path is traversable (non-φ)
+// under B2's valley-free labels of the current topology.
+template <typename Scheme>
+void expect_valley_free(const AsTopology& topo, const Scheme& s,
+                        const Graph& shadow, const char* when) {
+  const B2ValleyFree b2;
+  const auto labels = topo.labels();
+  for (NodeId src = 0; src < shadow.node_count(); ++src) {
+    for (NodeId dst = 0; dst < shadow.node_count(); ++dst) {
+      const RouteResult r = simulate_route(s, shadow, src, dst);
+      ASSERT_TRUE(r.delivered) << when << " src=" << src << " dst=" << dst;
+      if (src == dst) continue;
+      const auto w = weight_of_path(b2, topo.graph, labels, r.path);
+      ASSERT_TRUE(w.has_value()) << when << " src=" << src << " dst=" << dst;
+      EXPECT_FALSE(b2.is_phi(*w))
+          << "valley in path, " << when << " src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+// Compiled plane vs object oracle: 1 and 8 threads, healthy and with a
+// seeded dead-edge mask over the shadow graph.
+template <typename Scheme>
+void expect_compiled_matches_oracle(const Scheme& s, const Graph& shadow,
+                                    std::uint64_t seed, const char* when) {
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (NodeId a = 0; a < shadow.node_count(); ++a) {
+    for (NodeId b = 0; b < shadow.node_count(); ++b) queries.emplace_back(a, b);
+  }
+  const FlatFib fib = compile_fib(s, shadow);
+
+  // The rebuilt arena is absorbed the way the sim layer would: as a
+  // whole-FIB compaction through MaintainedFib.
+  MaintainedFib<Scheme> plane(s, shadow);
+  FibDelta rebuild;
+  rebuild.recompile = true;
+  rebuild.touched_nodes = shadow.node_count();
+  EXPECT_FALSE(plane.absorb(rebuild, s)) << when;
+  EXPECT_EQ(plane.stats().compactions, 1u) << when;
+
+  Rng fail_rng(seed ^ 0xfa11ull);
+  std::vector<bool> down(shadow.edge_count(), false);
+  for (std::size_t e : fail_rng.sample_without_replacement(
+           shadow.edge_count(), shadow.edge_count() / 5)) {
+    down[e] = true;
+  }
+
+  ThreadPool pool1(1), pool8(8);
+  for (ThreadPool* pool : {&pool1, &pool8}) {
+    const auto oracle = route_batch_object(s, shadow, queries, pool);
+    FibBatchOptions opt;
+    opt.pool = pool;
+    for (const FlatFib* f : {&fib, &plane.fib()}) {
+      const FibBatchOutput out = forward_batch(*f, queries, opt);
+      ASSERT_EQ(out.results.size(), oracle.size()) << when;
+      for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(oracle[i].delivered, out.results[i].delivered != 0)
+            << when << " query " << i;
+        const auto path = out.path(i);
+        ASSERT_EQ(oracle[i].path.size(), path.size()) << when << " query " << i;
+        for (std::size_t k = 0; k < path.size(); ++k) {
+          EXPECT_EQ(oracle[i].path[k], path[k])
+              << when << " query " << i << " hop " << k;
+        }
+      }
+    }
+    // Failure mode against the step-by-step oracle.
+    opt.edge_down = &down;
+    const FibBatchOutput failed = forward_batch(fib, queries, opt);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const RouteResult r = simulate_route_with_failures(
+          s, shadow, down, queries[i].first, queries[i].second);
+      EXPECT_EQ(r.delivered, failed.results[i].delivered != 0)
+          << when << " failure query " << i;
+      EXPECT_EQ(r.looped, failed.results[i].looped != 0)
+          << when << " failure query " << i;
+    }
+  }
+}
+
+class BgpChurnSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpChurnSeeds, ProviderTreeSurvivesProviderEdgeFlaps) {
+  const std::uint64_t seed = GetParam();
+  const AsTopology topo = random_topo(seed, 20, 1);
+  ASSERT_TRUE(satisfies_a1_global_reachability(topo));
+  ASSERT_TRUE(satisfies_a2_no_provider_loops(topo));
+  const auto flaps = eligible_provider_flaps(topo, 3);
+  for (const ArcId base : flaps) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed << " flap arc " << base);
+    // Down: rebuild on the reduced topology.
+    const AsTopology reduced = without_arc_pair(topo, base);
+    ASSERT_TRUE(satisfies_a1_global_reachability(reduced));
+    ASSERT_TRUE(satisfies_a2_no_provider_loops(reduced));
+    const ProviderTreeScheme down_scheme(reduced);
+    expect_valley_free(reduced, down_scheme, down_scheme.shadow(), "down");
+    expect_compiled_matches_oracle(down_scheme, down_scheme.shadow(), seed,
+                                   "down");
+    // Up: rebuild on the restored topology.
+    const ProviderTreeScheme up_scheme(topo);
+    expect_valley_free(topo, up_scheme, up_scheme.shadow(), "up");
+    expect_compiled_matches_oracle(up_scheme, up_scheme.shadow(), seed, "up");
+  }
+}
+
+TEST_P(BgpChurnSeeds, PeerMeshSurvivesProviderEdgeFlaps) {
+  const std::uint64_t seed = GetParam();
+  const AsTopology topo = random_topo(seed + 1000, 20, 3);
+  ASSERT_TRUE(satisfies_a1_global_reachability(topo));
+  const auto flaps = eligible_provider_flaps(topo, 3);
+  for (const ArcId base : flaps) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed << " flap arc " << base);
+    const AsTopology reduced = without_arc_pair(topo, base);
+    ASSERT_TRUE(satisfies_a1_global_reachability(reduced));
+    const SvfcPeerMeshScheme down_scheme(reduced);
+    expect_valley_free(reduced, down_scheme, down_scheme.shadow(), "down");
+    expect_compiled_matches_oracle(down_scheme, down_scheme.shadow(), seed,
+                                   "down");
+    const SvfcPeerMeshScheme up_scheme(topo);
+    expect_valley_free(topo, up_scheme, up_scheme.shadow(), "up");
+    expect_compiled_matches_oracle(up_scheme, up_scheme.shadow(), seed, "up");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BgpChurnSeeds,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+// The resilience sim serves both BGP planes from compiled arenas
+// (route_pairs_with_failures probes compile_fib and batches the walk).
+TEST(BgpResilience, ProviderTreeRunsOnCompiledPlane) {
+  const AsTopology topo = random_topo(77, 40, 1);
+  const ProviderTreeScheme scheme(topo);
+  Rng rng(5);
+  const ResilienceReport report =
+      measure_resilience(scheme, scheme.shadow(), /*failures=*/4,
+                         /*trials=*/300, rng);
+  EXPECT_GT(report.pairs_tested, 0u);
+  // Static tree scheme under 4 dead edges: some loss is expected, total
+  // collapse is not.
+  EXPECT_GT(report.delivery_rate(), 0.2);
+}
+
+TEST(BgpResilience, PeerMeshRunsOnCompiledPlane) {
+  const AsTopology topo = random_topo(78, 40, 4);
+  const SvfcPeerMeshScheme scheme(topo);
+  Rng rng(6);
+  const ResilienceReport report =
+      measure_resilience(scheme, scheme.shadow(), /*failures=*/4,
+                         /*trials=*/300, rng);
+  EXPECT_GT(report.pairs_tested, 0u);
+  EXPECT_GT(report.delivery_rate(), 0.2);
+}
+
+}  // namespace
+}  // namespace cpr

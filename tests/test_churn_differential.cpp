@@ -299,6 +299,49 @@ TEST(ChurnEngine, RejectsInconsistentEvents) {
   EXPECT_THROW(engine.apply(oob), std::invalid_argument);
 }
 
+TEST(ChurnEngine, ErrorMessagesCarryEventContext) {
+  // A malformed trace must be locatable from the message alone: index in
+  // the applied sequence, timestamp, edge id.
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 3, 10, 0.4);
+  ChurnEngine<ShortestPath> engine(alg, inst.graph, inst.weights);
+  ASSERT_EQ(engine.applied_events(), 0u);
+
+  engine.apply({0.0, ChurnKind::kEdgeDown, 2, {}});
+  engine.apply({1.0, ChurnKind::kEdgeUp, 2, 7});
+  ASSERT_EQ(engine.applied_events(), 2u);
+
+  const auto message_of = [&](const ChurnEvent<std::uint64_t>& ev) {
+    try {
+      engine.apply(ev);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("NO THROW");
+  };
+
+  // The third event (index 2) goes bad; failed applies must not advance
+  // the index.
+  EXPECT_EQ(message_of({2.5, ChurnKind::kEdgeUp, 2, 7}),
+            "ChurnEngine: edge already up (event index 2, t=2.500000, edge 2)");
+  EXPECT_EQ(message_of({3.0, ChurnKind::kEdgeUp, 2, alg.phi()}),
+            "ChurnEngine: edge already up (event index 2, t=3.000000, edge 2)");
+  EXPECT_EQ(
+      message_of({3.5, ChurnKind::kEdgeDown, inst.graph.edge_count(), {}}),
+      "ChurnEngine: event edge out of range (event index 2, t=3.500000, edge " +
+          std::to_string(inst.graph.edge_count()) + ")");
+  engine.apply({4.0, ChurnKind::kEdgeDown, 2, {}});
+  EXPECT_EQ(message_of({4.5, ChurnKind::kEdgeDown, 2, {}}),
+            "ChurnEngine: edge already down (event index 3, t=4.500000, edge 2)");
+  EXPECT_EQ(message_of({5.0, ChurnKind::kWeightChange, 2, 9}),
+            "ChurnEngine: weight change on a down edge (event index 3, "
+            "t=5.000000, edge 2)");
+  EXPECT_EQ(message_of({5.5, ChurnKind::kEdgeUp, 2, alg.phi()}),
+            "ChurnEngine: up event with phi weight (event index 3, t=5.500000, "
+            "edge 2)");
+  EXPECT_EQ(engine.applied_events(), 3u);
+}
+
 TEST(ChurnEngine, GeneratedTracesStayConsistentAndConnected) {
   const ShortestPath alg{32};
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {

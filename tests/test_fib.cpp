@@ -9,11 +9,13 @@
 // trip. Plus: corrupted blobs (every byte position) and truncated blobs
 // are rejected by the validating loader instead of misrouting.
 #include "algebra/primitives.hpp"
+#include "bgp/bgp_schemes.hpp"
 #include "fib/compile.hpp"
 #include "fib/forward_engine.hpp"
 #include "routing/dijkstra.hpp"
 #include "scheme/compressed_table.hpp"
 #include "scheme/cowen.hpp"
+#include "scheme/dest_table.hpp"
 #include "scheme/interval_router.hpp"
 #include "scheme/spanning_tree.hpp"
 #include "scheme/tree_router.hpp"
@@ -217,6 +219,185 @@ TEST(FibBlob, EmptyAndGarbageInputsAreRejected) {
   EXPECT_THROW(FlatFib::from_blob({}), std::runtime_error);
   const std::vector<std::uint8_t> garbage(256, 0xab);
   EXPECT_THROW(FlatFib::from_blob(garbage), std::runtime_error);
+}
+
+// ---- Degenerate graphs ----
+//
+// v2 legalizes node_count == 0, and single-node / single-edge graphs hit
+// every boundary condition in the per-kind validators (empty CSRs,
+// sentinel-only offset arrays, rootless trees). Every compiled family
+// must round-trip through blob() → from_blob and keep forwarding.
+
+// Serialize → reload → serve an (empty) batch; validation must accept.
+void expect_degenerate_roundtrip(const FlatFib& fib, std::size_t n) {
+  EXPECT_EQ(fib.node_count(), n);
+  const auto blob = fib.blob();
+  const FlatFib reloaded = FlatFib::from_blob({blob.data(), blob.size()});
+  EXPECT_EQ(reloaded.kind(), fib.kind());
+  EXPECT_EQ(reloaded.node_count(), n);
+  const auto queries = all_pairs(n);
+  FibBatchOptions opt;
+  const FibBatchOutput out = forward_batch(reloaded, queries, opt);
+  ASSERT_EQ(out.results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // On these tiny connected graphs every pair must deliver.
+    EXPECT_EQ(out.results[i].delivered != 0, true) << "query " << i;
+  }
+}
+
+// The empty graph has no scheme builders, so assemble the minimal valid
+// arena of each kind by hand: sentinel-only offset arrays and zero-length
+// payload sections.
+TEST(FibDegenerate, EmptyGraphRoundTripsEveryKind) {
+  const Graph g(0);
+  const std::vector<std::uint32_t> sentinel{0};
+  const std::vector<std::uint32_t> none;
+  {
+    FibBuilder b(FibKind::kTree, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kTreeNodes, std::vector<FibTreeNode>(1));
+    b.add_array(fib_section::kTreeLightPorts, none);
+    b.add_array(fib_section::kTreeLabelOff, sentinel);
+    b.add_array(fib_section::kTreeLabelSeq, none);
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+  {
+    FibBuilder b(FibKind::kInterval, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kIntervalNodes, std::vector<FibIntervalNode>(1));
+    b.add_array(fib_section::kIntervalChildIn, none);
+    b.add_array(fib_section::kIntervalChildPort, none);
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+  {
+    FibBuilder b(FibKind::kCowen, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kCowenRowOff, sentinel);
+    b.add_array(fib_section::kCowenRowLen, none);
+    b.add_array(fib_section::kCowenRows, std::vector<std::uint64_t>{});
+    b.add_array(fib_section::kCowenLandmark, none);
+    b.add_array(fib_section::kCowenLandmarkPort, none);
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+  {
+    FibBuilder b(FibKind::kTable, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kTableRowOff, sentinel);
+    b.add_array(fib_section::kTableRuns, std::vector<std::uint64_t>{});
+    b.add_array(fib_section::kTableRelabel, none);
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+  {
+    FibBuilder b(FibKind::kMesh, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kMeshInfo, sentinel);  // component_count == 0
+    b.add_array(fib_section::kMeshComp, none);
+    b.add_array(fib_section::kMeshPeerPort, none);
+    b.add_array(fib_section::kMeshNodes, std::vector<FibTreeNode>(1));
+    b.add_array(fib_section::kMeshLightPorts, none);
+    b.add_array(fib_section::kMeshLabelOff, sentinel);
+    b.add_array(fib_section::kMeshLabelSeq, none);
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+}
+
+// A nonzero component count on an empty FIB must be rejected, not served.
+TEST(FibDegenerate, EmptyMeshWithComponentsIsRejected) {
+  FibBuilder b(FibKind::kMesh, 0);
+  b.add_topology(Graph(0));
+  b.add_array(fib_section::kMeshInfo, std::vector<std::uint32_t>{1});
+  b.add_array(fib_section::kMeshComp, std::vector<std::uint32_t>{});
+  b.add_array(fib_section::kMeshPeerPort, std::vector<std::uint32_t>{});
+  b.add_array(fib_section::kMeshNodes, std::vector<FibTreeNode>(1));
+  b.add_array(fib_section::kMeshLightPorts, std::vector<std::uint32_t>{});
+  b.add_array(fib_section::kMeshLabelOff, std::vector<std::uint32_t>{0});
+  b.add_array(fib_section::kMeshLabelSeq, std::vector<std::uint32_t>{});
+  EXPECT_THROW(b.finish(), std::runtime_error);
+}
+
+// Single-node and two-node-single-edge instances of the plain families,
+// put through the full differential battery (compile, round-trip,
+// route_batch, failure modes).
+void check_plain_degenerate(const Graph& g, std::uint64_t seed) {
+  const ShortestPath alg{16};
+  Rng rng(seed);
+  const auto w = test::sampled_weights(alg, g, rng);
+  {
+    const auto scheme = SpanningTreeScheme<ShortestPath>::build(alg, g, w);
+    check_family(scheme, g, seed, "tree-degenerate");
+  }
+  {
+    const IntervalRouter router(g, preferred_spanning_tree(alg, g, w));
+    check_family(router, g, seed, "interval-degenerate");
+  }
+  {
+    const auto scheme = CowenScheme<ShortestPath>::build(alg, g, w, rng);
+    check_family(scheme, g, seed, "cowen-degenerate");
+  }
+  {
+    const auto tree_edges = preferred_spanning_tree(alg, g, w);
+    const RootedTree tree = RootedTree::from_edges(g, tree_edges, 0);
+    const CompressedTableScheme scheme(
+        g, preferred_next_hops(alg, g, w),
+        CompressedTableScheme::dfs_relabeling(g, tree.parent, 0));
+    check_family(scheme, g, seed, "table-degenerate");
+  }
+  {
+    const auto scheme = DestinationTableScheme::from_algebra(alg, g, w);
+    check_family(scheme, g, seed, "dest-table-degenerate");
+  }
+}
+
+TEST(FibDegenerate, SingleNodePlainFamilies) {
+  check_plain_degenerate(Graph(1), 11);
+}
+
+TEST(FibDegenerate, TwoNodeSingleEdgePlainFamilies) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  check_plain_degenerate(g, 12);
+}
+
+TEST(FibDegenerate, SingleNodeBgpFamilies) {
+  AsTopology topo;
+  topo.graph = Digraph(1);
+  const ProviderTreeScheme pt(topo);
+  check_family(pt, pt.shadow(), 21, "provider-tree-n1");
+  const SvfcPeerMeshScheme mesh(topo);
+  EXPECT_EQ(mesh.component_count(), 1u);
+  check_family(mesh, mesh.shadow(), 21, "mesh-n1");
+  const Graph shadow = topo.graph.undirected_shadow();
+  const auto tables = bgp_destination_tables(topo, shadow);
+  check_family(tables, shadow, 21, "bgp-dest-table-n1");
+}
+
+TEST(FibDegenerate, TwoNodeSingleProviderEdgeBgpFamilies) {
+  AsTopology topo;
+  topo.graph = Digraph(2);
+  topo.graph.add_arc_pair(1, 0);  // 1's provider is 0
+  topo.relation.push_back(Relationship::kProvider);
+  topo.relation.push_back(Relationship::kCustomer);
+  const ProviderTreeScheme pt(topo);
+  check_family(pt, pt.shadow(), 22, "provider-tree-n2");
+  const SvfcPeerMeshScheme mesh(topo);
+  EXPECT_EQ(mesh.component_count(), 1u);
+  check_family(mesh, mesh.shadow(), 22, "mesh-n2");
+  const Graph shadow = topo.graph.undirected_shadow();
+  const auto tables = bgp_destination_tables(topo, shadow);
+  check_family(tables, shadow, 22, "bgp-dest-table-n2");
+}
+
+TEST(FibDegenerate, TwoPeeredRootsCompileAsTwoComponentMesh) {
+  // Two single-node provider trees joined only by the root peering —
+  // the smallest FIB whose peer matrix actually routes a packet.
+  AsTopology topo;
+  topo.graph = Digraph(2);
+  topo.graph.add_arc_pair(0, 1);
+  topo.relation.push_back(Relationship::kPeer);
+  topo.relation.push_back(Relationship::kPeer);
+  const SvfcPeerMeshScheme mesh(topo);
+  EXPECT_EQ(mesh.component_count(), 2u);
+  check_family(mesh, mesh.shadow(), 23, "mesh-two-roots");
 }
 
 }  // namespace

@@ -28,6 +28,32 @@ TEST(Simulator, LoopGuardTrips) {
   const RouteResult r = simulate_route(s, g, 0, 3, /*max_hops=*/20);
   EXPECT_FALSE(r.delivered);
   EXPECT_EQ(r.hops(), 21u);  // guard allows max_hops+1 forwards then stops
+  EXPECT_FALSE(r.looped);    // without detect_loops, nothing is proven
+}
+
+TEST(Simulator, DetectLoopsProvesTheLoopExactly) {
+  // Same broken scheme, but with exact (node, header) tracking on: the
+  // walk ping-pongs 0 → 1 → 0 and the first revisited state proves the
+  // loop, instead of burning the hop budget and reporting it
+  // indistinguishably from a long path.
+  const Graph g = ring(6);
+  const Port0Scheme s;
+  const RouteResult r = simulate_route(s, g, 0, 3, /*max_hops=*/20,
+                                       /*detect_loops=*/true);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.looped);
+  EXPECT_EQ(r.path, (NodePath{0, 1, 0}));
+}
+
+TEST(Simulator, DetectLoopsStaysClearOnDelivery) {
+  // A correct walk under detect_loops must deliver with the flag clear —
+  // the tracking may not misfire on states that merely look similar.
+  const Graph g = ring(6);
+  const Port0Scheme s;
+  const RouteResult r = simulate_route(s, g, 3, 3, /*max_hops=*/0,
+                                       /*detect_loops=*/true);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_FALSE(r.looped);
 }
 
 TEST(Simulator, DefaultGuardScalesWithGraph) {
