@@ -1,0 +1,238 @@
+#include "fib/arena_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cpr {
+namespace fs = std::filesystem;
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+constexpr char kArenaPrefix[] = "arena-";
+constexpr char kArenaSuffix[] = ".fib";
+constexpr std::size_t kGenDigits = 8;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ArenaStore: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+std::string arena_name(std::uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kArenaPrefix,
+                static_cast<unsigned long long>(gen), kArenaSuffix);
+  return buf;
+}
+
+// Parses "arena-<8 digits>.fib"; returns false for anything else
+// (temps, CURRENT, stray files).
+bool parse_arena_name(const std::string& name, std::uint64_t* gen) {
+  const std::size_t prefix = sizeof(kArenaPrefix) - 1;
+  const std::size_t suffix = sizeof(kArenaSuffix) - 1;
+  if (name.size() != prefix + kGenDigits + suffix) return false;
+  if (name.compare(0, prefix, kArenaPrefix) != 0) return false;
+  if (name.compare(prefix + kGenDigits, suffix, kArenaSuffix) != 0) {
+    return false;
+  }
+  std::uint64_t g = 0;
+  for (std::size_t i = 0; i < kGenDigits; ++i) {
+    const char c = name[prefix + i];
+    if (c < '0' || c > '9') return false;
+    g = g * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *gen = g;
+  return true;
+}
+
+// Durable whole-file write: the bytes reach the inode before we return,
+// so the rename that follows can only ever expose complete content.
+void write_file_sync(const fs::path& path, const void* data,
+                     std::size_t bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create " + path.string());
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t w = ::write(fd, p + done, bytes - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write to " + path.string());
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync " + path.string());
+  }
+  ::close(fd);
+}
+
+// Makes the renames themselves durable: fsync on the directory inode.
+void sync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("cannot open directory " + dir.string());
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync directory " + dir.string());
+  }
+  ::close(fd);
+}
+
+void rename_or_fail(const fs::path& from, const fs::path& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    fail("rename " + from.string() + " -> " + to.string());
+  }
+}
+
+// The arena file name CURRENT points at, or empty when absent/garbled.
+std::string read_current(const fs::path& dir) {
+  std::ifstream in(dir / kCurrentName);
+  std::string name;
+  if (!in || !std::getline(in, name)) return {};
+  return name;
+}
+
+// All published generations in the directory, descending.
+std::vector<std::uint64_t> scan_generations(const fs::path& dir) {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t g = 0;
+    if (parse_arena_name(entry.path().filename().string(), &g)) {
+      gens.push_back(g);
+    }
+  }
+  std::sort(gens.begin(), gens.end(), std::greater<>{});
+  return gens;
+}
+
+}  // namespace
+
+ServedArena::~ServedArena() {
+  if (map_ != nullptr) ::munmap(map_, bytes_);
+}
+
+ArenaStore::ArenaStore(fs::path dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_);
+  const auto gens = scan_generations(dir_);
+  if (!gens.empty()) next_generation_ = gens.front() + 1;
+}
+
+fs::path ArenaStore::arena_path(std::uint64_t gen) const {
+  return dir_ / arena_name(gen);
+}
+
+std::uint64_t ArenaStore::publish(const FlatFib& fib, PublishStop stop) {
+  const auto blob = fib.blob();  // refreshes any lazy checksum first
+  return publish_blob(blob, stop);
+}
+
+std::uint64_t ArenaStore::publish_blob(std::span<const std::uint8_t> blob,
+                                       PublishStop stop) {
+  const std::uint64_t gen = next_generation_++;
+  const fs::path arena = arena_path(gen);
+  const fs::path temp = arena.string() + ".tmp";
+  write_file_sync(temp, blob.data(), blob.size());
+  if (stop == PublishStop::kBeforeRename) return gen;
+  rename_or_fail(temp, arena);
+  if (stop == PublishStop::kBeforeCurrent) return gen;
+
+  const std::string name = arena_name(gen) + "\n";
+  const fs::path current_tmp = dir_ / (std::string(kCurrentName) + ".tmp");
+  write_file_sync(current_tmp, name.data(), name.size());
+  rename_or_fail(current_tmp, dir_ / kCurrentName);
+  sync_dir(dir_);
+  return gen;
+}
+
+std::size_t ArenaStore::remove_stale_temps() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      if (fs::remove(entry.path(), ec)) ++removed;
+    }
+  }
+  return removed;
+}
+
+std::size_t ArenaStore::prune(std::uint64_t keep_from) {
+  const std::string current = read_current(dir_);
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const std::uint64_t g : scan_generations(dir_)) {
+    if (g >= keep_from || arena_name(g) == current) continue;
+    if (fs::remove(arena_path(g), ec)) ++removed;
+  }
+  return removed;
+}
+
+std::shared_ptr<const ServedArena> ArenaStore::try_open(
+    std::uint64_t gen) const {
+  const fs::path path = arena_path(gen);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping outlives the descriptor
+  if (map == MAP_FAILED) return nullptr;
+
+  // Total validation against the mapped bytes — a blob that fails any
+  // check (truncation, checksum, structure) is unmapped and reported
+  // absent, exactly like a file that never appeared.
+  std::shared_ptr<ServedArena> arena(new ServedArena());
+  arena->path_ = path;
+  arena->generation_ = gen;
+  arena->map_ = map;
+  arena->bytes_ = bytes;
+  try {
+    arena->fib_ = FlatFib::from_memory(map, bytes);
+  } catch (const std::exception&) {
+    return nullptr;  // ~ServedArena unmaps
+  }
+  return arena;
+}
+
+std::shared_ptr<const ServedArena> ArenaStore::current() {
+  std::uint64_t want = 0;
+  const std::string name = read_current(dir_);
+  const bool have_current = parse_arena_name(name, &want);
+  if (have_current) {
+    if (cached_ && cached_->generation() == want) return cached_;
+    if (auto arena = try_open(want)) {
+      cached_ = std::move(arena);
+      return cached_;
+    }
+  }
+  // CURRENT missing, garbled, or naming a blob that failed validation:
+  // serve the newest earlier generation that does validate.
+  for (const std::uint64_t g : scan_generations(dir_)) {
+    if (have_current && g == want) continue;  // already rejected
+    if (cached_ && cached_->generation() == g) return cached_;
+    if (auto arena = try_open(g)) {
+      cached_ = std::move(arena);
+      return cached_;
+    }
+  }
+  // Nothing on disk validates; an old snapshot (whose mapping is still
+  // alive regardless of what happened to the file) beats nothing.
+  return cached_;
+}
+
+}  // namespace cpr

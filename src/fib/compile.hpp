@@ -29,6 +29,9 @@
 #include "fib/flat_fib.hpp"
 #include "graph/graph.hpp"
 
+#include <memory>
+#include <mutex>
+
 namespace cpr {
 
 class TreeRouter;
@@ -141,18 +144,47 @@ inline FibMaintainOptions fib_churn_maintain_options() {
 // The class itself is unconstrained so std::optional<MaintainedFib<S>>
 // is well-formed for any S; the methods require compile_fib(S, Graph)
 // when instantiated.
+//
+// Concurrent serving: reader threads snapshot the arena with arena()
+// and run forward_batch on it while absorb() keeps patching. Patches
+// land in place behind the seqlock (readers retry, flat_fib.hpp);
+// compactions build a *fresh* arena and swap the shared pointer, and
+// the superseded arena is destroyed only when the last in-flight batch
+// drops its snapshot — the RCU grace period is the refcount reaching
+// zero, so a walk never dangles across a recompile. absorb() itself is
+// single-writer: calls must come from one thread (or be serialized).
 template <typename S>
 class MaintainedFib {
  public:
   MaintainedFib(const S& scheme, const Graph& g,
                 const FibMaintainOptions& opt = fib_churn_maintain_options())
-      : graph_(&g), opt_(opt), fib_(recompile(scheme)) {}
+      : graph_(&g),
+        opt_(opt),
+        fib_(std::make_shared<FlatFib>(recompile(scheme))) {}
 
-  const FlatFib& fib() const { return fib_; }
+  // Single-threaded convenience: valid until the next absorb().
+  const FlatFib& fib() const { return *fib_; }
+
+  // Pins the current arena for a batch. The snapshot stays alive (and
+  // internally coherent, via the seqlock) for as long as the caller
+  // holds it, no matter how many compactions happen meanwhile.
+  std::shared_ptr<const FlatFib> arena() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fib_;
+  }
+
   const FibMaintainStats& stats() const { return stats_; }
 
+  // Test-only: the crash-injection hook (simulate_writer_crash_after_
+  // for_test) needs mutable access to the writer's arena.
+  FlatFib& fib_for_test() { return *fib_; }
+
   // Absorbs one event. Returns true when the arena was patched in place
-  // (or provably unchanged), false when it was recompiled.
+  // (or provably unchanged), false when it was recompiled. A patch that
+  // apply_delta refuses — slack exhausted, malformed, or an odd
+  // generation left by a crashed writer — falls through to compaction,
+  // which is also how a torn arena is recovered: the fresh arena starts
+  // at generation zero and the readers move to it on their next batch.
   bool absorb(const FibDelta& d, const S& scheme) {
     ++stats_.events;
     if (d.empty()) {
@@ -164,13 +196,18 @@ class MaintainedFib {
         n > 0 && static_cast<double>(d.touched_nodes) >
                      opt_.compaction_fraction * static_cast<double>(n);
     if (!d.recompile && !too_wide) {
-      if (fib_.apply_delta(d)) {
+      if (fib_->apply_delta(d)) {
         ++stats_.patched;
         return true;
       }
       ++stats_.slack_exhausted;
     }
-    fib_ = recompile(scheme);
+    auto fresh = std::make_shared<FlatFib>(recompile(scheme));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fib_.swap(fresh);
+    }
+    // `fresh` (the old arena) dies here unless a batch still holds it.
     ++stats_.compactions;
     return false;
   }
@@ -190,7 +227,8 @@ class MaintainedFib {
   const Graph* graph_;
   FibMaintainOptions opt_;
   FibMaintainStats stats_;
-  FlatFib fib_;
+  mutable std::mutex mu_;  // guards the fib_ pointer swap, not the arena
+  std::shared_ptr<FlatFib> fib_;
 };
 
 }  // namespace cpr

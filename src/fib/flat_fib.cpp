@@ -3,6 +3,7 @@
 #include "fib/fib_delta.hpp"
 #include "util/bitstream.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -131,8 +132,24 @@ void check_node_ids(const std::uint32_t* ids, std::size_t count,
 FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   FlatFib fib;
   fib.words_ = std::move(words);
-  const auto* base = reinterpret_cast<const std::uint8_t*>(fib.words_.data());
+  fib.base_ = reinterpret_cast<const std::uint8_t*>(fib.words_.data());
+  fib.writable_ = true;
   const std::size_t avail = fib.words_.size() * sizeof(std::uint64_t);
+  return open(std::move(fib), avail);
+}
+
+FlatFib FlatFib::from_memory(const void* data, std::size_t bytes) {
+  if (reinterpret_cast<std::uintptr_t>(data) % alignof(std::uint64_t) != 0) {
+    fail("from_memory base is not 8-byte aligned");
+  }
+  FlatFib fib;
+  fib.base_ = static_cast<const std::uint8_t*>(data);
+  fib.writable_ = false;
+  return open(std::move(fib), bytes);
+}
+
+FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
+  const std::uint8_t* base = fib.base_;
 
   if (avail < kHeaderBytes) fail("blob shorter than header");
   if (std::memcmp(base, kMagic, 6) != 0) fail("bad magic");
@@ -390,12 +407,15 @@ FlatFib FlatFib::from_blob(std::span<const std::uint8_t> bytes) {
 
 FlatFib::FlatFib(FlatFib&& other) noexcept
     : words_(std::move(other.words_)),
+      base_(other.base_),
+      writable_(other.writable_),
       bytes_(other.bytes_),
       payload_begin_(other.payload_begin_),
       kind_(other.kind_),
       node_count_(other.node_count_),
       sections_(std::move(other.sections_)),
       generation_(other.generation_.load(std::memory_order_acquire)),
+      crash_after_patches_(other.crash_after_patches_),
       checksum_stale_(other.checksum_stale_),
       topo_(other.topo_),
       tree_(other.tree_),
@@ -407,6 +427,8 @@ FlatFib::FlatFib(FlatFib&& other) noexcept
 FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
   if (this != &other) {
     words_ = std::move(other.words_);
+    base_ = other.base_;
+    writable_ = other.writable_;
     bytes_ = other.bytes_;
     payload_begin_ = other.payload_begin_;
     kind_ = other.kind_;
@@ -414,6 +436,7 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
     sections_ = std::move(other.sections_);
     generation_.store(other.generation_.load(std::memory_order_acquire),
                       std::memory_order_release);
+    crash_after_patches_ = other.crash_after_patches_;
     checksum_stale_ = other.checksum_stale_;
     topo_ = other.topo_;
     tree_ = other.tree_;
@@ -426,6 +449,7 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
 }
 
 std::uint8_t* FlatFib::section_ptr(std::uint32_t id) {
+  if (!writable_) return nullptr;
   for (const auto& s : sections_) {
     if (s.id == id) {
       return reinterpret_cast<std::uint8_t*>(words_.data()) + s.offset;
@@ -435,6 +459,7 @@ std::uint8_t* FlatFib::section_ptr(std::uint32_t id) {
 }
 
 void FlatFib::refresh_checksum() const {
+  if (!writable_) return;  // foreign arenas are immutable, never stale
   auto* base = reinterpret_cast<std::uint8_t*>(
       const_cast<std::uint64_t*>(words_.data()));
   const std::uint64_t sum =
@@ -485,38 +510,67 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
     }
   }
 
-  std::uint8_t* rows = section_ptr(fs::kCowenRows);
-  std::uint8_t* row_len = section_ptr(fs::kCowenRowLen);
-  std::uint8_t* landmark = section_ptr(fs::kCowenLandmark);
-  std::uint8_t* landmark_port = section_ptr(fs::kCowenLandmarkPort);
+  auto* rows = reinterpret_cast<std::uint64_t*>(section_ptr(fs::kCowenRows));
+  auto* row_len =
+      reinterpret_cast<std::uint32_t*>(section_ptr(fs::kCowenRowLen));
+  auto* landmark =
+      reinterpret_cast<std::uint32_t*>(section_ptr(fs::kCowenLandmark));
+  auto* landmark_port =
+      reinterpret_cast<std::uint32_t*>(section_ptr(fs::kCowenLandmarkPort));
+  // section_ptr is nullptr for read-only arenas: mmap'd blobs are immutable
+  // by contract, so a delta against one always reports "recompile".
   if (!rows || !row_len || !landmark || !landmark_port) return false;
 
-  // Odd generation marks the patch window; readers entering or spanning
-  // it see the mismatch and refuse the torn read.
-  generation_.fetch_add(1, std::memory_order_acq_rel);
+  // Seqlock write. An odd generation here means a previous writer died
+  // inside its patch window (or two writers raced, which the single-writer
+  // contract forbids); the arena may hold a half-applied patch, so refuse
+  // and let the owner compact into a fresh arena.
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (gen % 2 != 0) return false;
+  generation_.store(gen + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+
+  // All stores below are relaxed atomics so concurrent forward_batch
+  // readers (who re-read the generation around every batch and retry on a
+  // mismatch) race with them benignly rather than undefinedly.
+  std::size_t applied = 0;
   for (const FibRowPatch& p : delta.patches) {
+    if (applied++ == crash_after_patches_) {
+      crash_after_patches_ = static_cast<std::size_t>(-1);  // one-shot
+      return true;  // test hook: the writer "dies" inside the window
+    }
     switch (p.section) {
       case fs::kCowenRows: {
         const std::size_t begin = cowen_.row_off[p.row];
         const std::size_t cap = cowen_.row_off[p.row + 1] - begin;
-        std::memcpy(rows + begin * 8, p.bytes.data(), p.bytes.size());
-        std::memset(rows + begin * 8 + p.bytes.size(), 0,
-                    cap * 8 - p.bytes.size());
-        const std::uint32_t len =
-            static_cast<std::uint32_t>(p.bytes.size() / 8);
-        std::memcpy(row_len + std::size_t{p.row} * 4, &len, 4);
+        const std::size_t len = p.bytes.size() / 8;
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t e;
+          std::memcpy(&e, p.bytes.data() + i * 8, 8);
+          fib_seq_store_u64(rows + begin + i, e);
+        }
+        for (std::size_t i = len; i < cap; ++i) {
+          fib_seq_store_u64(rows + begin + i, 0);
+        }
+        fib_seq_store_u32(row_len + p.row, static_cast<std::uint32_t>(len));
         break;
       }
-      case fs::kCowenLandmark:
-        std::memcpy(landmark + std::size_t{p.row} * 4, p.bytes.data(), 4);
+      case fs::kCowenLandmark: {
+        std::uint32_t lm;
+        std::memcpy(&lm, p.bytes.data(), 4);
+        fib_seq_store_u32(landmark + p.row, lm);
         break;
-      case fs::kCowenLandmarkPort:
-        std::memcpy(landmark_port + std::size_t{p.row} * 4, p.bytes.data(), 4);
+      }
+      case fs::kCowenLandmarkPort: {
+        std::uint32_t port;
+        std::memcpy(&port, p.bytes.data(), 4);
+        fib_seq_store_u32(landmark_port + p.row, port);
         break;
+      }
     }
   }
   checksum_stale_ = true;
-  generation_.fetch_add(1, std::memory_order_acq_rel);
+  generation_.store(gen + 2, std::memory_order_release);
   return true;
 }
 

@@ -42,6 +42,22 @@
 // recompiling, a generation counter (odd while a patch is in flight)
 // lets readers detect torn reads, and the payload checksum is refreshed
 // lazily on the next blob() call rather than per patch.
+//
+// Concurrency (the serving plane, docs/forwarding_plane.md "Serving from
+// shared arenas"): the generation counter is a real seqlock. One writer
+// at a time may call apply_delta while forward_batch readers are in
+// flight on other threads; the writer makes the generation odd, rewrites
+// the patched slots with relaxed atomic stores, and publishes the even
+// successor with release ordering. Readers load the mutable Cowen
+// sections through the same relaxed atomics (fib_seq_load_*; free on
+// x86-64 — an aligned mov either way) and revalidate the generation
+// after the walk, retrying instead of serving a torn view. The protocol
+// is single-writer: concurrent apply_delta calls must be serialized by
+// the caller (MaintainedFib does). Arenas opened over foreign read-only
+// memory (from_memory — mmap'd blobs published by ArenaStore) are
+// immutable: apply_delta refuses and the generation never moves, so
+// cross-process readers never see a torn row by construction — new
+// generations arrive as whole new files, not in-place writes.
 #pragma once
 
 #include "graph/graph.hpp"
@@ -98,6 +114,29 @@ inline std::uint32_t fib_entry_key(std::uint64_t e) {
 }
 inline std::uint32_t fib_entry_port(std::uint64_t e) {
   return static_cast<std::uint32_t>(e);
+}
+
+// Seqlock-protected loads/stores of the mutable arena sections. The
+// patched slots (Cowen rows, row lengths, landmark labels) are written
+// by apply_delta while reader threads walk them; both sides go through
+// relaxed atomics so a torn window is a stale-or-new *value*, never a
+// data race — the generation recheck after the batch discards any
+// incoherent view. Sections are 64-byte aligned and the arrays are
+// naturally aligned, so atomic_ref's alignment requirement holds. On
+// x86-64 these compile to the same plain movs as the direct access.
+inline std::uint64_t fib_seq_load_u64(const std::uint64_t* p) {
+  return std::atomic_ref<std::uint64_t>(*const_cast<std::uint64_t*>(p))
+      .load(std::memory_order_relaxed);
+}
+inline std::uint32_t fib_seq_load_u32(const std::uint32_t* p) {
+  return std::atomic_ref<std::uint32_t>(*const_cast<std::uint32_t*>(p))
+      .load(std::memory_order_relaxed);
+}
+inline void fib_seq_store_u64(std::uint64_t* p, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(*p).store(v, std::memory_order_relaxed);
+}
+inline void fib_seq_store_u32(std::uint32_t* p, std::uint32_t v) {
+  std::atomic_ref<std::uint32_t>(*p).store(v, std::memory_order_relaxed);
 }
 
 class FlatFib {
@@ -171,27 +210,52 @@ class FlatFib {
   // into an aligned word buffer once, then opens it with from_words.
   static FlatFib from_blob(std::span<const std::uint8_t> bytes);
 
+  // Non-owning read-only open over foreign memory — the mmap'd blob
+  // files ArenaStore publishes. Runs the exact same total validation,
+  // but the arena stays immutable (apply_delta refuses, the generation
+  // never moves) and the caller guarantees `data` outlives the FlatFib
+  // and is 8-byte aligned (mmap regions are page-aligned).
+  static FlatFib from_memory(const void* data, std::size_t bytes);
+
+  // False for from_memory arenas: the backing store is foreign read-only
+  // memory, so in-place patching is structurally impossible.
+  bool writable() const { return writable_; }
+
   // The serialized form (the arena itself, header + directory included).
   // apply_delta defers the payload re-checksum; this refreshes it first,
   // so a dumped blob always re-validates on from_blob.
   std::span<const std::uint8_t> blob() const {
     if (checksum_stale_) refresh_checksum();
-    return {reinterpret_cast<const std::uint8_t*>(words_.data()), bytes_};
+    return {base_, bytes_};
   }
 
   // Patches the arena in place from a churn delta. Returns false — with
   // the arena untouched — when the delta demands a recompile, targets a
-  // kind this arena is not, or any row patch cannot be applied (slack
-  // exhausted, malformed bytes); the caller then falls back to a full
-  // compile_fib. All patches are validated before the first byte moves,
-  // so a false return never leaves a half-applied arena.
+  // kind this arena is not, the arena is read-only or sits on an odd
+  // generation (a crashed writer's torn patch window: never compound
+  // it), or any row patch cannot be applied (slack exhausted, malformed
+  // bytes); the caller then falls back to a full compile_fib. All
+  // patches are validated before the first byte moves, so a false
+  // return never leaves a half-applied arena. Single writer: concurrent
+  // apply_delta calls must be serialized by the caller; concurrent
+  // forward_batch readers are safe (seqlock).
   bool apply_delta(const FibDelta& delta);
 
   // Even while the arena is stable, odd while apply_delta is rewriting
   // it; bumped by two per applied delta. forward_batch samples it on
-  // entry and exit to refuse torn reads.
+  // entry and exit and retries (or refuses) torn reads.
   std::uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
+  }
+
+  // Test-only crash injection: the next apply_delta abandons the arena
+  // mid-write after `patches` row patches land — generation left odd,
+  // remaining patches unapplied — exactly what a writer dying inside
+  // the seqlock window leaves behind. Readers must retry/refuse, and a
+  // later apply_delta must refuse the odd parity (the maintainer then
+  // recovers by compaction). One-shot; normal operation never sets it.
+  void simulate_writer_crash_after_for_test(std::size_t patches) {
+    crash_after_patches_ = patches;
   }
 
   FibKind kind() const { return kind_; }
@@ -214,17 +278,22 @@ class FlatFib {
     std::uint64_t bytes = 0;
   };
 
-  // Mutable bytes of a section, or nullptr when absent.
+  // Mutable bytes of a section, or nullptr when absent or read-only.
   std::uint8_t* section_ptr(std::uint32_t id);
   void refresh_checksum() const;
+  // Validates the blob at base_/writable_ and points the views into it.
+  static FlatFib open(FlatFib fib, std::size_t avail);
 
-  std::vector<std::uint64_t> words_;  // owned blob, 8-byte aligned
-  std::size_t bytes_ = 0;             // meaningful prefix of words_
+  std::vector<std::uint64_t> words_;  // owned blob (empty when non-owning)
+  const std::uint8_t* base_ = nullptr;  // words_.data() or foreign memory
+  bool writable_ = false;             // false: mmap'd/foreign, never patched
+  std::size_t bytes_ = 0;             // meaningful prefix of the backing
   std::size_t payload_begin_ = 0;     // checksummed region [begin, bytes_)
   FibKind kind_ = FibKind::kTree;
   std::size_t node_count_ = 0;
   std::vector<SectionEntry> sections_;
   std::atomic<std::uint64_t> generation_{0};
+  std::size_t crash_after_patches_ = static_cast<std::size_t>(-1);
   mutable bool checksum_stale_ = false;
   TopoView topo_;
   TreeView tree_;

@@ -1,7 +1,9 @@
 #include "fib/forward_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 namespace cpr {
 namespace {
@@ -87,6 +89,13 @@ struct IntervalWalker {
   void prefetch(NodeId v) const { CPR_PREFETCH(&t.nodes[v]); }
 };
 
+// Cowen is the only kind apply_delta patches, so its walker is the only
+// one that reads the arena through the seqlock load helpers: every probe
+// of rows / row_len / landmark / landmark_port is a relaxed atomic load
+// racing benignly with a concurrent writer. A torn window can hand back
+// a stale-or-new mixture of values — never out-of-bounds, since row_off
+// is the immutable capacity CSR and any stored row_len is within it —
+// and the generation recheck after the batch discards the whole result.
 struct CowenWalker {
   const FlatFib::CowenView& t;
   NodeId target = kInvalidNode;
@@ -96,25 +105,42 @@ struct CowenWalker {
   explicit CowenWalker(const FlatFib& fib) : t(fib.cowen()) {}
   void resolve(NodeId tgt) {
     target = tgt;
-    landmark = t.landmark[tgt];
-    port_at_landmark = t.landmark_port[tgt];
+    landmark = fib_seq_load_u32(t.landmark + tgt);
+    port_at_landmark = fib_seq_load_u32(t.landmark_port + tgt);
+  }
+  // Last live entry with key <= `key`, loaded atomically; returns false
+  // when the row has no such entry. Same contract as row_search.
+  bool search(const std::uint64_t* row, std::uint32_t len, std::uint32_t key,
+              std::uint64_t* out) const {
+    const std::uint64_t probe = fib_pack_entry(key, 0xffffffffu);
+    std::uint32_t lo = 0, hi = len;
+    while (lo < hi) {
+      const std::uint32_t mid = (lo + hi) / 2;
+      if (fib_seq_load_u64(row + mid) <= probe) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) return false;
+    *out = fib_seq_load_u64(row + lo - 1);
+    return true;
   }
   StepResult step(NodeId u) const {
     if (u == target) return {true, kInvalidPort};
     // row_off[u] is the row's *capacity* base; only the live prefix
     // (row_len[u] entries) holds data, the rest is patching slack.
-    const std::uint64_t* begin = t.rows + t.row_off[u];
-    const std::uint64_t* end = begin + t.row_len[u];
+    const std::uint64_t* row = t.rows + t.row_off[u];
+    const std::uint32_t len = fib_seq_load_u32(t.row_len + u);
     // Same precedence as CowenScheme::forward: direct entry, the
     // landmark's own hop, then the entry toward the landmark.
-    if (const std::uint64_t* e = row_search(begin, end, target);
-        e && fib_entry_key(*e) == target) {
-      return {false, fib_entry_port(*e)};
+    std::uint64_t e;
+    if (search(row, len, target, &e) && fib_entry_key(e) == target) {
+      return {false, fib_entry_port(e)};
     }
     if (u == landmark) return {false, port_at_landmark};
-    if (const std::uint64_t* e = row_search(begin, end, landmark);
-        e && fib_entry_key(*e) == landmark) {
-      return {false, fib_entry_port(*e)};
+    if (search(row, len, landmark, &e) && fib_entry_key(e) == landmark) {
+      return {false, fib_entry_port(e)};
     }
     return {false, kInvalidPort};
   }
@@ -269,13 +295,6 @@ FibBatchOutput forward_batch(const FlatFib& fib,
   out.results.resize(queries.size());
   if (queries.empty() || fib.node_count() == 0) return out;
 
-  // Torn-read guard: an odd generation means apply_delta is mid-patch;
-  // a generation change across the batch means rows moved under us.
-  const std::uint64_t gen = fib.generation();
-  if (gen & 1) {
-    throw std::runtime_error("forward_batch: FIB patch in progress");
-  }
-
   const std::size_t n = fib.node_count();
   const std::size_t max_hops =
       opt.max_hops != 0 ? opt.max_hops : 4 * n + 16;
@@ -303,37 +322,63 @@ FibBatchOutput forward_batch(const FlatFib& fib,
     }
   }
 
-  // Walk the shards in parallel; each writes disjoint result slots plus
-  // its own path buffer.
+  // Seqlock read side. Sample the generation, walk, issue an acquire
+  // fence at the end of every shard (so each worker's data loads are
+  // sequenced before its fence — the fence pairs with apply_delta's
+  // release fence), then revalidate after the join. Odd entry or a
+  // mismatch means a writer was active: discard everything and re-run
+  // up to seqlock_max_retries times, then throw. The sharding above is a
+  // pure function of the queries, so only the walk itself repeats.
   ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
   std::vector<std::vector<NodeId>> shard_paths(shards);
-  parallel_for(pool, 0, shards, [&](std::size_t s) {
-    const std::span<const std::uint32_t> indices{
-        order.data() + shard_begin[s], shard_begin[s + 1] - shard_begin[s]};
-    if (indices.empty()) return;
-    switch (fib.kind()) {
-      case FibKind::kTree:
-        dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,
-                                   out.results, shard_paths[s]);
-        break;
-      case FibKind::kInterval:
-        dispatch_shard<IntervalWalker>(fib, queries, indices, opt, max_hops,
+  std::uint64_t gen = 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    gen = fib.generation();
+    if ((gen & 1) == 0) {
+      parallel_for(pool, 0, shards, [&](std::size_t s) {
+        const std::span<const std::uint32_t> indices{
+            order.data() + shard_begin[s],
+            shard_begin[s + 1] - shard_begin[s]};
+        if (indices.empty()) return;
+        switch (fib.kind()) {
+          case FibKind::kTree:
+            dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,
                                        out.results, shard_paths[s]);
-        break;
-      case FibKind::kCowen:
-        dispatch_shard<CowenWalker>(fib, queries, indices, opt, max_hops,
-                                    out.results, shard_paths[s]);
-        break;
-      case FibKind::kTable:
-        dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
-                                    out.results, shard_paths[s]);
-        break;
-      case FibKind::kMesh:
-        dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
-                                   out.results, shard_paths[s]);
-        break;
+            break;
+          case FibKind::kInterval:
+            dispatch_shard<IntervalWalker>(fib, queries, indices, opt,
+                                           max_hops, out.results,
+                                           shard_paths[s]);
+            break;
+          case FibKind::kCowen:
+            dispatch_shard<CowenWalker>(fib, queries, indices, opt, max_hops,
+                                        out.results, shard_paths[s]);
+            break;
+          case FibKind::kTable:
+            dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
+                                        out.results, shard_paths[s]);
+            break;
+          case FibKind::kMesh:
+            dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
+                                       out.results, shard_paths[s]);
+            break;
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+      });
+      if (fib.generation() == gen) break;  // coherent snapshot
     }
-  });
+    if (attempt >= opt.seqlock_max_retries) {
+      throw std::runtime_error(
+          (gen & 1) ? "forward_batch: FIB patch in progress"
+                    : "forward_batch: FIB patched during batch");
+    }
+    // Discard the torn attempt entirely — partial results (a looped flag,
+    // a recorded path) must never leak into the coherent re-run.
+    ++out.seqlock_retries;
+    std::fill(out.results.begin(), out.results.end(), FibRouteResult{});
+    for (auto& p : shard_paths) p.clear();
+    std::this_thread::yield();
+  }
 
   // Stitch the per-shard path buffers in shard order and rebase each
   // query's path_begin — layout depends only on the (fixed) sharding.
@@ -352,9 +397,6 @@ FibBatchOutput forward_batch(const FlatFib& fib,
         out.results[order[i]].path_begin += shard_base[s];
       }
     }
-  }
-  if (fib.generation() != gen) {
-    throw std::runtime_error("forward_batch: FIB patched during batch");
   }
   return out;
 }

@@ -22,6 +22,17 @@
 // revisited node under an unchanged header is a proven forwarding loop.
 // Both match simulate_route_with_failures (sim/resilience.hpp) step for
 // step; without `edge_down` the walk matches route_batch/simulate_route.
+//
+// Concurrent churn: the arena's generation counter is a seqlock
+// (flat_fib.hpp). The batch samples it on entry, walks with relaxed
+// atomic loads over the mutable Cowen sections, issues an acquire fence
+// at the end of every shard, and revalidates the generation after the
+// join. A mismatch means apply_delta rewrote rows mid-batch; with
+// seqlock_max_retries > 0 the whole batch re-runs against the settled
+// arena (results are discarded, never mixed), otherwise it throws —
+// the historical single-threaded semantics. A delivered batch is
+// therefore always the output of *one* generation, bit-identical to a
+// fresh compile of that snapshot.
 #pragma once
 
 #include "fib/flat_fib.hpp"
@@ -48,6 +59,13 @@ struct FibBatchOptions {
   // Dead-edge mask (by edge id). Non-null switches on drop-at-dead-link
   // and exact loop detection, mirroring simulate_route_with_failures.
   const std::vector<bool>* edge_down = nullptr;
+  // How many times to re-run the batch when the seqlock detects a
+  // concurrent apply_delta (odd generation on entry, or a generation
+  // change across the walk). 0 keeps the strict semantics: throw on any
+  // torn window. Serving planes that patch concurrently set this high
+  // enough to ride out a patch burst (patches are microseconds; batches
+  // are the long side of the race).
+  std::size_t seqlock_max_retries = 0;
 };
 
 struct FibRouteResult {
@@ -62,6 +80,8 @@ struct FibRouteResult {
 struct FibBatchOutput {
   std::vector<FibRouteResult> results;  // one per query, input order
   std::vector<NodeId> paths;            // concatenated walks (record_paths)
+  // Batch re-runs forced by a concurrent patch (0 on the fast path).
+  std::uint32_t seqlock_retries = 0;
 
   std::span<const NodeId> path(std::size_t query) const {
     const FibRouteResult& r = results[query];

@@ -233,7 +233,11 @@ ChurnResilienceReport measure_resilience_under_churn(
           FibBatchOptions opt;
           opt.record_paths = false;
           opt.edge_down = &down;
-          const FibBatchOutput out = forward_batch(plane->fib(), pairs, opt);
+          // Pin the arena for the batch (RCU snapshot): a compaction in
+          // absorb() swaps the maintained pointer, and this reference is
+          // what keeps the superseded arena mapped until the walk ends.
+          const std::shared_ptr<const FlatFib> arena = plane->arena();
+          const FibBatchOutput out = forward_batch(*arena, pairs, opt);
           std::vector<std::pair<bool, bool>> flags(pairs.size());
           for (std::size_t i = 0; i < pairs.size(); ++i) {
             flags[i] = {out.results[i].delivered != 0,

@@ -1,0 +1,118 @@
+// Churn served through the multi-process plane, end to end.
+//
+// measure_resilience_under_churn (sim/resilience.hpp) exercises the
+// in-process patch path: one MaintainedFib, readers on the same arena.
+// This module drives the *deployment* topology on top of it — a writer
+// role that absorbs churn and publishes generations into an ArenaStore,
+// and a reader role that discovers, validates and mmaps those
+// generations between batches, exactly as a separate serving process
+// would (the fork-based tests run the reader in a real child process;
+// here both roles live in one process so sims and benches can measure
+// the pipeline without fork plumbing).
+//
+// The reader intentionally serves whatever generation the store last
+// made durable, which lags the writer's in-memory arena by up to
+// `publish_every` events: the staleness window of a router fleet whose
+// compiler pushes FIB updates in batches. The report separates what the
+// writer did (publishes, compactions) from what the reader saw
+// (distinct generations, delivery under the *current* failure mask), so
+// a sim can dial publish_every and watch staleness eat delivery.
+#pragma once
+
+#include "fib/arena_store.hpp"
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
+#include "sim/churn.hpp"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+struct StoreServeReport {
+  std::size_t events = 0;
+  std::size_t published = 0;         // generations the writer made durable
+  std::size_t generations_seen = 0;  // distinct arenas the reader adopted
+  std::uint64_t last_generation = 0; // newest generation the reader served
+  std::size_t queries = 0;
+  std::size_t delivered = 0;         // against the live failure mask
+  FibMaintainStats maintain;         // the writer's patch/compaction mix
+
+  double delivery_fraction() const {
+    return queries ? static_cast<double>(delivered) / queries : 1.0;
+  }
+};
+
+// Plays `trace` through scheme + engine while serving every event's
+// queries from the store: the writer absorbs each event into a
+// MaintainedFib and publishes the arena every `publish_every` events
+// (and always after the last), the reader re-resolves the current
+// generation between batches and serves forward_batch from the mmap'd
+// blob. S must be FIB-compilable; with a Cowen scheme the absorbs are
+// mostly in-place seqlock patches and publishes are cheap blob dumps.
+template <RoutingAlgebra A, typename S>
+StoreServeReport serve_churn_through_store(
+    S& scheme, ChurnEngine<A>& engine,
+    const std::vector<ChurnEvent<typename A::Weight>>& trace,
+    const std::filesystem::path& dir, std::size_t pairs_per_event, Rng& rng,
+    std::size_t publish_every = 1) {
+  const Graph& g = engine.graph();
+  StoreServeReport report;
+  if (g.node_count() == 0) return report;
+
+  ArenaStore writer(dir);
+  ArenaStore reader(dir);  // separate instance: its own mmap lifecycle
+  MaintainedFib<S> plane(scheme, g);
+  writer.publish(plane.fib());
+  ++report.published;
+
+  std::uint64_t last_seen = 0;
+  const auto serve_batch = [&](const std::vector<bool>& down) {
+    const auto arena = reader.current();
+    if (!arena) return;  // nothing validated yet
+    if (arena->generation() != last_seen) {
+      last_seen = arena->generation();
+      report.last_generation = last_seen;
+      ++report.generations_seen;
+    }
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(pairs_per_event);
+    while (pairs.size() < pairs_per_event) {
+      const NodeId s = static_cast<NodeId>(rng.index(g.node_count()));
+      const NodeId t = static_cast<NodeId>(rng.index(g.node_count()));
+      if (s != t) pairs.emplace_back(s, t);
+    }
+    if (pairs.empty()) return;
+    FibBatchOptions opt;
+    opt.record_paths = false;
+    opt.edge_down = &down;
+    const FibBatchOutput out = forward_batch(arena->fib(), pairs, opt);
+    for (const FibRouteResult& r : out.results) {
+      ++report.queries;
+      report.delivered += r.delivered;
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto applied = engine.apply(trace[i]);
+    ++report.events;
+    const auto repair = scheme.apply_event(applied.edge, applied.old_weight,
+                                           applied.new_weight,
+                                           engine.weights());
+    if constexpr (requires { repair.fib_delta; }) {
+      plane.absorb(repair.fib_delta, scheme);
+    } else {
+      plane.absorb(FibDelta{.recompile = true}, scheme);
+    }
+    if ((i + 1) % publish_every == 0 || i + 1 == trace.size()) {
+      writer.publish(plane.fib());
+      ++report.published;
+    }
+    serve_batch(engine.down_mask());
+  }
+  report.maintain = plane.stats();
+  return report;
+}
+
+}  // namespace cpr
