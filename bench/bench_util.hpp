@@ -7,6 +7,7 @@
 
 #include "algebra/algebra.hpp"
 #include "graph/generators.hpp"
+#include "util/hugepage.hpp"
 
 #include <sys/resource.h>
 
@@ -104,11 +105,17 @@ inline std::string json_escape(const std::string& s) {
 // Build provenance recorded in every BENCH_*.json: which commit and build
 // flavor produced the numbers, and on what silicon. The SHA and build
 // type are baked in at configure time (bench/CMakeLists.txt); the CPU
-// model is read at runtime so a binary copied between hosts stays honest.
+// model and feature set are read at runtime so a binary copied between
+// hosts stays honest. The cpu_features block is what makes forward-path
+// baselines comparable across machines: a number measured with AVX2 +
+// huge pages is not a regression bar for a machine without them.
 struct BenchMeta {
   std::string git_sha;
   std::string build_type;
   std::string cpu_model;
+  bool avx2 = false;
+  bool avx512f = false;
+  std::string thp_mode;  // transparent_hugepage: always|madvise|never|unavailable
 
   static BenchMeta collect() {
     BenchMeta m;
@@ -137,6 +144,11 @@ struct BenchMeta {
         break;
       }
     }
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    m.avx2 = __builtin_cpu_supports("avx2") != 0;
+    m.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+    m.thp_mode = transparent_hugepage_mode();
     return m;
   }
 };
@@ -147,7 +159,13 @@ inline void write_json_meta(std::ostream& os, const BenchMeta& meta) {
   os << "  \"meta\": {\n";
   os << "    \"git_sha\": \"" << json_escape(meta.git_sha) << "\",\n";
   os << "    \"build_type\": \"" << json_escape(meta.build_type) << "\",\n";
-  os << "    \"cpu_model\": \"" << json_escape(meta.cpu_model) << "\"\n";
+  os << "    \"cpu_model\": \"" << json_escape(meta.cpu_model) << "\",\n";
+  os << "    \"cpu_features\": {\n";
+  os << "      \"avx2\": " << (meta.avx2 ? "true" : "false") << ",\n";
+  os << "      \"avx512f\": " << (meta.avx512f ? "true" : "false") << ",\n";
+  os << "      \"transparent_hugepage\": \"" << json_escape(meta.thp_mode)
+     << "\"\n";
+  os << "    }\n";
   os << "  },\n";
 }
 
@@ -159,14 +177,17 @@ struct BenchArgs {
   std::string filter;        // keep suites whose name contains this
   std::string out_path;      // JSON output path
   std::string baseline;      // committed baseline to regress against
+  std::string dispatch;      // forward-path dispatch: auto|scalar|simd
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv,
                                   const char* bench_name,
                                   std::string default_out,
-                                  bool accept_baseline = false) {
+                                  bool accept_baseline = false,
+                                  bool accept_dispatch = false) {
   BenchArgs a;
   a.out_path = std::move(default_out);
+  a.dispatch = "auto";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -177,11 +198,22 @@ inline BenchArgs parse_bench_args(int argc, char** argv,
       a.out_path = arg.substr(6);
     } else if (accept_baseline && arg.rfind("--baseline=", 0) == 0) {
       a.baseline = arg.substr(11);
+    } else if (accept_dispatch && arg.rfind("--dispatch=", 0) == 0) {
+      a.dispatch = arg.substr(11);
+      if (a.dispatch != "auto" && a.dispatch != "scalar" &&
+          a.dispatch != "simd") {
+        std::cerr << "bad --dispatch value: " << a.dispatch
+                  << " (want auto|scalar|simd)\n";
+        a.ok = false;
+        return a;
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n"
                 << "usage: " << bench_name
                 << " [--quick] [--filter=substr] [--out=path]"
-                << (accept_baseline ? " [--baseline=path]" : "") << "\n";
+                << (accept_baseline ? " [--baseline=path]" : "")
+                << (accept_dispatch ? " [--dispatch=auto|scalar|simd]" : "")
+                << "\n";
       a.ok = false;
       return a;
     }

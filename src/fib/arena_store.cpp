@@ -1,5 +1,7 @@
 #include "fib/arena_store.hpp"
 
+#include "util/hugepage.hpp"
+
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -192,6 +194,11 @@ std::shared_ptr<const ServedArena> ArenaStore::try_open(
   void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
   ::close(fd);  // the mapping outlives the descriptor
   if (map == MAP_FAILED) return nullptr;
+  // Large arenas are randomly probed by every forwarded hop; ask for THP
+  // backing so the probes stop paying dTLB misses. Best-effort: some
+  // filesystems refuse MADV_HUGEPAGE on file maps, and serving from 4 KiB
+  // pages is merely slower, so the result is ignored.
+  advise_huge_pages(map, bytes);
 
   // Total validation against the mapped bytes — a blob that fails any
   // check (truncation, checksum, structure) is unmapped and reported

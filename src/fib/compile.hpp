@@ -100,6 +100,9 @@ FlatFib compile_fib(const S& scheme, const Graph& g,
   b.add_array(fib_section::kCowenRows, rows);
   b.add_array(fib_section::kCowenLandmark, landmark);
   b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
+  // The v3 Eytzinger mirror (kCowenRowsEyt) is synthesized by finish()
+  // from the sorted rows — one code path for compiles, patches and
+  // hand-assembled arenas keeps every v3 blob byte-identical.
   return b.finish();
 }
 

@@ -2,6 +2,7 @@
 
 #include "fib/fib_delta.hpp"
 #include "util/bitstream.hpp"
+#include "util/hugepage.hpp"
 
 #include <atomic>
 #include <cstring>
@@ -12,7 +13,7 @@ namespace cpr {
 namespace {
 
 // Blob layout (all little-endian, produced/consumed on the same arch):
-//   header   : magic "CPRFIB02" (8B), kind u32, node_count u32,
+//   header   : magic "CPRFIB03" (8B), kind u32, node_count u32,
 //              section_count u32, reserved u32, payload_bytes u64,
 //              checksum u64 (FNV-1a over the payload region)
 //   directory: per section {id u32, pad u32, offset u64, bytes u64};
@@ -22,7 +23,14 @@ namespace {
 // v2 over v1: kMesh kind, kCowenRowLen is mandatory for kCowen and
 // kCowenRowOff describes row *capacities* (slack past row_len[v] must be
 // zero), and node_count == 0 is legal (degenerate graphs serialize).
-constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '2'};
+//
+// v3 over v2: kCowen arenas must carry kCowenRowsEyt, the Eytzinger
+// mirror of the sorted rows (same capacity CSR, same zeroed slack).
+// The loader still opens v2 blobs — readers fall back to binary search
+// over the sorted image when the mirror is absent — so a fleet can roll
+// forward without republishing every stored generation.
+constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '3'};
+constexpr char kMagicV2[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '2'};
 constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 8 + 8;  // 40
 constexpr std::size_t kDirEntryBytes = 4 + 4 + 8 + 8;    // 24
 constexpr std::size_t kChecksumOffset = 32;              // u64 in the header
@@ -92,6 +100,17 @@ class Directory {
     return r;
   }
 
+  // Section may be absent (r.present == false); when present it must
+  // hold exactly `count` elements of `elem_bytes`.
+  SectionRef optional(std::uint32_t id, std::size_t elem_bytes,
+                      std::size_t count) const {
+    SectionRef r = find(id);
+    if (r.present && r.bytes != elem_bytes * count) {
+      fail("section " + std::to_string(id) + " has wrong size");
+    }
+    return r;
+  }
+
  private:
   SectionRef find(std::uint32_t id) const {
     for (const auto& e : entries_) {
@@ -127,7 +146,27 @@ void check_node_ids(const std::uint32_t* ids, std::size_t count,
   }
 }
 
+// In-order walk of the implicit BFS tree: descending left first visits
+// the slots in sorted-key order, so assigning sorted[i++] at each node
+// yields the Eytzinger permutation. Depth is log2(len), so the recursion
+// is shallow even for hub rows.
+std::uint32_t eytzinger_fill(const std::uint64_t* sorted, std::uint64_t* eyt,
+                             std::uint32_t len, std::uint32_t i,
+                             std::uint32_t k) {
+  if (k < len) {
+    i = eytzinger_fill(sorted, eyt, len, i, 2 * k + 1);
+    eyt[k] = sorted[i++];
+    i = eytzinger_fill(sorted, eyt, len, i, 2 * k + 2);
+  }
+  return i;
+}
+
 }  // namespace
+
+void fib_eytzinger_from_sorted(const std::uint64_t* sorted,
+                               std::uint32_t len, std::uint64_t* eyt) {
+  eytzinger_fill(sorted, eyt, len, 0, 0);
+}
 
 FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   FlatFib fib;
@@ -135,6 +174,7 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   fib.base_ = reinterpret_cast<const std::uint8_t*>(fib.words_.data());
   fib.writable_ = true;
   const std::size_t avail = fib.words_.size() * sizeof(std::uint64_t);
+  advise_huge_pages(fib.words_.data(), avail);
   return open(std::move(fib), avail);
 }
 
@@ -153,7 +193,11 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
 
   if (avail < kHeaderBytes) fail("blob shorter than header");
   if (std::memcmp(base, kMagic, 6) != 0) fail("bad magic");
-  if (std::memcmp(base + 6, kMagic + 6, 2) != 0) {
+  if (std::memcmp(base + 6, kMagic + 6, 2) == 0) {
+    fib.version_ = 3;
+  } else if (std::memcmp(base + 6, kMagicV2 + 6, 2) == 0) {
+    fib.version_ = 2;  // pre-Eytzinger blob: served via binary search
+  } else {
     fail("unsupported FIB blob version");
   }
 
@@ -316,6 +360,37 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
           if (fib.cowen_.rows[i] != 0) fail("cowen: row slack is nonzero");
         }
       }
+      // v3 Eytzinger mirror: mandatory for v3 blobs, absent from v2 ones
+      // (the engine then binary-searches the sorted image). When present
+      // it shares the capacity CSR with kCowenRows and every live prefix
+      // must be exactly the Eytzinger permutation of the sorted prefix
+      // with zeroed slack — a stale or corrupted mirror can never serve
+      // different answers than the sorted rows.
+      {
+        SectionRef er = (fib.version_ >= 3)
+                            ? dir.require(fs::kCowenRowsEyt, 8, rows)
+                            : dir.optional(fs::kCowenRowsEyt, 8, rows);
+        if (er.present) {
+          const auto* eyt = reinterpret_cast<const std::uint64_t*>(er.data);
+          std::vector<std::uint64_t> scratch;
+          for (std::size_t v = 0; v < n; ++v) {
+            const std::uint32_t* ro = fib.cowen_.row_off;
+            const std::uint32_t len = fib.cowen_.row_len[v];
+            scratch.assign(len, 0);
+            fib_eytzinger_from_sorted(fib.cowen_.rows + ro[v], len,
+                                      scratch.data());
+            for (std::uint32_t i = 0; i < len; ++i) {
+              if (eyt[ro[v] + i] != scratch[i]) {
+                fail("cowen: Eytzinger mirror disagrees with sorted rows");
+              }
+            }
+            for (std::uint32_t i = ro[v] + len; i < ro[v + 1]; ++i) {
+              if (eyt[i] != 0) fail("cowen: mirror slack is nonzero");
+            }
+          }
+          fib.cowen_.eyt = eyt;
+        }
+      }
       break;
     }
     case FibKind::kTable: {
@@ -411,6 +486,7 @@ FlatFib::FlatFib(FlatFib&& other) noexcept
       writable_(other.writable_),
       bytes_(other.bytes_),
       payload_begin_(other.payload_begin_),
+      version_(other.version_),
       kind_(other.kind_),
       node_count_(other.node_count_),
       sections_(std::move(other.sections_)),
@@ -431,6 +507,7 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
     writable_ = other.writable_;
     bytes_ = other.bytes_;
     payload_begin_ = other.payload_begin_;
+    version_ = other.version_;
     kind_ = other.kind_;
     node_count_ = other.node_count_;
     sections_ = std::move(other.sections_);
@@ -520,6 +597,9 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
   // section_ptr is nullptr for read-only arenas: mmap'd blobs are immutable
   // by contract, so a delta against one always reports "recompile".
   if (!rows || !row_len || !landmark || !landmark_port) return false;
+  // nullptr for writable v2 arenas (no mirror to maintain); v3 arenas
+  // always have it — the loader rejects them otherwise.
+  auto* eyt = reinterpret_cast<std::uint64_t*>(section_ptr(fs::kCowenRowsEyt));
 
   // Seqlock write. An odd generation here means a previous writer died
   // inside its patch window (or two writers raced, which the single-writer
@@ -534,6 +614,7 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
   // readers (who re-read the generation around every batch and retry on a
   // mismatch) race with them benignly rather than undefinedly.
   std::size_t applied = 0;
+  std::vector<std::uint64_t> sorted_scratch, eyt_scratch;
   for (const FibRowPatch& p : delta.patches) {
     if (applied++ == crash_after_patches_) {
       crash_after_patches_ = static_cast<std::size_t>(-1);  // one-shot
@@ -553,6 +634,24 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
           fib_seq_store_u64(rows + begin + i, 0);
         }
         fib_seq_store_u32(row_len + p.row, static_cast<std::uint32_t>(len));
+        // Rewrite the Eytzinger mirror inside the same seqlock window so
+        // readers never observe one image patched and the other stale
+        // (generation recheck discards any in-window view either way, but
+        // the post-window arena must satisfy the loader's mirror check).
+        if (eyt != nullptr) {
+          sorted_scratch.resize(len);
+          std::memcpy(sorted_scratch.data(), p.bytes.data(), len * 8);
+          eyt_scratch.assign(len, 0);
+          fib_eytzinger_from_sorted(sorted_scratch.data(),
+                                    static_cast<std::uint32_t>(len),
+                                    eyt_scratch.data());
+          for (std::size_t i = 0; i < len; ++i) {
+            fib_seq_store_u64(eyt + begin + i, eyt_scratch[i]);
+          }
+          for (std::size_t i = len; i < cap; ++i) {
+            fib_seq_store_u64(eyt + begin + i, 0);
+          }
+        }
         break;
       }
       case fs::kCowenLandmark: {
@@ -605,6 +704,47 @@ void FibBuilder::add_section(std::uint32_t id, const void* data,
 }
 
 FlatFib FibBuilder::finish() {
+  // v3: kCowen arenas must carry the Eytzinger mirror. Synthesize it from
+  // the sorted rows when the caller did not add one explicitly — compile
+  // adapters and hand-assembled test arenas alike go through here, so no
+  // caller can produce a v3 blob with a missing or inconsistent mirror.
+  // Appended last so older section ordering (and the golden v2 layout it
+  // was pinned from) is a strict prefix of the v3 layout. Shape checks
+  // are skipped here: a malformed arena fails the loader below anyway.
+  if (kind_ == FibKind::kCowen) {
+    namespace fs = fib_section;
+    const Section* roff = nullptr;
+    const Section* rlen = nullptr;
+    const Section* rows = nullptr;
+    bool have_eyt = false;
+    for (const auto& s : sections_) {
+      if (s.id == fs::kCowenRowOff) roff = &s;
+      if (s.id == fs::kCowenRowLen) rlen = &s;
+      if (s.id == fs::kCowenRows) rows = &s;
+      if (s.id == fs::kCowenRowsEyt) have_eyt = true;
+    }
+    if (!have_eyt && roff && rlen && rows &&
+        roff->bytes.size() == (node_count_ + 1) * 4 &&
+        rlen->bytes.size() == node_count_ * 4 && rows->bytes.size() % 8 == 0) {
+      std::vector<std::uint32_t> off(node_count_ + 1);
+      std::vector<std::uint32_t> len(node_count_);
+      std::vector<std::uint64_t> sorted(rows->bytes.size() / 8);
+      std::memcpy(off.data(), roff->bytes.data(), roff->bytes.size());
+      std::memcpy(len.data(), rlen->bytes.data(), rlen->bytes.size());
+      std::memcpy(sorted.data(), rows->bytes.data(), rows->bytes.size());
+      std::vector<std::uint64_t> eyt(sorted.size(), 0);
+      for (std::size_t v = 0; v < node_count_; ++v) {
+        if (off[v + 1] < off[v] || off[v + 1] > sorted.size() ||
+            len[v] > off[v + 1] - off[v]) {
+          break;  // malformed CSR: let the validating loader reject it
+        }
+        fib_eytzinger_from_sorted(sorted.data() + off[v], len[v],
+                                  eyt.data() + off[v]);
+      }
+      add_array(fs::kCowenRowsEyt, eyt);
+    }
+  }
+
   // Lay out offsets first so the directory can be written in one pass.
   const std::size_t dir_end =
       kHeaderBytes + sections_.size() * kDirEntryBytes;

@@ -1,9 +1,33 @@
 #include "fib/forward_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+
+// TSan cannot see that the SIMD path's plain vector loads race benignly
+// with apply_delta's relaxed atomic stores (the generation recheck
+// discards any in-window value, and row_off — the only thing that could
+// send a load out of bounds — is immutable), so under TSan the SIMD path
+// is compiled out and every dispatch resolves to scalar.
+#if defined(__SANITIZE_THREAD__)
+#define CPR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CPR_TSAN 1
+#endif
+#endif
+#ifndef CPR_TSAN
+#define CPR_TSAN 0
+#endif
+
+#if !CPR_TSAN && defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CPR_SIMD 1
+#include <immintrin.h>
+#else
+#define CPR_SIMD 0
+#endif
 
 namespace cpr {
 namespace {
@@ -204,6 +228,51 @@ struct TableWalker {
   void prefetch(NodeId v) const { CPR_PREFETCH(&t.runs[t.row_off[v]]); }
 };
 
+// Per-shard direct-mapped (node, target) -> decision cache. Safe because
+// step() is a pure function of (node, target) for one arena generation:
+// the cache is constructed per shard walk of one seqlock attempt and a
+// generation change discards the whole attempt, so a hit can never
+// resurrect a pre-patch decision. Under a skewed (Zipf) workload the hot
+// targets' hop decisions collapse into ~kSlots cache lines that stay L2
+// resident, replacing a row search per hop; under a uniform workload it
+// is pure overhead — which is why it is opt-in and measured, not default.
+struct HotDestCache {
+  // 4096 slots * 16B = 64 KiB per shard: big enough that the ~hundred
+  // hot (node, target) pairs of a Zipf(1.1) batch rarely collide, small
+  // enough not to evict the arena's own hot rows from L2.
+  static constexpr std::size_t kSlots = 4096;
+
+  struct Entry {
+    std::uint64_t key = ~std::uint64_t{0};  // unreachable: u is a valid node
+    std::uint32_t port = 0;
+    std::uint32_t deliver = 0;
+  };
+  std::vector<Entry> slots{kSlots};
+
+  static std::uint64_t pack(NodeId u, NodeId target) {
+    return (std::uint64_t{u} << 32) | target;
+  }
+  static std::size_t slot_of(std::uint64_t key) {
+    return (key * 0x9e3779b97f4a7c15ull) >> 52;  // top 12 bits: kSlots = 2^12
+  }
+  bool lookup(NodeId u, NodeId target, StepResult* out) const {
+    const std::uint64_t key = pack(u, target);
+    const Entry& e = slots[slot_of(key)];
+    if (e.key != key) return false;
+    out->deliver = e.deliver != 0;
+    out->port = e.port;
+    return true;
+  }
+  void insert(NodeId u, NodeId target, StepResult d) {
+    const std::uint64_t key = pack(u, target);
+    Entry& e = slots[slot_of(key)];
+    e.key = key;
+    e.port = d.port;
+    e.deliver = d.deliver ? 1 : 0;
+  }
+};
+static_assert(HotDestCache::kSlots == (std::size_t{1} << 12));
+
 // Per-shard scratch for exact loop detection without per-query clears:
 // a node counts as visited when its stamp equals the current query's.
 struct LoopStamps {
@@ -219,7 +288,7 @@ struct LoopStamps {
   }
 };
 
-template <typename Walker, bool kFailures, bool kRecord>
+template <typename Walker, bool kFailures, bool kRecord, bool kCache>
 void walk_shard(const FlatFib& fib,
                 std::span<const std::pair<NodeId, NodeId>> queries,
                 std::span<const std::uint32_t> indices,
@@ -229,6 +298,7 @@ void walk_shard(const FlatFib& fib,
   const FlatFib::TopoView& topo = fib.topo();
   Walker walker(fib);
   LoopStamps stamps(kFailures ? fib.node_count() : 0);
+  HotDestCache cache;  // kCache only; cheap to construct, lazily touched
   for (const std::uint32_t qi : indices) {
     const auto [source, target] = queries[qi];
     FibRouteResult& r = results[qi];
@@ -245,7 +315,15 @@ void walk_shard(const FlatFib& fib,
           break;
         }
       }
-      const StepResult d = walker.step(current);
+      StepResult d;
+      if constexpr (kCache) {
+        if (!cache.lookup(current, target, &d)) {
+          d = walker.step(current);
+          cache.insert(current, target, d);
+        }
+      } else {
+        d = walker.step(current);
+      }
       if (d.deliver) {
         r.delivered = current == target ? 1 : 0;
         break;
@@ -271,22 +349,493 @@ void dispatch_shard(const FlatFib& fib,
                     std::vector<FibRouteResult>& results,
                     std::vector<NodeId>& shard_paths) {
   const bool failures = opt.edge_down != nullptr;
+  // The failures path never caches: drops and loop stamps are already the
+  // slow diagnostic mode, and fewer instantiations keep the hop loop hot.
   if (failures && opt.record_paths) {
-    walk_shard<Walker, true, true>(fib, queries, indices, opt, max_hops,
-                                   results, shard_paths);
+    walk_shard<Walker, true, true, false>(fib, queries, indices, opt,
+                                          max_hops, results, shard_paths);
   } else if (failures) {
-    walk_shard<Walker, true, false>(fib, queries, indices, opt, max_hops,
-                                    results, shard_paths);
+    walk_shard<Walker, true, false, false>(fib, queries, indices, opt,
+                                           max_hops, results, shard_paths);
+  } else if (opt.record_paths && opt.hot_dest_cache) {
+    walk_shard<Walker, false, true, true>(fib, queries, indices, opt,
+                                          max_hops, results, shard_paths);
   } else if (opt.record_paths) {
-    walk_shard<Walker, false, true>(fib, queries, indices, opt, max_hops,
-                                    results, shard_paths);
+    walk_shard<Walker, false, true, false>(fib, queries, indices, opt,
+                                           max_hops, results, shard_paths);
+  } else if (opt.hot_dest_cache) {
+    walk_shard<Walker, false, false, true>(fib, queries, indices, opt,
+                                           max_hops, results, shard_paths);
   } else {
-    walk_shard<Walker, false, false>(fib, queries, indices, opt, max_hops,
-                                     results, shard_paths);
+    walk_shard<Walker, false, false, false>(fib, queries, indices, opt,
+                                            max_hops, results, shard_paths);
   }
 }
 
+#if CPR_SIMD
+
+// ---- SIMD / lockstep path -------------------------------------------
+//
+// Only compiled on x86-64 non-TSan builds and only entered when
+// fib_resolve_dispatch said the machine has AVX2, so the target("avx2")
+// kernels below never execute on a machine that lacks them.
+
+// Exact-match scan of a short sorted row, four packed entries per
+// compare: shift the ports away, compare the keys against the probe in
+// all lanes, and read the port out of the (unique) hit. Only full
+// four-entry chunks inside the *live* length are touched — the tail and
+// the zeroed slack are never loaded, so a key of 0 cannot false-match
+// slack and ASan stays quiet about the last partially-filled chunk.
+__attribute__((target("avx2"))) bool cowen_scan_avx2(
+    const std::uint64_t* row, std::uint32_t len, std::uint32_t key,
+    std::uint32_t* port_out) {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  std::uint32_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i keys = _mm256_srli_epi64(v, 32);
+    const int hit = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(keys, vkey)));
+    if (hit != 0) {
+      *port_out = fib_entry_port(row[i + __builtin_ctz(hit)]);
+      return true;
+    }
+  }
+  for (; i < len; ++i) {
+    if (fib_entry_key(row[i]) == key) {
+      *port_out = fib_entry_port(row[i]);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Branchless exact-match search of one row's Eytzinger mirror. The probe
+// pack(key, 0) sorts before every entry with that key (ports occupy the
+// low half), so the lower-bound slot is the exact match when one exists.
+// The descend is one fused compare-add per level with no data-dependent
+// branch; the ffs trick recovers the lower-bound's 1-based slot from the
+// trail of right-turns.
+inline bool cowen_eyt_search(const std::uint64_t* eyt, std::uint32_t len,
+                             std::uint32_t key, std::uint32_t* port_out) {
+  const std::uint64_t probe = fib_pack_entry(key, 0);
+  std::uint64_t k = 1;
+  while (k <= len) {
+    CPR_PREFETCH(&eyt[std::min<std::uint64_t>(4 * k - 1, len - 1)]);
+    k = 2 * k + (eyt[k - 1] < probe);
+  }
+  k >>= __builtin_ffsll(static_cast<long long>(~k));
+  if (k == 0) return false;
+  const std::uint64_t e = eyt[k - 1];
+  if (fib_entry_key(e) != key) return false;
+  *port_out = fib_entry_port(e);
+  return true;
+}
+
+// Non-atomic binary search over the sorted image: the v2-blob fallback
+// when no Eytzinger mirror exists. Same exact-match contract.
+inline bool cowen_bsearch(const std::uint64_t* row, std::uint32_t len,
+                          std::uint32_t key, std::uint32_t* port_out) {
+  const std::uint64_t probe = fib_pack_entry(key, 0xffffffffu);
+  std::uint32_t lo = 0, hi = len;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (row[mid] <= probe) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0 || fib_entry_key(row[lo - 1]) != key) return false;
+  *port_out = fib_entry_port(row[lo - 1]);
+  return true;
+}
+
+// Cowen walker for the lockstep path: same decision procedure as
+// CowenWalker (direct entry, the landmark's own hop, entry toward the
+// landmark) with the row probe selected per row length — vectorized scan
+// of the sorted image at or under kRowSearchLinearCutoff, branchless
+// Eytzinger search of the v3 mirror above it (binary search when serving
+// a v2 blob). Keys are unique per row, so every probe flavor agrees with
+// the scalar walker's search bit for bit. Loads are plain (not
+// atomic_ref): benign under the seqlock because row_off is immutable and
+// torn values are discarded by the generation recheck; TSan builds never
+// reach this type.
+struct CowenSimdWalker {
+  const FlatFib::CowenView& t;
+  NodeId target = kInvalidNode;
+  NodeId landmark = kInvalidNode;
+  Port port_at_landmark = kInvalidPort;
+
+  explicit CowenSimdWalker(const FlatFib& fib) : t(fib.cowen()) {}
+  void resolve(NodeId tgt) {
+    target = tgt;
+    landmark = fib_seq_load_u32(t.landmark + tgt);
+    port_at_landmark = fib_seq_load_u32(t.landmark_port + tgt);
+  }
+  bool find(std::uint32_t off, std::uint32_t len, std::uint32_t key,
+            std::uint32_t* port_out) const {
+    if (len <= kRowSearchLinearCutoff) {
+      return cowen_scan_avx2(t.rows + off, len, key, port_out);
+    }
+    if (t.eyt != nullptr) {
+      return cowen_eyt_search(t.eyt + off, len, key, port_out);
+    }
+    return cowen_bsearch(t.rows + off, len, key, port_out);
+  }
+  StepResult step(NodeId u) const {
+    if (u == target) return {true, kInvalidPort};
+    const std::uint32_t off = t.row_off[u];
+    const std::uint32_t len = fib_seq_load_u32(t.row_len + u);
+    std::uint32_t port;
+    if (find(off, len, target, &port)) return {false, port};
+    if (u == landmark) return {false, port_at_landmark};
+    if (find(off, len, landmark, &port)) return {false, port};
+    return {false, kInvalidPort};
+  }
+  void prefetch(NodeId v) const {
+    const std::uint32_t off = t.row_off[v];
+    CPR_PREFETCH(&t.rows[off]);
+    if (t.eyt != nullptr) CPR_PREFETCH(&t.eyt[off]);
+  }
+};
+
+// Lane classification out of the batched tree kernel.
+inline constexpr std::uint32_t kLaneDeliver = 0;  // x == dfs_in: arrived
+inline constexpr std::uint32_t kLanePort = 1;     // port[] holds the hop
+inline constexpr std::uint32_t kLaneScalar = 2;   // light label: rederive
+
+// Classifies up to eight tree-walker lanes in one shot: gather the six
+// decision fields of every lane's current record, then compare the
+// lane's target DFS number against the intervals in all lanes at once.
+// The three vector-resolvable outcomes (deliver, climb via port_up,
+// descend into the heavy child) cover almost every hop; lanes that need
+// the light-label sequence fall back to the scalar step, which re-derives
+// the same decision. DFS numbers are < n < 2^31, so the signed compares
+// are exact.
+__attribute__((target("avx2"))) void tree_step_lanes_avx2(
+    const FibTreeNode* nodes, const std::uint32_t* xs, const NodeId* cur,
+    const bool* active, std::size_t m, std::uint32_t* klass,
+    std::uint32_t* port) {
+  alignas(32) std::int32_t idx[8];
+  alignas(32) std::int32_t tx[8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    // Inactive / absent lanes gather record 0 (always mapped) and are
+    // classified as kLaneScalar so nothing reads their outputs.
+    idx[i] = (i < m && active[i])
+                 ? static_cast<std::int32_t>(cur[i] * 8u)
+                 : 0;
+    tx[i] = (i < m && active[i]) ? static_cast<std::int32_t>(xs[i]) : 0;
+  }
+  const auto* base = reinterpret_cast<const int*>(nodes);
+  const __m256i vidx = _mm256_load_si256(reinterpret_cast<__m256i*>(idx));
+  const __m256i vx = _mm256_load_si256(reinterpret_cast<__m256i*>(tx));
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i vin = _mm256_i32gather_epi32(base, vidx, 4);
+  const __m256i vout =
+      _mm256_i32gather_epi32(base, _mm256_add_epi32(vidx, one), 4);
+  const __m256i vhin = _mm256_i32gather_epi32(
+      base, _mm256_add_epi32(vidx, _mm256_set1_epi32(2)), 4);
+  const __m256i vhout = _mm256_i32gather_epi32(
+      base, _mm256_add_epi32(vidx, _mm256_set1_epi32(3)), 4);
+  const __m256i vup = _mm256_i32gather_epi32(
+      base, _mm256_add_epi32(vidx, _mm256_set1_epi32(4)), 4);
+  const __m256i vhp = _mm256_i32gather_epi32(
+      base, _mm256_add_epi32(vidx, _mm256_set1_epi32(5)), 4);
+
+  const __m256i deliver = _mm256_cmpeq_epi32(vx, vin);
+  const __m256i outside = _mm256_or_si256(_mm256_cmpgt_epi32(vin, vx),
+                                          _mm256_cmpgt_epi32(vx, vout));
+  // x in [heavy_in, heavy_out]  <=>  !(heavy_in > x) && !(x > heavy_out)
+  const __m256i heavy = _mm256_andnot_si256(
+      _mm256_or_si256(_mm256_cmpgt_epi32(vhin, vx),
+                      _mm256_cmpgt_epi32(vx, vhout)),
+      _mm256_set1_epi32(-1));
+
+  alignas(32) std::uint32_t up_arr[8], hp_arr[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(up_arr), vup);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hp_arr), vhp);
+  const int dmask = _mm256_movemask_ps(_mm256_castsi256_ps(deliver));
+  const int omask = _mm256_movemask_ps(_mm256_castsi256_ps(outside));
+  const int hmask = _mm256_movemask_ps(_mm256_castsi256_ps(heavy));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!active[i]) continue;
+    const int bit = 1 << i;
+    if (dmask & bit) {
+      klass[i] = kLaneDeliver;
+    } else if (omask & bit) {
+      klass[i] = kLanePort;
+      port[i] = up_arr[i];
+    } else if (hmask & bit) {
+      klass[i] = kLanePort;
+      port[i] = hp_arr[i];
+    } else {
+      klass[i] = kLaneScalar;  // light-label lane: scalar re-derivation
+    }
+  }
+}
+
+// One batched decision round over the live lanes. The generic form is a
+// scalar loop — the lockstep win there is purely the eight overlapped
+// load chains — with per-walker batched kernels layered on top.
+template <typename Walker, bool kCache>
+void step_lanes(Walker* w, const NodeId* cur, const NodeId* tgt,
+                const bool* active, std::size_t m, StepResult* d,
+                HotDestCache& cache) {
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!active[i]) continue;
+    if constexpr (kCache) {
+      if (cache.lookup(cur[i], tgt[i], &d[i])) continue;
+      d[i] = w[i].step(cur[i]);
+      cache.insert(cur[i], tgt[i], d[i]);
+    } else {
+      d[i] = w[i].step(cur[i]);
+    }
+  }
+}
+
+template <bool kCache>
+void step_lanes_tree(TreeWalker* w, const NodeId* cur, const NodeId* tgt,
+                     const bool* active, std::size_t m, StepResult* d,
+                     HotDestCache& cache) {
+  std::uint32_t xs[8];
+  for (std::size_t i = 0; i < m; ++i) xs[i] = w[i].x;
+  std::uint32_t klass[8] = {};
+  std::uint32_t port[8] = {};
+  bool live[8];
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    live[i] = active[i];
+    if constexpr (kCache) {
+      if (live[i] && cache.lookup(cur[i], tgt[i], &d[i])) live[i] = false;
+    }
+    pending += live[i] ? 1 : 0;
+  }
+  if (pending != 0) {
+    tree_step_lanes_avx2(&w[0].t.nodes[0], xs, cur, live, m, klass, port);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!live[i]) continue;
+      switch (klass[i]) {
+        case kLaneDeliver:
+          d[i] = {true, kInvalidPort};
+          break;
+        case kLanePort:
+          d[i] = {false, static_cast<Port>(port[i])};
+          break;
+        default:
+          d[i] = w[i].step(cur[i]);
+          break;
+      }
+      if constexpr (kCache) cache.insert(cur[i], tgt[i], d[i]);
+    }
+  }
+}
+
+// Lockstep walk of one shard: groups of up to eight consecutive shard
+// queries advance together, one hop per round. Results and path layout
+// are bit-identical to walk_shard because lanes are flushed in shard
+// query order and every lane runs the exact scalar decision procedure —
+// only the interleaving (and with it the number of in-flight cache
+// misses) differs. No failures mode here: edge_down batches stay scalar.
+template <typename Walker, bool kRecord, bool kCache>
+void walk_shard_lockstep(const FlatFib& fib,
+                         std::span<const std::pair<NodeId, NodeId>> queries,
+                         std::span<const std::uint32_t> indices,
+                         std::size_t max_hops,
+                         std::vector<FibRouteResult>& results,
+                         std::vector<NodeId>& shard_paths) {
+  constexpr std::size_t kLanes = 8;
+  const FlatFib::TopoView& topo = fib.topo();
+  std::vector<Walker> w;
+  w.reserve(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) w.emplace_back(fib);
+  HotDestCache cache;
+  std::array<std::vector<NodeId>, kLanes> lane_path;
+
+  NodeId cur[kLanes], tgt[kLanes];
+  bool active[kLanes];
+  std::uint32_t plen[kLanes];
+  std::uint8_t delivered[kLanes];
+  StepResult d[kLanes];
+
+  for (std::size_t g = 0; g < indices.size(); g += kLanes) {
+    const std::size_t m = std::min(kLanes, indices.size() - g);
+    std::size_t remaining = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto [source, target] = queries[indices[g + i]];
+      cur[i] = source;
+      tgt[i] = target;
+      active[i] = true;
+      delivered[i] = 0;
+      plen[i] = 1;
+      w[i].resolve(target);
+      lane_path[i].clear();
+      if constexpr (kRecord) lane_path[i].push_back(source);
+      w[i].prefetch(source);
+    }
+    for (std::size_t step = 0; remaining > 0 && step <= max_hops; ++step) {
+      if constexpr (std::is_same_v<Walker, TreeWalker>) {
+        step_lanes_tree<kCache>(w.data(), cur, tgt, active, m, d, cache);
+      } else {
+        step_lanes<Walker, kCache>(w.data(), cur, tgt, active, m, d, cache);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!active[i]) continue;
+        if (d[i].deliver) {
+          delivered[i] = cur[i] == tgt[i] ? 1 : 0;
+          active[i] = false;
+          --remaining;
+          continue;
+        }
+        if (d[i].port == kInvalidPort || d[i].port >= topo.degree(cur[i])) {
+          active[i] = false;
+          --remaining;
+          continue;
+        }
+        cur[i] = topo.neighbor[topo.offsets[cur[i]] + d[i].port];
+        w[i].prefetch(cur[i]);
+        if constexpr (kRecord) lane_path[i].push_back(cur[i]);
+        ++plen[i];
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      FibRouteResult& r = results[indices[g + i]];
+      r.path_begin = shard_paths.size();
+      r.path_len = plen[i];
+      r.delivered = delivered[i];
+      r.looped = 0;
+      if constexpr (kRecord) {
+        shard_paths.insert(shard_paths.end(), lane_path[i].begin(),
+                           lane_path[i].end());
+      }
+    }
+  }
+}
+
+// Stats-only lockstep walk with continuous lane refill: the moment a
+// lane's query retires, the next shard query is loaded into it, so the
+// number of in-flight dependent-load chains stays pinned at kLanes
+// instead of draining toward one on every group's tail (path lengths are
+// skewed, so the grouped walk spends many rounds nearly empty). Without
+// path recording the per-query outputs are written to results[qidx]
+// directly and are order-independent — bit-identical to walk_shard.
+// kLanes can exceed the 8-wide tree kernel; it then runs per 8-chunk.
+template <typename Walker, bool kCache, std::size_t kLanes>
+void walk_shard_lockstep_refill(
+    const FlatFib& fib, std::span<const std::pair<NodeId, NodeId>> queries,
+    std::span<const std::uint32_t> indices, std::size_t max_hops,
+    std::vector<FibRouteResult>& results, std::vector<NodeId>& shard_paths) {
+  static_assert(kLanes % 8 == 0);
+  const FlatFib::TopoView& topo = fib.topo();
+  std::vector<Walker> w;
+  w.reserve(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) w.emplace_back(fib);
+  HotDestCache cache;
+
+  NodeId cur[kLanes], tgt[kLanes];
+  std::uint32_t qidx[kLanes];
+  std::uint32_t steps[kLanes];
+  std::uint32_t plen[kLanes];
+  bool active[kLanes] = {};
+  StepResult d[kLanes];
+
+  std::size_t filled = 0, live = 0;
+  const auto load = [&](std::size_t i) {
+    if (filled >= indices.size()) return;
+    const std::uint32_t qi = indices[filled++];
+    const auto [source, target] = queries[qi];
+    qidx[i] = qi;
+    cur[i] = source;
+    tgt[i] = target;
+    steps[i] = 0;
+    plen[i] = 1;
+    active[i] = true;
+    ++live;
+    w[i].resolve(target);
+    w[i].prefetch(source);
+  };
+  const auto retire = [&](std::size_t i, std::uint8_t delivered) {
+    FibRouteResult& r = results[qidx[i]];
+    r.path_begin = shard_paths.size();  // constant: nothing is recorded
+    r.path_len = plen[i];
+    r.delivered = delivered;
+    r.looped = 0;
+    active[i] = false;
+    --live;
+    load(i);
+  };
+  for (std::size_t i = 0; i < kLanes; ++i) load(i);
+  while (live > 0) {
+    if constexpr (std::is_same_v<Walker, TreeWalker>) {
+      for (std::size_t c = 0; c < kLanes; c += 8) {
+        step_lanes_tree<kCache>(w.data() + c, cur + c, tgt + c, active + c, 8,
+                                d + c, cache);
+      }
+    } else {
+      step_lanes<Walker, kCache>(w.data(), cur, tgt, active, kLanes, d, cache);
+    }
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      if (!active[i]) continue;
+      if (d[i].deliver) {
+        retire(i, cur[i] == tgt[i] ? 1 : 0);
+        continue;
+      }
+      if (d[i].port == kInvalidPort || d[i].port >= topo.degree(cur[i])) {
+        retire(i, 0);
+        continue;
+      }
+      cur[i] = topo.neighbor[topo.offsets[cur[i]] + d[i].port];
+      w[i].prefetch(cur[i]);
+      ++plen[i];
+      // Same call budget as the scalar loop: max_hops+1 step() calls.
+      if (++steps[i] > max_hops) retire(i, 0);
+    }
+  }
+}
+
+template <typename Walker>
+void dispatch_shard_lockstep(const FlatFib& fib,
+                             std::span<const std::pair<NodeId, NodeId>> queries,
+                             std::span<const std::uint32_t> indices,
+                             const FibBatchOptions& opt, std::size_t max_hops,
+                             std::vector<FibRouteResult>& results,
+                             std::vector<NodeId>& shard_paths) {
+  // Path recording needs shard_paths laid out in shard query order, so it
+  // keeps the grouped walk; the stats-only serving mode takes the
+  // refilling walk, which sustains full lane occupancy.
+  constexpr std::size_t kRefillLanes = 16;
+  if (opt.record_paths && opt.hot_dest_cache) {
+    walk_shard_lockstep<Walker, true, true>(fib, queries, indices, max_hops,
+                                            results, shard_paths);
+  } else if (opt.record_paths) {
+    walk_shard_lockstep<Walker, true, false>(fib, queries, indices, max_hops,
+                                             results, shard_paths);
+  } else if (opt.hot_dest_cache) {
+    walk_shard_lockstep_refill<Walker, true, kRefillLanes>(
+        fib, queries, indices, max_hops, results, shard_paths);
+  } else {
+    walk_shard_lockstep_refill<Walker, false, kRefillLanes>(
+        fib, queries, indices, max_hops, results, shard_paths);
+  }
+}
+
+#endif  // CPR_SIMD
+
 }  // namespace
+
+bool fib_simd_supported() {
+#if CPR_SIMD
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+FibDispatch fib_resolve_dispatch(FibDispatch requested) {
+  if (requested == FibDispatch::kScalar) return FibDispatch::kScalar;
+  return fib_simd_supported() ? FibDispatch::kSimd : FibDispatch::kScalar;
+}
 
 FibBatchOutput forward_batch(const FlatFib& fib,
                              std::span<const std::pair<NodeId, NodeId>> queries,
@@ -322,6 +871,18 @@ FibBatchOutput forward_batch(const FlatFib& fib,
     }
   }
 
+  // Resolve the hop-resolution path once per batch; failure-mode batches
+  // (edge_down) are pinned scalar — see the header comment. kAuto also
+  // consults the arena size: results are bit-identical either way, and
+  // below kSimdAutoMinArenaBytes the walk is cache-resident, where the
+  // single-chain scalar loop beats the lockstep lane overhead.
+  const bool simd =
+      opt.edge_down == nullptr &&
+      fib_resolve_dispatch(opt.dispatch) == FibDispatch::kSimd &&
+      (opt.dispatch != FibDispatch::kAuto ||
+       fib.blob().size() >= kSimdAutoMinArenaBytes);
+  (void)simd;  // non-SIMD builds resolve every dispatch to scalar
+
   // Seqlock read side. Sample the generation, walk, issue an acquire
   // fence at the end of every shard (so each worker's data loads are
   // sequenced before its fence — the fence pairs with apply_delta's
@@ -340,6 +901,41 @@ FibBatchOutput forward_batch(const FlatFib& fib,
             order.data() + shard_begin[s],
             shard_begin[s + 1] - shard_begin[s]};
         if (indices.empty()) return;
+#if CPR_SIMD
+        if (simd) {
+          switch (fib.kind()) {
+            case FibKind::kTree:
+              dispatch_shard_lockstep<TreeWalker>(fib, queries, indices, opt,
+                                                  max_hops, out.results,
+                                                  shard_paths[s]);
+              break;
+            case FibKind::kInterval:
+              dispatch_shard_lockstep<IntervalWalker>(fib, queries, indices,
+                                                      opt, max_hops,
+                                                      out.results,
+                                                      shard_paths[s]);
+              break;
+            case FibKind::kCowen:
+              dispatch_shard_lockstep<CowenSimdWalker>(fib, queries, indices,
+                                                       opt, max_hops,
+                                                       out.results,
+                                                       shard_paths[s]);
+              break;
+            case FibKind::kTable:
+              dispatch_shard_lockstep<TableWalker>(fib, queries, indices,
+                                                   opt, max_hops, out.results,
+                                                   shard_paths[s]);
+              break;
+            case FibKind::kMesh:
+              dispatch_shard_lockstep<MeshWalker>(fib, queries, indices, opt,
+                                                  max_hops, out.results,
+                                                  shard_paths[s]);
+              break;
+          }
+          std::atomic_thread_fence(std::memory_order_acquire);
+          return;
+        }
+#endif
         switch (fib.kind()) {
           case FibKind::kTree:
             dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,

@@ -33,6 +33,20 @@
 // the historical single-threaded semantics. A delivered batch is
 // therefore always the output of *one* generation, bit-identical to a
 // fresh compile of that snapshot.
+//
+// Dispatch (docs/forwarding_plane.md "Memory layout & SIMD"): the
+// per-query walk above is the *scalar* reference path. The SIMD path
+// walks up to eight same-shard queries in lockstep — every live lane
+// takes its next hop before any lane takes the one after — so eight
+// independent dependent-load chains are in flight per step instead of
+// one, and the per-step next-hop resolution is batched with AVX2 where
+// it pays (gathered tree-record classification, vectorized short-row
+// scans, branchless Eytzinger search of the v3 mirror for long rows).
+// Lane grouping follows shard query order, so paths, results and their
+// layout are bit-identical to the scalar path by construction; the
+// differential suite (tests/test_fib_simd.cpp) holds both paths and the
+// object walk to the same bytes. Failure-mode batches (edge_down) always
+// take the scalar path: drop/loop bookkeeping is branch-heavy and cold.
 #pragma once
 
 #include "fib/flat_fib.hpp"
@@ -50,6 +64,36 @@ namespace cpr {
 // with the machine's parallelism.
 inline constexpr std::size_t kFibShards = 64;
 
+// How forward_batch resolves each hop. kAuto probes the CPU once per
+// batch; kSimd requests the lockstep/AVX2 path and silently degrades to
+// scalar where it cannot run (no AVX2, or a TSan build — the vector
+// loads bypass the seqlock's atomic_ref loads, which is benign in
+// production x86-64 but indistinguishable from a real race to TSan).
+// kScalar pins the reference path; the differential tests force it so
+// non-AVX machines still exercise the full suite.
+enum class FibDispatch : std::uint8_t {
+  kAuto = 0,
+  kScalar = 1,
+  kSimd = 2,
+};
+
+// True when the lockstep/AVX2 path can run on this build and machine
+// (x86-64 with AVX2 at runtime, not a TSan build).
+bool fib_simd_supported();
+
+// The path a request actually takes: kScalar stays scalar; kSimd and
+// kAuto resolve to kSimd exactly when fib_simd_supported().
+FibDispatch fib_resolve_dispatch(FibDispatch requested);
+
+// kAuto additionally falls back to scalar for arenas below this size:
+// the lockstep walk buys overlapped cache misses, and an arena that fits
+// in cache has few to overlap — measured on the bench sweep, the scalar
+// chain wins ~2x at tree n=1000 (96 KiB) while lockstep wins ~30% at
+// n=50k (5 MiB), crossing over around the LLC-resident sizes. Forced
+// kSimd ignores this (the bench measures the lockstep path at every
+// size; results are bit-identical regardless).
+inline constexpr std::size_t kSimdAutoMinArenaBytes = 2u << 20;
+
 struct FibBatchOptions {
   ThreadPool* pool = nullptr;     // nullptr = process-global pool
   std::size_t max_hops = 0;       // 0 = the simulator default, 4n + 16
@@ -66,6 +110,16 @@ struct FibBatchOptions {
   // enough to ride out a patch burst (patches are microseconds; batches
   // are the long side of the race).
   std::size_t seqlock_max_retries = 0;
+  // Hop-resolution path; see FibDispatch. Ignored (always scalar) when
+  // edge_down is set.
+  FibDispatch dispatch = FibDispatch::kAuto;
+  // Per-shard direct-mapped (node, target) -> decision cache. step() is a
+  // pure function of (node, target) for a fixed arena generation, so
+  // caching is result-preserving; the cache lives for one shard of one
+  // seqlock attempt, never across generations. Off by default: it only
+  // pays when the target distribution is skewed (bench_forward's zipf
+  // suites measure the win; the uniform suites measure the overhead).
+  bool hot_dest_cache = false;
 };
 
 struct FibRouteResult {

@@ -11,6 +11,13 @@
 //               model),
 //   hotspot   : a small set of servers receives a fixed fraction of all
 //               traffic (client-server skew),
+//   zipf      : destination popularity follows a power law — rank r is
+//               drawn with probability ∝ 1/r^s — over a seeded random
+//               rank→node assignment, sources uniform. This is the
+//               Internet-like skew of Krioukov et al. (PAPERS.md):
+//               a handful of popular destinations dominate the traffic,
+//               which is what the forward engine's hot-destination
+//               cache and the bench's zipf suites measure against,
 //
 // — and a generic evaluator that routes sampled demands through a scheme
 // and aggregates delivery, hop and multiplicative-stretch statistics.
@@ -24,6 +31,7 @@
 #include "util/random.hpp"
 #include "util/stats.hpp"
 
+#include <cmath>
 #include <vector>
 
 namespace cpr {
@@ -35,11 +43,12 @@ struct Demand {
 
 class WorkloadGenerator {
  public:
-  enum class Kind { kUniform, kGravity, kHotspot };
+  enum class Kind { kUniform, kGravity, kHotspot, kZipf };
 
   WorkloadGenerator(Kind kind, const Graph& g, Rng& rng,
                     std::size_t hotspot_count = 4,
-                    double hotspot_fraction = 0.7)
+                    double hotspot_fraction = 0.7,
+                    double zipf_exponent = 1.1)
       : kind_(kind),
         graph_(&g),
         rng_(&rng),
@@ -55,6 +64,25 @@ class WorkloadGenerator {
     if (kind == Kind::kHotspot) {
       hotspots_ = rng.sample_without_replacement(
           g.node_count(), std::min(hotspot_count, g.node_count()));
+    }
+    if (kind == Kind::kZipf) {
+      // Rank r (1-based) gets weight 1/r^s; the rank→node assignment is
+      // a seeded permutation so popularity is uncorrelated with node id
+      // (and with it shard/DFS position). Sampling inverts the cumulative
+      // weights with one binary search — a pure function of the seed, so
+      // the same (seed, n, s) draws the same traffic on every machine.
+      const std::size_t n = g.node_count();
+      zipf_cumulative_.reserve(n);
+      double acc = 0;
+      for (std::size_t r = 1; r <= n; ++r) {
+        acc += 1.0 / std::pow(static_cast<double>(r), zipf_exponent);
+        zipf_cumulative_.push_back(acc);
+      }
+      zipf_rank_to_node_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        zipf_rank_to_node_[i] = static_cast<NodeId>(i);
+      }
+      rng.shuffle(zipf_rank_to_node_);
     }
   }
 
@@ -86,8 +114,26 @@ class WorkloadGenerator {
           return static_cast<NodeId>(hotspots_[rng_->index(hotspots_.size())]);
         }
         return static_cast<NodeId>(rng_->index(graph_->node_count()));
+      case Kind::kZipf:
+        return zipf_target();
     }
     return 0;
+  }
+
+  NodeId zipf_target() {
+    // Inverse-CDF draw: first rank whose cumulative weight covers the
+    // dart. real() < 1, so dart < total and lo stays in range.
+    const double dart = rng_->real() * zipf_cumulative_.back();
+    std::size_t lo = 0, hi = zipf_cumulative_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (zipf_cumulative_[mid] <= dart) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return zipf_rank_to_node_[lo];
   }
 
   NodeId degree_weighted() {
@@ -112,6 +158,8 @@ class WorkloadGenerator {
   double hotspot_fraction_;
   std::vector<std::size_t> cumulative_degree_;
   std::vector<std::size_t> hotspots_;
+  std::vector<double> zipf_cumulative_;     // by rank, 1-based rank r at [r-1]
+  std::vector<NodeId> zipf_rank_to_node_;   // seeded rank→node permutation
 };
 
 struct WorkloadEvaluation {

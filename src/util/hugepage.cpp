@@ -1,0 +1,48 @@
+#include "util/hugepage.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace cpr {
+
+bool advise_huge_pages(const void* data, std::size_t bytes) {
+#ifdef MADV_HUGEPAGE
+  if (bytes < kHugePageMinBytes) return false;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  const auto psize = static_cast<std::uintptr_t>(page);
+  const auto lo = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t begin = (lo + psize - 1) / psize * psize;
+  const std::uintptr_t end = (lo + bytes) / psize * psize;
+  if (end <= begin) return false;
+  return ::madvise(reinterpret_cast<void*>(begin), end - begin,
+                   MADV_HUGEPAGE) == 0;
+#else
+  (void)data;
+  (void)bytes;
+  return false;
+#endif
+}
+
+const char* transparent_hugepage_mode() {
+  std::ifstream in("/sys/kernel/mm/transparent_hugepage/enabled");
+  std::string line;
+  if (!in || !std::getline(in, line)) return "unavailable";
+  const std::size_t open = line.find('[');
+  const std::size_t close = line.find(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open + 1) {
+    return "unavailable";
+  }
+  const std::string mode = line.substr(open + 1, close - open - 1);
+  if (mode == "always") return "always";
+  if (mode == "madvise") return "madvise";
+  if (mode == "never") return "never";
+  return "unavailable";
+}
+
+}  // namespace cpr

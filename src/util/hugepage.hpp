@@ -1,0 +1,39 @@
+// Transparent-huge-page advice for large flat arenas.
+//
+// The compiled FIB arenas (src/fib) are a few MB of randomly probed flat
+// arrays; at n=50k the per-hop walk touches 3-4 sections spread over
+// hundreds of 4 KiB pages, so on top of the data-cache misses the walk
+// pays dTLB misses. Backing the arena with 2 MiB transparent huge pages
+// collapses the page count by 512x and takes the TLB out of the picture.
+// THP in "madvise" mode (the common distro default) only promotes ranges
+// an application asks about, so FlatFib and ArenaStore advise their
+// backing stores explicitly; in "always" mode the advice is a no-op and
+// in "never" mode it fails silently — either way forwarding results are
+// unaffected, only the page size changes.
+#pragma once
+
+#include <cstddef>
+
+namespace cpr {
+
+// Arenas below this size span too few pages for TLB pressure to matter;
+// skip the syscall. 2 MiB is the x86-64 huge page size, so smaller
+// regions could not be promoted anyway.
+inline constexpr std::size_t kHugePageMinBytes = 2u << 20;
+
+// Advises the kernel (madvise MADV_HUGEPAGE) to back the given range
+// with transparent huge pages. The range is shrunk to the page-aligned
+// interior, so any buffer is acceptable, not just page-aligned ones.
+// Returns true when the advice was accepted; false when the range is too
+// small once aligned, the kernel lacks THP, or madvise rejects the
+// mapping (e.g. some file-backed maps) — callers treat false as "serve
+// from 4 KiB pages", never as an error.
+bool advise_huge_pages(const void* data, std::size_t bytes);
+
+// Reads /sys/kernel/mm/transparent_hugepage/enabled and reports the
+// bracketed mode: "always", "madvise", "never", or "unavailable" when
+// the file is missing (no THP support). Recorded in bench metadata so
+// BENCH_*.json baselines say what page backing they measured.
+const char* transparent_hugepage_mode();
+
+}  // namespace cpr

@@ -1,17 +1,22 @@
-// Golden-file pin of the on-disk "CPRFIB02" arena layout.
+// Golden-file pin of the on-disk "CPRFIB03" arena layout.
 //
 // ArenaStore publishes these blobs as files that *other processes* —
 // possibly running older or newer builds — mmap and serve, so the byte
 // layout is a wire format now, not an implementation detail. This test
 // builds a small hand-specified Cowen arena and compares it
-// byte-for-byte against tests/golden/cowen_small_v2.hex; it also spells
+// byte-for-byte against tests/golden/cowen_small_v3.hex; it also spells
 // out the header field offsets, little-endian encoding, and 64-byte
 // section alignment as direct assertions, so a diff here tells the
 // reader exactly which layout promise broke. Any intentional change to
-// the format must bump the magic version ("CPRFIB03") and regenerate
-// the golden file (run with CPR_UPDATE_GOLDEN=1) — silently shifting
-// bytes would make every published arena in a fleet unreadable or,
-// worse, misread.
+// the format must bump the magic version and regenerate the golden file
+// (run with CPR_UPDATE_GOLDEN=1) — silently shifting bytes would make
+// every published arena in a fleet unreadable or, worse, misread.
+//
+// tests/golden/cowen_small_v2.hex — the previous format's pin — stays
+// in the tree as the *backward-compat* artifact: a fleet rolls forward
+// with v2 blobs still on disk, so today's loader must keep opening and
+// serving yesterday's bytes (through the binary-search path; v2 has no
+// Eytzinger mirror).
 #include "fib/flat_fib.hpp"
 #include "fib/forward_engine.hpp"
 #include "graph/graph.hpp"
@@ -33,6 +38,8 @@ namespace {
 #endif
 
 const std::string kGoldenPath =
+    std::string(CPR_GOLDEN_DIR) + "/cowen_small_v3.hex";
+const std::string kGoldenV2Path =
     std::string(CPR_GOLDEN_DIR) + "/cowen_small_v2.hex";
 
 // The golden arena: a 3-node path 0-1-2 with fully hand-written Cowen
@@ -123,12 +130,42 @@ TEST(BlobLayout, GoldenFileMatchesByteForByte) {
   const std::vector<std::uint8_t> golden = from_hex(text);
 
   ASSERT_EQ(blob.size(), golden.size())
-      << "CPRFIB02 blob size changed — this is a wire-format break; bump "
+      << "CPRFIB03 blob size changed — this is a wire-format break; bump "
          "the version and regenerate the golden file deliberately";
   for (std::size_t i = 0; i < golden.size(); ++i) {
     ASSERT_EQ(blob[i], golden[i])
-        << "CPRFIB02 byte " << i << " changed — wire-format break; bump "
+        << "CPRFIB03 byte " << i << " changed — wire-format break; bump "
            "the version and regenerate the golden file deliberately";
+  }
+}
+
+// Yesterday's wire format: the committed v2 golden (no Eytzinger
+// mirror) must keep opening under today's validator and serve the same
+// routes — fleets roll the binary forward without republishing arenas.
+TEST(BlobLayout, V2BlobStillOpensAndServes) {
+  std::ifstream in(kGoldenV2Path);
+  ASSERT_TRUE(in) << "missing v2 compat golden " << kGoldenV2Path;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::vector<std::uint8_t> golden = from_hex(text);
+
+  const FlatFib fib = FlatFib::from_blob({golden.data(), golden.size()});
+  EXPECT_EQ(fib.blob_version(), 2u);
+  EXPECT_EQ(fib.kind(), FibKind::kCowen);
+  EXPECT_EQ(fib.cowen().eyt, nullptr);  // no mirror: binary-search path
+  const std::vector<std::pair<NodeId, NodeId>> queries = {
+      {0, 2}, {2, 0}, {0, 1}, {1, 0}};
+  for (const FibDispatch mode : {FibDispatch::kScalar, FibDispatch::kSimd}) {
+    FibBatchOptions opt;
+    opt.dispatch = mode;
+    const FibBatchOutput out = forward_batch(fib, queries, opt);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(out.results[i].delivered)
+          << "query " << i << " dispatch " << static_cast<int>(mode);
+    }
+    const auto p = out.path(0);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[1], 1u);
   }
 }
 
@@ -167,11 +204,11 @@ TEST(BlobLayout, HeaderAndDirectoryOffsetsArePinned) {
   // reserved u32 | payload_bytes u64 | checksum u64 — 40 bytes, all
   // little-endian.
   ASSERT_GE(blob.size(), 40u);
-  EXPECT_EQ(std::memcmp(blob.data(), "CPRFIB02", 8), 0);
+  EXPECT_EQ(std::memcmp(blob.data(), "CPRFIB03", 8), 0);
   EXPECT_EQ(read_le<std::uint32_t>(blob, 8), 3u);   // kind = kCowen
   EXPECT_EQ(read_le<std::uint32_t>(blob, 12), 3u);  // node_count
   const std::uint32_t sections = read_le<std::uint32_t>(blob, 16);
-  EXPECT_EQ(sections, 8u);  // 3 topology + 5 cowen
+  EXPECT_EQ(sections, 9u);  // 3 topology + 5 cowen + synthesized mirror
   EXPECT_EQ(read_le<std::uint32_t>(blob, 20), 0u);  // reserved
   const std::uint64_t payload_bytes = read_le<std::uint64_t>(blob, 24);
   EXPECT_EQ(40u + 24u * sections + payload_bytes +
@@ -180,12 +217,15 @@ TEST(BlobLayout, HeaderAndDirectoryOffsetsArePinned) {
 
   // Directory: 24-byte entries {id u32, pad u32, offset u64, bytes u64}
   // starting at byte 40; offsets are blob-relative and 64-byte aligned;
-  // sections appear in the order the builder added them.
+  // sections appear in the order the builder added them, with the
+  // synthesized v3 Eytzinger mirror appended last — so the v2 ordering
+  // is a strict prefix of the v3 ordering.
   const std::uint32_t expected_ids[] = {
       fib_section::kTopoOffsets,       fib_section::kTopoNeighbor,
       fib_section::kTopoEdge,          fib_section::kCowenRowOff,
       fib_section::kCowenRowLen,       fib_section::kCowenRows,
       fib_section::kCowenLandmark,     fib_section::kCowenLandmarkPort,
+      fib_section::kCowenRowsEyt,
   };
   std::uint64_t prev_end = 40 + 24ull * sections;
   for (std::uint32_t s = 0; s < sections; ++s) {

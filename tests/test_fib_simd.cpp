@@ -1,0 +1,307 @@
+// Differential coverage for the SIMD / lockstep forwarding path.
+//
+// The dispatch contract (fib/forward_engine.hpp) is that FibDispatch is
+// a pure performance knob: for any arena and any batch, the lockstep
+// AVX2 path and the scalar reference path must produce bit-identical
+// results — delivered flags, hop-by-hop paths, path lengths — which this
+// suite checks against each other and against the object oracle over the
+// same 50-seed random-graph corpus as test_fib.cpp, at 1 and 8 threads,
+// with and without path recording, and with the hot-destination cache on
+// (the cache memoizes a pure function, so it must never change answers,
+// only speed). A larger Cowen instance pushes row lengths past
+// kRowSearchLinearCutoff so the Eytzinger search — not just the short-row
+// scan — is exercised, and a corrupted mirror is rejected by the loader.
+//
+// Under TSan (or off x86-64) fib_simd_supported() is false and kSimd
+// resolves to scalar; the differential pairs then compare scalar against
+// scalar, which keeps the suite meaningful as a no-crash/no-race check
+// while the bit-identity claims are enforced by the native ASan runs.
+#include "algebra/primitives.hpp"
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
+#include "graph/csr_graph.hpp"
+#include "routing/dijkstra.hpp"
+#include "scheme/compressed_table.hpp"
+#include "scheme/cowen.hpp"
+#include "scheme/interval_router.hpp"
+#include "scheme/spanning_tree.hpp"
+#include "sim/workload.hpp"
+#include "test_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+namespace {
+
+constexpr std::size_t kCorpusSeeds = 50;
+constexpr std::size_t kN = 18;
+constexpr double kP = 0.25;
+
+std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> q;
+  q.reserve(n * n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
+  }
+  return q;
+}
+
+// Two batch outputs agree field-for-field, paths included (when both
+// recorded them).
+void expect_same_output(const FibBatchOutput& a, const FibBatchOutput& b,
+                        bool compare_paths, const char* what) {
+  ASSERT_EQ(a.results.size(), b.results.size()) << what;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].delivered, b.results[i].delivered)
+        << what << " query " << i;
+    EXPECT_EQ(a.results[i].looped, b.results[i].looped)
+        << what << " query " << i;
+    EXPECT_EQ(a.results[i].path_len, b.results[i].path_len)
+        << what << " query " << i;
+    if (!compare_paths) continue;
+    const auto pa = a.path(i);
+    const auto pb = b.path(i);
+    ASSERT_EQ(pa.size(), pb.size()) << what << " query " << i;
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      EXPECT_EQ(pa[k], pb[k]) << what << " query " << i << " hop " << k;
+    }
+  }
+}
+
+FibBatchOutput run(const FlatFib& fib,
+                   const std::vector<std::pair<NodeId, NodeId>>& queries,
+                   FibDispatch dispatch, ThreadPool* pool, bool record_paths,
+                   bool hot_cache) {
+  FibBatchOptions opt;
+  opt.pool = pool;
+  opt.dispatch = dispatch;
+  opt.record_paths = record_paths;
+  opt.hot_dest_cache = hot_cache;
+  return forward_batch(fib, queries, opt);
+}
+
+// The full scalar-vs-SIMD battery for one compiled scheme: paths on/off,
+// hot cache on/off, 1 and 8 threads, all anchored to the object oracle.
+template <typename S>
+void check_dispatch_identical(
+    const S& scheme, const Graph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    const char* family) {
+  SCOPED_TRACE(family);
+  const FlatFib fib = compile_fib(scheme, g);
+  ThreadPool pool1(1), pool8(8);
+  const auto oracle = route_batch_object(scheme, g, queries, &pool1);
+
+  for (ThreadPool* pool : {&pool1, &pool8}) {
+    const auto scalar =
+        run(fib, queries, FibDispatch::kScalar, pool, true, false);
+    const auto simd = run(fib, queries, FibDispatch::kSimd, pool, true, false);
+    expect_same_output(scalar, simd, /*compare_paths=*/true, "paths");
+
+    // Anchor to the oracle, not just to each other.
+    ASSERT_EQ(oracle.size(), simd.results.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(oracle[i].delivered, simd.results[i].delivered != 0)
+          << "oracle query " << i;
+      const auto path = simd.path(i);
+      ASSERT_EQ(oracle[i].path.size(), path.size()) << "oracle query " << i;
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        EXPECT_EQ(oracle[i].path[k], path[k])
+            << "oracle query " << i << " hop " << k;
+      }
+    }
+
+    // Stats-only serving mode (the refilling lockstep walk) and the
+    // hot-destination cache must both be invisible in the outputs.
+    const auto scalar_stats =
+        run(fib, queries, FibDispatch::kScalar, pool, false, false);
+    const auto simd_stats =
+        run(fib, queries, FibDispatch::kSimd, pool, false, false);
+    const auto simd_cached =
+        run(fib, queries, FibDispatch::kSimd, pool, false, true);
+    const auto scalar_cached =
+        run(fib, queries, FibDispatch::kScalar, pool, false, true);
+    expect_same_output(scalar, scalar_stats, false, "scalar stats");
+    expect_same_output(scalar, simd_stats, false, "simd stats");
+    expect_same_output(scalar, simd_cached, false, "simd hot-cache");
+    expect_same_output(scalar, scalar_cached, false, "scalar hot-cache");
+  }
+}
+
+class FibSimdSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibSimdSeeds, TreeFamilyDispatchIdentical) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme =
+      SpanningTreeScheme<ShortestPath>::build(alg, inst.graph, inst.weights);
+  check_dispatch_identical(scheme, inst.graph,
+                           all_pairs(inst.graph.node_count()), "tree");
+}
+
+TEST_P(FibSimdSeeds, IntervalFamilyDispatchIdentical) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const IntervalRouter router(
+      inst.graph, preferred_spanning_tree(alg, inst.graph, inst.weights));
+  check_dispatch_identical(router, inst.graph,
+                           all_pairs(inst.graph.node_count()), "interval");
+}
+
+TEST_P(FibSimdSeeds, CowenFamilyDispatchIdentical) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, inst.graph,
+                                                       inst.weights, inst.rng);
+  check_dispatch_identical(scheme, inst.graph,
+                           all_pairs(inst.graph.node_count()), "cowen");
+}
+
+TEST_P(FibSimdSeeds, TableFamilyDispatchIdentical) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const Graph& g = inst.graph;
+  const auto trees = all_pairs_trees(alg, CsrGraph(g), inst.weights);
+  std::vector<std::vector<NodeId>> next(g.node_count());
+  for (NodeId t = 0; t < g.node_count(); ++t) next[t] = trees[t].parent;
+  const auto tree_edges = preferred_spanning_tree(alg, g, inst.weights);
+  const RootedTree tree = RootedTree::from_edges(g, tree_edges, 0);
+  const CompressedTableScheme scheme(
+      g, next, CompressedTableScheme::dfs_relabeling(g, tree.parent, 0));
+  check_dispatch_identical(scheme, g, all_pairs(g.node_count()), "table");
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FibSimdSeeds,
+                         ::testing::Range<std::uint64_t>(0, kCorpusSeeds));
+
+// ---- Dispatch resolution ----
+
+TEST(FibSimdDispatch, ForcedScalarNeverResolvesToSimd) {
+  EXPECT_EQ(fib_resolve_dispatch(FibDispatch::kScalar), FibDispatch::kScalar);
+}
+
+TEST(FibSimdDispatch, AutoAndSimdFollowCpuSupport) {
+  const FibDispatch want =
+      fib_simd_supported() ? FibDispatch::kSimd : FibDispatch::kScalar;
+  EXPECT_EQ(fib_resolve_dispatch(FibDispatch::kAuto), want);
+  EXPECT_EQ(fib_resolve_dispatch(FibDispatch::kSimd), want);
+}
+
+// The compiled rows and the CSR adjacency use the same linear-scan
+// crossover; if one is re-pinned the other must be re-measured too
+// (see the comments at both definitions).
+TEST(FibSimdDispatch, RowCutoffMatchesCsrPortCutoff) {
+  EXPECT_EQ(kRowSearchLinearCutoff, CsrGraph::kPortToLinearScanCutoff);
+}
+
+// ---- Long Cowen rows: the Eytzinger search path ----
+
+// At n = 600 the landmark/cluster rows are far longer than
+// kRowSearchLinearCutoff, so lookups take the Eytzinger branch (and the
+// AVX2 short-row scan only for the short tail). The premise is asserted,
+// not assumed.
+TEST(FibSimdLargeRows, CowenEytzingerPathDispatchIdentical) {
+  const ShortestPath alg{1024};
+  const std::size_t n = 600;
+  Rng rng(97);
+  const Graph g = erdos_renyi_connected(n, 6.0 / static_cast<double>(n - 1),
+                                        rng);
+  const auto w = test::sampled_weights(alg, g, rng);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, g, w, rng);
+  const FlatFib fib = compile_fib(scheme, g);
+
+  const auto& cowen = fib.cowen();
+  ASSERT_NE(cowen.eyt, nullptr);
+  std::uint32_t longest = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    longest = std::max(longest, cowen.row_len[v]);
+  }
+  ASSERT_GT(longest, kRowSearchLinearCutoff)
+      << "instance too small to exercise the Eytzinger branch";
+
+  // Uniform pairs plus a Zipf draw (skew concentrates destinations, the
+  // hot-cache's intended regime).
+  Rng qrng(1234);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const NodeId s = static_cast<NodeId>(qrng.index(n));
+    NodeId t = static_cast<NodeId>(qrng.index(n));
+    if (t == s) t = static_cast<NodeId>((t + 1) % n);
+    queries.push_back({s, t});
+  }
+  WorkloadGenerator zipf(WorkloadGenerator::Kind::kZipf, g, qrng);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const Demand d = zipf.next();
+    queries.push_back({d.source, d.target});
+  }
+  check_dispatch_identical(scheme, g, queries, "cowen-large");
+}
+
+// ---- Mirror validation ----
+
+// Swapping two Eytzinger mirror entries (checksum patched up) must be
+// caught by the loader's mirror-recomputation check — a wrong mirror
+// would silently misroute exact-match lookups.
+TEST(FibSimdMirror, CorruptedMirrorIsRejected) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 11, kN, kP);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, inst.graph,
+                                                       inst.weights, inst.rng);
+  const FlatFib fib = compile_fib(scheme, inst.graph);
+  const auto blob = fib.blob();
+  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+
+  // Header: magic[8], kind u32, node_count u32, section_count u32,
+  // reserved u32, payload_bytes u64, checksum u64 (offset 32).
+  // Directory entries (24B each from offset 40): id u32, pad u32,
+  // offset u64, bytes u64.
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 16, 4);
+  std::uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, bytes.data() + 24, 8);
+  const std::size_t payload_begin = bytes.size() - payload_bytes;
+
+  std::uint64_t eyt_off = 0, eyt_bytes = 0;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::uint8_t* e = bytes.data() + 40 + s * 24;
+    std::uint32_t id = 0;
+    std::memcpy(&id, e, 4);
+    if (id == fib_section::kCowenRowsEyt) {
+      std::memcpy(&eyt_off, e + 8, 8);
+      std::memcpy(&eyt_bytes, e + 16, 8);
+    }
+  }
+  ASSERT_GT(eyt_bytes, 16u) << "mirror section missing or too small";
+
+  // Find two adjacent mirror entries with different values and swap them:
+  // the multiset of keys is unchanged, only the Eytzinger order breaks.
+  auto* eyt = reinterpret_cast<std::uint64_t*>(bytes.data() + eyt_off);
+  const std::size_t entries = eyt_bytes / 8;
+  std::size_t at = entries;
+  for (std::size_t i = 0; i + 1 < entries; ++i) {
+    if (eyt[i] != eyt[i + 1] && eyt[i] != 0 && eyt[i + 1] != 0) {
+      at = i;
+      break;
+    }
+  }
+  ASSERT_LT(at, entries) << "no distinct adjacent mirror entries to swap";
+  std::swap(eyt[at], eyt[at + 1]);
+
+  // Re-seal the checksum so only the mirror check can object.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = payload_begin; i < bytes.size(); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  std::memcpy(bytes.data() + 32, &h, 8);
+
+  EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cpr

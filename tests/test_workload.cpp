@@ -14,7 +14,7 @@ TEST(Workload, DemandsNeverSelfLoop) {
   const Graph g = erdos_renyi_connected(20, 0.3, rng);
   for (const auto kind :
        {WorkloadGenerator::Kind::kUniform, WorkloadGenerator::Kind::kGravity,
-        WorkloadGenerator::Kind::kHotspot}) {
+        WorkloadGenerator::Kind::kHotspot, WorkloadGenerator::Kind::kZipf}) {
     WorkloadGenerator w(kind, g, rng);
     for (int i = 0; i < 500; ++i) {
       const Demand d = w.next();
@@ -52,6 +52,59 @@ TEST(Workload, HotspotConcentratesTargets) {
   std::sort(counts.rbegin(), counts.rend());
   // The top two targets soak up most of the traffic.
   EXPECT_GT(counts[0] + counts[1], 3000u * 3 / 5);
+}
+
+TEST(Workload, ZipfIsDeterministicPerSeed) {
+  Rng graph_rng(5);
+  const Graph g = erdos_renyi_connected(64, 0.15, graph_rng);
+  Rng a(77), b(77), c(78);
+  WorkloadGenerator wa(WorkloadGenerator::Kind::kZipf, g, a);
+  WorkloadGenerator wb(WorkloadGenerator::Kind::kZipf, g, b);
+  WorkloadGenerator wc(WorkloadGenerator::Kind::kZipf, g, c);
+  bool differs_from_c = false;
+  for (int i = 0; i < 1000; ++i) {
+    const Demand da = wa.next(), db = wb.next(), dc = wc.next();
+    EXPECT_EQ(da.source, db.source);
+    EXPECT_EQ(da.target, db.target);
+    differs_from_c |= da.target != dc.target;
+  }
+  EXPECT_TRUE(differs_from_c) << "different seeds drew identical traffic";
+}
+
+TEST(Workload, ZipfConcentratesTargetsByRank) {
+  // With exponent 1.1 over n=200 ranks, the single top rank holds
+  // 1 / H(200, 1.1) ≈ 17% of the target mass and the top ten hold ~44%;
+  // uniform would give 0.5% / 5%. Checking loose thresholds on both pins
+  // the skew without being a flaky exact-distribution test.
+  Rng graph_rng(6);
+  const Graph g = erdos_renyi_connected(200, 0.05, graph_rng);
+  Rng rng(42);
+  WorkloadGenerator w(WorkloadGenerator::Kind::kZipf, g, rng);
+  std::map<NodeId, std::size_t> counts;
+  const std::size_t total = 20000;
+  for (std::size_t i = 0; i < total; ++i) ++counts[w.next().target];
+  std::vector<std::size_t> sorted;
+  for (const auto& [node, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted[0], total / 10);  // top destination ≥ 10%
+  std::size_t top10 = 0;
+  for (std::size_t i = 0; i < 10 && i < sorted.size(); ++i) top10 += sorted[i];
+  EXPECT_GT(top10, total / 3);  // top ten ≥ 33%
+}
+
+TEST(Workload, ZipfSourcesStayUniformish) {
+  // Sources are drawn uniformly regardless of the target skew: no node
+  // should dominate the source side the way ranks dominate targets.
+  Rng graph_rng(7);
+  const Graph g = erdos_renyi_connected(100, 0.08, graph_rng);
+  Rng rng(9);
+  WorkloadGenerator w(WorkloadGenerator::Kind::kZipf, g, rng);
+  std::map<NodeId, std::size_t> counts;
+  const std::size_t total = 20000;
+  for (std::size_t i = 0; i < total; ++i) ++counts[w.next().source];
+  std::size_t top = 0;
+  for (const auto& [node, c] : counts) top = std::max(top, c);
+  EXPECT_LT(top, total / 20);  // uniform expectation 1%, allow 5%
 }
 
 TEST(Workload, EvaluationOnPerfectSchemeIsStretchOne) {
