@@ -5,6 +5,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 // TSan cannot see that the SIMD path's plain vector loads race benignly
 // with apply_delta's relaxed atomic stores (the generation recheck
@@ -273,6 +274,12 @@ struct HotDestCache {
 };
 static_assert(HotDestCache::kSlots == (std::size_t{1} << 12));
 
+// kCache=false instantiations carry this instead of a HotDestCache so
+// the hot serving path never pays the 64 KiB per-shard allocation+zero.
+struct NoCache {};
+template <bool kCache>
+using ShardCache = std::conditional_t<kCache, HotDestCache, NoCache>;
+
 // Per-shard scratch for exact loop detection without per-query clears:
 // a node counts as visited when its stamp equals the current query's.
 struct LoopStamps {
@@ -298,7 +305,7 @@ void walk_shard(const FlatFib& fib,
   const FlatFib::TopoView& topo = fib.topo();
   Walker walker(fib);
   LoopStamps stamps(kFailures ? fib.node_count() : 0);
-  HotDestCache cache;  // kCache only; cheap to construct, lazily touched
+  ShardCache<kCache> cache;  // empty type when kCache is off
   for (const std::uint32_t qi : indices) {
     const auto [source, target] = queries[qi];
     FibRouteResult& r = results[qi];
@@ -523,6 +530,8 @@ __attribute__((target("avx2"))) void tree_step_lanes_avx2(
   for (std::size_t i = 0; i < 8; ++i) {
     // Inactive / absent lanes gather record 0 (always mapped) and are
     // classified as kLaneScalar so nothing reads their outputs.
+    // cur[i] * 8 must stay within int32: forward_batch routes graphs
+    // above kSimdMaxNodeCount (2^28 nodes) to the scalar path.
     idx[i] = (i < m && active[i])
                  ? static_cast<std::int32_t>(cur[i] * 8u)
                  : 0;
@@ -582,7 +591,7 @@ __attribute__((target("avx2"))) void tree_step_lanes_avx2(
 template <typename Walker, bool kCache>
 void step_lanes(Walker* w, const NodeId* cur, const NodeId* tgt,
                 const bool* active, std::size_t m, StepResult* d,
-                HotDestCache& cache) {
+                ShardCache<kCache>& cache) {
   for (std::size_t i = 0; i < m; ++i) {
     if (!active[i]) continue;
     if constexpr (kCache) {
@@ -598,7 +607,7 @@ void step_lanes(Walker* w, const NodeId* cur, const NodeId* tgt,
 template <bool kCache>
 void step_lanes_tree(TreeWalker* w, const NodeId* cur, const NodeId* tgt,
                      const bool* active, std::size_t m, StepResult* d,
-                     HotDestCache& cache) {
+                     ShardCache<kCache>& cache) {
   std::uint32_t xs[8];
   for (std::size_t i = 0; i < m; ++i) xs[i] = w[i].x;
   std::uint32_t klass[8] = {};
@@ -650,7 +659,7 @@ void walk_shard_lockstep(const FlatFib& fib,
   std::vector<Walker> w;
   w.reserve(kLanes);
   for (std::size_t i = 0; i < kLanes; ++i) w.emplace_back(fib);
-  HotDestCache cache;
+  ShardCache<kCache> cache;
   std::array<std::vector<NodeId>, kLanes> lane_path;
 
   NodeId cur[kLanes], tgt[kLanes];
@@ -731,7 +740,7 @@ void walk_shard_lockstep_refill(
   std::vector<Walker> w;
   w.reserve(kLanes);
   for (std::size_t i = 0; i < kLanes; ++i) w.emplace_back(fib);
-  HotDestCache cache;
+  ShardCache<kCache> cache;
 
   NodeId cur[kLanes], tgt[kLanes];
   std::uint32_t qidx[kLanes];
@@ -876,11 +885,16 @@ FibBatchOutput forward_batch(const FlatFib& fib,
   // consults the arena size: results are bit-identical either way, and
   // below kSimdAutoMinArenaBytes the walk is cache-resident, where the
   // single-chain scalar loop beats the lockstep lane overhead.
+  // byte_size() — never blob() here: blob() refreshes the arena checksum,
+  // a non-atomic write that must not run on the concurrent reader path.
+  // The AVX2 tree kernel's 32-bit gather indices cap the node count; a
+  // larger graph (beyond any current target) walks scalar, bit-identical.
   const bool simd =
       opt.edge_down == nullptr &&
       fib_resolve_dispatch(opt.dispatch) == FibDispatch::kSimd &&
+      fib.node_count() <= kSimdMaxNodeCount &&
       (opt.dispatch != FibDispatch::kAuto ||
-       fib.blob().size() >= kSimdAutoMinArenaBytes);
+       fib.byte_size() >= kSimdAutoMinArenaBytes);
   (void)simd;  // non-SIMD builds resolve every dispatch to scalar
 
   // Seqlock read side. Sample the generation, walk, issue an acquire

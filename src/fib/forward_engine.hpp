@@ -94,6 +94,13 @@ FibDispatch fib_resolve_dispatch(FibDispatch requested);
 // size; results are bit-identical regardless).
 inline constexpr std::size_t kSimdAutoMinArenaBytes = 2u << 20;
 
+// Hard node-count ceiling for every SIMD dispatch flavor (kAuto *and*
+// forced kSimd): the batched tree kernel gathers with 32-bit indices of
+// node_id * 8 u32 fields, so a node id at or above 2^28 would wrap
+// negative and gather out of bounds. Graphs past the ceiling resolve to
+// the scalar path, which is bit-identical.
+inline constexpr std::size_t kSimdMaxNodeCount = std::size_t{1} << 28;
+
 struct FibBatchOptions {
   ThreadPool* pool = nullptr;     // nullptr = process-global pool
   std::size_t max_hops = 0;       // 0 = the simulator default, 4n + 16
