@@ -20,24 +20,39 @@
 //     ArenaStore (temp + fsync + rename + CURRENT), a second store
 //     instance re-resolves and mmaps it, and one batch is served from
 //     the fresh mapping. Timed per publish-adopt-serve cycle.
+//   serving_channel_staleness
+//     The cross-process patch channel, measured for real: a forked
+//     writer process streams single-row deltas through the MAP_SHARED
+//     segment while this process serves as a PatchChannelReader. Each
+//     patch is stamped (CLOCK_MONOTONIC, shared anonymous page) when
+//     the writer starts applying it; the reader records when the
+//     patches_applied header counter first covers it. Reported as
+//     patch-visibility p50/p99/p999 µs plus how many patches behind
+//     the writer's head the reader was at each observation
+//     (generations-behind-head mean/max). Zero ArenaStore publishes
+//     happen after the initial one — the latency is pure seqlock +
+//     cache-coherence, no fsync/rename in the loop.
 //
 // Usage: bench_serving [--quick] [--filter=substr] [--out=path]
 //                      [--baseline=path]
 // Schema "cpr-bench-serving-v1". With --baseline, the run exits
-// nonzero when the churn suite's batch p99 regresses more than 25%
-// against the committed file (the CI bench-smoke guard).
+// nonzero when the churn suite's batch p99 — or the staleness suite's
+// patch-visibility p99 — regresses more than 25% against the committed
+// file (the CI bench-smoke guard).
 #include "bench_util.hpp"
 
 #include "algebra/primitives.hpp"
 #include "fib/arena_store.hpp"
 #include "fib/compile.hpp"
 #include "fib/fib_delta.hpp"
+#include "fib/patch_channel.hpp"
 #include "scheme/cowen.hpp"
 #include "sim/churn.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -49,6 +64,8 @@
 #include <utility>
 #include <vector>
 
+#include <sys/mman.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 namespace cpr {
@@ -81,6 +98,11 @@ struct SuiteResult {
   long long patch_events = -1;      // writer-side absorption mix
   long long compaction_events = -1;
   long long published = -1;         // store suite: generations published
+  // Staleness-suite extras; -1 elsewhere. The percentiles above hold
+  // per-patch visibility latency for this suite, not batch latency.
+  long long patches_observed = -1;  // cross-process patches measured
+  double gen_behind_mean = -1;      // patches behind the writer's head
+  long long gen_behind_max = -1;
 };
 
 double percentile(std::vector<double> xs, double q) {
@@ -295,13 +317,177 @@ SuiteResult store_suite(const ServingInstance& inst, std::size_t cycles,
   return r;
 }
 
+// ---- Cross-process staleness suite ----
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Shared-page layout: word 0 is the writer's head patch index, words
+// kStampBase.. are the per-patch apply-start stamps (CLOCK_MONOTONIC ns,
+// comparable across processes). One 4 KiB page bounds the patch count.
+constexpr std::size_t kStampBase = 8;
+constexpr std::size_t kStalenessPageBytes = 4096;
+constexpr std::size_t kMaxStalenessPatches =
+    kStalenessPageBytes / sizeof(std::uint64_t) - kStampBase;
+
+// Child side: acquire the channel, publish the one-and-only generation,
+// wait for the parent to adopt, then stream alternating landmark-port
+// flips — stamping each patch just before apply() and bumping the head
+// word just after. Exit codes surface the failure mode to the parent.
+[[noreturn]] void staleness_writer_child(const ServingInstance& inst,
+                                         const std::filesystem::path& dir,
+                                         std::atomic<std::uint64_t>* words,
+                                         std::size_t patches) {
+  try {
+    const ShortestPath alg{1024};
+    PatchChannelWriter writer =
+        PatchChannelWriter::acquire(dir, static_cast<std::uint64_t>(getpid()));
+    Rng build_rng(42);
+    // No pool: the parent's worker threads do not survive the fork.
+    auto scheme =
+        CowenScheme<ShortestPath>::build(alg, inst.g, inst.w, build_rng);
+    writer.publish(
+        compile_fib(scheme, inst.g, fib_churn_maintain_options().compile));
+
+    const std::uint64_t deadline = mono_ns() + 30ull * 1000 * 1000 * 1000;
+    while (!std::filesystem::exists(dir / "READY")) {
+      if (mono_ns() > deadline) ::_exit(3);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    const Port orig = static_cast<Port>(writer.fib().cowen().landmark_port[0]);
+    for (std::size_t k = 1; k <= patches; ++k) {
+      FibDelta d;
+      d.touched_nodes = 1;
+      d.patches.push_back(fib_patch_u32(fib_section::kCowenLandmarkPort, 0,
+                                        (k & 1) ? kInvalidPort : orig));
+      words[kStampBase + k - 1].store(mono_ns(), std::memory_order_release);
+      if (!writer.apply(d)) ::_exit(4);
+      words[0].store(k, std::memory_order_release);
+      // Space the stream out so observations are distinct events, not
+      // one burst the reader digests after the fact.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ::_exit(0);
+  } catch (...) {
+    ::_exit(5);
+  }
+}
+
+SuiteResult staleness_suite(const ServingInstance& inst, std::size_t patches) {
+  const ShortestPath alg{1024};
+  SuiteResult r{"serving_channel_staleness", alg.name(), inst.g.node_count(),
+                inst.g.edge_count()};
+  patches = std::min(patches, kMaxStalenessPatches);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("cpr_bench_staleness_" + std::to_string(::getpid()) + "_" +
+       std::to_string(inst.g.node_count()));
+  std::filesystem::create_directories(dir);
+
+  void* page = ::mmap(nullptr, kStalenessPageBytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (page == MAP_FAILED) {
+    std::cerr << "serving_channel_staleness: mmap failed\n";
+    return r;
+  }
+  auto* words = new (page) std::atomic<std::uint64_t>[kStalenessPageBytes /
+                                                      sizeof(std::uint64_t)]();
+
+  const pid_t pid = ::fork();
+  if (pid == 0) staleness_writer_child(inst, dir, words, patches);
+  if (pid < 0) {
+    std::cerr << "serving_channel_staleness: fork failed\n";
+    ::munmap(page, kStalenessPageBytes);
+    return r;
+  }
+
+  // Adopt the writer's one generation through the live segment.
+  PatchChannelReader reader(dir);
+  std::shared_ptr<const ChannelArena> arena;
+  const std::uint64_t adopt_deadline = mono_ns() + 30ull * 1000 * 1000 * 1000;
+  while (mono_ns() < adopt_deadline) {
+    arena = reader.current();
+    if (arena && arena->via_channel()) break;
+    arena = nullptr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<double> vis_us;
+  std::vector<std::uint64_t> behind;
+  if (arena) {
+    {
+      std::ofstream out(dir / "READY");
+      out << "ready\n";
+    }
+    const double t0 = now_seconds();
+    std::uint64_t seen = 0;
+    const std::uint64_t deadline = mono_ns() + 60ull * 1000 * 1000 * 1000;
+    while (seen < patches && mono_ns() < deadline) {
+      const std::uint64_t cur = arena->patches_applied();
+      if (cur == seen) continue;  // busy poll: latency is the product here
+      const std::uint64_t t = mono_ns();
+      const std::uint64_t head = words[0].load(std::memory_order_acquire);
+      for (std::uint64_t k = seen + 1; k <= cur; ++k) {
+        std::uint64_t stamp =
+            words[kStampBase + k - 1].load(std::memory_order_acquire);
+        // The counter bump races the head-word store, never the stamp —
+        // but be safe against a torn first read.
+        while (stamp == 0) {
+          stamp = words[kStampBase + k - 1].load(std::memory_order_acquire);
+        }
+        vis_us.push_back(t > stamp ? static_cast<double>(t - stamp) / 1e3
+                                   : 0.0);
+        behind.push_back(head > k ? head - k : 0);
+      }
+      seen = cur;
+    }
+    r.wall_s = now_seconds() - t0;
+  } else {
+    std::cerr << "serving_channel_staleness n=" << r.n
+              << ": reader never adopted the segment\n";
+  }
+
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "serving_channel_staleness n=" << r.n
+              << ": writer child failed (status " << status << ")\n";
+  }
+  arena.reset();
+  ::munmap(page, kStalenessPageBytes);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  r.runs = vis_us.size();
+  r.ops_per_s = r.wall_s > 0 ? static_cast<double>(r.runs) / r.wall_s : 0;
+  fill_percentiles(r, vis_us);
+  r.patches_observed = static_cast<long long>(vis_us.size());
+  if (!behind.empty()) {
+    std::uint64_t sum = 0, mx = 0;
+    for (const std::uint64_t b : behind) {
+      sum += b;
+      mx = std::max(mx, b);
+    }
+    r.gen_behind_mean =
+        static_cast<double>(sum) / static_cast<double>(behind.size());
+    r.gen_behind_max = static_cast<long long>(mx);
+  }
+  return r;
+}
+
 // ---- Baseline guard (CI bench-smoke) ----
 
 // Mirrors bench_churn's guard: parse the committed BENCH_serving.json,
 // match by (name, n), fail on >25% regression of the churn suite's
-// batch p99 — the latency promise the seqlock path exists to keep. The
-// idle and store suites are reported but not gated: fsync and build
-// cost drift too much across machines for a hard gate.
+// batch p99 and the staleness suite's patch-visibility p99 — the two
+// latency promises the seqlock protocol (in-process and cross-process)
+// exists to keep. The idle and store suites are reported but not gated:
+// fsync and build cost drift too much across machines for a hard gate.
 struct BaselineEntry {
   std::string name;
   std::size_t n = 0;
@@ -358,16 +544,24 @@ int check_baseline(const std::string& path,
   constexpr double kMaxRegression = 1.25;  // fail beyond +25%
   // Absolute cushion on top of the ratio: batch p99 under a competing
   // patcher thread carries scheduler jitter, especially on the small
-  // quick-mode instance where batches are ~100 µs.
+  // quick-mode instance where batches are ~100 µs. The cross-process
+  // visibility p99 additionally rides scheduler wakeups of two
+  // processes, so its cushion is wider.
   constexpr double kNoiseFloorUs = 200.0;
+  constexpr double kStalenessNoiseFloorUs = 500.0;
   int failures = 0;
   std::size_t matched = 0;
   for (const SuiteResult& s : suites) {
-    if (s.name != "serving_cowen_churn" || s.p99_us < 0) continue;
+    const bool gated = s.name == "serving_cowen_churn" ||
+                       s.name == "serving_channel_staleness";
+    if (!gated || s.p99_us < 0) continue;
     for (const BaselineEntry& b : base) {
       if (b.name != s.name || b.n != s.n || b.p99_us <= 0) continue;
       ++matched;
-      const double limit = b.p99_us * kMaxRegression + kNoiseFloorUs;
+      const double floor = s.name == "serving_channel_staleness"
+                               ? kStalenessNoiseFloorUs
+                               : kNoiseFloorUs;
+      const double limit = b.p99_us * kMaxRegression + floor;
       if (s.p99_us > limit) {
         std::cerr << "REGRESSION " << s.name << " n=" << s.n << ": batch p99 "
                   << s.p99_us << " us vs baseline " << b.p99_us << " us (limit "
@@ -425,6 +619,11 @@ void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
     if (s.published >= 0) {
       os << ",\n      \"published\": " << s.published;
     }
+    if (s.patches_observed >= 0) {
+      os << ",\n      \"patches_observed\": " << s.patches_observed;
+      os << ",\n      \"gen_behind_mean\": " << s.gen_behind_mean;
+      os << ",\n      \"gen_behind_max\": " << s.gen_behind_max;
+    }
     os << "\n    }" << (i + 1 < suites.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
@@ -458,6 +657,10 @@ int main(int argc, char** argv) {
     if (r.seqlock_retries >= 0) {
       std::cout << ", " << r.seqlock_retries << " seqlock retries";
     }
+    if (r.patches_observed >= 0) {
+      std::cout << ", " << r.patches_observed << " patches, behind mean "
+                << r.gen_behind_mean << " max " << r.gen_behind_max;
+    }
     std::cout << "\n";
     suites.push_back(std::move(r));
   };
@@ -477,6 +680,7 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1000, 10000};
   const std::size_t idle_batches = quick ? 64 : 256;
   const std::size_t store_cycles = quick ? 8 : 16;
+  const std::size_t staleness_patches = quick ? 64 : 256;
 
   for (std::size_t n : ns) {
     const std::size_t events = n >= 10000 ? 40 : (quick ? 60 : 160);
@@ -489,6 +693,9 @@ int main(int argc, char** argv) {
     }
     if (want("serving_store_publish")) {
       run(cpr::store_suite(inst, store_cycles, pool));
+    }
+    if (want("serving_channel_staleness")) {
+      run(cpr::staleness_suite(inst, staleness_patches));
     }
   }
 

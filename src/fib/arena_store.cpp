@@ -1,5 +1,6 @@
 #include "fib/arena_store.hpp"
 
+#include "fib/patch_channel.hpp"
 #include "util/hugepage.hpp"
 
 #include <fcntl.h>
@@ -22,6 +23,7 @@ namespace {
 constexpr char kCurrentName[] = "CURRENT";
 constexpr char kArenaPrefix[] = "arena-";
 constexpr char kArenaSuffix[] = ".fib";
+constexpr char kSegmentSuffix[] = ".pch";
 constexpr std::size_t kGenDigits = 8;
 
 [[noreturn]] void fail(const std::string& what) {
@@ -33,6 +35,13 @@ std::string arena_name(std::uint64_t gen) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%s%08llu%s", kArenaPrefix,
                 static_cast<unsigned long long>(gen), kArenaSuffix);
+  return buf;
+}
+
+std::string segment_name(std::uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kArenaPrefix,
+                static_cast<unsigned long long>(gen), kSegmentSuffix);
   return buf;
 }
 
@@ -150,6 +159,19 @@ std::uint64_t ArenaStore::publish_blob(std::span<const std::uint8_t> blob,
   rename_or_fail(temp, arena);
   if (stop == PublishStop::kBeforeCurrent) return gen;
 
+  // Patch-channel sidecar, after the immutable arena lands and before
+  // CURRENT moves: a generation named current always has its segment in
+  // place, and a crash in between leaves only an un-referenced pair the
+  // next writer's stale-temp sweep / prune clears.
+  if (patch_channel_) {
+    const auto segment =
+        patch_channel_segment_bytes(blob, gen, patch_fence_);
+    const fs::path seg = segment_file(gen);
+    const fs::path seg_tmp = seg.string() + ".tmp";
+    write_file_sync(seg_tmp, segment.data(), segment.size());
+    rename_or_fail(seg_tmp, seg);
+  }
+
   const std::string name = arena_name(gen) + "\n";
   const fs::path current_tmp = dir_ / (std::string(kCurrentName) + ".tmp");
   write_file_sync(current_tmp, name.data(), name.size());
@@ -176,8 +198,29 @@ std::size_t ArenaStore::prune(std::uint64_t keep_from) {
   for (const std::uint64_t g : scan_generations(dir_)) {
     if (g >= keep_from || arena_name(g) == current) continue;
     if (fs::remove(arena_path(g), ec)) ++removed;
+    // The sidecar segment dies with its arena; mapped readers keep the
+    // unlinked inode alive exactly like the .fib files.
+    fs::remove(segment_file(g), ec);
   }
   return removed;
+}
+
+fs::path ArenaStore::arena_file(std::uint64_t gen) const {
+  return arena_path(gen);
+}
+
+fs::path ArenaStore::segment_file(std::uint64_t gen) const {
+  return dir_ / segment_name(gen);
+}
+
+std::uint64_t ArenaStore::current_generation() const {
+  std::uint64_t gen = 0;
+  if (!parse_arena_name(read_current(dir_), &gen)) return 0;
+  return gen;
+}
+
+std::vector<std::uint64_t> ArenaStore::generations() const {
+  return scan_generations(dir_);
 }
 
 std::shared_ptr<const ServedArena> ArenaStore::try_open(

@@ -40,6 +40,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace cpr {
 
@@ -97,8 +98,32 @@ class ArenaStore {
   std::uint64_t publish_blob(std::span<const std::uint8_t> blob,
                              PublishStop stop = PublishStop::kNone);
 
+  // Patch-channel opt-in (fib/patch_channel.hpp): every publish also
+  // emits the "CPRPCH01" segment arena-<gen>.pch beside the arena file —
+  // fence-stamped with `writer_fence`, written and renamed *before*
+  // CURRENT moves, so by the time a generation is named current its
+  // live-patch segment is already adoptable. Off by default: plain
+  // stores keep the PR-6 files-only protocol byte for byte.
+  void enable_patch_channel(std::uint64_t writer_fence) {
+    patch_channel_ = true;
+    patch_fence_ = writer_fence;
+  }
+
   // The generation the next publish will be assigned.
   std::uint64_t next_generation() const { return next_generation_; }
+
+  // ---- Naming & introspection (patch channel + tests) ----
+
+  // arena-<gen>.fib and its arena-<gen>.pch sidecar.
+  std::filesystem::path arena_file(std::uint64_t gen) const;
+  std::filesystem::path segment_file(std::uint64_t gen) const;
+
+  // The generation CURRENT names, or 0 when CURRENT is missing/garbled
+  // (generation numbers start at 1).
+  std::uint64_t current_generation() const;
+
+  // All published generations in the directory, descending.
+  std::vector<std::uint64_t> generations() const;
 
   // Removes abandoned *.tmp files — a restarted writer's first act.
   std::size_t remove_stale_temps();
@@ -127,6 +152,8 @@ class ArenaStore {
 
   std::filesystem::path dir_;
   std::uint64_t next_generation_ = 1;
+  bool patch_channel_ = false;
+  std::uint64_t patch_fence_ = 0;
   std::shared_ptr<const ServedArena> cached_;
 };
 

@@ -172,6 +172,7 @@ FlatFib FlatFib::from_words(std::vector<std::uint64_t> words) {
   FlatFib fib;
   fib.words_ = std::move(words);
   fib.base_ = reinterpret_cast<const std::uint8_t*>(fib.words_.data());
+  fib.mutable_base_ = reinterpret_cast<std::uint8_t*>(fib.words_.data());
   fib.writable_ = true;
   const std::size_t avail = fib.words_.size() * sizeof(std::uint64_t);
   advise_huge_pages(fib.words_.data(), avail);
@@ -185,6 +186,24 @@ FlatFib FlatFib::from_memory(const void* data, std::size_t bytes) {
   FlatFib fib;
   fib.base_ = static_cast<const std::uint8_t*>(data);
   fib.writable_ = false;
+  return open(std::move(fib), bytes);
+}
+
+FlatFib FlatFib::from_shared(void* data, std::size_t bytes,
+                             std::uint64_t* shared_seq, bool writable) {
+  if (reinterpret_cast<std::uintptr_t>(data) % alignof(std::uint64_t) != 0) {
+    fail("from_shared base is not 8-byte aligned");
+  }
+  if (shared_seq == nullptr) fail("from_shared needs a seqlock word");
+  FlatFib fib;
+  fib.base_ = static_cast<const std::uint8_t*>(data);
+  fib.mutable_base_ = writable ? static_cast<std::uint8_t*>(data) : nullptr;
+  fib.shared_gen_ = shared_seq;
+  // The mapping may be mid-patch while we parse it: only the immutable
+  // header/directory region is checked here. The patch-channel reader
+  // validates a seqlock-stable snapshot before handing out the arena.
+  fib.deep_validate_ = false;
+  fib.writable_ = writable;
   return open(std::move(fib), bytes);
 }
 
@@ -220,7 +239,12 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
     fail("blob truncated");
   }
   const std::size_t total = payload_begin + payload_bytes;
-  if (fnv1a(base + payload_begin, payload_bytes) != checksum) {
+  // from_shared opens a live mapping whose Cowen sections may be
+  // mid-patch (and whose payload checksum is refreshed lazily, so it is
+  // stale by design under churn): content checks are the snapshot
+  // validator's job there, not the open's.
+  if (fib.deep_validate_ &&
+      fnv1a(base + payload_begin, payload_bytes) != checksum) {
     fail("checksum mismatch");
   }
 
@@ -332,11 +356,13 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
       fib.cowen_.row_len = reinterpret_cast<const std::uint32_t*>(rlen.data);
       auto lm = dir.require(fs::kCowenLandmark, 4, n);
       fib.cowen_.landmark = reinterpret_cast<const std::uint32_t*>(lm.data);
-      for (std::size_t v = 0; v < n; ++v) {
-        // kInvalidNode marks a node with no reachable landmark.
-        if (fib.cowen_.landmark[v] >= n &&
-            fib.cowen_.landmark[v] != kInvalidNode) {
-          fail("cowen: landmark out of range");
+      if (fib.deep_validate_) {
+        for (std::size_t v = 0; v < n; ++v) {
+          // kInvalidNode marks a node with no reachable landmark.
+          if (fib.cowen_.landmark[v] >= n &&
+              fib.cowen_.landmark[v] != kInvalidNode) {
+            fail("cowen: landmark out of range");
+          }
         }
       }
       auto lmp = dir.require(fs::kCowenLandmarkPort, 4, n);
@@ -345,19 +371,23 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
       // row_off is the capacity CSR; the live prefix of each row must be
       // strictly increasing by key and the slack tail zeroed (apply_delta
       // keeps both invariants, so reload == fresh compile structurally).
-      for (std::size_t v = 0; v < n; ++v) {
-        const std::uint32_t* ro = fib.cowen_.row_off;
-        const std::uint32_t cap = ro[v + 1] - ro[v];
-        const std::uint32_t len = fib.cowen_.row_len[v];
-        if (len > cap) fail("cowen: row length exceeds capacity");
-        for (std::uint32_t i = ro[v]; i + 1 < ro[v] + len; ++i) {
-          if (fib_entry_key(fib.cowen_.rows[i]) >=
-              fib_entry_key(fib.cowen_.rows[i + 1])) {
-            fail("cowen: row keys not strictly increasing");
+      // Skipped for live shared mappings: these sections are exactly the
+      // ones a concurrent writer patches.
+      if (fib.deep_validate_) {
+        for (std::size_t v = 0; v < n; ++v) {
+          const std::uint32_t* ro = fib.cowen_.row_off;
+          const std::uint32_t cap = ro[v + 1] - ro[v];
+          const std::uint32_t len = fib.cowen_.row_len[v];
+          if (len > cap) fail("cowen: row length exceeds capacity");
+          for (std::uint32_t i = ro[v]; i + 1 < ro[v] + len; ++i) {
+            if (fib_entry_key(fib.cowen_.rows[i]) >=
+                fib_entry_key(fib.cowen_.rows[i + 1])) {
+              fail("cowen: row keys not strictly increasing");
+            }
           }
-        }
-        for (std::uint32_t i = ro[v] + len; i < ro[v + 1]; ++i) {
-          if (fib.cowen_.rows[i] != 0) fail("cowen: row slack is nonzero");
+          for (std::uint32_t i = ro[v] + len; i < ro[v + 1]; ++i) {
+            if (fib.cowen_.rows[i] != 0) fail("cowen: row slack is nonzero");
+          }
         }
       }
       // v3 Eytzinger mirror: mandatory for v3 blobs, absent from v2 ones
@@ -373,7 +403,7 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
         if (er.present) {
           const auto* eyt = reinterpret_cast<const std::uint64_t*>(er.data);
           std::vector<std::uint64_t> scratch;
-          for (std::size_t v = 0; v < n; ++v) {
+          for (std::size_t v = 0; fib.deep_validate_ && v < n; ++v) {
             const std::uint32_t* ro = fib.cowen_.row_off;
             const std::uint32_t len = fib.cowen_.row_len[v];
             scratch.assign(len, 0);
@@ -483,6 +513,9 @@ FlatFib FlatFib::from_blob(std::span<const std::uint8_t> bytes) {
 FlatFib::FlatFib(FlatFib&& other) noexcept
     : words_(std::move(other.words_)),
       base_(other.base_),
+      mutable_base_(other.mutable_base_),
+      shared_gen_(other.shared_gen_),
+      deep_validate_(other.deep_validate_),
       writable_(other.writable_),
       bytes_(other.bytes_),
       payload_begin_(other.payload_begin_),
@@ -504,6 +537,9 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
   if (this != &other) {
     words_ = std::move(other.words_);
     base_ = other.base_;
+    mutable_base_ = other.mutable_base_;
+    shared_gen_ = other.shared_gen_;
+    deep_validate_ = other.deep_validate_;
     writable_ = other.writable_;
     bytes_ = other.bytes_;
     payload_begin_ = other.payload_begin_;
@@ -526,22 +562,18 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
 }
 
 std::uint8_t* FlatFib::section_ptr(std::uint32_t id) {
-  if (!writable_) return nullptr;
+  if (!writable_ || mutable_base_ == nullptr) return nullptr;
   for (const auto& s : sections_) {
-    if (s.id == id) {
-      return reinterpret_cast<std::uint8_t*>(words_.data()) + s.offset;
-    }
+    if (s.id == id) return mutable_base_ + s.offset;
   }
   return nullptr;
 }
 
 void FlatFib::refresh_checksum() const {
-  if (!writable_) return;  // foreign arenas are immutable, never stale
-  auto* base = reinterpret_cast<std::uint8_t*>(
-      const_cast<std::uint64_t*>(words_.data()));
+  if (!writable_ || mutable_base_ == nullptr) return;  // foreign read-only
   const std::uint64_t sum =
-      fnv1a(base + payload_begin_, bytes_ - payload_begin_);
-  std::memcpy(base + kChecksumOffset, &sum, 8);
+      fnv1a(mutable_base_ + payload_begin_, bytes_ - payload_begin_);
+  std::memcpy(mutable_base_ + kChecksumOffset, &sum, 8);
   checksum_stale_ = false;
 }
 
@@ -604,10 +636,13 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
   // Seqlock write. An odd generation here means a previous writer died
   // inside its patch window (or two writers raced, which the single-writer
   // contract forbids); the arena may hold a half-applied patch, so refuse
-  // and let the owner compact into a fresh arena.
-  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  // and let the owner compact into a fresh arena. For from_shared arenas
+  // the word lives in the MAP_SHARED segment header, so the window is
+  // visible to reader *processes*, and an odd parity left by a SIGKILLed
+  // writer is exactly what a standby's takeover must refuse to compound.
+  const std::uint64_t gen = gen_load(std::memory_order_relaxed);
   if (gen % 2 != 0) return false;
-  generation_.store(gen + 1, std::memory_order_relaxed);
+  gen_store(gen + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
 
   // All stores below are relaxed atomics so concurrent forward_batch
@@ -669,7 +704,7 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
     }
   }
   checksum_stale_ = true;
-  generation_.store(gen + 2, std::memory_order_release);
+  gen_store(gen + 2, std::memory_order_release);
   return true;
 }
 

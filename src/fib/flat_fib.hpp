@@ -67,8 +67,18 @@
 // the caller (MaintainedFib does). Arenas opened over foreign read-only
 // memory (from_memory — mmap'd blobs published by ArenaStore) are
 // immutable: apply_delta refuses and the generation never moves, so
-// cross-process readers never see a torn row by construction — new
-// generations arrive as whole new files, not in-place writes.
+// cross-process readers of those files never see a torn row by
+// construction — new generations arrive as whole new files.
+//
+// Cross-process patching (fib/patch_channel.hpp) lifts the same seqlock
+// across processes: from_shared opens an arena inside a MAP_SHARED
+// patch-channel segment whose seqlock word lives in the segment header
+// (outside the blob), so a writer process patching through its mapping
+// and reader processes walking theirs observe one generation counter.
+// from_shared skips content validation — the live mapping may be
+// mid-patch while it is opened — so the caller must have validated a
+// seqlock-stable snapshot of the same bytes first (the patch-channel
+// reader does exactly that before every cutover).
 #pragma once
 
 #include "graph/graph.hpp"
@@ -256,6 +266,20 @@ class FlatFib {
   // and is 8-byte aligned (mmap regions are page-aligned).
   static FlatFib from_memory(const void* data, std::size_t bytes);
 
+  // Open over a foreign MAP_SHARED mapping whose seqlock word lives
+  // outside the blob — the patch-channel segment header
+  // (fib/patch_channel.hpp). `writable` selects the writer role
+  // (apply_delta patches the mapping in place, bracketing the shared
+  // word) or the reader role (apply_delta refuses; forward_batch reads
+  // the shared word through generation()). Structural/content checks
+  // are SKIPPED — the live mapping may be mid-patch while it is
+  // mapped — so callers must validate a seqlock-stable snapshot of the
+  // same bytes first; only header/directory bounds are enforced here.
+  // `data` and `shared_seq` must outlive the FlatFib; `data` must be
+  // 8-byte aligned (mmap regions are page-aligned).
+  static FlatFib from_shared(void* data, std::size_t bytes,
+                             std::uint64_t* shared_seq, bool writable);
+
   // False for from_memory arenas: the backing store is foreign read-only
   // memory, so in-place patching is structurally impossible.
   bool writable() const { return writable_; }
@@ -282,8 +306,14 @@ class FlatFib {
 
   // Even while the arena is stable, odd while apply_delta is rewriting
   // it; bumped by two per applied delta. forward_batch samples it on
-  // entry and exit and retries (or refuses) torn reads.
+  // entry and exit and retries (or refuses) torn reads. For from_shared
+  // arenas the counter is the MAP_SHARED segment word, so the parity
+  // protocol holds across processes, not just threads.
   std::uint64_t generation() const {
+    if (shared_gen_ != nullptr) {
+      return std::atomic_ref<std::uint64_t>(*shared_gen_)
+          .load(std::memory_order_acquire);
+    }
     return generation_.load(std::memory_order_acquire);
   }
 
@@ -321,12 +351,34 @@ class FlatFib {
 
   // Mutable bytes of a section, or nullptr when absent or read-only.
   std::uint8_t* section_ptr(std::uint32_t id);
+  // Seqlock word accessors routing to the shared segment word when one
+  // is wired (from_shared) and the member atomic otherwise.
+  std::uint64_t gen_load(std::memory_order order) const {
+    if (shared_gen_ != nullptr) {
+      return std::atomic_ref<std::uint64_t>(*shared_gen_).load(order);
+    }
+    return generation_.load(order);
+  }
+  void gen_store(std::uint64_t v, std::memory_order order) {
+    if (shared_gen_ != nullptr) {
+      std::atomic_ref<std::uint64_t>(*shared_gen_).store(v, order);
+    } else {
+      generation_.store(v, order);
+    }
+  }
   void refresh_checksum() const;
   // Validates the blob at base_/writable_ and points the views into it.
   static FlatFib open(FlatFib fib, std::size_t avail);
 
   std::vector<std::uint64_t> words_;  // owned blob (empty when non-owning)
   const std::uint8_t* base_ = nullptr;  // words_.data() or foreign memory
+  // Writable image of base_: words_.data() for owned arenas, the mapping
+  // itself for from_shared writers, nullptr for read-only opens.
+  std::uint8_t* mutable_base_ = nullptr;
+  // Seqlock word when it lives outside the blob (patch-channel segment
+  // header); nullptr means generation_ below is authoritative.
+  std::uint64_t* shared_gen_ = nullptr;
+  bool deep_validate_ = true;         // from_shared: bounds checks only
   bool writable_ = false;             // false: mmap'd/foreign, never patched
   std::size_t bytes_ = 0;             // meaningful prefix of the backing
   std::size_t payload_begin_ = 0;     // checksummed region [begin, bytes_)

@@ -271,6 +271,28 @@ struct HotDestCache {
     e.port = d.port;
     e.deliver = d.deliver ? 1 : 0;
   }
+
+  // Early hit-rate probe (kHotCacheProbeLookups): the first window of
+  // step lookups votes on whether this shard's workload is skewed. A
+  // cold cache misses its opening lookups no matter what, so the
+  // threshold (1/8) is set well below any Zipf shard's steady-state hit
+  // rate but above what a uniform shard ever reaches inside the window.
+  // Once failed, active() pins false for the shard remainder and the
+  // walk skips lookup+insert entirely.
+  std::uint32_t probe_lookups = 0;
+  std::uint32_t probe_hits = 0;
+  bool enabled = true;
+
+  bool active() const { return enabled; }
+  void note(bool hit) {
+    if (probe_lookups >= kHotCacheProbeLookups) return;
+    ++probe_lookups;
+    probe_hits += hit ? 1u : 0u;
+    if (probe_lookups == kHotCacheProbeLookups &&
+        probe_hits < kHotCacheProbeMinHits) {
+      enabled = false;
+    }
+  }
 };
 static_assert(HotDestCache::kSlots == (std::size_t{1} << 12));
 
@@ -279,6 +301,23 @@ static_assert(HotDestCache::kSlots == (std::size_t{1} << 12));
 struct NoCache {};
 template <bool kCache>
 using ShardCache = std::conditional_t<kCache, HotDestCache, NoCache>;
+
+// One probed step through the cache: lookup (feeding the probe), step on
+// miss, insert. Falls through to a bare step once the probe has switched
+// the shard's cache off.
+template <typename Walker>
+inline StepResult cached_step(HotDestCache& cache, const Walker& w, NodeId u,
+                              NodeId target) {
+  StepResult d;
+  if (!cache.active()) return w.step(u);
+  const bool hit = cache.lookup(u, target, &d);
+  cache.note(hit);
+  if (!hit) {
+    d = w.step(u);
+    cache.insert(u, target, d);
+  }
+  return d;
+}
 
 // Per-shard scratch for exact loop detection without per-query clears:
 // a node counts as visited when its stamp equals the current query's.
@@ -301,7 +340,8 @@ void walk_shard(const FlatFib& fib,
                 std::span<const std::uint32_t> indices,
                 const FibBatchOptions& opt, std::size_t max_hops,
                 std::vector<FibRouteResult>& results,
-                std::vector<NodeId>& shard_paths) {
+                std::vector<NodeId>& shard_paths,
+                std::uint8_t& cache_off) {
   const FlatFib::TopoView& topo = fib.topo();
   Walker walker(fib);
   LoopStamps stamps(kFailures ? fib.node_count() : 0);
@@ -324,10 +364,7 @@ void walk_shard(const FlatFib& fib,
       }
       StepResult d;
       if constexpr (kCache) {
-        if (!cache.lookup(current, target, &d)) {
-          d = walker.step(current);
-          cache.insert(current, target, d);
-        }
+        d = cached_step(cache, walker, current, target);
       } else {
         d = walker.step(current);
       }
@@ -346,6 +383,9 @@ void walk_shard(const FlatFib& fib,
       ++r.path_len;
     }
   }
+  if constexpr (kCache) {
+    if (!cache.active()) cache_off = 1;
+  }
 }
 
 template <typename Walker>
@@ -354,28 +394,35 @@ void dispatch_shard(const FlatFib& fib,
                     std::span<const std::uint32_t> indices,
                     const FibBatchOptions& opt, std::size_t max_hops,
                     std::vector<FibRouteResult>& results,
-                    std::vector<NodeId>& shard_paths) {
+                    std::vector<NodeId>& shard_paths,
+                    std::uint8_t& cache_off) {
   const bool failures = opt.edge_down != nullptr;
   // The failures path never caches: drops and loop stamps are already the
   // slow diagnostic mode, and fewer instantiations keep the hop loop hot.
   if (failures && opt.record_paths) {
     walk_shard<Walker, true, true, false>(fib, queries, indices, opt,
-                                          max_hops, results, shard_paths);
+                                          max_hops, results, shard_paths,
+                                          cache_off);
   } else if (failures) {
     walk_shard<Walker, true, false, false>(fib, queries, indices, opt,
-                                           max_hops, results, shard_paths);
+                                           max_hops, results, shard_paths,
+                                           cache_off);
   } else if (opt.record_paths && opt.hot_dest_cache) {
     walk_shard<Walker, false, true, true>(fib, queries, indices, opt,
-                                          max_hops, results, shard_paths);
+                                          max_hops, results, shard_paths,
+                                          cache_off);
   } else if (opt.record_paths) {
     walk_shard<Walker, false, true, false>(fib, queries, indices, opt,
-                                           max_hops, results, shard_paths);
+                                           max_hops, results, shard_paths,
+                                           cache_off);
   } else if (opt.hot_dest_cache) {
     walk_shard<Walker, false, false, true>(fib, queries, indices, opt,
-                                           max_hops, results, shard_paths);
+                                           max_hops, results, shard_paths,
+                                           cache_off);
   } else {
     walk_shard<Walker, false, false, false>(fib, queries, indices, opt,
-                                            max_hops, results, shard_paths);
+                                            max_hops, results, shard_paths,
+                                            cache_off);
   }
 }
 
@@ -595,9 +642,7 @@ void step_lanes(Walker* w, const NodeId* cur, const NodeId* tgt,
   for (std::size_t i = 0; i < m; ++i) {
     if (!active[i]) continue;
     if constexpr (kCache) {
-      if (cache.lookup(cur[i], tgt[i], &d[i])) continue;
-      d[i] = w[i].step(cur[i]);
-      cache.insert(cur[i], tgt[i], d[i]);
+      d[i] = cached_step(cache, w[i], cur[i], tgt[i]);
     } else {
       d[i] = w[i].step(cur[i]);
     }
@@ -617,7 +662,11 @@ void step_lanes_tree(TreeWalker* w, const NodeId* cur, const NodeId* tgt,
   for (std::size_t i = 0; i < m; ++i) {
     live[i] = active[i];
     if constexpr (kCache) {
-      if (live[i] && cache.lookup(cur[i], tgt[i], &d[i])) live[i] = false;
+      if (live[i] && cache.active()) {
+        const bool hit = cache.lookup(cur[i], tgt[i], &d[i]);
+        cache.note(hit);
+        if (hit) live[i] = false;
+      }
     }
     pending += live[i] ? 1 : 0;
   }
@@ -636,7 +685,9 @@ void step_lanes_tree(TreeWalker* w, const NodeId* cur, const NodeId* tgt,
           d[i] = w[i].step(cur[i]);
           break;
       }
-      if constexpr (kCache) cache.insert(cur[i], tgt[i], d[i]);
+      if constexpr (kCache) {
+        if (cache.active()) cache.insert(cur[i], tgt[i], d[i]);
+      }
     }
   }
 }
@@ -653,7 +704,8 @@ void walk_shard_lockstep(const FlatFib& fib,
                          std::span<const std::uint32_t> indices,
                          std::size_t max_hops,
                          std::vector<FibRouteResult>& results,
-                         std::vector<NodeId>& shard_paths) {
+                         std::vector<NodeId>& shard_paths,
+                         std::uint8_t& cache_off) {
   constexpr std::size_t kLanes = 8;
   const FlatFib::TopoView& topo = fib.topo();
   std::vector<Walker> w;
@@ -720,6 +772,9 @@ void walk_shard_lockstep(const FlatFib& fib,
       }
     }
   }
+  if constexpr (kCache) {
+    if (!cache.active()) cache_off = 1;
+  }
 }
 
 // Stats-only lockstep walk with continuous lane refill: the moment a
@@ -734,7 +789,8 @@ template <typename Walker, bool kCache, std::size_t kLanes>
 void walk_shard_lockstep_refill(
     const FlatFib& fib, std::span<const std::pair<NodeId, NodeId>> queries,
     std::span<const std::uint32_t> indices, std::size_t max_hops,
-    std::vector<FibRouteResult>& results, std::vector<NodeId>& shard_paths) {
+    std::vector<FibRouteResult>& results, std::vector<NodeId>& shard_paths,
+    std::uint8_t& cache_off) {
   static_assert(kLanes % 8 == 0);
   const FlatFib::TopoView& topo = fib.topo();
   std::vector<Walker> w;
@@ -801,6 +857,9 @@ void walk_shard_lockstep_refill(
       if (++steps[i] > max_hops) retire(i, 0);
     }
   }
+  if constexpr (kCache) {
+    if (!cache.active()) cache_off = 1;
+  }
 }
 
 template <typename Walker>
@@ -809,23 +868,24 @@ void dispatch_shard_lockstep(const FlatFib& fib,
                              std::span<const std::uint32_t> indices,
                              const FibBatchOptions& opt, std::size_t max_hops,
                              std::vector<FibRouteResult>& results,
-                             std::vector<NodeId>& shard_paths) {
+                             std::vector<NodeId>& shard_paths,
+                             std::uint8_t& cache_off) {
   // Path recording needs shard_paths laid out in shard query order, so it
   // keeps the grouped walk; the stats-only serving mode takes the
   // refilling walk, which sustains full lane occupancy.
   constexpr std::size_t kRefillLanes = 16;
   if (opt.record_paths && opt.hot_dest_cache) {
     walk_shard_lockstep<Walker, true, true>(fib, queries, indices, max_hops,
-                                            results, shard_paths);
+                                            results, shard_paths, cache_off);
   } else if (opt.record_paths) {
     walk_shard_lockstep<Walker, true, false>(fib, queries, indices, max_hops,
-                                             results, shard_paths);
+                                             results, shard_paths, cache_off);
   } else if (opt.hot_dest_cache) {
     walk_shard_lockstep_refill<Walker, true, kRefillLanes>(
-        fib, queries, indices, max_hops, results, shard_paths);
+        fib, queries, indices, max_hops, results, shard_paths, cache_off);
   } else {
     walk_shard_lockstep_refill<Walker, false, kRefillLanes>(
-        fib, queries, indices, max_hops, results, shard_paths);
+        fib, queries, indices, max_hops, results, shard_paths, cache_off);
   }
 }
 
@@ -906,6 +966,9 @@ FibBatchOutput forward_batch(const FlatFib& fib,
   // pure function of the queries, so only the walk itself repeats.
   ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
   std::vector<std::vector<NodeId>> shard_paths(shards);
+  // Per-shard hot-cache probe verdicts; each worker writes only its own
+  // slot, summed into the output after the delivered attempt.
+  std::vector<std::uint8_t> cache_off(shards, 0);
   std::uint64_t gen = 0;
   for (std::size_t attempt = 0;; ++attempt) {
     gen = fib.generation();
@@ -921,29 +984,34 @@ FibBatchOutput forward_batch(const FlatFib& fib,
             case FibKind::kTree:
               dispatch_shard_lockstep<TreeWalker>(fib, queries, indices, opt,
                                                   max_hops, out.results,
-                                                  shard_paths[s]);
+                                                  shard_paths[s],
+                                                  cache_off[s]);
               break;
             case FibKind::kInterval:
               dispatch_shard_lockstep<IntervalWalker>(fib, queries, indices,
                                                       opt, max_hops,
                                                       out.results,
-                                                      shard_paths[s]);
+                                                      shard_paths[s],
+                                                      cache_off[s]);
               break;
             case FibKind::kCowen:
               dispatch_shard_lockstep<CowenSimdWalker>(fib, queries, indices,
                                                        opt, max_hops,
                                                        out.results,
-                                                       shard_paths[s]);
+                                                       shard_paths[s],
+                                                       cache_off[s]);
               break;
             case FibKind::kTable:
               dispatch_shard_lockstep<TableWalker>(fib, queries, indices,
                                                    opt, max_hops, out.results,
-                                                   shard_paths[s]);
+                                                   shard_paths[s],
+                                                   cache_off[s]);
               break;
             case FibKind::kMesh:
               dispatch_shard_lockstep<MeshWalker>(fib, queries, indices, opt,
                                                   max_hops, out.results,
-                                                  shard_paths[s]);
+                                                  shard_paths[s],
+                                                  cache_off[s]);
               break;
           }
           std::atomic_thread_fence(std::memory_order_acquire);
@@ -953,24 +1021,28 @@ FibBatchOutput forward_batch(const FlatFib& fib,
         switch (fib.kind()) {
           case FibKind::kTree:
             dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,
-                                       out.results, shard_paths[s]);
+                                       out.results, shard_paths[s],
+                                       cache_off[s]);
             break;
           case FibKind::kInterval:
             dispatch_shard<IntervalWalker>(fib, queries, indices, opt,
                                            max_hops, out.results,
-                                           shard_paths[s]);
+                                           shard_paths[s], cache_off[s]);
             break;
           case FibKind::kCowen:
             dispatch_shard<CowenWalker>(fib, queries, indices, opt, max_hops,
-                                        out.results, shard_paths[s]);
+                                        out.results, shard_paths[s],
+                                        cache_off[s]);
             break;
           case FibKind::kTable:
             dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
-                                        out.results, shard_paths[s]);
+                                        out.results, shard_paths[s],
+                                        cache_off[s]);
             break;
           case FibKind::kMesh:
             dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
-                                       out.results, shard_paths[s]);
+                                       out.results, shard_paths[s],
+                                       cache_off[s]);
             break;
         }
         std::atomic_thread_fence(std::memory_order_acquire);
@@ -987,7 +1059,11 @@ FibBatchOutput forward_batch(const FlatFib& fib,
     ++out.seqlock_retries;
     std::fill(out.results.begin(), out.results.end(), FibRouteResult{});
     for (auto& p : shard_paths) p.clear();
+    std::fill(cache_off.begin(), cache_off.end(), std::uint8_t{0});
     std::this_thread::yield();
+  }
+  for (const std::uint8_t off : cache_off) {
+    out.hot_cache_disabled_shards += off;
   }
 
   // Stitch the per-shard path buffers in shard order and rebase each

@@ -101,6 +101,19 @@ inline constexpr std::size_t kSimdAutoMinArenaBytes = 2u << 20;
 // the scalar path, which is bit-identical.
 inline constexpr std::size_t kSimdMaxNodeCount = std::size_t{1} << 28;
 
+// Hot-destination-cache probe window (per shard). The cache only pays
+// when the target distribution is skewed enough that (node, target) hop
+// decisions repeat within a shard; under a uniform workload every lookup
+// misses and the cache is pure overhead. Each shard therefore probes its
+// own first kHotCacheProbeLookups step lookups and switches the cache
+// off for the shard's remainder when fewer than kHotCacheProbeMinHits of
+// them hit. The decision is per shard per seqlock attempt, a pure
+// function of the (deterministically sharded) queries — results are
+// unchanged either way, only the lookup overhead goes away.
+inline constexpr std::uint32_t kHotCacheProbeLookups = 256;
+inline constexpr std::uint32_t kHotCacheProbeMinHits =
+    kHotCacheProbeLookups / 8;
+
 struct FibBatchOptions {
   ThreadPool* pool = nullptr;     // nullptr = process-global pool
   std::size_t max_hops = 0;       // 0 = the simulator default, 4n + 16
@@ -126,6 +139,9 @@ struct FibBatchOptions {
   // seqlock attempt, never across generations. Off by default: it only
   // pays when the target distribution is skewed (bench_forward's zipf
   // suites measure the win; the uniform suites measure the overhead).
+  // Each shard additionally self-probes its early hit rate and disables
+  // its cache for the shard remainder when the workload turns out
+  // uniform — see kHotCacheProbeLookups.
   bool hot_dest_cache = false;
 };
 
@@ -143,6 +159,10 @@ struct FibBatchOutput {
   std::vector<NodeId> paths;            // concatenated walks (record_paths)
   // Batch re-runs forced by a concurrent patch (0 on the fast path).
   std::uint32_t seqlock_retries = 0;
+  // Shards whose hot-destination cache failed its early hit-rate probe
+  // and ran the remainder cache-less (0 unless hot_dest_cache was set).
+  // From the delivered (final) seqlock attempt only.
+  std::uint32_t hot_cache_disabled_shards = 0;
 
   std::span<const NodeId> path(std::size_t query) const {
     const FibRouteResult& r = results[query];

@@ -51,32 +51,8 @@ struct StoreDir {
   ~StoreDir() { fs::remove_all(path); }
 };
 
-std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
-  std::vector<std::pair<NodeId, NodeId>> q;
-  q.reserve(n * n);
-  for (NodeId s = 0; s < n; ++s) {
-    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
-  }
-  return q;
-}
-
-std::uint64_t batch_hash(const FibBatchOutput& out) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (std::size_t i = 0; i < out.results.size(); ++i) {
-    mix(out.results[i].delivered);
-    mix(out.results[i].looped);
-    const auto path = out.path(i);
-    mix(path.size());
-    for (const NodeId v : path) mix(v);
-  }
-  return h;
-}
+using test::all_pairs;
+using test::batch_hash;
 
 // A compiled Cowen arena; different seeds give structurally different
 // arenas, so distinct generations serve distinguishably.
@@ -361,6 +337,42 @@ TEST(ServingSim, ChurnServedThroughStore) {
   EXPECT_GT(report.delivery_fraction(), 0.5);
   EXPECT_GT(report.maintain.patched, 0u)
       << "the writer role never exercised the seqlock patch path";
+}
+
+// The channel-driven sibling: the same churn trace served through the
+// MAP_SHARED patch segment. One publish up front; every in-place delta
+// must reach the reader with zero further publishes, and the reader must
+// actually be on the live segment (via_channel), not the .fib fallback.
+TEST(ServingSim, ChurnServedThroughChannel) {
+  StoreDir dir("simch");
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 9, 64, 0.1);
+  Rng trace_rng(0xfeedull);
+  const auto trace =
+      random_churn_trace(alg, inst.graph, inst.weights, 10, trace_rng);
+  ChurnEngine<ShortestPath> engine(alg, inst.graph, inst.weights);
+  auto scheme = CowenScheme<ShortestPath>::build(alg, inst.graph,
+                                                 inst.weights, inst.rng);
+  Rng pair_rng(7);
+  const ChannelServeReport report = serve_churn_through_channel(
+      scheme, engine, trace, dir.path, /*pairs_per_event=*/40, pair_rng);
+  EXPECT_EQ(report.events, trace.size());
+  EXPECT_EQ(report.patched + report.refused, trace.size());
+  EXPECT_GT(report.patched, 0u)
+      << "no delta ever travelled through the live segment";
+  // Every publish is accounted for: the initial one plus one per
+  // refused (recompile-demanding) delta — nothing per patched delta.
+  EXPECT_EQ(report.published, 1 + report.refused);
+  EXPECT_EQ(report.generations_seen, report.published)
+      << "the reader missed (or double-counted) a generation";
+  EXPECT_GT(report.channel_batches, 0u)
+      << "the reader never served through the live segment";
+  EXPECT_EQ(report.queries, trace.size() * 40);
+  EXPECT_GT(report.delivery_fraction(), 0.5);
+  if (report.refused == 0) {
+    EXPECT_EQ(report.patches_visible, report.patched)
+        << "the final snapshot's header disagrees with the patch count";
+  }
 }
 
 }  // namespace

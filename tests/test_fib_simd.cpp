@@ -42,14 +42,7 @@ constexpr std::size_t kCorpusSeeds = 50;
 constexpr std::size_t kN = 18;
 constexpr double kP = 0.25;
 
-std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
-  std::vector<std::pair<NodeId, NodeId>> q;
-  q.reserve(n * n);
-  for (NodeId s = 0; s < n; ++s) {
-    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
-  }
-  return q;
-}
+using test::all_pairs;
 
 // Two batch outputs agree field-for-field, paths included (when both
 // recorded them).
@@ -301,6 +294,66 @@ TEST(FibSimdMirror, CorruptedMirrorIsRejected) {
   std::memcpy(bytes.data() + 32, &h, 8);
 
   EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
+}
+
+// ---- The hot-destination cache probe (per-shard self-disable) ----
+
+// The cache memoizes (node, target) -> decision, which only pays under
+// skew; under uniform traffic every lookup misses and the cache is pure
+// overhead (the ROADMAP regression). Each shard therefore probes its
+// first kHotCacheProbeLookups lookups and switches itself off when the
+// early hit rate is uniform-like. The probe must be invisible in the
+// results — bit-identical with and without the cache, both workloads —
+// and visible in the counter: uniform traffic fails the probe in (at
+// least) most shards, while Zipf skew keeps the cache on in far more of
+// them. Both workloads are seeded draws, so the split is deterministic.
+TEST(FibHotCacheProbe, UniformDisablesShardsZipfKeepsThemResultsIdentical) {
+  const ShortestPath alg{1024};
+  const std::size_t n = 600;
+  Rng rng(97);
+  const Graph g = erdos_renyi_connected(n, 6.0 / static_cast<double>(n - 1),
+                                        rng);
+  const auto w = test::sampled_weights(alg, g, rng);
+  const auto scheme = CowenScheme<ShortestPath>::build(alg, g, w, rng);
+  const FlatFib fib = compile_fib(scheme, g);
+
+  const auto draw = [&](WorkloadGenerator::Kind kind, double zipf_s) {
+    Rng qrng(4242);
+    WorkloadGenerator gen(kind, g, qrng, /*hotspot_count=*/4,
+                          /*hotspot_fraction=*/0.7, zipf_s);
+    std::vector<std::pair<NodeId, NodeId>> q;
+    q.reserve(20000);
+    for (std::size_t i = 0; i < 20000; ++i) {
+      const Demand d = gen.next();
+      q.push_back({d.source, d.target});
+    }
+    return q;
+  };
+  const auto uniform = draw(WorkloadGenerator::Kind::kUniform, 1.1);
+  const auto zipf = draw(WorkloadGenerator::Kind::kZipf, 1.4);
+
+  ThreadPool pool(4);
+  std::uint32_t disabled_uniform = 0;
+  std::uint32_t disabled_zipf = 0;
+  for (const auto* queries : {&uniform, &zipf}) {
+    const bool is_uniform = queries == &uniform;
+    SCOPED_TRACE(is_uniform ? "uniform" : "zipf");
+    const auto plain =
+        run(fib, *queries, FibDispatch::kAuto, &pool, true, false);
+    const auto cached =
+        run(fib, *queries, FibDispatch::kAuto, &pool, true, true);
+    expect_same_output(plain, cached, /*compare_paths=*/true,
+                      "hot-cache probe");
+    EXPECT_EQ(plain.hot_cache_disabled_shards, 0u)
+        << "the counter must stay 0 with the cache off";
+    (is_uniform ? disabled_uniform : disabled_zipf) =
+        cached.hot_cache_disabled_shards;
+  }
+
+  EXPECT_GT(disabled_uniform, static_cast<std::uint32_t>(kFibShards / 2))
+      << "uniform traffic should fail the probe in most shards";
+  EXPECT_LT(disabled_zipf, disabled_uniform)
+      << "zipf skew should keep the cache on where it earns its keep";
 }
 
 }  // namespace

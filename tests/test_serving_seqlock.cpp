@@ -40,35 +40,8 @@ constexpr double kP = 0.25;
 constexpr std::size_t kEvents = 12;
 constexpr std::size_t kReaderThreads = 8;
 
-std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
-  std::vector<std::pair<NodeId, NodeId>> q;
-  q.reserve(n * n);
-  for (NodeId s = 0; s < n; ++s) {
-    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
-  }
-  return q;
-}
-
-// FNV-1a over the complete batch output: result flags and the full
-// recorded walks. Two batches hash equal iff they serve identically.
-std::uint64_t batch_hash(const FibBatchOutput& out) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (v >> (8 * b)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (std::size_t i = 0; i < out.results.size(); ++i) {
-    const FibRouteResult& r = out.results[i];
-    mix(r.delivered);
-    mix(r.looped);
-    const auto path = out.path(i);
-    mix(path.size());
-    for (const NodeId v : path) mix(v);
-  }
-  return h;
-}
+using test::all_pairs;
+using test::batch_hash;
 
 class ServingSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -138,15 +111,9 @@ TEST_P(ServingSeeds, ConcurrentBatchesMatchSomeLegalGeneration) {
         const std::size_t hi = started.load(std::memory_order_acquire);
         retries.fetch_add(out.seqlock_retries, std::memory_order_relaxed);
         batches.fetch_add(1, std::memory_order_relaxed);
-        const std::uint64_t h = batch_hash(out);
-        bool legal = false;
-        for (std::size_t j = lo; j <= hi && j < expected.size(); ++j) {
-          if (expected[j] == h) {
-            legal = true;
-            break;
-          }
+        if (!test::hash_in_window(expected, batch_hash(out), lo, hi)) {
+          illegal.fetch_add(1, std::memory_order_relaxed);
         }
-        if (!legal) illegal.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }

@@ -6,13 +6,16 @@
 #pragma once
 
 #include "algebra/algebra.hpp"
+#include "fib/forward_engine.hpp"
 #include "graph/generators.hpp"
 #include "routing/path.hpp"
 #include "routing/shortest_widest.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace cpr::test {
@@ -74,6 +77,52 @@ SeededInstance<A> seeded_instance(const A& alg, std::uint64_t seed,
   inst.graph = erdos_renyi_connected(n, p, inst.rng);
   inst.weights = sampled_weights(alg, inst.graph, inst.rng);
   return inst;
+}
+
+// ---- Forwarding-plane differential helpers ----
+
+// Every (source, target) pair over n nodes in row-major order — the
+// exhaustive query batch the forwarding differentials run.
+inline std::vector<std::pair<NodeId, NodeId>> all_pairs(std::size_t n) {
+  std::vector<std::pair<NodeId, NodeId>> q;
+  q.reserve(n * n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) q.emplace_back(s, t);
+  }
+  return q;
+}
+
+// FNV-1a over the complete batch output: result flags and the full
+// recorded walks. Two batches hash equal iff they serve identically.
+inline std::uint64_t batch_hash(const FibBatchOutput& out) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const FibRouteResult& r = out.results[i];
+    mix(r.delivered);
+    mix(r.looped);
+    const auto path = out.path(i);
+    mix(path.size());
+    for (const NodeId v : path) mix(v);
+  }
+  return h;
+}
+
+// Legality-window check (test_serving_seqlock.cpp's contract, shared by
+// the cross-process patch-channel harness): a batch bracketed by
+// generation counters lo/hi is legal iff its hash equals one of the
+// fresh-compile hashes expected[lo..hi] (hi clamped to the corpus).
+inline bool hash_in_window(const std::vector<std::uint64_t>& expected,
+                           std::uint64_t h, std::size_t lo, std::size_t hi) {
+  for (std::size_t j = lo; j <= hi && j < expected.size(); ++j) {
+    if (expected[j] == h) return true;
+  }
+  return false;
 }
 
 // ---- Path-weight comparators ----
