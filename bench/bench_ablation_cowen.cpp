@@ -34,7 +34,12 @@ Run evaluate(const Graph& g, const EdgeMap<std::uint64_t>& w,
              const CowenOptions& opt, std::uint64_t seed) {
   const ShortestPath alg{1024};
   Rng rng(seed);
-  const auto scheme = CowenScheme<ShortestPath>::build(alg, g, w, rng, opt);
+  // The stretch column reads the resident trees, so the ablation sweeps
+  // pin the materialized construction.
+  CowenOptions materialized = opt;
+  materialized.construction = CowenOptions::Construction::kMaterialized;
+  const auto scheme =
+      CowenScheme<ShortestPath>::build(alg, g, w, rng, materialized);
   Run run;
   run.landmarks = scheme.landmark_count();
   const auto fp = measure_footprint(scheme, g.node_count());

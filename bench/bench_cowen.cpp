@@ -31,7 +31,11 @@ void report_row(const A& alg, std::size_t n, TextTable& table) {
   Rng& rng = inst.rng;
   const Graph& g = inst.g;
   const auto& w = inst.w;
-  const auto cowen = CowenScheme<A>::build(alg, g, w, rng);
+  // Materialized build: this row reads preferred weights off the resident
+  // trees (streaming builds keep none).
+  CowenOptions opt;
+  opt.construction = CowenOptions::Construction::kMaterialized;
+  const auto cowen = CowenScheme<A>::build(alg, g, w, rng, opt);
   const auto tables = DestinationTableScheme::from_algebra(alg, g, w);
 
   std::size_t delivered = 0, total = 0, worst_stretch = 0;

@@ -1,33 +1,51 @@
 // Machine-readable benchmark trajectory (BENCH_hotpath.json).
 //
-// Runs the three hot-path suites — single-source generalized Dijkstra,
-// Cowen landmark-scheme construction, and tree routing (spanning-tree
-// build + routed queries) — on the fixed-seed sweep graphs and emits one
-// JSON document so successive PRs are held to a measured baseline instead
-// of prose claims. All timing is single-threaded (pool of one worker) so
-// the numbers isolate per-relaxation cost from parallel speedup; the
-// parallel story is bench_cowen's BM_CowenBuildParallel.
+// Runs the hot-path suites — single-source generalized Dijkstra, Cowen
+// landmark-scheme construction (Erdős–Rényi and power-law Internet-like
+// sweeps), and tree routing (spanning-tree build + routed queries) — on
+// fixed-seed graphs and emits one JSON document so successive PRs are
+// held to a measured baseline instead of prose claims. The dijkstra and
+// tree-routing suites stay single-threaded (per-relaxation cost, not
+// parallel speedup); the cowen_build_powerlaw suites carry an explicit
+// "threads" field because the streaming construction's parallel scaling
+// is part of what they measure.
 //
 // Usage:
-//   bench_json [--quick] [--filter=substr] [--out=path]
+//   bench_json [--quick] [--filter=substr] [--out=path] [--baseline=path]
 //
 // --quick shrinks the sweep for CI smoke runs (the schema is identical);
-// --filter keeps only suites whose name contains the substring. The
-// default output path is BENCH_hotpath.json in the working directory.
+// --filter keeps only suites whose name contains the substring. With
+// --baseline, the run exits nonzero when a cowen_build suite's wall time
+// regresses more than 25% past the committed baseline's entry with the
+// same (name, n) — the CI bench-smoke gate. The default output path is
+// BENCH_hotpath.json in the working directory.
 //
 // Metrics per suite entry: wall seconds, ops/sec (settled nodes for
 // Dijkstra, constructed nodes for Cowen, routed queries for tree
-// routing), and ns/relaxation where a relaxation count is well-defined
-// (every settle scans the full adjacency, so one run relaxes ~2m edges).
-// Peak RSS is recorded once, process-wide, at the end of the run.
+// routing), ns/relaxation where a relaxation count is well-defined, and
+// for the construction suites the peak-RSS growth across the build
+// (sampled live — see bench::RssPeakSampler), landmark/promotion
+// counters, and a sampled average multiplicative stretch measured
+// against per-source Dijkstra ground truth. The power-law suites hard-
+// fail (exit nonzero) when that stretch exceeds 1.3 — the Internet-scale
+// acceptance bar, far under the stretch-3 worst case. Process-wide peak
+// RSS is still recorded once at the end of the run.
+//
+// The n=10^6 leg is deliberately opt-in (it needs several GB and minutes
+// even streamed): bench_json --filter=cowen_build_powerlaw_1m. It builds
+// in stats-only mode (CowenOptions::materialize_tables = false), which
+// keeps labels and counters exact but skips the routing tables, so it
+// reports construction cost and compactness counters, not stretch.
 #include "bench_util.hpp"
 
 #include "algebra/primitives.hpp"
+#include "routing/dijkstra.hpp"
 #include "scheme/cowen.hpp"
 #include "scheme/tree_router.hpp"
 #include "scheme/spanning_tree.hpp"
 #include "util/thread_pool.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -43,13 +61,54 @@ using bench::peak_rss_bytes;
 struct SuiteResult {
   std::string name;
   std::string algebra;
+  std::string graph = "erdos-renyi";
   std::size_t n = 0;
   std::size_t m = 0;
   std::size_t runs = 0;
+  std::size_t threads = 1;
   double wall_s = 0;
   double ops_per_s = 0;
-  double ns_per_relaxation = -1;  // < 0: not defined for this suite
+  double ns_per_relaxation = -1;   // < 0: not defined for this suite
+  long long peak_rss_delta = -1;   // bytes of RSS growth; < 0: not measured
+  long long landmarks = -1;        // cowen suites: final landmark count
+  long long promoted = -1;         // cowen suites: cluster-cap promotions
+  double avg_stretch = -1;         // sampled multiplicative stretch
 };
+
+// ---- Stretch probe ----
+
+// Sampled average multiplicative stretch of the scheme's routed paths
+// against per-source Dijkstra ground truth. Sources are sampled, each
+// gets one exact SSSP, and targets are sampled per source — so the probe
+// costs `sources` extra Dijkstra runs, not n.
+double sampled_avg_stretch(const ShortestPath& alg,
+                           const CowenScheme<ShortestPath>& scheme,
+                           const Graph& g, const EdgeMap<std::uint64_t>& w,
+                           std::size_t sources, std::size_t targets,
+                           Rng& rng) {
+  const std::size_t n = g.node_count();
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < sources; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.index(n));
+    const auto truth = dijkstra(alg, g, w, s);
+    for (std::size_t j = 0; j < targets; ++j) {
+      const NodeId t = static_cast<NodeId>(rng.index(n));
+      if (t == s) continue;
+      const RouteResult r = simulate_route(scheme, g, s, t);
+      if (!r.delivered) continue;
+      const auto achieved = weight_of_path(alg, g, w, r.path);
+      const auto preferred = truth.weight(t);
+      if (!achieved.has_value() || !preferred.has_value()) continue;
+      sum += *preferred == 0
+                 ? 1.0
+                 : static_cast<double>(*achieved) /
+                       static_cast<double>(*preferred);
+      ++count;
+    }
+  }
+  return count == 0 ? -1 : sum / static_cast<double>(count);
+}
 
 // ---- Suites ----
 
@@ -92,6 +151,7 @@ SuiteResult cowen_suite(std::size_t n) {
   r.m = g.edge_count();
   r.runs = 1;
 
+  bench::RssPeakSampler rss;
   const double t0 = now_seconds();
   Rng build_rng(42);
   CowenOptions opt;
@@ -99,14 +159,64 @@ SuiteResult cowen_suite(std::size_t n) {
   const auto scheme =
       CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, build_rng, opt);
   r.wall_s = now_seconds() - t0;
+  r.peak_rss_delta = static_cast<long long>(rss.stop_delta());
   r.ops_per_s = static_cast<double>(n) / r.wall_s;
-  // The build is dominated by n policy-Dijkstra sweeps (~2m relaxations
-  // each) plus the O(n^2) ball/cluster scans; we normalize by the Dijkstra
-  // relaxations only, so this is an upper bound on per-relaxation cost.
+  // The streaming build is dominated by ~sqrt(n ln n) landmark sweeps
+  // (~2m relaxations each) plus n truncated balls; we still normalize by
+  // the historical n-sweep relaxation count so the trajectory stays
+  // comparable across the materialized->streamed transition — the drop in
+  // this column *is* the win.
   const double relaxations = 2.0 * static_cast<double>(g.edge_count()) *
                              static_cast<double>(n);
   r.ns_per_relaxation = 1e9 * r.wall_s / relaxations;
-  if (scheme.landmark_count() == 0) r.ops_per_s = 0;  // defensive; unused
+  r.landmarks = static_cast<long long>(scheme.landmark_count());
+  r.promoted = static_cast<long long>(scheme.promoted_landmark_count());
+  Rng probe_rng(n * 31 + 7);
+  r.avg_stretch = sampled_avg_stretch(ShortestPath{}, scheme, g, w,
+                                      /*sources=*/4, /*targets=*/48,
+                                      probe_rng);
+  return r;
+}
+
+SuiteResult cowen_powerlaw_suite(std::size_t n, std::size_t threads,
+                                 bool materialize_tables, const char* name) {
+  // Preferential-attachment topology with a 25% uniform-attachment mix —
+  // heavy-tailed like AS graphs but not a pure BA star — and unit edge
+  // weights, so stretch is hop stretch.
+  Rng graph_rng(n * 127 + 9);
+  const Graph g = preferential_attachment(n, 2, 0.25, graph_rng);
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = 1;
+  ThreadPool pool(threads);
+
+  SuiteResult r;
+  r.name = name;
+  r.algebra = "shortest-path";
+  r.graph = "powerlaw-pa";
+  r.n = n;
+  r.m = g.edge_count();
+  r.runs = 1;
+  r.threads = threads;
+
+  bench::RssPeakSampler rss;
+  const double t0 = now_seconds();
+  Rng build_rng(42);
+  CowenOptions opt;
+  opt.pool = &pool;
+  opt.materialize_tables = materialize_tables;
+  const auto scheme =
+      CowenScheme<ShortestPath>::build(ShortestPath{}, g, w, build_rng, opt);
+  r.wall_s = now_seconds() - t0;
+  r.peak_rss_delta = static_cast<long long>(rss.stop_delta());
+  r.ops_per_s = static_cast<double>(n) / r.wall_s;
+  r.landmarks = static_cast<long long>(scheme.landmark_count());
+  r.promoted = static_cast<long long>(scheme.promoted_landmark_count());
+  if (materialize_tables) {
+    Rng probe_rng(n * 31 + 7);
+    r.avg_stretch = sampled_avg_stretch(ShortestPath{}, scheme, g, w,
+                                        /*sources=*/6, /*targets=*/64,
+                                        probe_rng);
+  }
   return r;
 }
 
@@ -139,6 +249,99 @@ SuiteResult tree_routing_suite(std::size_t n, std::size_t queries) {
   return r;
 }
 
+// ---- Baseline gate (CI bench-smoke) ----
+//
+// Same minimal scanning as bench_churn's gate: find "name" keys, read
+// numeric fields until the next entry, match by (name, n). Only the
+// cowen_build construction suites are gated — they carry the wall-time
+// claim this PR trajectory is built around; the throughput suites drift
+// too much with machine load for a hard gate.
+
+struct BaselineEntry {
+  std::string name;
+  std::size_t n = 0;
+  double wall_s = 0;
+};
+
+bool scan_number(const std::string& text, std::size_t from, std::size_t until,
+                 const char* key, double* out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return false;
+  *out = std::strtod(text.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& path) {
+  std::vector<BaselineEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string key = "\"name\":";
+  std::size_t at = text.find(key);
+  while (at != std::string::npos) {
+    const std::size_t next = text.find(key, at + key.size());
+    const std::size_t until = next == std::string::npos ? text.size() : next;
+    const std::size_t q0 = text.find('"', at + key.size());
+    const std::size_t q1 =
+        q0 == std::string::npos ? std::string::npos : text.find('"', q0 + 1);
+    if (q1 != std::string::npos && q1 < until) {
+      BaselineEntry e;
+      e.name = text.substr(q0 + 1, q1 - q0 - 1);
+      double n = 0, wall = 0;
+      if (scan_number(text, q1, until, "n", &n) &&
+          scan_number(text, q1, until, "wall_s", &wall)) {
+        e.n = static_cast<std::size_t>(n);
+        e.wall_s = wall;
+        entries.push_back(std::move(e));
+      }
+    }
+    at = next;
+  }
+  return entries;
+}
+
+int check_baseline(const std::string& path,
+                   const std::vector<SuiteResult>& suites) {
+  const std::vector<BaselineEntry> base = parse_baseline(path);
+  if (base.empty()) {
+    std::cerr << "baseline " << path << " missing or carries no entries\n";
+    return 1;
+  }
+  constexpr double kMaxRegression = 1.25;  // fail beyond +25%
+  // Absolute cushion on top of the ratio: quick-mode builds are seconds-
+  // scale on loaded CI runners, where scheduler jitter would otherwise
+  // trip the gate.
+  constexpr double kNoiseFloorS = 0.5;
+  int failures = 0;
+  std::size_t matched = 0;
+  for (const SuiteResult& s : suites) {
+    if (s.name != "cowen_build") continue;
+    for (const BaselineEntry& b : base) {
+      if (b.name != s.name || b.n != s.n || b.wall_s <= 0) continue;
+      ++matched;
+      const double limit = b.wall_s * kMaxRegression + kNoiseFloorS;
+      if (s.wall_s > limit) {
+        std::cerr << "REGRESSION " << s.name << " n=" << s.n << ": build "
+                  << s.wall_s << " s vs baseline " << b.wall_s
+                  << " s (limit " << limit << " s)\n";
+        ++failures;
+      } else {
+        std::cout << "baseline ok " << s.name << " n=" << s.n << ": build "
+                  << s.wall_s << " s vs " << b.wall_s << " s\n";
+      }
+      break;
+    }
+  }
+  if (matched == 0) {
+    std::cerr << "baseline " << path
+              << ": no cowen_build suite matches this run's sizes\n";
+    return 1;
+  }
+  return failures > 0 ? 1 : 0;
+}
+
 // ---- JSON output ----
 
 using bench::json_escape;
@@ -147,23 +350,34 @@ void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
                 bool quick) {
   os << std::setprecision(6) << std::fixed;
   os << "{\n";
-  os << "  \"schema\": \"cpr-bench-hotpath-v1\",\n";
+  os << "  \"schema\": \"cpr-bench-hotpath-v2\",\n";
   bench::write_json_meta(os, bench::BenchMeta::collect());
   os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
-  os << "  \"threads\": 1,\n";
   os << "  \"suites\": [\n";
   for (std::size_t i = 0; i < suites.size(); ++i) {
     const SuiteResult& s = suites[i];
     os << "    {\n";
     os << "      \"name\": \"" << json_escape(s.name) << "\",\n";
     os << "      \"algebra\": \"" << json_escape(s.algebra) << "\",\n";
+    os << "      \"graph\": \"" << json_escape(s.graph) << "\",\n";
     os << "      \"n\": " << s.n << ",\n";
     os << "      \"m\": " << s.m << ",\n";
     os << "      \"runs\": " << s.runs << ",\n";
+    os << "      \"threads\": " << s.threads << ",\n";
     os << "      \"wall_s\": " << s.wall_s << ",\n";
     os << "      \"ops_per_s\": " << s.ops_per_s;
     if (s.ns_per_relaxation >= 0) {
       os << ",\n      \"ns_per_relaxation\": " << s.ns_per_relaxation;
+    }
+    if (s.peak_rss_delta >= 0) {
+      os << ",\n      \"peak_rss_delta_bytes\": " << s.peak_rss_delta;
+    }
+    if (s.landmarks >= 0) {
+      os << ",\n      \"landmarks\": " << s.landmarks;
+      os << ",\n      \"promoted_landmarks\": " << s.promoted;
+    }
+    if (s.avg_stretch >= 0) {
+      os << ",\n      \"avg_stretch\": " << s.avg_stretch;
     }
     os << "\n    }" << (i + 1 < suites.size() ? "," : "") << "\n";
   }
@@ -177,7 +391,8 @@ void write_json(std::ostream& os, const std::vector<SuiteResult>& suites,
 
 int main(int argc, char** argv) {
   const cpr::bench::BenchArgs args = cpr::bench::parse_bench_args(
-      argc, argv, "bench_json", "BENCH_hotpath.json");
+      argc, argv, "bench_json", "BENCH_hotpath.json",
+      /*accept_baseline=*/true);
   if (!args.ok) return 2;
   const bool quick = args.quick;
   const std::string& out_path = args.out_path;
@@ -187,20 +402,41 @@ int main(int argc, char** argv) {
   };
 
   std::vector<cpr::SuiteResult> suites;
+  bool stretch_ok = true;
   const auto run = [&](cpr::SuiteResult r) {
-    std::cout << r.name << " n=" << r.n << ": " << r.wall_s << " s, "
-              << r.ops_per_s << " ops/s\n";
+    std::cout << r.name << " n=" << r.n << " threads=" << r.threads << ": "
+              << r.wall_s << " s, " << r.ops_per_s << " ops/s";
+    if (r.peak_rss_delta >= 0) {
+      std::cout << ", peak-rss +"
+                << static_cast<double>(r.peak_rss_delta) / (1024.0 * 1024.0)
+                << " MiB";
+    }
+    if (r.landmarks >= 0) {
+      std::cout << ", landmarks " << r.landmarks << " (+" << r.promoted
+                << " promoted)";
+    }
+    if (r.avg_stretch >= 0) std::cout << ", avg stretch " << r.avg_stretch;
+    std::cout << "\n";
+    // Internet-scale acceptance bar: sampled average stretch must stay
+    // well under the stretch-3 worst case on the power-law sweeps.
+    if (r.graph == "powerlaw-pa" && r.avg_stretch > 1.3) {
+      std::cerr << "STRETCH FAIL " << r.name << " n=" << r.n
+                << ": avg stretch " << r.avg_stretch << " > 1.3\n";
+      stretch_ok = false;
+    }
     suites.push_back(std::move(r));
   };
 
-  // Sweep sizes. Cowen stops at 10k in full mode: the construction stores
-  // all n preferred-path trees (Theta(n^2) weights), which at 50k would
-  // need tens of GB — recorded here rather than silently skipped.
+  // Sweep sizes. The cowen construction is streamed (landmark sweeps +
+  // truncated balls), so n=10k runs in CI quick mode and is the size the
+  // --baseline gate keys on; the power-law suite adds an Internet-like
+  // topology at n=100k (2 threads in quick mode — the CI smoke budget).
   const std::vector<std::size_t> dijkstra_ns =
       quick ? std::vector<std::size_t>{256, 1000}
             : std::vector<std::size_t>{1000, 10000, 50000};
   const std::vector<std::size_t> cowen_ns =
-      quick ? std::vector<std::size_t>{256} : std::vector<std::size_t>{1000, 10000};
+      quick ? std::vector<std::size_t>{256, 10000}
+            : std::vector<std::size_t>{1000, 10000};
   const std::vector<std::size_t> tree_ns = dijkstra_ns;
 
   if (want("dijkstra_sssp")) {
@@ -210,6 +446,27 @@ int main(int argc, char** argv) {
   }
   if (want("cowen_build")) {
     for (std::size_t n : cowen_ns) run(cpr::cowen_suite(n));
+  }
+  if (want("cowen_build_powerlaw")) {
+    if (quick) {
+      run(cpr::cowen_powerlaw_suite(100000, /*threads=*/2,
+                                    /*materialize_tables=*/true,
+                                    "cowen_build_powerlaw"));
+    } else {
+      run(cpr::cowen_powerlaw_suite(10000, /*threads=*/1,
+                                    /*materialize_tables=*/true,
+                                    "cowen_build_powerlaw"));
+      run(cpr::cowen_powerlaw_suite(100000, /*threads=*/1,
+                                    /*materialize_tables=*/true,
+                                    "cowen_build_powerlaw"));
+    }
+  }
+  // The 10^6 leg never runs implicitly — ask for it by name:
+  //   bench_json --filter=cowen_build_powerlaw_1m
+  if (args.filter.find("powerlaw_1m") != std::string::npos) {
+    run(cpr::cowen_powerlaw_suite(1000000, /*threads=*/8,
+                                  /*materialize_tables=*/false,
+                                  "cowen_build_powerlaw_1m"));
   }
   if (want("tree_routing")) {
     for (std::size_t n : tree_ns) run(cpr::tree_routing_suite(n, 2000));
@@ -222,5 +479,10 @@ int main(int argc, char** argv) {
   }
   cpr::write_json(out, suites, quick);
   std::cout << "wrote " << out_path << "\n";
+
+  if (!stretch_ok) return 1;
+  if (!args.baseline.empty()) {
+    return cpr::check_baseline(args.baseline, suites);
+  }
   return 0;
 }

@@ -205,6 +205,9 @@ SuiteResult churn_suite(const ServingInstance& inst, ThreadPool& pool) {
   Rng build_rng(42);
   CowenOptions copt;
   copt.pool = &pool;
+  // Materialized: churn events run inside the timed window, and a
+  // streamed scheme would lazily rebuild all trees inside the first one.
+  copt.construction = CowenOptions::Construction::kMaterialized;
   auto scheme =
       CowenScheme<ShortestPath>::build(alg, inst.g, inst.w, build_rng, copt);
   MaintainedFib<CowenScheme<ShortestPath>> plane(scheme, inst.g);
@@ -268,6 +271,9 @@ SuiteResult store_suite(const ServingInstance& inst, std::size_t cycles,
   Rng build_rng(42);
   CowenOptions copt;
   copt.pool = &pool;
+  // Materialized: churn events run inside the timed window, and a
+  // streamed scheme would lazily rebuild all trees inside the first one.
+  copt.construction = CowenOptions::Construction::kMaterialized;
   auto scheme =
       CowenScheme<ShortestPath>::build(alg, inst.g, inst.w, build_rng, copt);
   MaintainedFib<CowenScheme<ShortestPath>> plane(scheme, inst.g);
@@ -348,8 +354,11 @@ constexpr std::size_t kMaxStalenessPatches =
         PatchChannelWriter::acquire(dir, static_cast<std::uint64_t>(getpid()));
     Rng build_rng(42);
     // No pool: the parent's worker threads do not survive the fork.
+    // Materialized: this writer applies churn events in its serve loop.
+    CowenOptions copt;
+    copt.construction = CowenOptions::Construction::kMaterialized;
     auto scheme =
-        CowenScheme<ShortestPath>::build(alg, inst.g, inst.w, build_rng);
+        CowenScheme<ShortestPath>::build(alg, inst.g, inst.w, build_rng, copt);
     writer.publish(
         compile_fib(scheme, inst.g, fib_churn_maintain_options().compile));
 

@@ -11,11 +11,14 @@
 
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace cpr::bench {
@@ -90,6 +93,63 @@ inline std::size_t peak_rss_bytes() {
   if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
   return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
 }
+
+// Instantaneous resident set (VmRSS) in bytes. getrusage's ru_maxrss is a
+// process-lifetime high-water mark, so a cheap early suite can hide an
+// expensive later one behind it; per-suite memory attribution samples the
+// live value instead.
+inline std::size_t current_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+// Samples VmRSS on a background thread while a measured phase runs and
+// reports the highest value seen. The construction benches allocate and
+// free their transient state inside one timed call, so before/after
+// deltas alone would miss the in-flight peak entirely. Sampling cadence
+// is 2 ms — coarse, but construction peaks are plateaus (per-source state
+// lives for the whole sweep), not microsecond spikes. Measurement only:
+// the sampled phase's outputs are unaffected.
+class RssPeakSampler {
+ public:
+  RssPeakSampler()
+      : baseline_(current_rss_bytes()), peak_(baseline_), worker_([this] {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            const std::size_t rss = current_rss_bytes();
+            if (rss > peak_) peak_ = rss;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }) {}
+
+  // Joins the sampler and returns the peak growth over the construction,
+  // max(samples, final) - baseline, clamped at 0.
+  std::size_t stop_delta() {
+    stop_.store(true, std::memory_order_relaxed);
+    worker_.join();
+    const std::size_t final_rss = current_rss_bytes();
+    if (final_rss > peak_) peak_ = final_rss;
+    return peak_ > baseline_ ? peak_ - baseline_ : 0;
+  }
+
+  ~RssPeakSampler() {
+    if (worker_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      worker_.join();
+    }
+  }
+
+ private:
+  std::size_t baseline_;
+  std::size_t peak_;
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+};
 
 // ---- JSON report plumbing ----
 

@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
 
   std::cout << "building schemes on " << n << " nodes / " << g.edge_count()
             << " edges...\n";
-  const auto cowen = CowenScheme<ShortestPath>::build(alg, g, w, rng);
+  // Materialized so the demo can read preferred weights off the trees.
+  CowenOptions copt;
+  copt.construction = CowenOptions::Construction::kMaterialized;
+  const auto cowen = CowenScheme<ShortestPath>::build(alg, g, w, rng, copt);
   const auto tables = DestinationTableScheme::from_algebra(alg, g, w);
 
   // Route sampled demands through both schemes.

@@ -1,21 +1,35 @@
 // AS-relationship serialization in the CAIDA as-rel line format:
 //
 //   # comment lines start with '#'
-//   <provider-as>|<customer-as>|-1     provider-to-customer link
-//   <peer-as>|<peer-as>|0              peer-to-peer link
+//   <provider-as>|<customer-as>|-1          provider-to-customer link
+//   <peer-as>|<peer-as>|0                   peer-to-peer link
+//   <as>|<as>|<rel>|<source>                serial-2 variant (4th field
+//                                           names the inference source and
+//                                           is ignored)
 //
 // This is the de-facto interchange format for inferred AS relationships
 // (Gao's inference work the paper cites publishes in it), so topologies
 // generated here can be eyeballed with standard tooling and measured
-// datasets can be loaded for the BGP experiments. Node ids are dense
-// 0-based indices; an optional remapping is applied on load so sparse AS
-// numbers from real datasets fit the Digraph.
+// datasets can be loaded for the BGP experiments — and, through
+// as_rel_underlay below, for the Internet-scale Cowen construction sweeps
+// (docs/internet_scale.md). Node ids are dense 0-based indices; an
+// optional remapping is applied on load so sparse AS numbers from real
+// datasets fit the Digraph.
+//
+// The reader is strict about structure and lenient about formatting:
+// CRLF line endings and surrounding whitespace are tolerated, exact
+// duplicate lines are skipped, but malformed lines, non-numeric fields,
+// unknown relationship codes, self-loops and conflicting relationships
+// for the same AS pair all raise std::runtime_error carrying the
+// 1-based line number and the offending line text.
 #pragma once
 
 #include "bgp/as_topology.hpp"
+#include "graph/graph.hpp"
 
 #include <iosfwd>
 #include <map>
+#include <vector>
 
 namespace cpr {
 
@@ -28,5 +42,18 @@ struct AsRelLoadResult {
 };
 
 AsRelLoadResult read_as_rel(std::istream& in);
+
+// The undirected serving-plane view of a loaded AS topology: one simple
+// Graph edge per AS adjacency (relationship labels dropped) plus unit
+// weights, which is what CowenScheme's construction sweeps consume. The
+// dense node ids match AsRelLoadResult::id_of_asn; asn_of_node inverts
+// that map for reporting.
+struct AsUnderlay {
+  Graph graph;
+  EdgeMap<std::uint32_t> unit_weights;  // 1 per edge
+  std::vector<std::uint64_t> asn_of_node;
+};
+
+AsUnderlay as_rel_underlay(const AsRelLoadResult& loaded);
 
 }  // namespace cpr

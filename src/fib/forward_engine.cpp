@@ -229,6 +229,15 @@ struct TableWalker {
   void prefetch(NodeId v) const { CPR_PREFETCH(&t.runs[t.row_off[v]]); }
 };
 
+// Per-shard hot-cache telemetry: the probe verdict plus lifetime
+// lookup/hit counters, flushed once per shard walk. Each worker owns
+// exactly one slot, so the sums are race-free and thread-count-invariant.
+struct HotCacheShardStats {
+  std::uint8_t off = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+};
+
 // Per-shard direct-mapped (node, target) -> decision cache. Safe because
 // step() is a pure function of (node, target) for one arena generation:
 // the cache is constructed per shard walk of one seqlock attempt and a
@@ -253,8 +262,16 @@ struct HotDestCache {
   static std::uint64_t pack(NodeId u, NodeId target) {
     return (std::uint64_t{u} << 32) | target;
   }
+  // Xor-fold the two 32-bit halves, then a 32-bit Fibonacci multiply,
+  // top 12 bits. One 32-bit imul instead of the previous full 64-bit
+  // multiply on the per-hop path; the fold keeps both node and target
+  // entropy in the product, so Zipf hit rates match the 64-bit hash
+  // (pinned by test_fib_simd.cpp's hit-rate floor).
   static std::size_t slot_of(std::uint64_t key) {
-    return (key * 0x9e3779b97f4a7c15ull) >> 52;  // top 12 bits: kSlots = 2^12
+    const std::uint32_t folded =
+        static_cast<std::uint32_t>(key >> 32) ^
+        static_cast<std::uint32_t>(key);
+    return (folded * 0x9e3779b9u) >> 20;  // top 12 bits: kSlots = 2^12
   }
   bool lookup(NodeId u, NodeId target, StepResult* out) const {
     const std::uint64_t key = pack(u, target);
@@ -282,6 +299,11 @@ struct HotDestCache {
   std::uint32_t probe_lookups = 0;
   std::uint32_t probe_hits = 0;
   bool enabled = true;
+
+  // Lifetime counters over every lookup while active (probe window
+  // included), aggregated per shard into FibBatchOutput.
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
 
   bool active() const { return enabled; }
   void note(bool hit) {
@@ -311,6 +333,8 @@ inline StepResult cached_step(HotDestCache& cache, const Walker& w, NodeId u,
   StepResult d;
   if (!cache.active()) return w.step(u);
   const bool hit = cache.lookup(u, target, &d);
+  ++cache.lookups;
+  cache.hits += hit ? 1u : 0u;
   cache.note(hit);
   if (!hit) {
     d = w.step(u);
@@ -341,7 +365,7 @@ void walk_shard(const FlatFib& fib,
                 const FibBatchOptions& opt, std::size_t max_hops,
                 std::vector<FibRouteResult>& results,
                 std::vector<NodeId>& shard_paths,
-                std::uint8_t& cache_off) {
+                HotCacheShardStats& cache_stats) {
   const FlatFib::TopoView& topo = fib.topo();
   Walker walker(fib);
   LoopStamps stamps(kFailures ? fib.node_count() : 0);
@@ -384,7 +408,9 @@ void walk_shard(const FlatFib& fib,
     }
   }
   if constexpr (kCache) {
-    if (!cache.active()) cache_off = 1;
+    if (!cache.active()) cache_stats.off = 1;
+    cache_stats.lookups += cache.lookups;
+    cache_stats.hits += cache.hits;
   }
 }
 
@@ -395,34 +421,34 @@ void dispatch_shard(const FlatFib& fib,
                     const FibBatchOptions& opt, std::size_t max_hops,
                     std::vector<FibRouteResult>& results,
                     std::vector<NodeId>& shard_paths,
-                    std::uint8_t& cache_off) {
+                    HotCacheShardStats& cache_stats) {
   const bool failures = opt.edge_down != nullptr;
   // The failures path never caches: drops and loop stamps are already the
   // slow diagnostic mode, and fewer instantiations keep the hop loop hot.
   if (failures && opt.record_paths) {
     walk_shard<Walker, true, true, false>(fib, queries, indices, opt,
                                           max_hops, results, shard_paths,
-                                          cache_off);
+                                          cache_stats);
   } else if (failures) {
     walk_shard<Walker, true, false, false>(fib, queries, indices, opt,
                                            max_hops, results, shard_paths,
-                                           cache_off);
+                                           cache_stats);
   } else if (opt.record_paths && opt.hot_dest_cache) {
     walk_shard<Walker, false, true, true>(fib, queries, indices, opt,
                                           max_hops, results, shard_paths,
-                                          cache_off);
+                                          cache_stats);
   } else if (opt.record_paths) {
     walk_shard<Walker, false, true, false>(fib, queries, indices, opt,
                                            max_hops, results, shard_paths,
-                                           cache_off);
+                                           cache_stats);
   } else if (opt.hot_dest_cache) {
     walk_shard<Walker, false, false, true>(fib, queries, indices, opt,
                                            max_hops, results, shard_paths,
-                                           cache_off);
+                                           cache_stats);
   } else {
     walk_shard<Walker, false, false, false>(fib, queries, indices, opt,
                                             max_hops, results, shard_paths,
-                                            cache_off);
+                                            cache_stats);
   }
 }
 
@@ -705,7 +731,7 @@ void walk_shard_lockstep(const FlatFib& fib,
                          std::size_t max_hops,
                          std::vector<FibRouteResult>& results,
                          std::vector<NodeId>& shard_paths,
-                         std::uint8_t& cache_off) {
+                         HotCacheShardStats& cache_stats) {
   constexpr std::size_t kLanes = 8;
   const FlatFib::TopoView& topo = fib.topo();
   std::vector<Walker> w;
@@ -773,7 +799,9 @@ void walk_shard_lockstep(const FlatFib& fib,
     }
   }
   if constexpr (kCache) {
-    if (!cache.active()) cache_off = 1;
+    if (!cache.active()) cache_stats.off = 1;
+    cache_stats.lookups += cache.lookups;
+    cache_stats.hits += cache.hits;
   }
 }
 
@@ -790,7 +818,7 @@ void walk_shard_lockstep_refill(
     const FlatFib& fib, std::span<const std::pair<NodeId, NodeId>> queries,
     std::span<const std::uint32_t> indices, std::size_t max_hops,
     std::vector<FibRouteResult>& results, std::vector<NodeId>& shard_paths,
-    std::uint8_t& cache_off) {
+    HotCacheShardStats& cache_stats) {
   static_assert(kLanes % 8 == 0);
   const FlatFib::TopoView& topo = fib.topo();
   std::vector<Walker> w;
@@ -858,7 +886,9 @@ void walk_shard_lockstep_refill(
     }
   }
   if constexpr (kCache) {
-    if (!cache.active()) cache_off = 1;
+    if (!cache.active()) cache_stats.off = 1;
+    cache_stats.lookups += cache.lookups;
+    cache_stats.hits += cache.hits;
   }
 }
 
@@ -869,23 +899,23 @@ void dispatch_shard_lockstep(const FlatFib& fib,
                              const FibBatchOptions& opt, std::size_t max_hops,
                              std::vector<FibRouteResult>& results,
                              std::vector<NodeId>& shard_paths,
-                             std::uint8_t& cache_off) {
+                             HotCacheShardStats& cache_stats) {
   // Path recording needs shard_paths laid out in shard query order, so it
   // keeps the grouped walk; the stats-only serving mode takes the
   // refilling walk, which sustains full lane occupancy.
   constexpr std::size_t kRefillLanes = 16;
   if (opt.record_paths && opt.hot_dest_cache) {
     walk_shard_lockstep<Walker, true, true>(fib, queries, indices, max_hops,
-                                            results, shard_paths, cache_off);
+                                            results, shard_paths, cache_stats);
   } else if (opt.record_paths) {
     walk_shard_lockstep<Walker, true, false>(fib, queries, indices, max_hops,
-                                             results, shard_paths, cache_off);
+                                             results, shard_paths, cache_stats);
   } else if (opt.hot_dest_cache) {
     walk_shard_lockstep_refill<Walker, true, kRefillLanes>(
-        fib, queries, indices, max_hops, results, shard_paths, cache_off);
+        fib, queries, indices, max_hops, results, shard_paths, cache_stats);
   } else {
     walk_shard_lockstep_refill<Walker, false, kRefillLanes>(
-        fib, queries, indices, max_hops, results, shard_paths, cache_off);
+        fib, queries, indices, max_hops, results, shard_paths, cache_stats);
   }
 }
 
@@ -966,9 +996,10 @@ FibBatchOutput forward_batch(const FlatFib& fib,
   // pure function of the queries, so only the walk itself repeats.
   ThreadPool& pool = opt.pool ? *opt.pool : ThreadPool::global();
   std::vector<std::vector<NodeId>> shard_paths(shards);
-  // Per-shard hot-cache probe verdicts; each worker writes only its own
-  // slot, summed into the output after the delivered attempt.
-  std::vector<std::uint8_t> cache_off(shards, 0);
+  // Per-shard hot-cache probe verdicts and hit counters; each worker
+  // writes only its own slot, summed into the output after the delivered
+  // attempt.
+  std::vector<HotCacheShardStats> cache_stats(shards);
   std::uint64_t gen = 0;
   for (std::size_t attempt = 0;; ++attempt) {
     gen = fib.generation();
@@ -985,33 +1016,33 @@ FibBatchOutput forward_batch(const FlatFib& fib,
               dispatch_shard_lockstep<TreeWalker>(fib, queries, indices, opt,
                                                   max_hops, out.results,
                                                   shard_paths[s],
-                                                  cache_off[s]);
+                                                  cache_stats[s]);
               break;
             case FibKind::kInterval:
               dispatch_shard_lockstep<IntervalWalker>(fib, queries, indices,
                                                       opt, max_hops,
                                                       out.results,
                                                       shard_paths[s],
-                                                      cache_off[s]);
+                                                      cache_stats[s]);
               break;
             case FibKind::kCowen:
               dispatch_shard_lockstep<CowenSimdWalker>(fib, queries, indices,
                                                        opt, max_hops,
                                                        out.results,
                                                        shard_paths[s],
-                                                       cache_off[s]);
+                                                       cache_stats[s]);
               break;
             case FibKind::kTable:
               dispatch_shard_lockstep<TableWalker>(fib, queries, indices,
                                                    opt, max_hops, out.results,
                                                    shard_paths[s],
-                                                   cache_off[s]);
+                                                   cache_stats[s]);
               break;
             case FibKind::kMesh:
               dispatch_shard_lockstep<MeshWalker>(fib, queries, indices, opt,
                                                   max_hops, out.results,
                                                   shard_paths[s],
-                                                  cache_off[s]);
+                                                  cache_stats[s]);
               break;
           }
           std::atomic_thread_fence(std::memory_order_acquire);
@@ -1022,27 +1053,27 @@ FibBatchOutput forward_batch(const FlatFib& fib,
           case FibKind::kTree:
             dispatch_shard<TreeWalker>(fib, queries, indices, opt, max_hops,
                                        out.results, shard_paths[s],
-                                       cache_off[s]);
+                                       cache_stats[s]);
             break;
           case FibKind::kInterval:
             dispatch_shard<IntervalWalker>(fib, queries, indices, opt,
                                            max_hops, out.results,
-                                           shard_paths[s], cache_off[s]);
+                                           shard_paths[s], cache_stats[s]);
             break;
           case FibKind::kCowen:
             dispatch_shard<CowenWalker>(fib, queries, indices, opt, max_hops,
                                         out.results, shard_paths[s],
-                                        cache_off[s]);
+                                        cache_stats[s]);
             break;
           case FibKind::kTable:
             dispatch_shard<TableWalker>(fib, queries, indices, opt, max_hops,
                                         out.results, shard_paths[s],
-                                        cache_off[s]);
+                                        cache_stats[s]);
             break;
           case FibKind::kMesh:
             dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
                                        out.results, shard_paths[s],
-                                       cache_off[s]);
+                                       cache_stats[s]);
             break;
         }
         std::atomic_thread_fence(std::memory_order_acquire);
@@ -1059,11 +1090,13 @@ FibBatchOutput forward_batch(const FlatFib& fib,
     ++out.seqlock_retries;
     std::fill(out.results.begin(), out.results.end(), FibRouteResult{});
     for (auto& p : shard_paths) p.clear();
-    std::fill(cache_off.begin(), cache_off.end(), std::uint8_t{0});
+    std::fill(cache_stats.begin(), cache_stats.end(), HotCacheShardStats{});
     std::this_thread::yield();
   }
-  for (const std::uint8_t off : cache_off) {
-    out.hot_cache_disabled_shards += off;
+  for (const HotCacheShardStats& cs : cache_stats) {
+    out.hot_cache_disabled_shards += cs.off;
+    out.hot_cache_lookups += cs.lookups;
+    out.hot_cache_hits += cs.hits;
   }
 
   // Stitch the per-shard path buffers in shard order and rebase each

@@ -163,6 +163,12 @@ struct FibBatchOutput {
   // and ran the remainder cache-less (0 unless hot_dest_cache was set).
   // From the delivered (final) seqlock attempt only.
   std::uint32_t hot_cache_disabled_shards = 0;
+  // Hot-destination cache lookups and hits across all shards while their
+  // caches were active (0 unless hot_dest_cache was set); same delivered
+  // attempt. hits/lookups is the batch's measured hit rate — the Zipf
+  // suites assert a floor on it (test_fib_simd.cpp).
+  std::uint64_t hot_cache_lookups = 0;
+  std::uint64_t hot_cache_hits = 0;
 
   std::span<const NodeId> path(std::size_t query) const {
     const FibRouteResult& r = results[query];

@@ -69,6 +69,51 @@ Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
   return g;
 }
 
+Graph preferential_attachment(std::size_t n, std::size_t m,
+                              double uniform_mix, Rng& rng) {
+  if (m == 0 || n <= m) {
+    throw std::invalid_argument("preferential_attachment: n > m >= 1");
+  }
+  if (uniform_mix < 0.0 || uniform_mix > 1.0) {
+    throw std::invalid_argument(
+        "preferential_attachment: uniform_mix in [0, 1]");
+  }
+  Graph g(n);
+  // Seed clique of m+1 nodes, then each new node attaches m edges whose
+  // far endpoints are degree-weighted draws from the endpoint pool —
+  // except with probability uniform_mix each draw is uniform over the
+  // existing nodes instead, which tempers the tail exponent the pure
+  // Barabási–Albert process fixes at 3 (the knob sweeps between
+  // scale-free and near-uniform attachment for the Internet-like bench
+  // topologies; see docs/internet_scale.md).
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t = rng.coin(uniform_mix)
+                           ? static_cast<NodeId>(rng.index(v))
+                           : endpoints[rng.index(endpoints.size())];
+      if (t != v && std::find(targets.begin(), targets.end(), t) ==
+                        targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
 Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
   if (n < 2 * k + 2) throw std::invalid_argument("watts_strogatz: n too small");
   Graph g(n);

@@ -24,6 +24,14 @@ Graph erdos_renyi_connected(std::size_t n, double p, Rng& rng,
 // Barabási–Albert preferential attachment, m edges per new node.
 Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
 
+// Tunable power-law attachment for the Internet-like construction sweeps:
+// like barabasi_albert, but each of a new node's m attachment draws is
+// uniform over existing nodes with probability uniform_mix (0 = pure BA,
+// tail exponent 3; larger values flatten the hubs toward uniform random
+// attachment). uniform_mix must be in [0, 1].
+Graph preferential_attachment(std::size_t n, std::size_t m,
+                              double uniform_mix, Rng& rng);
+
 // Watts–Strogatz small world: ring lattice with k nearest neighbors per
 // side, each edge rewired with probability beta (rewires that would create
 // duplicates are skipped).

@@ -279,6 +279,212 @@ void dijkstra_dispatch(const A& alg, const G& g, NodeId source,
 
 }  // namespace detail
 
+// Reusable scratch for repeated truncated-ball runs (truncated_ball
+// below). The arrays are sized once per n and never cleared between
+// runs: tentative weights/hops/parents are only ever read for nodes the
+// current run has already pushed (the heap's never-seen state gates
+// every access), and the heap itself uses the sparse prepare()/forget()
+// pair driven by the `touched` list. A full per-source clear would cost
+// O(n) — across a sweep of n sources that is O(n²) of memset, more than
+// the truncated searches themselves.
+template <typename W>
+struct BallScratch {
+  IndexedDaryHeap<W> heap;
+  KeyedDaryHeap keyed_heap;
+  std::vector<NodeId> parent;
+  std::vector<W> weights;
+  std::vector<std::uint32_t> hops;
+  std::vector<NodeId> touched;
+
+  void ensure(std::size_t n, const W& fill) {
+    if (parent.size() != n) {
+      parent.assign(n, kInvalidNode);
+      weights.assign(n, fill);
+      hops.assign(n, 0);
+    }
+  }
+};
+
+namespace detail {
+
+// Per-thread truncated-ball scratch, sibling of dijkstra_scratch_heap.
+template <typename W>
+inline BallScratch<W>& ball_scratch() {
+  thread_local BallScratch<W> scratch;
+  return scratch;
+}
+
+// Truncated Dijkstra from `source`: settles exactly the ball
+//     { u : d(source, u) ≺ limit }        (strict)
+//     { u : d(source, u) ⪯ limit }        (non-strict)
+// and calls visit(u, parent_of_u, weight, hops) at each settle, in
+// settle order. Exactness rests on two facts. First, Dijkstra settles in
+// non-decreasing ⪯ order, so the ball predicate is monotone over the
+// settle sequence: every in-ball entry pops before any out-of-ball entry
+// (a ≺/⪯ limit and ¬(b ≺/⪯ limit) imply a ≺ b in the total preorder).
+// Second, candidates failing the predicate are pruned at relax time
+// without affecting members: a member's final order class passes the
+// predicate, so every candidate of that class — including the ones the
+// hop/id tie-breaks choose between — survives pruning, and the relax
+// sequence restricted to members is identical to the full run's. Hence
+// visited members, their parents, weights and hops are bit-identical to
+// the corresponding rows of the full tree dijkstra would build, which is
+// what lets CowenScheme's streaming construction reproduce the
+// materialized tables exactly (tests/test_cowen_streaming.cpp).
+template <RoutingAlgebra A, GraphTopology G, typename WeightAt,
+          typename Visit>
+void truncated_ball_run(const A& alg, const G& g, NodeId source,
+                        const typename A::Weight& limit, bool strict,
+                        BallScratch<typename A::Weight>& scratch,
+                        const WeightAt& weight_at, const Visit& visit) {
+  using W = typename A::Weight;
+  using Entry = typename IndexedDaryHeap<W>::Entry;
+  const std::size_t n = g.node_count();
+  scratch.ensure(n, alg.phi());
+  auto& heap = scratch.heap;
+  heap.prepare(n);
+
+  const auto better = [&alg](const Entry& a, const Entry& b) {
+    if (alg.less(a.weight, b.weight)) return true;
+    if (alg.less(b.weight, a.weight)) return false;
+    if (a.hops != b.hops) return a.hops < b.hops;
+    return a.node < b.node;
+  };
+
+  const auto relax = [&](NodeId from, const Graph::Adjacency& adj, W cand,
+                         std::uint32_t hops) {
+    const NodeId v = adj.neighbor;
+    if (heap.settled(v)) return;
+    if (alg.is_phi(cand)) return;
+    // Ball cutoff: a candidate outside the predicate can never become a
+    // member (any later improvement arrives through a settled member and
+    // is re-offered then), so pruning here keeps the frontier at the
+    // ball boundary instead of one full expansion ring beyond it.
+    if (!(strict ? alg.less(cand, limit) : leq(alg, cand, limit))) return;
+    if (heap.never_seen(v)) {
+      scratch.touched.push_back(v);
+      heap.push(Entry{cand, hops, v}, better);
+      scratch.parent[v] = from;
+      scratch.weights[v] = std::move(cand);
+      scratch.hops[v] = hops;
+      return;
+    }
+    const bool improves =
+        alg.less(cand, scratch.weights[v]) ||
+        (order_equal(alg, cand, scratch.weights[v]) &&
+         hops < scratch.hops[v]);
+    if (improves) {
+      heap.update(Entry{cand, hops, v}, better);
+      scratch.parent[v] = from;
+      scratch.weights[v] = std::move(cand);
+      scratch.hops[v] = hops;
+    }
+  };
+
+  heap.mark_settled(source);
+  scratch.touched.push_back(source);
+  {
+    const auto row = g.neighbors(source);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(source, row[p], weight_at(source, p, row[p]), 1);
+    }
+  }
+  while (!heap.empty()) {
+    const Entry top = heap.pop(better);
+    visit(top.node, scratch.parent[top.node], top.weight, top.hops);
+    const std::uint32_t hu = top.hops + 1;
+    const auto row = g.neighbors(top.node);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(top.node, row[p],
+            alg.combine(top.weight, weight_at(top.node, p, row[p])), hu);
+    }
+  }
+  for (const NodeId v : scratch.touched) heap.forget(v);
+  scratch.touched.clear();
+}
+
+// Flat-key sibling (mirrors dijkstra_run_keyed): same pruning, same
+// settle order, weight recovered from the popped 128-bit key.
+template <OrderKeyedAlgebra A, GraphTopology G, typename WeightAt,
+          typename Visit>
+void truncated_ball_run_keyed(const A& alg, const G& g, NodeId source,
+                              const typename A::Weight& limit, bool strict,
+                              BallScratch<typename A::Weight>& scratch,
+                              const WeightAt& weight_at, const Visit& visit) {
+  using W = typename A::Weight;
+  const std::size_t n = g.node_count();
+  scratch.ensure(n, alg.phi());
+  auto& heap = scratch.keyed_heap;
+  heap.prepare(n);
+
+  const auto relax = [&](NodeId from, const Graph::Adjacency& adj, W cand,
+                         std::uint32_t hops) {
+    const NodeId v = adj.neighbor;
+    if (heap.settled(v)) return;
+    if (alg.is_phi(cand)) return;
+    if (!(strict ? alg.less(cand, limit) : leq(alg, cand, limit))) return;
+    if (heap.never_seen(v)) {
+      scratch.touched.push_back(v);
+      heap.push(KeyedDaryHeap::make_key(alg.order_key(cand), hops, v));
+      scratch.parent[v] = from;
+      scratch.weights[v] = std::move(cand);
+      scratch.hops[v] = hops;
+      return;
+    }
+    const bool improves =
+        alg.less(cand, scratch.weights[v]) ||
+        (order_equal(alg, cand, scratch.weights[v]) &&
+         hops < scratch.hops[v]);
+    if (improves) {
+      heap.update(KeyedDaryHeap::make_key(alg.order_key(cand), hops, v));
+      scratch.parent[v] = from;
+      scratch.weights[v] = std::move(cand);
+      scratch.hops[v] = hops;
+    }
+  };
+
+  heap.mark_settled(source);
+  scratch.touched.push_back(source);
+  {
+    const auto row = g.neighbors(source);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(source, row[p], weight_at(source, p, row[p]), 1);
+    }
+  }
+  while (!heap.empty()) {
+    const KeyedDaryHeap::Key top = heap.pop();
+    const NodeId u = KeyedDaryHeap::node_of(top);
+    const W wu = alg.weight_from_order_key(KeyedDaryHeap::order_of(top));
+    visit(u, scratch.parent[u], wu, KeyedDaryHeap::hops_of(top));
+    const std::uint32_t hu = KeyedDaryHeap::hops_of(top) + 1;
+    const auto row = g.neighbors(u);
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      relax(u, row[p], alg.combine(wu, weight_at(u, p, row[p])), hu);
+    }
+  }
+  for (const NodeId v : scratch.touched) heap.forget(v);
+  scratch.touched.clear();
+}
+
+}  // namespace detail
+
+// Dispatching entry point for one truncated-ball enumeration; see
+// truncated_ball_run. `weight_at` follows dijkstra_dispatch's contract.
+template <RoutingAlgebra A, GraphTopology G, typename WeightAt,
+          typename Visit>
+void truncated_ball(const A& alg, const G& g, NodeId source,
+                    const typename A::Weight& limit, bool strict,
+                    BallScratch<typename A::Weight>& scratch,
+                    const WeightAt& weight_at, const Visit& visit) {
+  if constexpr (OrderKeyedAlgebra<A>) {
+    detail::truncated_ball_run_keyed(alg, g, source, limit, strict, scratch,
+                                     weight_at, visit);
+  } else {
+    detail::truncated_ball_run(alg, g, source, limit, strict, scratch,
+                               weight_at, visit);
+  }
+}
+
 // Runs the sweep into a caller-provided output tree (scratch frontier
 // buffers are per-thread and reused); the building block behind
 // `dijkstra` for callers that manage output reuse themselves.

@@ -54,6 +54,20 @@ class IndexedDaryHeap {
     pos_.assign(n, kNever);
   }
 
+  // Sparse alternative to reset(n) for truncated runs that touch only a
+  // small neighborhood: the full pos_ init happens only when n changes;
+  // otherwise the caller guarantees every slot is already never-seen by
+  // having called forget() on each touched node after the previous run.
+  // This is what keeps a sweep of n truncated-ball runs O(Σ|ball|)
+  // instead of O(n²) in memset alone (see dijkstra.hpp).
+  void prepare(std::size_t n) {
+    heap_.clear();
+    if (pos_.size() != n) pos_.assign(n, kNever);
+  }
+
+  // Restores one node to never-seen (the prepare() contract).
+  void forget(NodeId v) { pos_[v] = kNever; }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
@@ -181,6 +195,14 @@ class KeyedDaryHeap {
     heap_.clear();
     pos_.assign(n, kNever);
   }
+
+  // Sparse reset pair for truncated runs; same contract as the indexed
+  // heap's prepare()/forget().
+  void prepare(std::size_t n) {
+    heap_.clear();
+    if (pos_.size() != n) pos_.assign(n, kNever);
+  }
+  void forget(NodeId v) { pos_[v] = kNever; }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }

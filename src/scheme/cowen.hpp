@@ -48,7 +48,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -65,6 +68,27 @@ struct CowenOptions {
   // Pool for the parallel construction phases; nullptr = process-global
   // pool. The built scheme does not depend on the pool's thread count.
   ThreadPool* pool = nullptr;
+  // Construction strategy. kStreaming (default) runs full SSSP trees only
+  // for the ~√(n ln n) landmarks and enumerates every other node's ball
+  // with a truncated Dijkstra stopped at its nearest-landmark radius, so
+  // peak memory is Θ(n·|L|) (the size of the output tables) instead of
+  // the Θ(n²) of materializing all_pairs_trees. kMaterialized is the
+  // original path, kept as the exhaustive differential oracle and for
+  // churn-heavy workloads that want every tree resident before the first
+  // apply_event. Both produce bit-identical schemes for every thread
+  // count (tests/test_cowen_streaming.cpp).
+  enum class Construction { kStreaming, kMaterialized };
+  Construction construction = Construction::kStreaming;
+  // Measurement-only escape hatch for the very largest streaming sweeps
+  // (n ~ 10⁶, where the Θ(n·|L|) tables themselves are tens of GB):
+  // false skips materializing tables_ — landmark assignment, cluster
+  // sizes, promotion decisions and labels stay exact, but forward() has
+  // no entries to route by. bench_json's 1M stretch-goal leg uses this.
+  bool materialize_tables = true;
+  // Landmark SSSP batch size for the streaming construction — bounds how
+  // many full trees are resident at once during the nearest-landmark
+  // fold. 0 = default (32).
+  std::size_t landmark_batch = 0;
 };
 
 // What CowenScheme::apply_event did for one churn event.
@@ -125,17 +149,39 @@ class CowenScheme {
     // scans, table fill with its O(log deg) port lookups) reads it.
     s.csr_ = CsrGraph(g);
 
-    // Preferred-path trees from every root; tree[t] gives both w(p*_t,u)
-    // and u's next hop toward t (undirected + commutative). One
-    // policy-Dijkstra per root, fanned out across the pool.
-    s.trees_ = all_pairs_trees(alg, s.csr_, w, s.pool_);
-
+    // The landmark sample is the only randomness; drawing it at the same
+    // point in both constructions keeps the rng stream — and hence the
+    // landmark set — identical between them.
     s.is_landmark_.assign(n, false);
-    for (std::size_t i : rng.sample_without_replacement(n, std::min(init, n))) {
+    const std::size_t sample = std::min(init, n);
+    for (std::size_t i : rng.sample_without_replacement(n, sample)) {
       s.is_landmark_[i] = true;
     }
-    s.recompute_until_stable();
-    s.build_tables();
+    s.initial_landmark_count_ = sample;
+
+    if (opt.construction == CowenOptions::Construction::kMaterialized) {
+      // Preferred-path trees from every root; tree[t] gives both
+      // w(p*_t,u) and u's next hop toward t (undirected + commutative).
+      // One policy-Dijkstra per root, fanned out across the pool.
+      s.trees_ = all_pairs_trees(alg, s.csr_, w, s.pool_);
+      s.recompute_until_stable();
+      if (opt.materialize_tables) {
+        s.build_tables();
+      } else {
+        s.port_at_landmark_.assign(n, kInvalidPort);
+        parallel_for(
+            *s.pool_, 0, n,
+            [&s](std::size_t i) {
+              s.port_at_landmark_[i] =
+                  s.compute_port_at_landmark(static_cast<NodeId>(i));
+            },
+            /*grain=*/64);
+        s.tables_.assign(n, {});
+      }
+    } else {
+      s.build_streaming(w, opt.materialize_tables,
+                        opt.landmark_batch ? opt.landmark_batch : 32);
+    }
     return s;
   }
 
@@ -165,10 +211,24 @@ class CowenScheme {
   CowenRepairStats apply_event(EdgeId e, const W& old_w, const W& new_w,
                                const EdgeMap<W>& w,
                                double rebuild_dirty_fraction = 0.25) {
-    (void)old_w;
     CowenRepairStats stats;
     const std::size_t n = graph_->node_count();
     if (n == 0 || e >= graph_->edge_count()) return stats;
+
+    // Streamed builds keep no resident trees, but every phase below —
+    // dirty detection, landmark reassignment, the table patch — reads
+    // them. Materialize once, from the *pre-event* weights: the event
+    // moved exactly one edge, so the pre-event map is w with e rolled
+    // back to old_w. From here on the scheme is byte-identical to one
+    // built with Construction::kMaterialized, at a one-time Θ(n²) cost —
+    // churn-heavy callers should build materialized up front instead of
+    // paying it inside their first event.
+    if (trees_.size() != n) {
+      EdgeMap<W> pre = w;
+      pre[e] = old_w;
+      trees_ = all_pairs_trees(alg_, csr_, pre, pool_);
+    }
+
     const NodeId ea = graph_->edge(e).u;
     const NodeId eb = graph_->edge(e).v;
 
@@ -440,7 +500,27 @@ class CowenScheme {
   bool strict_balls() const { return strict_balls_; }
   NodeId landmark_of(NodeId v) const { return landmark_of_[v]; }
   bool is_landmark(NodeId v) const { return is_landmark_[v]; }
-  const PathTree<W>& tree(NodeId t) const { return trees_[t]; }
+  // Construction counters for the bench trajectory: how many landmarks
+  // the initial √(n ln n) sample drew, and how many the cluster-cap
+  // promotion rounds added on top.
+  std::size_t initial_landmark_count() const { return initial_landmark_count_; }
+  std::size_t promoted_landmark_count() const {
+    return promoted_landmark_count_;
+  }
+  // Whether all n preferred-path trees are resident: true after a
+  // kMaterialized build, rebuild_from, or the first apply_event on a
+  // streamed scheme; false right after a streaming build.
+  bool trees_materialized() const {
+    return trees_.size() == graph_->node_count();
+  }
+  const PathTree<W>& tree(NodeId t) const {
+    if (!trees_materialized()) {
+      throw std::logic_error(
+          "CowenScheme::tree: trees not resident after a streaming build "
+          "(use CowenOptions::Construction::kMaterialized or rebuild_from)");
+    }
+    return trees_[t];
+  }
   // The raw (target, port) table of node u — sorted by target, flat so
   // the fill phase is a single allocation-free append stream — exposed so
   // the determinism tests can compare parallel builds entry-by-entry.
@@ -653,10 +733,330 @@ class CowenScheme {
       for (NodeId u = 0; u < n; ++u) {
         if (!is_landmark_[u] && cluster_sizes_[u] > cluster_cap_) {
           is_landmark_[u] = true;
+          ++promoted_landmark_count_;
           promoted = true;
         }
       }
       if (!promoted) break;
+    }
+  }
+
+  // Streaming construction (CowenOptions::Construction::kStreaming). The
+  // memory-bound phases of the materialized path — all_pairs_trees and
+  // the Θ(n²) ball/cluster scans over it — are replaced by:
+  //
+  //   1. Full SSSP trees for *landmarks only*, swept in fixed-size
+  //      batches (bounding resident trees to `batch`) and folded into a
+  //      per-node nearest-landmark record. The fold implements exactly
+  //      landmark_better's tie-break (reachability, ⪯, hops, id); its
+  //      argmin is unique under that strict order, so folding promoted
+  //      landmarks after the initial sample — any order at all — yields
+  //      the same assignment nearest_landmark's ascending scan does.
+  //      Only the parent arrays are retained (Θ(n·|L|), the same order
+  //      as the tables they feed): they carry the landmark-entry ports
+  //      and the port-at-landmark labels. Weights/hops die with the
+  //      batch once folded.
+  //
+  //   2. Per-source truncated Dijkstras (truncated_ball, dijkstra.hpp)
+  //      that stop at the source's nearest-landmark radius and hence
+  //      enumerate exactly its ball. Ball membership of u in B(v) is an
+  //      order-level predicate, so testing it at d(v,u) — what the
+  //      truncated run measures — instead of the materialized path's
+  //      d(u,v) changes nothing: with an undirected graph and the
+  //      commutative combine the per-root trees already rely on, the
+  //      two are order-equal. Cluster sizes accumulate through relaxed
+  //      atomic increments — a commutative integer sum, so the counts
+  //      are thread-count-independent — and promotion stays the same
+  //      ordered scan on the calling thread.
+  //
+  //   3. After the landmark set stabilizes, one more ball sweep emits
+  //      (member u, source v, port) triples into per-block buffers whose
+  //      concatenation order is fixed (blocks are indexed, sources
+  //      ascending within a block, settle order deterministic); a
+  //      counting sort by member — sized exactly by the final cluster
+  //      counts — then a per-member sort by source and a merge with the
+  //      ascending landmark entries reproduce fill_table's flat tables
+  //      byte for byte.
+  //
+  // Equivalence with the materialized oracle at 1 and 8 threads is
+  // pinned by tests/test_cowen_streaming.cpp.
+  void build_streaming(const EdgeMap<W>& w, bool materialize_tables,
+                       std::size_t batch) {
+    constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+    const std::size_t n = graph_->node_count();
+
+    // CSR-slot-aligned weights, shared read-only by every sweep (same
+    // gather all_pairs_trees does).
+    std::vector<W> slot_w;
+    slot_w.reserve(2 * csr_.edge_count());
+    for (NodeId v = 0; v < n; ++v) {
+      for (const auto& adj : csr_.neighbors(v)) slot_w.push_back(w[adj.edge]);
+    }
+    const auto slot_weight = [this, &slot_w](NodeId u, std::size_t port,
+                                             const Graph::Adjacency&)
+        -> const W& { return slot_w[csr_.row_begin(u) + port]; };
+
+    // Per-node nearest-landmark fold state; `weight` is bit-identical to
+    // the materialized radius (both copy the landmark tree's row).
+    std::vector<std::uint8_t> best_has(n, 0);
+    std::vector<W> best_w(n, alg_.phi());
+    std::vector<std::uint32_t> best_hops(n, 0);
+    std::vector<NodeId> best_id(n, kInvalidNode);
+    const auto fold = [&](NodeId u, NodeId l, const PathTree<W>& t) {
+      const bool has = t.has_weight(u);
+      bool take;
+      if (best_id[u] == kInvalidNode) {
+        take = true;
+      } else if (has != (best_has[u] != 0)) {
+        take = has;
+      } else if (!has) {
+        take = l < best_id[u];
+      } else if (alg_.less(t.weights[u], best_w[u])) {
+        take = true;
+      } else if (alg_.less(best_w[u], t.weights[u])) {
+        take = false;
+      } else if (t.hops[u] != best_hops[u]) {
+        take = t.hops[u] < best_hops[u];
+      } else {
+        take = l < best_id[u];
+      }
+      if (take) {
+        best_has[u] = has ? 1 : 0;
+        best_w[u] = t.weights[u];
+        best_hops[u] = t.hops[u];
+        best_id[u] = l;
+      }
+    };
+
+    // Retained landmark parent arrays (materialize_tables mode), indexed
+    // by insertion order through landmark_slot.
+    std::vector<std::vector<NodeId>> landmark_parent;
+    std::vector<std::uint32_t> landmark_slot(n, kNoSlot);
+    std::vector<PathTree<W>> batch_trees;
+    const auto sweep_landmarks = [&](const std::vector<NodeId>& fresh) {
+      for (std::size_t b0 = 0; b0 < fresh.size(); b0 += batch) {
+        const std::size_t b1 = std::min(fresh.size(), b0 + batch);
+        batch_trees.resize(b1 - b0);
+        parallel_for(*pool_, 0, b1 - b0, [&](std::size_t i) {
+          detail::dijkstra_dispatch(alg_, csr_, fresh[b0 + i], batch_trees[i],
+                                    slot_weight);
+        });
+        parallel_for(
+            *pool_, 0, n,
+            [&](std::size_t ui) {
+              const NodeId u = static_cast<NodeId>(ui);
+              for (std::size_t i = 0; i < b1 - b0; ++i) {
+                if (u == fresh[b0 + i]) continue;
+                fold(u, fresh[b0 + i], batch_trees[i]);
+              }
+            },
+            /*grain=*/256);
+        if (materialize_tables) {
+          for (std::size_t i = 0; i < b1 - b0; ++i) {
+            landmark_slot[fresh[b0 + i]] =
+                static_cast<std::uint32_t>(landmark_parent.size());
+            landmark_parent.push_back(std::move(batch_trees[i].parent));
+          }
+        }
+      }
+    };
+
+    // One counting/emitting pass over every eligible source's ball. The
+    // visitor sees (member, member's parent toward the source).
+    const auto for_each_ball = [&](auto&& visit_source_member,
+                                   std::size_t grain) {
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t vi) {
+            const NodeId v = static_cast<NodeId>(vi);
+            // Mirrors ball_radii: landmarks carry no ball, nor do nodes
+            // no landmark reaches.
+            if (is_landmark_[v]) return;
+            if (best_id[v] == kInvalidNode || !best_has[v]) return;
+            auto& scratch = detail::ball_scratch<W>();
+            truncated_ball(alg_, csr_, v, best_w[v], strict_balls_, scratch,
+                           slot_weight,
+                           [&](NodeId u, NodeId parent, const W&,
+                               std::uint32_t) {
+                             visit_source_member(v, u, parent);
+                           });
+          },
+          grain);
+    };
+
+    // Promotion rounds, mirroring recompute_until_stable: fold fresh
+    // landmark trees → assignment → ball sweep for cluster counts →
+    // ordered promotion scan.
+    std::vector<NodeId> fresh;
+    for (NodeId l = 0; l < n; ++l) {
+      if (is_landmark_[l]) fresh.push_back(l);
+    }
+    std::vector<std::uint32_t> counts(n, 0);
+    for (;;) {
+      sweep_landmarks(fresh);
+      fresh.clear();
+      landmark_of_.assign(n, kInvalidNode);
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t u) {
+            landmark_of_[u] =
+                is_landmark_[u] ? static_cast<NodeId>(u) : best_id[u];
+          },
+          /*grain=*/512);
+      std::fill(counts.begin(), counts.end(), 0);
+      for_each_ball(
+          [&](NodeId, NodeId u, NodeId) {
+            std::atomic_ref<std::uint32_t>(counts[u])
+                .fetch_add(1, std::memory_order_relaxed);
+          },
+          /*grain=*/16);
+      bool promoted = false;
+      for (NodeId u = 0; u < n; ++u) {
+        if (!is_landmark_[u] && counts[u] > cluster_cap_) {
+          is_landmark_[u] = true;
+          ++promoted_landmark_count_;
+          fresh.push_back(u);
+          promoted = true;
+        }
+      }
+      if (!promoted) break;
+    }
+    cluster_sizes_.assign(counts.begin(), counts.end());
+
+    // Final landmark list, ascending — the merge below interleaves these
+    // with the (disjoint: only non-landmarks have balls) ball targets.
+    std::vector<NodeId> landmarks;
+    for (NodeId l = 0; l < n; ++l) {
+      if (is_landmark_[l]) landmarks.push_back(l);
+    }
+
+    // First hop out of l_v toward v, walking v's parent chain in l_v's
+    // tree — compute_port_at_landmark verbatim, against a parent array.
+    const auto chain_port = [&](NodeId v, NodeId lv,
+                                const std::vector<NodeId>& par) -> Port {
+      NodeId x = v;
+      while (par[x] != lv) {
+        x = par[x];
+        if (x == kInvalidNode) break;
+      }
+      return x != kInvalidNode ? csr_.port_to(lv, x) : kInvalidPort;
+    };
+
+    port_at_landmark_.assign(n, kInvalidPort);
+    tables_.assign(n, {});
+    if (materialize_tables) {
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t vi) {
+            const NodeId v = static_cast<NodeId>(vi);
+            const NodeId lv = landmark_of_[v];
+            if (lv == kInvalidNode || lv == v) return;
+            port_at_landmark_[v] =
+                chain_port(v, lv, landmark_parent[landmark_slot[lv]]);
+          },
+          /*grain=*/64);
+
+      // Ball entries: one more sweep, into per-block buffers whose
+      // concatenation order is schedule-independent.
+      struct BallEntry {
+        NodeId owner;
+        NodeId target;
+        Port port;
+      };
+      constexpr std::size_t kBlock = 256;
+      const std::size_t nblocks = (n + kBlock - 1) / kBlock;
+      std::vector<std::vector<BallEntry>> block_entries(nblocks);
+      parallel_for(*pool_, 0, nblocks, [&](std::size_t bi) {
+        auto& out = block_entries[bi];
+        const std::size_t lo = bi * kBlock;
+        const std::size_t hi = std::min(n, lo + kBlock);
+        for (std::size_t vi = lo; vi < hi; ++vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          if (is_landmark_[v]) continue;
+          if (best_id[v] == kInvalidNode || !best_has[v]) continue;
+          auto& scratch = detail::ball_scratch<W>();
+          truncated_ball(alg_, csr_, v, best_w[v], strict_balls_, scratch,
+                         slot_weight,
+                         [&](NodeId u, NodeId parent, const W&,
+                             std::uint32_t) {
+                           out.push_back({u, v, csr_.port_to(u, parent)});
+                         });
+        }
+      });
+
+      // Counting sort by owner; the final cluster counts size each
+      // owner's segment exactly (same sweep, same members).
+      std::vector<std::size_t> offset(n + 1, 0);
+      for (std::size_t u = 0; u < n; ++u) {
+        offset[u + 1] = offset[u] + cluster_sizes_[u];
+      }
+      std::vector<std::pair<NodeId, Port>> ball_sorted(offset[n]);
+      {
+        std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+        for (const auto& blk : block_entries) {
+          for (const BallEntry& e : blk) {
+            ball_sorted[cursor[e.owner]++] = {e.target, e.port};
+          }
+        }
+      }
+      block_entries.clear();
+      block_entries.shrink_to_fit();
+
+      // Per-owner: sort the ball segment by target and merge with the
+      // ascending landmark entries — the same ascending-target stream
+      // fill_table's scan appends.
+      parallel_for(
+          *pool_, 0, n,
+          [&](std::size_t ui) {
+            const NodeId u = static_cast<NodeId>(ui);
+            const auto seg0 = ball_sorted.begin() + offset[u];
+            const auto seg1 = ball_sorted.begin() + offset[u + 1];
+            std::sort(seg0, seg1);  // targets unique within a segment
+            auto& table = tables_[u];
+            table.reserve(static_cast<std::size_t>(seg1 - seg0) +
+                          landmarks.size());
+            auto it = seg0;
+            for (const NodeId l : landmarks) {
+              while (it != seg1 && it->first < l) table.push_back(*it++);
+              if (l == u) continue;
+              const std::vector<NodeId>& par =
+                  landmark_parent[landmark_slot[l]];
+              if (par[u] == kInvalidNode) continue;  // unreachable
+              table.emplace_back(l, csr_.port_to(u, par[u]));
+            }
+            while (it != seg1) table.push_back(*it++);
+          },
+          /*grain=*/8);
+    } else {
+      // Stats-only mode: tables are skipped, but labels stay exact — a
+      // second batched landmark sweep recomputes each tree transiently
+      // for the port-at-landmark chain walks.
+      std::vector<std::uint32_t> in_batch(n, kNoSlot);
+      for (std::size_t b0 = 0; b0 < landmarks.size(); b0 += batch) {
+        const std::size_t b1 = std::min(landmarks.size(), b0 + batch);
+        batch_trees.resize(b1 - b0);
+        parallel_for(*pool_, 0, b1 - b0, [&](std::size_t i) {
+          detail::dijkstra_dispatch(alg_, csr_, landmarks[b0 + i],
+                                    batch_trees[i], slot_weight);
+        });
+        for (std::size_t i = 0; i < b1 - b0; ++i) {
+          in_batch[landmarks[b0 + i]] = static_cast<std::uint32_t>(i);
+        }
+        parallel_for(
+            *pool_, 0, n,
+            [&](std::size_t vi) {
+              const NodeId v = static_cast<NodeId>(vi);
+              const NodeId lv = landmark_of_[v];
+              if (lv == kInvalidNode || lv == v) return;
+              const std::uint32_t i = in_batch[lv];
+              if (i == kNoSlot) return;
+              port_at_landmark_[v] = chain_port(v, lv, batch_trees[i].parent);
+            },
+            /*grain=*/64);
+        for (std::size_t i = 0; i < b1 - b0; ++i) {
+          in_batch[landmarks[b0 + i]] = kNoSlot;
+        }
+      }
     }
   }
 
@@ -732,6 +1132,8 @@ class CowenScheme {
   std::vector<std::vector<std::pair<NodeId, Port>>> tables_;
   std::vector<Port> port_at_landmark_;
   std::size_t cluster_cap_ = 0;
+  std::size_t initial_landmark_count_ = 0;
+  std::size_t promoted_landmark_count_ = 0;
   bool strict_balls_ = true;
 };
 

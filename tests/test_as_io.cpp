@@ -1,0 +1,149 @@
+// CAIDA as-rel loader robustness (ISSUE 9 satellite): real datasets are
+// messy — CRLF endings, comment banners, the serial-2 4th column,
+// duplicate lines from concatenated snapshots — and a loader feeding the
+// Internet-scale construction sweeps has to either take a line cleanly or
+// reject it with enough context to find it in a multi-megabyte file.
+// These tests pin both halves of that contract: the leniencies parse to
+// the same topology, and every rejection is a std::runtime_error carrying
+// the 1-based line number and the offending line text.
+#include "bgp/as_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cpr {
+namespace {
+
+AsRelLoadResult load(const std::string& text) {
+  std::stringstream in(text);
+  return read_as_rel(in);
+}
+
+// The rejection contract: std::runtime_error whose message contains every
+// needle (the failure kind, the line number, the line text).
+void expect_rejects(const std::string& text,
+                    std::initializer_list<const char*> needles) {
+  std::stringstream in(text);
+  try {
+    read_as_rel(in);
+    FAIL() << "expected std::runtime_error for input: " << text;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message \"" << msg << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+TEST(AsIoRobust, CommentsBlanksAndCrlfAreTolerated) {
+  const auto loaded = load(
+      "# inferred relationships, serial-1\r\n"
+      "\r\n"
+      "  \t\r\n"
+      "100|200|-1\r\n"
+      "200|300|0\r\n"
+      "# trailing banner\n");
+  EXPECT_EQ(loaded.topology.graph.node_count(), 3u);
+  EXPECT_EQ(loaded.topology.graph.arc_count(), 4u);  // two links, two arcs each
+}
+
+TEST(AsIoRobust, SerialTwoFourthFieldIsIgnored) {
+  const auto a = load("100|200|-1|bgp\n100|300|0|mlp\n");
+  const auto b = load("100|200|-1\n100|300|0\n");
+  ASSERT_EQ(a.topology.graph.arc_count(), b.topology.graph.arc_count());
+  for (ArcId arc = 0; arc < a.topology.graph.arc_count(); ++arc) {
+    EXPECT_EQ(a.topology.relation[arc], b.topology.relation[arc]);
+  }
+}
+
+TEST(AsIoRobust, FieldsMayCarryPadding) {
+  const auto loaded = load(" 100 |\t200 | -1 \n");
+  EXPECT_EQ(loaded.topology.graph.node_count(), 2u);
+  const NodeId p = loaded.id_of_asn.at(100);
+  const NodeId c = loaded.id_of_asn.at(200);
+  const ArcId down = loaded.topology.graph.find_arc(p, c);
+  ASSERT_NE(down, kInvalidArc);
+  EXPECT_EQ(loaded.topology.relation[down], Relationship::kCustomer);
+}
+
+TEST(AsIoRobust, ExactDuplicateLinesAreSkipped) {
+  // Same p2c twice, and the same peer link written in both orientations —
+  // concatenated snapshots do both. One link each.
+  const auto loaded = load(
+      "100|200|-1\n"
+      "100|200|-1\n"
+      "200|300|0\n"
+      "300|200|0\n");
+  EXPECT_EQ(loaded.topology.graph.node_count(), 3u);
+  EXPECT_EQ(loaded.topology.graph.arc_count(), 4u);
+}
+
+TEST(AsIoRobust, ConflictingRelationshipsNameBothLines) {
+  // Peer vs p2c for the same pair.
+  expect_rejects("100|200|0\n100|200|-1\n",
+                 {"conflicting relationship", "100|200", "(first on line 1)",
+                  "line 2"});
+  // p2c with the provider flipped is a conflict, not a duplicate.
+  expect_rejects("100|200|-1\n200|100|-1\n",
+                 {"conflicting relationship", "(first on line 1)", "line 2"});
+}
+
+TEST(AsIoRobust, MalformedLinesCarryLineNumberAndText) {
+  expect_rejects("100|200|-1\n1|2\n", {"malformed line", "line 2", "1|2"});
+  expect_rejects("1|2|0|src|extra\n", {"too many fields", "line 1"});
+  expect_rejects("100|200|-1\n\n300||0\n", {"bad AS numbers", "line 3"});
+  expect_rejects("a|2|-1\n", {"bad AS numbers", "line 1", "a|2|-1"});
+  expect_rejects("1|2|\n", {"bad relation field", "line 1"});
+  expect_rejects("1|2|p2c\n", {"bad relation field", "line 1"});
+}
+
+TEST(AsIoRobust, TruncatedFinalLineIsRejectedNotDropped) {
+  // A download cut mid-line must fail loudly, not silently shrink the
+  // topology.
+  expect_rejects("100|200|-1\n300|4", {"malformed line", "line 2", "300|4"});
+}
+
+TEST(AsIoRobust, UnknownRelationCodesAndSelfLoopsAreRejected) {
+  expect_rejects("1|2|7\n", {"unknown relation code 7", "line 1"});
+  expect_rejects("1|2|-2\n", {"unknown relation code -2", "line 1"});
+  expect_rejects("5|5|0\n", {"self-loop", "line 1", "5|5|0"});
+}
+
+TEST(AsIoRobust, SparseAsnsGetDenseIds) {
+  const auto loaded = load("4200000000|15169|-1\n15169|3356|0\n");
+  EXPECT_EQ(loaded.topology.graph.node_count(), 3u);
+  EXPECT_EQ(loaded.id_of_asn.size(), 3u);
+  for (const auto& [asn, id] : loaded.id_of_asn) {
+    EXPECT_LT(id, 3u) << asn;
+  }
+}
+
+TEST(AsIoUnderlay, BuildsUnitWeightedSimpleGraph) {
+  const auto loaded = load(
+      "100|200|-1\n"
+      "100|300|-1\n"
+      "200|300|0\n"
+      "300|400|-1\n");
+  const AsUnderlay u = as_rel_underlay(loaded);
+  EXPECT_EQ(u.graph.node_count(), 4u);
+  EXPECT_EQ(u.graph.edge_count(), 4u);  // one undirected edge per AS pair
+  ASSERT_EQ(u.unit_weights.size(), u.graph.edge_count());
+  for (const auto w : u.unit_weights) EXPECT_EQ(w, 1u);
+  // asn_of_node inverts id_of_asn.
+  ASSERT_EQ(u.asn_of_node.size(), loaded.id_of_asn.size());
+  for (const auto& [asn, id] : loaded.id_of_asn) {
+    EXPECT_EQ(u.asn_of_node[id], asn);
+  }
+  // Every loaded adjacency survives as an undirected edge.
+  const NodeId a = loaded.id_of_asn.at(200);
+  const NodeId b = loaded.id_of_asn.at(300);
+  EXPECT_TRUE(u.graph.has_edge(a, b));
+}
+
+}  // namespace
+}  // namespace cpr

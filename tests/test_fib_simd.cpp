@@ -346,8 +346,26 @@ TEST(FibHotCacheProbe, UniformDisablesShardsZipfKeepsThemResultsIdentical) {
                       "hot-cache probe");
     EXPECT_EQ(plain.hot_cache_disabled_shards, 0u)
         << "the counter must stay 0 with the cache off";
+    EXPECT_EQ(plain.hot_cache_lookups, 0u)
+        << "lookup counters must stay 0 with the cache off";
     (is_uniform ? disabled_uniform : disabled_zipf) =
         cached.hot_cache_disabled_shards;
+    if (!is_uniform) {
+      // Hit-rate floor on the Zipf suite: the hash change from the
+      // 64-bit golden multiply to the folded 32-bit Fibonacci multiply
+      // must not cost collisions where the cache earns its keep. The
+      // steady-state Zipf(1.4) hit rate sits well above 1/2; 0.35 leaves
+      // slack for probe-window misses while catching any real
+      // distribution regression.
+      ASSERT_GT(cached.hot_cache_lookups, 0u);
+      const double hit_rate =
+          static_cast<double>(cached.hot_cache_hits) /
+          static_cast<double>(cached.hot_cache_lookups);
+      EXPECT_GT(hit_rate, 0.35)
+          << "zipf hot-cache hit rate regressed (hits="
+          << cached.hot_cache_hits << " lookups="
+          << cached.hot_cache_lookups << ")";
+    }
   }
 
   EXPECT_GT(disabled_uniform, static_cast<std::uint32_t>(kFibShards / 2))

@@ -33,6 +33,37 @@ TEST(Generators, BarabasiAlbertDegrees) {
   EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
 }
 
+TEST(Generators, PreferentialAttachmentShapeAndKnob) {
+  Rng rng(7);
+  const Graph g = preferential_attachment(80, 2, 0.25, rng);
+  EXPECT_EQ(g.node_count(), 80u);
+  EXPECT_TRUE(is_connected(g));
+  // Same edge budget as BA: seed clique plus m edges per later node.
+  EXPECT_EQ(g.edge_count(), 3u + 77u * 2u);
+  // Deterministic under seed, like every generator here.
+  Rng a(11), b(11);
+  const Graph ga = preferential_attachment(40, 2, 0.25, a);
+  const Graph gb = preferential_attachment(40, 2, 0.25, b);
+  ASSERT_EQ(ga.edge_count(), gb.edge_count());
+  for (const auto& e : ga.edges()) EXPECT_TRUE(gb.has_edge(e.u, e.v));
+  EXPECT_THROW(preferential_attachment(3, 3, 0.25, rng),
+               std::invalid_argument);
+  EXPECT_THROW(preferential_attachment(10, 2, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Generators, PreferentialAttachmentSkewsDegrees) {
+  // The degree tail must be heavier than uniform attachment's: with a
+  // pure preferential draw the max degree on n=400 far exceeds the ~2m
+  // mean. A loose floor keeps the assertion robust across seeds.
+  Rng rng(13);
+  const Graph skewed = preferential_attachment(400, 2, 0.0, rng);
+  const Graph mixed = preferential_attachment(400, 2, 1.0, rng);
+  EXPECT_GE(skewed.max_degree(), 20u);
+  // Full uniform attachment flattens the tail the preferential draw grows.
+  EXPECT_GT(skewed.max_degree(), mixed.max_degree());
+}
+
 TEST(Generators, WattsStrogatzStaysConnected) {
   Rng rng(4);
   const Graph g = watts_strogatz(40, 2, 0.3, rng);
