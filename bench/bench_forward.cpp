@@ -47,6 +47,7 @@
 #include "scheme/cowen.hpp"
 #include "scheme/interval_router.hpp"
 #include "scheme/spanning_tree.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "sim/workload.hpp"
 #include "util/thread_pool.hpp"
 
@@ -270,6 +271,20 @@ void run_cowen(std::size_t n, std::size_t n_queries,
   run_family("cowen", scheme, g, n_queries, flavors, /*with_zipf=*/true, out);
 }
 
+// The name-independent TZ plane: Cowen underneath, plus the label
+// permutation and the per-query dictionary resolve — its ns/hop next to
+// "cowen" prices the label layer itself.
+void run_tz(std::size_t n, std::size_t n_queries,
+            const std::vector<Flavor>& flavors,
+            std::vector<SuiteResult>& out) {
+  const auto [g, w] = bench::sweep_instance(n);
+  const ShortestPath alg{1024};
+  Rng build_rng(42);
+  const auto scheme =
+      TzNameIndependentScheme<ShortestPath>::build(alg, g, w, build_rng);
+  run_family("tz", scheme, g, n_queries, flavors, /*with_zipf=*/true, out);
+}
+
 void run_ctable(std::size_t n, std::size_t n_queries,
                 const std::vector<Flavor>& flavors,
                 std::vector<SuiteResult>& out) {
@@ -460,6 +475,11 @@ int main(int argc, char** argv) {
   if (want("cowen")) {
     for (const std::size_t n : cowen_ns) {
       cpr::run_cowen(n, n_queries, flavors, suites);
+    }
+  }
+  if (want("tz")) {
+    for (const std::size_t n : cowen_ns) {
+      cpr::run_tz(n, n_queries, flavors, suites);
     }
   }
   if (want("ctable")) {

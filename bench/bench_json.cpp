@@ -39,10 +39,14 @@
 #include "bench_util.hpp"
 
 #include "algebra/primitives.hpp"
+#include "bgp/as_io.hpp"
+#include "fib/compile.hpp"
+#include "fib/forward_engine.hpp"
 #include "routing/dijkstra.hpp"
 #include "scheme/cowen.hpp"
 #include "scheme/tree_router.hpp"
 #include "scheme/spanning_tree.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
@@ -81,8 +85,8 @@ struct SuiteResult {
 // against per-source Dijkstra ground truth. Sources are sampled, each
 // gets one exact SSSP, and targets are sampled per source — so the probe
 // costs `sources` extra Dijkstra runs, not n.
-double sampled_avg_stretch(const ShortestPath& alg,
-                           const CowenScheme<ShortestPath>& scheme,
+template <typename Scheme>
+double sampled_avg_stretch(const ShortestPath& alg, const Scheme& scheme,
                            const Graph& g, const EdgeMap<std::uint64_t>& w,
                            std::size_t sources, std::size_t targets,
                            Rng& rng) {
@@ -218,6 +222,97 @@ SuiteResult cowen_powerlaw_suite(std::size_t n, std::size_t threads,
                                         probe_rng);
   }
   return r;
+}
+
+// ---- Measured-dataset sweep (as_rel_sweep) ----
+//
+// The checked-in CAIDA-style as-rel excerpt (tests/data), gunzipped and
+// run through the full pipeline: underlay -> name-independent TZ build ->
+// compile_fib -> forward_batch. Two entries: the build+compile wall (with
+// sampled stretch against exact SSSP) and the compiled-plane forwarding
+// throughput. Returns no entries — with a note on stderr — when the build
+// has no zlib or the fixture is absent, so the harness degrades instead
+// of failing.
+std::vector<SuiteResult> as_rel_suites(bool quick) {
+  std::vector<SuiteResult> out;
+#ifdef CPR_BENCH_DATA_DIR
+  const std::string path =
+      std::string(CPR_BENCH_DATA_DIR) + "/as_rel_caida_excerpt.txt.gz";
+  if (!as_rel_gz_supported()) {
+    std::cerr << "as_rel_sweep: skipped (build has no zlib)\n";
+    return out;
+  }
+  if (!std::ifstream(path)) {
+    std::cerr << "as_rel_sweep: skipped (fixture missing: " << path << ")\n";
+    return out;
+  }
+  const AsUnderlay u = as_rel_underlay(read_as_rel_gz(path));
+  const Graph& g = u.graph;
+  const std::size_t n = g.node_count();
+  EdgeMap<std::uint64_t> w(g.edge_count());
+  for (auto& x : w) x = 1;
+  const ShortestPath alg{};
+
+  SuiteResult b;
+  b.name = "as_rel_build_tz";
+  b.algebra = "shortest-path";
+  b.graph = "as-rel-caida-excerpt";
+  b.n = n;
+  b.m = g.edge_count();
+  b.runs = 1;
+
+  bench::RssPeakSampler rss;
+  const double t0 = now_seconds();
+  Rng build_rng(42);
+  const auto scheme =
+      TzNameIndependentScheme<ShortestPath>::build(alg, g, w, build_rng);
+  const FlatFib fib = compile_fib(scheme, g);
+  b.wall_s = now_seconds() - t0;
+  b.peak_rss_delta = static_cast<long long>(rss.stop_delta());
+  b.ops_per_s = static_cast<double>(n) / b.wall_s;
+  b.landmarks = static_cast<long long>(scheme.landmark_count());
+  b.promoted =
+      static_cast<long long>(scheme.cowen().promoted_landmark_count());
+  Rng probe_rng(1009);
+  b.avg_stretch = sampled_avg_stretch(alg, scheme, g, w, /*sources=*/4,
+                                      /*targets=*/48, probe_rng);
+  out.push_back(std::move(b));
+
+  SuiteResult f;
+  f.name = "as_rel_forward_tz";
+  f.algebra = "shortest-path";
+  f.graph = "as-rel-caida-excerpt";
+  f.n = n;
+  f.m = g.edge_count();
+  f.runs = quick ? 50000 : 200000;
+
+  Rng qrng(7);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  queries.reserve(f.runs);
+  for (std::size_t i = 0; i < f.runs; ++i) {
+    const NodeId s = static_cast<NodeId>(qrng.index(n));
+    NodeId t = static_cast<NodeId>(qrng.index(n));
+    if (t == s) t = static_cast<NodeId>((t + 1) % n);
+    queries.push_back({s, t});
+  }
+  FibBatchOptions opt;
+  opt.record_paths = false;  // throughput, not path audit
+  const double f0 = now_seconds();
+  const FibBatchOutput served = forward_batch(fib, queries, opt);
+  f.wall_s = now_seconds() - f0;
+  f.ops_per_s = static_cast<double>(queries.size()) / f.wall_s;
+  std::size_t undelivered = 0;
+  for (const auto& r : served.results) undelivered += r.delivered ? 0 : 1;
+  if (undelivered != 0) {
+    std::cerr << "as_rel_forward_tz: " << undelivered
+              << " queries undelivered (bug?)\n";
+  }
+  out.push_back(std::move(f));
+#else
+  (void)quick;
+  std::cerr << "as_rel_sweep: skipped (no CPR_BENCH_DATA_DIR)\n";
+#endif
+  return out;
 }
 
 SuiteResult tree_routing_suite(std::size_t n, std::size_t queries) {
@@ -470,6 +565,9 @@ int main(int argc, char** argv) {
   }
   if (want("tree_routing")) {
     for (std::size_t n : tree_ns) run(cpr::tree_routing_suite(n, 2000));
+  }
+  if (want("as_rel_sweep")) {
+    for (auto& r : cpr::as_rel_suites(quick)) run(std::move(r));
   }
 
   std::ofstream out(out_path);

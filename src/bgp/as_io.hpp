@@ -43,6 +43,18 @@ struct AsRelLoadResult {
 
 AsRelLoadResult read_as_rel(std::istream& in);
 
+// Reads a gzip-compressed as-rel file (the form CAIDA publishes its
+// snapshots in — tests/data/ carries a checked-in excerpt). Inflates
+// with zlib and delegates to read_as_rel, so parsing semantics and
+// error reporting are identical to the plain-text reader. Throws
+// std::runtime_error on a missing/corrupt file, or — in a build without
+// zlib — unconditionally, with a message saying so; callers that can
+// degrade (the fixture tests) catch and skip.
+AsRelLoadResult read_as_rel_gz(const std::string& path);
+
+// Whether this build can inflate gzipped fixtures at all.
+bool as_rel_gz_supported();
+
 // The undirected serving-plane view of a loaded AS topology: one simple
 // Graph edge per AS adjacency (relationship labels dropped) plus unit
 // weights, which is what CowenScheme's construction sweeps consume. The

@@ -29,6 +29,7 @@
 #include "fib/flat_fib.hpp"
 #include "graph/graph.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -103,6 +104,95 @@ FlatFib compile_fib(const S& scheme, const Graph& g,
   // The v3 Eytzinger mirror (kCowenRowsEyt) is synthesized by finish()
   // from the sorted rows — one code path for compiles, patches and
   // hand-assembled arenas keeps every v3 blob byte-identical.
+  return b.finish();
+}
+
+// Name-independent label-keyed schemes (TzNameIndependentScheme):
+// anything exposing the labeled-table surface. The accessor names are
+// deliberately disjoint from the Cowen-shaped constraint above — a TZ
+// scheme must *not* also match it, or overload resolution would be
+// ambiguous and the label layer could be silently flattened away.
+//
+// The emitted arena is FibKind::kTz: the Cowen row/landmark sections
+// reused with label-space semantics (row entries keyed by target label;
+// kCowenLandmark/kCowenLandmarkPort indexed *by label*), plus the two
+// label sections — kLabelMap (node → label permutation) and kDictionary
+// (the bucketed name → label table, rebuilt here from the label map with
+// the shared fib_dict_* helpers so the arena's resolution is
+// layout-identical to the scheme's own). finish() sees the label
+// sections and stamps the v4 magic.
+template <typename S>
+  requires requires(const S& s, NodeId v, std::uint32_t lbl) {
+    { s.labeled_table(v).size() } -> std::convertible_to<std::size_t>;
+    { s.label_of_node(v) } -> std::convertible_to<std::uint32_t>;
+    { s.landmark_label_at(lbl) } -> std::convertible_to<std::uint32_t>;
+    { s.port_at_landmark_at(lbl) } -> std::convertible_to<Port>;
+  }
+FlatFib compile_fib(const S& scheme, const Graph& g,
+                    const FibCompileOptions& opt = {}) {
+  const std::size_t n = g.node_count();
+  FibBuilder b(FibKind::kTz, n);
+  b.add_topology(g);
+  // Same capacity-CSR layout as the Cowen adapter: live length + slack
+  // per row, slack zeroed, so apply_delta can grow rows in place.
+  std::vector<std::uint32_t> row_off(n + 1, 0);
+  std::vector<std::uint32_t> row_len(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto len =
+        static_cast<std::uint32_t>(scheme.labeled_table(u).size());
+    row_len[u] = len;
+    const auto slack =
+        opt.row_slack_min +
+        static_cast<std::uint32_t>(opt.row_slack_frac * len);
+    row_off[u + 1] = row_off[u] + len + slack;
+  }
+  std::vector<std::uint64_t> rows(row_off[n], 0);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t at = row_off[u];
+    for (const auto& [lbl, port] : scheme.labeled_table(u)) {
+      rows[at++] = fib_pack_entry(lbl, port);
+    }
+  }
+  // Landmark state indexed by label — the walker resolves a header to a
+  // target label and reads these slots with that label directly.
+  std::vector<std::uint32_t> landmark(n), landmark_port(n);
+  for (std::uint32_t lbl = 0; lbl < n; ++lbl) {
+    landmark[lbl] = scheme.landmark_label_at(lbl);
+    landmark_port[lbl] = scheme.port_at_landmark_at(lbl);
+  }
+  std::vector<std::uint32_t> label_of(n);
+  for (NodeId v = 0; v < n; ++v) label_of[v] = scheme.label_of_node(v);
+  // Dictionary: fixed bucket geometry from the shared sizing helper, one
+  // slot of slack past the deepest bucket so kDictionary patches can
+  // grow a bucket without relayout. Names are inserted in ascending
+  // order, so every bucket's live prefix is already sorted.
+  const std::uint64_t bucket_count = fib_dict_bucket_count(n);
+  std::vector<std::vector<std::uint64_t>> buckets(bucket_count);
+  for (std::uint32_t name = 0; name < n; ++name) {
+    buckets[fib_dict_bucket(name, bucket_count)].push_back(
+        fib_pack_entry(name, label_of[name]));
+  }
+  std::uint64_t bucket_cap = 1;
+  for (const auto& bkt : buckets) {
+    bucket_cap = std::max<std::uint64_t>(bucket_cap, bkt.size() + 1);
+  }
+  std::vector<std::uint64_t> dict(2 + bucket_count * bucket_cap,
+                                  kFibDictEmpty);
+  dict[0] = bucket_count;
+  dict[1] = bucket_cap;
+  for (std::uint64_t bkt = 0; bkt < bucket_count; ++bkt) {
+    std::copy(buckets[bkt].begin(), buckets[bkt].end(),
+              dict.begin() + 2 + static_cast<std::size_t>(bkt * bucket_cap));
+  }
+  b.add_array(fib_section::kCowenRowOff, row_off);
+  b.add_array(fib_section::kCowenRowLen, row_len);
+  b.add_array(fib_section::kCowenRows, rows);
+  b.add_array(fib_section::kCowenLandmark, landmark);
+  b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
+  b.add_array(fib_section::kLabelMap, label_of);
+  b.add_array(fib_section::kDictionary, dict);
+  // finish() synthesizes the Eytzinger mirror from the label-keyed rows
+  // and stamps the v4 magic (label sections present).
   return b.finish();
 }
 

@@ -29,8 +29,16 @@ namespace {
 // The loader still opens v2 blobs — readers fall back to binary search
 // over the sorted image when the mirror is absent — so a fleet can roll
 // forward without republishing every stored generation.
+//
+// v4 over v3: the label layer. kLabelMap (node→label permutation) and
+// kDictionary (hash-partitioned name→label buckets, fixed-capacity,
+// kFibDictEmpty fill) sections, both mandatory for the kTz kind, which
+// is only legal at v4. finish() emits v4 only when the arena carries
+// label state, so every pre-existing kind keeps producing byte-identical
+// v3 blobs and the pinned v2/v3 goldens stay valid.
 constexpr char kMagic[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '3'};
 constexpr char kMagicV2[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '2'};
+constexpr char kMagicV4[8] = {'C', 'P', 'R', 'F', 'I', 'B', '0', '4'};
 constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 8 + 8;  // 40
 constexpr std::size_t kDirEntryBytes = 4 + 4 + 8 + 8;    // 24
 constexpr std::size_t kChecksumOffset = 32;              // u64 in the header
@@ -216,6 +224,8 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
     fib.version_ = 3;
   } else if (std::memcmp(base + 6, kMagicV2 + 6, 2) == 0) {
     fib.version_ = 2;  // pre-Eytzinger blob: served via binary search
+  } else if (std::memcmp(base + 6, kMagicV4 + 6, 2) == 0) {
+    fib.version_ = 4;  // label layer (kLabelMap / kDictionary sections)
   } else {
     fail("unsupported FIB blob version");
   }
@@ -229,7 +239,13 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
   std::memcpy(&payload_bytes, base + 24, 8);
   std::memcpy(&checksum, base + kChecksumOffset, 8);
 
-  if (kind_raw < 1 || kind_raw > 5) fail("unknown FIB kind");
+  if (kind_raw < 1 || kind_raw > 6) fail("unknown FIB kind");
+  // Name-independent arenas need the label sections v4 introduced; a
+  // pre-v4 blob claiming kTz is malformed, not merely old.
+  if (kind_raw == static_cast<std::uint32_t>(FibKind::kTz) &&
+      fib.version_ < 4) {
+    fail("tz arenas require blob version 4");
+  }
   if (reserved != 0) fail("reserved header field is nonzero");
   if (section_count == 0 || section_count > 64) fail("bad section count");
 
@@ -345,6 +361,12 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
       }
       break;
     }
+    // kTz shares the Cowen row machinery — capacity CSR, live-length
+    // array, landmark arrays, Eytzinger mirror — with keys drawn from
+    // label space instead of node-id space (a bijection, so every range
+    // check below still holds verbatim). On top it must carry the label
+    // map and the name dictionary, validated after the shared block.
+    case FibKind::kTz:
     case FibKind::kCowen: {
       auto roff = dir.require(fs::kCowenRowOff, 4, n + 1);
       fib.cowen_.row_off = reinterpret_cast<const std::uint32_t*>(roff.data);
@@ -419,6 +441,75 @@ FlatFib FlatFib::open(FlatFib fib, std::size_t avail) {
             }
           }
           fib.cowen_.eyt = eyt;
+        }
+      }
+      if (fib.kind_ == FibKind::kTz) {
+        auto lmap = dir.require(fs::kLabelMap, 4, n);
+        fib.tz_.label_of = reinterpret_cast<const std::uint32_t*>(lmap.data);
+        std::size_t dict_words = 0;
+        auto dict = dir.require_counted(fs::kDictionary, 8, &dict_words);
+        if (dict_words < 2) fail("tz: dictionary shorter than its header");
+        std::uint64_t bucket_count, bucket_cap;
+        std::memcpy(&bucket_count, dict.data, 8);
+        std::memcpy(&bucket_cap, dict.data + 8, 8);
+        const std::uint64_t slots = dict_words - 2;
+        if (bucket_count == 0) fail("tz: dictionary has no buckets");
+        // Divide instead of multiplying: corrupted counts cannot be
+        // trusted not to overflow the product.
+        if (bucket_cap == 0 ? slots != 0
+                            : (slots / bucket_cap != bucket_count ||
+                               slots % bucket_cap != 0)) {
+          fail("tz: dictionary slot count disagrees with its header");
+        }
+        fib.tz_.dict = reinterpret_cast<const std::uint64_t*>(dict.data) + 2;
+        fib.tz_.dict_bucket_count = bucket_count;
+        fib.tz_.dict_bucket_cap = bucket_cap;
+        if (fib.deep_validate_) {
+          // The label map must be a permutation of [0, n): the walkers
+          // use it for the deliver test, so a repeated or out-of-range
+          // label would silently misdeliver.
+          std::vector<bool> seen(n, false);
+          for (std::size_t v = 0; v < n; ++v) {
+            const std::uint32_t l = fib.tz_.label_of[v];
+            if (l >= n || seen[l]) fail("tz: label map is not a permutation");
+            seen[l] = true;
+          }
+          // Dictionary: per bucket, a strictly-increasing (by name) live
+          // prefix whose entries hash to that bucket and agree with the
+          // label map, then kFibDictEmpty fill; exactly n live entries
+          // in total, so every name resolves and none resolves twice.
+          std::size_t live = 0;
+          for (std::uint64_t b = 0; b < bucket_count; ++b) {
+            const std::uint64_t* slot = fib.tz_.dict + b * bucket_cap;
+            bool in_fill = false;
+            std::uint32_t prev_name = 0;
+            for (std::uint64_t i = 0; i < bucket_cap; ++i) {
+              if (slot[i] == kFibDictEmpty) {
+                in_fill = true;
+                continue;
+              }
+              if (in_fill) fail("tz: dictionary entry after empty fill");
+              const std::uint32_t name = fib_entry_key(slot[i]);
+              const std::uint32_t label = fib_entry_port(slot[i]);
+              if (name >= n || label >= n) {
+                fail("tz: dictionary entry out of range");
+              }
+              if (i > 0 && name <= prev_name) {
+                fail("tz: dictionary bucket not strictly increasing");
+              }
+              if (fib_dict_bucket(name, bucket_count) != b) {
+                fail("tz: dictionary entry in wrong bucket");
+              }
+              if (fib.tz_.label_of[name] != label) {
+                fail("tz: dictionary disagrees with label map");
+              }
+              prev_name = name;
+              ++live;
+            }
+          }
+          if (live != n) {
+            fail("tz: dictionary must hold every name exactly once");
+          }
         }
       }
       break;
@@ -531,6 +622,7 @@ FlatFib::FlatFib(FlatFib&& other) noexcept
       interval_(other.interval_),
       cowen_(other.cowen_),
       table_(other.table_),
+      tz_(other.tz_),
       mesh_(other.mesh_) {}
 
 FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
@@ -556,6 +648,7 @@ FlatFib& FlatFib::operator=(FlatFib&& other) noexcept {
     interval_ = other.interval_;
     cowen_ = other.cowen_;
     table_ = other.table_;
+    tz_ = other.tz_;
     mesh_ = other.mesh_;
   }
   return *this;
@@ -581,7 +674,7 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
   namespace fs = fib_section;
   if (delta.recompile) return false;
   if (delta.patches.empty()) return true;
-  if (kind_ != FibKind::kCowen) return false;
+  if (kind_ != FibKind::kCowen && kind_ != FibKind::kTz) return false;
   const std::size_t n = node_count_;
 
   // Pass 1: validate every patch against the compiled layout so a reject
@@ -614,6 +707,41 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
         if (p.row >= n || p.bytes.size() != 4) return false;
         break;
       }
+      case fs::kLabelMap: {
+        // One relabeled node. The emitter owns the permutation invariant
+        // (a single slot cannot be checked against it in isolation); the
+        // loader re-verifies it on the next reload either way.
+        if (kind_ != FibKind::kTz) return false;
+        if (p.row >= n || p.bytes.size() != 4) return false;
+        std::uint32_t label;
+        std::memcpy(&label, p.bytes.data(), 4);
+        if (label >= n) return false;
+        break;
+      }
+      case fs::kDictionary: {
+        // Whole-bucket rewrite, keyed by bucket index — the dictionary
+        // analog of a kCowenRows row patch, same fixed-capacity rules.
+        if (kind_ != FibKind::kTz) return false;
+        if (p.row >= tz_.dict_bucket_count || p.bytes.size() % 8 != 0) {
+          return false;
+        }
+        const std::size_t len = p.bytes.size() / 8;
+        if (len > tz_.dict_bucket_cap) return false;
+        std::uint64_t prev = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t e;
+          std::memcpy(&e, p.bytes.data() + i * 8, 8);
+          const std::uint32_t name = fib_entry_key(e);
+          const std::uint32_t label = fib_entry_port(e);
+          if (name >= n || label >= n) return false;
+          if (fib_dict_bucket(name, tz_.dict_bucket_count) != p.row) {
+            return false;
+          }
+          if (i > 0 && name <= fib_entry_key(prev)) return false;
+          prev = e;
+        }
+        break;
+      }
       default:
         return false;
     }
@@ -632,6 +760,14 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
   // nullptr for writable v2 arenas (no mirror to maintain); v3 arenas
   // always have it — the loader rejects them otherwise.
   auto* eyt = reinterpret_cast<std::uint64_t*>(section_ptr(fs::kCowenRowsEyt));
+  // Label sections exist exactly on kTz arenas; their patches are
+  // refused above for every other kind, so nullptr here is never
+  // dereferenced.
+  auto* label_map =
+      reinterpret_cast<std::uint32_t*>(section_ptr(fs::kLabelMap));
+  auto* dict_base =
+      reinterpret_cast<std::uint64_t*>(section_ptr(fs::kDictionary));
+  if (kind_ == FibKind::kTz && (!label_map || !dict_base)) return false;
 
   // Seqlock write. An odd generation here means a previous writer died
   // inside its patch window (or two writers raced, which the single-writer
@@ -701,6 +837,26 @@ bool FlatFib::apply_delta(const FibDelta& delta) {
         fib_seq_store_u32(landmark_port + p.row, port);
         break;
       }
+      case fs::kLabelMap: {
+        std::uint32_t label;
+        std::memcpy(&label, p.bytes.data(), 4);
+        fib_seq_store_u32(label_map + p.row, label);
+        break;
+      }
+      case fs::kDictionary: {
+        // Bucket slots start past the 16-byte [count][cap] header.
+        std::uint64_t* slot = dict_base + 2 + p.row * tz_.dict_bucket_cap;
+        const std::size_t len = p.bytes.size() / 8;
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint64_t e;
+          std::memcpy(&e, p.bytes.data() + i * 8, 8);
+          fib_seq_store_u64(slot + i, e);
+        }
+        for (std::size_t i = len; i < tz_.dict_bucket_cap; ++i) {
+          fib_seq_store_u64(slot + i, kFibDictEmpty);
+        }
+        break;
+      }
     }
   }
   checksum_stale_ = true;
@@ -739,14 +895,15 @@ void FibBuilder::add_section(std::uint32_t id, const void* data,
 }
 
 FlatFib FibBuilder::finish() {
-  // v3: kCowen arenas must carry the Eytzinger mirror. Synthesize it from
-  // the sorted rows when the caller did not add one explicitly — compile
-  // adapters and hand-assembled test arenas alike go through here, so no
-  // caller can produce a v3 blob with a missing or inconsistent mirror.
-  // Appended last so older section ordering (and the golden v2 layout it
-  // was pinned from) is a strict prefix of the v3 layout. Shape checks
-  // are skipped here: a malformed arena fails the loader below anyway.
-  if (kind_ == FibKind::kCowen) {
+  // v3: kCowen (and kTz, which shares the row layout) arenas must carry
+  // the Eytzinger mirror. Synthesize it from the sorted rows when the
+  // caller did not add one explicitly — compile adapters and
+  // hand-assembled test arenas alike go through here, so no caller can
+  // produce a v3+ blob with a missing or inconsistent mirror. Appended
+  // last so older section ordering (and the golden v2 layout it was
+  // pinned from) is a strict prefix of the v3 layout. Shape checks are
+  // skipped here: a malformed arena fails the loader below anyway.
+  if (kind_ == FibKind::kCowen || kind_ == FibKind::kTz) {
     namespace fs = fib_section;
     const Section* roff = nullptr;
     const Section* rlen = nullptr;
@@ -802,8 +959,20 @@ FlatFib FibBuilder::finish() {
   }
   const std::uint64_t checksum = fnv1a(payload.data(), payload.size());
 
+  // Emit the lowest version that carries the arena's sections: only the
+  // label layer (kTz, or explicit label sections on a future kind) needs
+  // the v4 magic, so every pre-existing kind keeps serializing
+  // byte-identically to its pinned v3 goldens.
+  bool has_label_sections = false;
+  for (const auto& s : sections_) {
+    if (s.id == fib_section::kLabelMap || s.id == fib_section::kDictionary) {
+      has_label_sections = true;
+    }
+  }
+  const bool v4 = kind_ == FibKind::kTz || has_label_sections;
+
   BitWriter w;
-  w.write_raw(kMagic, sizeof(kMagic));
+  w.write_raw(v4 ? kMagicV4 : kMagic, sizeof(kMagic));
   const std::uint32_t kind_raw = static_cast<std::uint32_t>(kind_);
   const std::uint32_t node_count = static_cast<std::uint32_t>(node_count_);
   const std::uint32_t section_count =

@@ -70,6 +70,17 @@
 // cross-process readers of those files never see a torn row by
 // construction — new generations arrive as whole new files.
 //
+// Blob format v4 ("CPRFIB04") adds the label layer (routing/label.hpp):
+// optional kLabelMap (node→label permutation) and kDictionary
+// (hash-partitioned name→label buckets) sections, required for kTz
+// arenas — Thorup–Zwick name-independent tables whose rows are keyed by
+// *scheme-assigned labels* while queries arrive on external *names*.
+// The walkers resolve a name through the dictionary once per query and
+// then forward on labels; every pre-v4 kind has no label sections and
+// keeps its identity name==label fast path untouched (and its blobs
+// byte-identical — finish() emits the lowest magic that carries the
+// arena's sections). v2 and v3 blobs still open and serve unchanged.
+//
 // Cross-process patching (fib/patch_channel.hpp) lifts the same seqlock
 // across processes: from_shared opens an arena inside a MAP_SHARED
 // patch-channel segment whose seqlock word lives in the segment header
@@ -83,6 +94,7 @@
 
 #include "graph/graph.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <span>
@@ -98,6 +110,9 @@ enum class FibKind : std::uint32_t {
   kCowen = 3,     // landmark scheme tables
   kTable = 4,     // RLE destination tables (CompressedTableScheme)
   kMesh = 5,      // SVFC peer mesh (per-component trees + peering matrix)
+  kTz = 6,        // Thorup–Zwick name-independent landmark tables (v4):
+                  // Cowen-shaped rows keyed by *label*, plus a node→label
+                  // map and a hash-partitioned name dictionary
 };
 
 // Per-node record of the tree plane; two records per cache line. The
@@ -135,6 +150,42 @@ inline std::uint32_t fib_entry_key(std::uint64_t e) {
 }
 inline std::uint32_t fib_entry_port(std::uint64_t e) {
   return static_cast<std::uint32_t>(e);
+}
+
+// --- Name dictionary (v4 label layer) --------------------------------
+//
+// A kTz arena carries the scheme's name→label resolution state so the
+// walkers can serve *names* (external node ids) without the scheme
+// object. Two sections:
+//
+//   kLabelMap (60):   u32[n], node → label; a permutation of [0, n).
+//   kDictionary (61): [u64 bucket_count][u64 bucket_cap] followed by
+//                     bucket_count × bucket_cap u64 slots. Slot value is
+//                     fib_pack_entry(name, label); empty slots are
+//                     kFibDictEmpty. Each bucket holds its live entries
+//                     as a strictly-increasing prefix (sorted by name)
+//                     followed by empty fill — fixed-capacity buckets
+//                     make dictionary churn a uniform row patch keyed by
+//                     bucket index, applied inside the same seqlock
+//                     window as the routing rows.
+//
+// The bucket of a name is a Lemire range reduction of a Fibonacci-mixed
+// hash — any bucket_count works, no power-of-two requirement — and the
+// one definition below is shared by the compile adapter, the loader's
+// validator and the walkers, so the three can never disagree on where a
+// name lives.
+inline constexpr std::uint64_t kFibDictEmpty = ~std::uint64_t{0};
+
+inline std::uint64_t fib_dict_bucket(std::uint32_t name,
+                                     std::uint64_t bucket_count) {
+  const std::uint32_t h = name * 0x9e3779b9u;  // Fibonacci mix
+  return (static_cast<std::uint64_t>(h) * bucket_count) >> 32;
+}
+
+// Dictionary sizing used by compile_fib: ~4 names per bucket keeps the
+// resolve scan short while leaving per-bucket slack for churn patches.
+inline std::uint64_t fib_dict_bucket_count(std::size_t node_count) {
+  return std::max<std::uint64_t>(1, (node_count + 3) / 4);
 }
 
 // Row-search layout crossover, the packed-row analog of
@@ -224,6 +275,17 @@ class FlatFib {
     const std::uint32_t* row_off = nullptr;  // n + 1
     const std::uint64_t* runs = nullptr;     // packed (label_start, port)
     const std::uint32_t* relabel = nullptr;  // original id -> label
+  };
+  struct TzView {
+    // Label layer of a kTz arena. The routing rows themselves live in
+    // the CowenView (same capacity-CSR sections, keys are *labels*);
+    // this view adds the resolution state. `dict` points past the
+    // 16-byte [bucket_count][bucket_cap] header, at the first slot of
+    // bucket 0; bucket b occupies slots [b*cap, (b+1)*cap).
+    const std::uint32_t* label_of = nullptr;  // node → label permutation
+    const std::uint64_t* dict = nullptr;      // packed (name, label) slots
+    std::uint64_t dict_bucket_count = 0;
+    std::uint64_t dict_bucket_cap = 0;
   };
   struct MeshView {
     // Per-node tree records exactly like TreeView, except dfs numbers are
@@ -330,7 +392,11 @@ class FlatFib {
   FibKind kind() const { return kind_; }
   std::size_t node_count() const { return node_count_; }
   std::size_t byte_size() const { return bytes_; }
-  // 2 for a legacy "CPRFIB02" blob (no Eytzinger mirror), 3 otherwise.
+  // 2 for a legacy "CPRFIB02" blob (no Eytzinger mirror), 3 for
+  // "CPRFIB03", 4 for "CPRFIB04" (label layer: kLabelMap/kDictionary
+  // sections; required for kTz). Writers emit the lowest version that
+  // carries the arena's sections, so label-free kinds keep producing
+  // byte-identical v3 blobs.
   std::uint32_t blob_version() const { return version_; }
 
   const TopoView& topo() const { return topo_; }
@@ -338,6 +404,7 @@ class FlatFib {
   const IntervalView& interval() const { return interval_; }
   const CowenView& cowen() const { return cowen_; }
   const TableView& table() const { return table_; }
+  const TzView& tz() const { return tz_; }
   const MeshView& mesh() const { return mesh_; }
 
  private:
@@ -382,7 +449,7 @@ class FlatFib {
   bool writable_ = false;             // false: mmap'd/foreign, never patched
   std::size_t bytes_ = 0;             // meaningful prefix of the backing
   std::size_t payload_begin_ = 0;     // checksummed region [begin, bytes_)
-  std::uint32_t version_ = 3;         // blob format version (2 or 3)
+  std::uint32_t version_ = 3;         // blob format version (2, 3 or 4)
   FibKind kind_ = FibKind::kTree;
   std::size_t node_count_ = 0;
   std::vector<SectionEntry> sections_;
@@ -394,6 +461,7 @@ class FlatFib {
   IntervalView interval_;
   CowenView cowen_;
   TableView table_;
+  TzView tz_;
   MeshView mesh_;
 };
 
@@ -402,10 +470,13 @@ class FlatFib {
 // through util/bitstream, appends the aligned sections, then opens the
 // result with the validating loader — so every FlatFib in the process,
 // freshly compiled or reloaded, went through the same checks. For kCowen
-// arenas finish() synthesizes the v3 Eytzinger mirror (kCowenRowsEyt)
-// from the sorted rows when the caller did not add one explicitly, so
-// hand-assembled arenas (tests, tools) cannot produce a v3 blob with a
-// missing or inconsistent mirror.
+// and kTz arenas finish() synthesizes the v3 Eytzinger mirror
+// (kCowenRowsEyt) from the sorted rows when the caller did not add one
+// explicitly, so hand-assembled arenas (tests, tools) cannot produce a
+// v3+ blob with a missing or inconsistent mirror. finish() picks the
+// magic from the content: kTz (or any arena carrying label sections)
+// serializes as "CPRFIB04", everything else stays "CPRFIB03"
+// byte-for-byte.
 class FibBuilder {
  public:
   FibBuilder(FibKind kind, std::size_t node_count);
@@ -460,6 +531,9 @@ inline constexpr std::uint32_t kMeshNodes = 53;      // FibTreeNode × (n + 1)
 inline constexpr std::uint32_t kMeshLightPorts = 54;
 inline constexpr std::uint32_t kMeshLabelOff = 55;   // n + 1
 inline constexpr std::uint32_t kMeshLabelSeq = 56;
+// v4 label layer (kTz; optional for future labeled kinds).
+inline constexpr std::uint32_t kLabelMap = 60;     // u32[n] node → label
+inline constexpr std::uint32_t kDictionary = 61;   // bucketed name → label
 }  // namespace fib_section
 
 }  // namespace cpr

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -114,13 +115,34 @@ struct IntervalWalker {
   void prefetch(NodeId v) const { CPR_PREFETCH(&t.nodes[v]); }
 };
 
-// Cowen is the only kind apply_delta patches, so its walker is the only
-// one that reads the arena through the seqlock load helpers: every probe
-// of rows / row_len / landmark / landmark_port is a relaxed atomic load
-// racing benignly with a concurrent writer. A torn window can hand back
-// a stale-or-new mixture of values — never out-of-bounds, since row_off
-// is the immutable capacity CSR and any stored row_len is within it —
-// and the generation recheck after the batch discards the whole result.
+// Last live entry with key <= `key`, loaded atomically; returns false
+// when the row has no such entry. Same contract as row_search. Shared by
+// the Cowen walker and the TZ walker (whose keys are labels).
+inline bool seq_row_search(const std::uint64_t* row, std::uint32_t len,
+                           std::uint32_t key, std::uint64_t* out) {
+  const std::uint64_t probe = fib_pack_entry(key, 0xffffffffu);
+  std::uint32_t lo = 0, hi = len;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (fib_seq_load_u64(row + mid) <= probe) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return false;
+  *out = fib_seq_load_u64(row + lo - 1);
+  return true;
+}
+
+// Cowen and TZ are the kinds apply_delta patches, so their walkers are
+// the only ones that read the arena through the seqlock load helpers:
+// every probe of rows / row_len / landmark / landmark_port is a relaxed
+// atomic load racing benignly with a concurrent writer. A torn window
+// can hand back a stale-or-new mixture of values — never out-of-bounds,
+// since row_off is the immutable capacity CSR and any stored row_len is
+// within it — and the generation recheck after the batch discards the
+// whole result.
 struct CowenWalker {
   const FlatFib::CowenView& t;
   NodeId target = kInvalidNode;
@@ -133,23 +155,9 @@ struct CowenWalker {
     landmark = fib_seq_load_u32(t.landmark + tgt);
     port_at_landmark = fib_seq_load_u32(t.landmark_port + tgt);
   }
-  // Last live entry with key <= `key`, loaded atomically; returns false
-  // when the row has no such entry. Same contract as row_search.
   bool search(const std::uint64_t* row, std::uint32_t len, std::uint32_t key,
               std::uint64_t* out) const {
-    const std::uint64_t probe = fib_pack_entry(key, 0xffffffffu);
-    std::uint32_t lo = 0, hi = len;
-    while (lo < hi) {
-      const std::uint32_t mid = (lo + hi) / 2;
-      if (fib_seq_load_u64(row + mid) <= probe) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo == 0) return false;
-    *out = fib_seq_load_u64(row + lo - 1);
-    return true;
+    return seq_row_search(row, len, key, out);
   }
   StepResult step(NodeId u) const {
     if (u == target) return {true, kInvalidPort};
@@ -165,6 +173,82 @@ struct CowenWalker {
     }
     if (u == landmark) return {false, port_at_landmark};
     if (search(row, len, landmark, &e) && fib_entry_key(e) == landmark) {
+      return {false, fib_entry_port(e)};
+    }
+    return {false, kInvalidPort};
+  }
+  void prefetch(NodeId v) const { CPR_PREFETCH(&t.rows[t.row_off[v]]); }
+};
+
+// Thorup–Zwick name-independent walker: the Cowen decision procedure
+// lifted into label space, preceded by a per-query name resolution. The
+// packet is addressed to a *name* (the external node id); resolve()
+// looks the name up once in the arena's hash-partitioned dictionary to
+// get the scheme-assigned target label, and every hop after that
+// compares and searches labels exclusively — the deliver test is
+// label_of[u] == target_label, which (labels being a bijection) fires
+// exactly at the named node. This is the two-phase lookup of the label
+// layer; labeled kinds skip phase one entirely because their arenas
+// carry no dictionary and their keys *are* node ids. kTz arenas are
+// patched like kCowen ones (label map and dictionary included), so every
+// mutable-section probe goes through the seqlock load helpers.
+struct TzWalker {
+  const FlatFib::CowenView& t;  // rows/landmark arrays, label-keyed
+  const FlatFib::TzView& z;     // label map + name dictionary
+  std::uint32_t node_count = 0;
+  std::uint32_t target_label = kInvalidNode;
+  std::uint32_t landmark_label = kInvalidNode;
+  Port port_at_landmark = kInvalidPort;
+
+  explicit TzWalker(const FlatFib& fib)
+      : t(fib.cowen()),
+        z(fib.tz()),
+        node_count(static_cast<std::uint32_t>(fib.node_count())) {}
+
+  // Bucketed dictionary probe: scan the bucket's live prefix (strictly
+  // increasing by name, kFibDictEmpty fill) for the name. Unknown names
+  // return kInvalidNode — the walk then never delivers and drops at the
+  // first router, the honest fate of an unroutable destination.
+  std::uint32_t dict_resolve(std::uint32_t name) const {
+    const std::uint64_t b = fib_dict_bucket(name, z.dict_bucket_count);
+    const std::uint64_t* slot = z.dict + b * z.dict_bucket_cap;
+    for (std::uint64_t i = 0; i < z.dict_bucket_cap; ++i) {
+      const std::uint64_t e = fib_seq_load_u64(slot + i);
+      if (e == kFibDictEmpty) break;  // end of the live prefix
+      const std::uint32_t key = fib_entry_key(e);
+      if (key == name) return fib_entry_port(e);
+      if (key > name) break;  // sorted prefix: the name is not here
+    }
+    return kInvalidNode;
+  }
+
+  void resolve(NodeId name) {
+    target_label = dict_resolve(name);
+    if (target_label < node_count) {
+      landmark_label = fib_seq_load_u32(t.landmark + target_label);
+      port_at_landmark = fib_seq_load_u32(t.landmark_port + target_label);
+    } else {
+      landmark_label = kInvalidNode;
+      port_at_landmark = kInvalidPort;
+    }
+  }
+  StepResult step(NodeId u) const {
+    const std::uint32_t ul = fib_seq_load_u32(z.label_of + u);
+    if (ul == target_label) return {true, kInvalidPort};
+    const std::uint64_t* row = t.rows + t.row_off[u];
+    const std::uint32_t len = fib_seq_load_u32(t.row_len + u);
+    // Same precedence as the Cowen walker, in label space: direct entry,
+    // the landmark's own hop, then the entry toward the landmark. Row
+    // keys are labels < n, so an invalid target/landmark label (unknown
+    // name) can never match a key and the packet drops.
+    std::uint64_t e;
+    if (seq_row_search(row, len, target_label, &e) &&
+        fib_entry_key(e) == target_label) {
+      return {false, fib_entry_port(e)};
+    }
+    if (ul == landmark_label) return {false, port_at_landmark};
+    if (seq_row_search(row, len, landmark_label, &e) &&
+        fib_entry_key(e) == landmark_label) {
       return {false, fib_entry_port(e)};
     }
     return {false, kInvalidPort};
@@ -581,6 +665,77 @@ struct CowenSimdWalker {
   }
 };
 
+// TZ walker for the lockstep path: TzWalker's label-space decision
+// procedure with CowenSimdWalker's per-row probe selection (vectorized
+// scan under the cutoff, Eytzinger mirror above it). The dictionary
+// probe stays scalar — buckets average four entries, shorter than any
+// vector ramp-up — and runs once per query, not per hop. Loads are plain
+// for the same reason as CowenSimdWalker's: benign under the seqlock,
+// discarded by the generation recheck, and TSan builds never reach this
+// type.
+struct TzSimdWalker {
+  const FlatFib::CowenView& t;
+  const FlatFib::TzView& z;
+  std::uint32_t node_count = 0;
+  std::uint32_t target_label = kInvalidNode;
+  std::uint32_t landmark_label = kInvalidNode;
+  Port port_at_landmark = kInvalidPort;
+
+  explicit TzSimdWalker(const FlatFib& fib)
+      : t(fib.cowen()),
+        z(fib.tz()),
+        node_count(static_cast<std::uint32_t>(fib.node_count())) {}
+
+  std::uint32_t dict_resolve(std::uint32_t name) const {
+    const std::uint64_t b = fib_dict_bucket(name, z.dict_bucket_count);
+    const std::uint64_t* slot = z.dict + b * z.dict_bucket_cap;
+    for (std::uint64_t i = 0; i < z.dict_bucket_cap; ++i) {
+      const std::uint64_t e = slot[i];
+      if (e == kFibDictEmpty) break;
+      const std::uint32_t key = fib_entry_key(e);
+      if (key == name) return fib_entry_port(e);
+      if (key > name) break;
+    }
+    return kInvalidNode;
+  }
+
+  void resolve(NodeId name) {
+    target_label = dict_resolve(name);
+    if (target_label < node_count) {
+      landmark_label = fib_seq_load_u32(t.landmark + target_label);
+      port_at_landmark = fib_seq_load_u32(t.landmark_port + target_label);
+    } else {
+      landmark_label = kInvalidNode;
+      port_at_landmark = kInvalidPort;
+    }
+  }
+  bool find(std::uint32_t off, std::uint32_t len, std::uint32_t key,
+            std::uint32_t* port_out) const {
+    if (len <= kRowSearchLinearCutoff) {
+      return cowen_scan_avx2(t.rows + off, len, key, port_out);
+    }
+    if (t.eyt != nullptr) {
+      return cowen_eyt_search(t.eyt + off, len, key, port_out);
+    }
+    return cowen_bsearch(t.rows + off, len, key, port_out);
+  }
+  StepResult step(NodeId u) const {
+    if (z.label_of[u] == target_label) return {true, kInvalidPort};
+    const std::uint32_t off = t.row_off[u];
+    const std::uint32_t len = fib_seq_load_u32(t.row_len + u);
+    std::uint32_t port;
+    if (find(off, len, target_label, &port)) return {false, port};
+    if (z.label_of[u] == landmark_label) return {false, port_at_landmark};
+    if (find(off, len, landmark_label, &port)) return {false, port};
+    return {false, kInvalidPort};
+  }
+  void prefetch(NodeId v) const {
+    const std::uint32_t off = t.row_off[v];
+    CPR_PREFETCH(&t.rows[off]);
+    if (t.eyt != nullptr) CPR_PREFETCH(&t.eyt[off]);
+  }
+};
+
 // Lane classification out of the batched tree kernel.
 inline constexpr std::uint32_t kLaneDeliver = 0;  // x == dfs_in: arrived
 inline constexpr std::uint32_t kLanePort = 1;     // port[] holds the hop
@@ -936,6 +1091,13 @@ FibDispatch fib_resolve_dispatch(FibDispatch requested) {
   return fib_simd_supported() ? FibDispatch::kSimd : FibDispatch::kScalar;
 }
 
+FibDispatch fib_resolve_batch_dispatch(const FibBatchOptions& opt) {
+  // Failure-mode pin: see the declaration comment. Everything else
+  // resolves exactly as fib_resolve_dispatch.
+  if (opt.edge_down != nullptr) return FibDispatch::kScalar;
+  return fib_resolve_dispatch(opt.dispatch);
+}
+
 FibBatchOutput forward_batch(const FlatFib& fib,
                              std::span<const std::pair<NodeId, NodeId>> queries,
                              const FibBatchOptions& opt) {
@@ -980,11 +1142,13 @@ FibBatchOutput forward_batch(const FlatFib& fib,
   // The AVX2 tree kernel's 32-bit gather indices cap the node count; a
   // larger graph (beyond any current target) walks scalar, bit-identical.
   const bool simd =
-      opt.edge_down == nullptr &&
-      fib_resolve_dispatch(opt.dispatch) == FibDispatch::kSimd &&
+      fib_resolve_batch_dispatch(opt) == FibDispatch::kSimd &&
       fib.node_count() <= kSimdMaxNodeCount &&
       (opt.dispatch != FibDispatch::kAuto ||
        fib.byte_size() >= kSimdAutoMinArenaBytes);
+  // The failure-mode scalar pin is part of the engine's contract, not an
+  // accident of the expression above.
+  assert(opt.edge_down == nullptr || !simd);
   (void)simd;  // non-SIMD builds resolve every dispatch to scalar
 
   // Seqlock read side. Sample the generation, walk, issue an acquire
@@ -1044,6 +1208,13 @@ FibBatchOutput forward_batch(const FlatFib& fib,
                                                   shard_paths[s],
                                                   cache_stats[s]);
               break;
+            case FibKind::kTz:
+              dispatch_shard_lockstep<TzSimdWalker>(fib, queries, indices,
+                                                    opt, max_hops,
+                                                    out.results,
+                                                    shard_paths[s],
+                                                    cache_stats[s]);
+              break;
           }
           std::atomic_thread_fence(std::memory_order_acquire);
           return;
@@ -1074,6 +1245,11 @@ FibBatchOutput forward_batch(const FlatFib& fib,
             dispatch_shard<MeshWalker>(fib, queries, indices, opt, max_hops,
                                        out.results, shard_paths[s],
                                        cache_stats[s]);
+            break;
+          case FibKind::kTz:
+            dispatch_shard<TzWalker>(fib, queries, indices, opt, max_hops,
+                                     out.results, shard_paths[s],
+                                     cache_stats[s]);
             break;
         }
         std::atomic_thread_fence(std::memory_order_acquire);

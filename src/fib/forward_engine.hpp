@@ -85,6 +85,20 @@ bool fib_simd_supported();
 // kAuto resolve to kSimd exactly when fib_simd_supported().
 FibDispatch fib_resolve_dispatch(FibDispatch requested);
 
+struct FibBatchOptions;
+
+// The path a whole *batch* takes, which additionally accounts for the
+// failure mode: batches with `edge_down` set are pinned to the scalar
+// path regardless of the requested dispatch — the drop-at-dead-link and
+// exact (node, header) loop bookkeeping is branch-heavy, per-lane
+// divergent, and cold, so a lockstep variant would be all bookkeeping
+// and no overlapped misses. forward_batch asserts this resolution, so
+// the pin can never silently regress (it is load-bearing for the
+// differential suites, which compare the failure walk against
+// simulate_route_with_failures step for step). Declared here so tests
+// and benches can predict the engine's choice instead of inferring it.
+FibDispatch fib_resolve_batch_dispatch(const FibBatchOptions& opt);
+
 // kAuto additionally falls back to scalar for arenas below this size:
 // the lockstep walk buys overlapped cache misses, and an arena that fits
 // in cache has few to overlap — measured on the bench sweep, the scalar
@@ -131,7 +145,8 @@ struct FibBatchOptions {
   // are the long side of the race).
   std::size_t seqlock_max_retries = 0;
   // Hop-resolution path; see FibDispatch. Ignored (always scalar) when
-  // edge_down is set.
+  // edge_down is set — fib_resolve_batch_dispatch is the authoritative
+  // resolution, asserted inside forward_batch.
   FibDispatch dispatch = FibDispatch::kAuto;
   // Per-shard direct-mapped (node, target) -> decision cache. step() is a
   // pure function of (node, target) for a fixed arena generation, so

@@ -1,0 +1,120 @@
+// The addressing layer: scheme-assigned labels, distinct from node ids.
+//
+// Every scheme before PR 10 routed on labels that were silently equal to
+// node ids — the graph generator handed out ids, the scheme's tables were
+// keyed by them, and the FIB walkers compared them directly. That works
+// for *labeled* (name-dependent) routing, where the scheme is allowed to
+// rename nodes. Name-independent routing (Thorup–Zwick, and the
+// production requirement argued in "Compact Routing on Internet-Like
+// Graphs", PAPERS.md) forbids it: nodes keep arbitrary external names,
+// and the scheme must carry its own name→label dictionary.
+//
+// This header makes the distinction explicit:
+//
+//   - `Label` is a strong 32-bit type. A Label is what a routing table
+//     row is keyed by; a NodeId (the packet's *name*) is what a query is
+//     issued on. For every pre-existing scheme the two coincide — that is
+//     the identity fast path, and it is represented by the *absence* of a
+//     label map, so the existing hot paths pay nothing.
+//
+//   - `LabelMap` is the per-scheme bijection node→label emitted at
+//     construction. Name-independent schemes draw it from the build Rng;
+//     compile_fib serializes it (plus a hash-partitioned dictionary) into
+//     the FlatFib blob so the walkers can resolve names without the
+//     scheme object.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+// A scheme-assigned routing label. Strong type: constructing one from a
+// NodeId requires going through a LabelMap (or make_label for literals),
+// so accidental name/label mixups fail to compile.
+struct Label {
+  std::uint32_t value = static_cast<std::uint32_t>(-1);
+
+  friend constexpr bool operator==(Label, Label) = default;
+  friend constexpr auto operator<=>(Label, Label) = default;
+};
+
+inline constexpr Label kInvalidLabel{static_cast<std::uint32_t>(-1)};
+
+constexpr Label make_label(std::uint32_t v) { return Label{v}; }
+
+// Bijection between node ids (names) and labels for one scheme instance.
+// `identity()` is the zero-cost map used by every labeled scheme;
+// `from_permutation` is what a name-independent scheme builds from a
+// seeded shuffle.
+class LabelMap {
+ public:
+  static LabelMap identity(std::size_t n) {
+    LabelMap m;
+    m.identity_ = true;
+    m.label_of_.resize(n);
+    m.node_of_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      m.label_of_[v] = static_cast<std::uint32_t>(v);
+      m.node_of_[v] = static_cast<NodeId>(v);
+    }
+    return m;
+  }
+
+  // `label_of[v]` = the label of node v; must be a permutation of [0, n).
+  static LabelMap from_permutation(std::vector<std::uint32_t> label_of) {
+    LabelMap m;
+    const std::size_t n = label_of.size();
+    m.label_of_ = std::move(label_of);
+    m.node_of_.assign(n, kInvalidNode);
+    m.identity_ = true;
+    m.valid_ = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t l = m.label_of_[v];
+      if (l >= n || m.node_of_[l] != kInvalidNode) {
+        m.valid_ = false;  // not a permutation
+        m.identity_ = false;
+        return m;
+      }
+      m.node_of_[l] = static_cast<NodeId>(v);
+      m.identity_ = m.identity_ && l == v;
+    }
+    return m;
+  }
+
+  std::size_t size() const { return label_of_.size(); }
+  bool is_identity() const { return identity_; }
+  bool valid() const { return valid_; }
+
+  Label label_of(NodeId v) const { return Label{label_of_[v]}; }
+  NodeId node_of(Label l) const { return node_of_[l.value]; }
+
+  const std::vector<std::uint32_t>& raw_label_of() const { return label_of_; }
+
+ private:
+  std::vector<std::uint32_t> label_of_;
+  std::vector<NodeId> node_of_;
+  bool identity_ = false;
+  bool valid_ = false;
+};
+
+// Draws a uniformly random non-identity label permutation (for n >= 2)
+// from `rng`. Name-independent schemes use this at build time so tests
+// cannot accidentally pass by treating labels as node ids.
+inline LabelMap random_label_map(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t v = 0; v < n; ++v) perm[v] = static_cast<std::uint32_t>(v);
+  rng.shuffle(perm);
+  if (n >= 2) {
+    bool identity = true;
+    for (std::size_t v = 0; v < n && identity; ++v) identity = perm[v] == v;
+    if (identity) std::swap(perm[0], perm[1]);
+  }
+  return LabelMap::from_permutation(std::move(perm));
+}
+
+}  // namespace cpr

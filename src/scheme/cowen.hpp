@@ -498,6 +498,9 @@ class CowenScheme {
     return cluster_sizes_.empty() ? 0 : cluster_sizes_[u];
   }
   bool strict_balls() const { return strict_balls_; }
+  // The graph the scheme was built over. Wrapping schemes (the TZ
+  // name-independent layer) route their size accounting through it.
+  const Graph& graph() const { return *graph_; }
   NodeId landmark_of(NodeId v) const { return landmark_of_[v]; }
   bool is_landmark(NodeId v) const { return is_landmark_[v]; }
   // Construction counters for the bench trajectory: how many landmarks

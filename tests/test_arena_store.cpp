@@ -14,6 +14,7 @@
 #include "fib/compile.hpp"
 #include "fib/forward_engine.hpp"
 #include "scheme/cowen.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "sim/churn.hpp"
 #include "sim/serving.hpp"
 #include "test_support.hpp"
@@ -90,6 +91,34 @@ TEST(ArenaStore, PublishRoundTripsThroughMmap) {
   EXPECT_EQ(arena->byte_size(), fib.blob().size());
   EXPECT_EQ(batch_hash(forward_batch(arena->fib(), queries)), want)
       << "the mapped generation must serve bit-identically to its source";
+}
+
+// v4 (kTz) arenas flow through the same publish → mmap → serve pipeline:
+// the store is format-agnostic bytes, but the validating open on the
+// reader side must accept the label sections and serve name-addressed
+// queries bit-identically to the in-process arena.
+TEST(ArenaStore, TzArenaPublishRoundTripsThroughMmap) {
+  StoreDir dir("tz_roundtrip");
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 3, kN, kP);
+  auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng);
+  const FlatFib fib = compile_fib(scheme, inst.graph,
+                                  fib_churn_maintain_options().compile);
+  ASSERT_EQ(fib.blob_version(), 4u);
+  const auto queries = all_pairs(fib.node_count());
+  const std::uint64_t want = batch_hash(forward_batch(fib, queries));
+
+  ArenaStore writer(dir.path);
+  EXPECT_EQ(writer.publish(fib), 1u);
+
+  ArenaStore reader(dir.path);
+  const auto arena = reader.current();
+  ASSERT_NE(arena, nullptr);
+  EXPECT_EQ(arena->fib().kind(), FibKind::kTz);
+  EXPECT_EQ(arena->fib().blob_version(), 4u);
+  EXPECT_EQ(batch_hash(forward_batch(arena->fib(), queries)), want)
+      << "the mapped v4 generation must serve bit-identically";
 }
 
 TEST(ArenaStore, WriterCrashBeforeRenameLeavesOldGenerationCurrent) {

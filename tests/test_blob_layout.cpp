@@ -41,6 +41,8 @@ const std::string kGoldenPath =
     std::string(CPR_GOLDEN_DIR) + "/cowen_small_v3.hex";
 const std::string kGoldenV2Path =
     std::string(CPR_GOLDEN_DIR) + "/cowen_small_v2.hex";
+const std::string kGoldenV4Path =
+    std::string(CPR_GOLDEN_DIR) + "/cowen_small_v4.hex";
 
 // The golden arena: a 3-node path 0-1-2 with fully hand-written Cowen
 // sections (capacity 2 per row, node 1 as everyone's landmark). Every
@@ -67,6 +69,46 @@ FlatFib build_golden_fib() {
   b.add_array(fib_section::kCowenRows, rows);
   b.add_array(fib_section::kCowenLandmark, landmark);
   b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
+  return b.finish();
+}
+
+// The v4 golden arena: the same 3-node path, lifted to the
+// name-independent kTz kind with the hand-picked label permutation
+// node 0 → 2, node 1 → 0, node 2 → 1. Rows are re-keyed (and re-sorted)
+// by label, the landmark arrays are indexed by label, and the two new
+// sections pin the v4 wire format: the label map and the bucketed
+// name → label dictionary (one bucket of capacity 4 at n = 3, exactly
+// what fib_dict_bucket_count sizes).
+FlatFib build_golden_tz_fib() {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  FibBuilder b(FibKind::kTz, 3);
+  b.add_topology(g);
+  const std::vector<std::uint32_t> row_off = {0, 2, 4, 6};  // capacity CSR
+  const std::vector<std::uint32_t> row_len = {1, 2, 1};
+  const std::vector<std::uint64_t> rows = {
+      fib_pack_entry(0, 0), 0,                     // node 0: landmark's label
+      fib_pack_entry(1, 1), fib_pack_entry(2, 0),  // node 1: both neighbors
+      fib_pack_entry(0, 0), 0,                     // node 2
+  };
+  // Indexed by label: every label's landmark is node 1 (label 0); the
+  // port toward it from node_of(label) — node 1 itself has none.
+  const std::vector<std::uint32_t> landmark = {0, 0, 0};
+  const std::vector<std::uint32_t> landmark_port = {kInvalidPort, 0, 0};
+  const std::vector<std::uint32_t> label_of = {2, 0, 1};
+  const std::vector<std::uint64_t> dictionary = {
+      1, 4,  // bucket_count, bucket_cap
+      fib_pack_entry(0, 2), fib_pack_entry(1, 0), fib_pack_entry(2, 1),
+      kFibDictEmpty,
+  };
+  b.add_array(fib_section::kCowenRowOff, row_off);
+  b.add_array(fib_section::kCowenRowLen, row_len);
+  b.add_array(fib_section::kCowenRows, rows);
+  b.add_array(fib_section::kCowenLandmark, landmark);
+  b.add_array(fib_section::kCowenLandmarkPort, landmark_port);
+  b.add_array(fib_section::kLabelMap, label_of);
+  b.add_array(fib_section::kDictionary, dictionary);
   return b.finish();
 }
 
@@ -192,6 +234,81 @@ TEST(BlobLayout, GoldenBytesReopenAndServe) {
   EXPECT_EQ(p[0], 0u);
   EXPECT_EQ(p[1], 1u);
   EXPECT_EQ(p[2], 2u);
+}
+
+// The v4 pin: same update discipline as the v3 golden. A kTz arena is
+// the first (and so far only) content that emits the CPRFIB04 magic —
+// arenas without label sections must keep serializing byte-identical v3
+// (which the v3 golden above enforces).
+TEST(BlobLayout, TzGoldenFileMatchesByteForByte) {
+  const FlatFib fib = build_golden_tz_fib();
+  const auto blob = fib.blob();
+
+  if (std::getenv("CPR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenV4Path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenV4Path;
+    out << to_hex(blob);
+    GTEST_SKIP() << "golden file regenerated at " << kGoldenV4Path;
+  }
+
+  std::ifstream in(kGoldenV4Path);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenV4Path
+                  << " (generate with CPR_UPDATE_GOLDEN=1)";
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::vector<std::uint8_t> golden = from_hex(text);
+
+  ASSERT_EQ(blob.size(), golden.size())
+      << "CPRFIB04 blob size changed — wire-format break; bump the "
+         "version and regenerate the golden file deliberately";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(blob[i], golden[i])
+        << "CPRFIB04 byte " << i << " changed — wire-format break; bump "
+           "the version and regenerate the golden file deliberately";
+  }
+}
+
+// v4 header + directory shape, and the name-addressed routes: names
+// resolve through the dictionary, forwarding runs in label space, and
+// the path graph still delivers 0 → 2 through the landmark at node 1.
+TEST(BlobLayout, TzGoldenBytesReopenAndServe) {
+  const FlatFib fib = build_golden_tz_fib();
+  const auto blob = fib.blob();
+  ASSERT_GE(blob.size(), 40u);
+  EXPECT_EQ(std::memcmp(blob.data(), "CPRFIB04", 8), 0);
+  EXPECT_EQ(read_le<std::uint32_t>(blob, 8), 6u);  // kind = kTz
+  // 3 topology + 5 cowen + label map + dictionary + synthesized mirror.
+  EXPECT_EQ(read_le<std::uint32_t>(blob, 16), 11u);
+
+  const FlatFib reopened = FlatFib::from_blob({blob.data(), blob.size()});
+  EXPECT_EQ(reopened.blob_version(), 4u);
+  EXPECT_EQ(reopened.kind(), FibKind::kTz);
+  const std::vector<std::pair<NodeId, NodeId>> queries = {
+      {0, 2}, {2, 0}, {0, 1}, {1, 0}};
+  for (const FibDispatch mode : {FibDispatch::kScalar, FibDispatch::kSimd}) {
+    FibBatchOptions opt;
+    opt.dispatch = mode;
+    const FibBatchOutput out = forward_batch(reopened, queries, opt);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(out.results[i].delivered)
+          << "query " << i << " dispatch " << static_cast<int>(mode);
+    }
+    const auto p = out.path(0);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[1], 1u);
+  }
+}
+
+// A kTz kind stamped into a pre-v4 container must be rejected: the label
+// sections it depends on cannot exist there, and an old reader's "unknown
+// kind" failure is exactly what the version gate reproduces forward.
+TEST(BlobLayout, TzKindInV3ContainerIsRejected) {
+  const FlatFib fib = build_golden_fib();  // a v3 Cowen arena
+  const auto blob = fib.blob();
+  std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
+  std::uint32_t kind = 6;  // kTz
+  std::memcpy(bytes.data() + 8, &kind, 4);
+  EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
 }
 
 // The layout promises, stated as offsets — the documentation of record

@@ -19,6 +19,7 @@
 #include "scheme/interval_router.hpp"
 #include "scheme/spanning_tree.hpp"
 #include "scheme/tree_router.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "sim/resilience.hpp"
 #include "test_support.hpp"
 
@@ -162,6 +163,21 @@ TEST_P(FibSeeds, CowenFamilyMatchesObjectPath) {
   check_family(scheme, inst.graph, GetParam(), "cowen");
 }
 
+// Name-independent TZ: queries address external *names*; the compiled
+// kTz arena resolves them through the bucketed dictionary and forwards
+// in label space. The same generic battery applies — the oracle is the
+// scheme's own object path, and the non-identity label permutation (the
+// build draws one explicitly) means any node-id/label confusion in the
+// walker or the compile adapter misroutes immediately.
+TEST_P(FibSeeds, TzFamilyMatchesObjectPath) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng);
+  ASSERT_FALSE(scheme.labels().is_identity());
+  check_family(scheme, inst.graph, GetParam(), "tz");
+}
+
 TEST_P(FibSeeds, TableFamilyMatchesObjectPath) {
   const ShortestPath alg{16};
   auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
@@ -187,8 +203,15 @@ FlatFib sample_fib() {
   return compile_fib(scheme, inst.graph);
 }
 
-TEST(FibBlob, EveryByteFlipIsRejected) {
-  const FlatFib fib = sample_fib();
+FlatFib sample_tz_fib() {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 7, kN, kP);
+  const auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng);
+  return compile_fib(scheme, inst.graph);
+}
+
+void expect_every_byte_flip_rejected(const FlatFib& fib) {
   const auto blob = fib.blob();
   const std::vector<std::uint8_t> bytes(blob.begin(), blob.end());
   // Every byte of the blob is guarded: header and directory fields by
@@ -200,6 +223,19 @@ TEST(FibBlob, EveryByteFlipIsRejected) {
     EXPECT_THROW(FlatFib::from_blob(corrupt), std::runtime_error)
         << "undetected corruption at byte " << pos;
   }
+}
+
+TEST(FibBlob, EveryByteFlipIsRejected) {
+  expect_every_byte_flip_rejected(sample_fib());
+}
+
+// The v4 sections (label map, dictionary) are covered by the same FNV
+// checksum and the same structural validation as everything else; a v4
+// blob must reject every single-byte flip just like a v3 one.
+TEST(FibBlob, TzEveryByteFlipIsRejected) {
+  const FlatFib fib = sample_tz_fib();
+  ASSERT_EQ(fib.blob_version(), 4u);
+  expect_every_byte_flip_rejected(fib);
 }
 
 TEST(FibBlob, TruncationIsRejected) {
@@ -280,6 +316,22 @@ TEST(FibDegenerate, EmptyGraphRoundTripsEveryKind) {
     expect_degenerate_roundtrip(b.finish(), 0);
   }
   {
+    // kTz adds the label map (empty permutation) and the dictionary —
+    // whose header must still carry a nonzero bucket count (the shared
+    // sizing helper never returns 0) with every slot empty.
+    FibBuilder b(FibKind::kTz, 0);
+    b.add_topology(g);
+    b.add_array(fib_section::kCowenRowOff, sentinel);
+    b.add_array(fib_section::kCowenRowLen, none);
+    b.add_array(fib_section::kCowenRows, std::vector<std::uint64_t>{});
+    b.add_array(fib_section::kCowenLandmark, none);
+    b.add_array(fib_section::kCowenLandmarkPort, none);
+    b.add_array(fib_section::kLabelMap, none);
+    b.add_array(fib_section::kDictionary,
+                std::vector<std::uint64_t>{1, 1, kFibDictEmpty});
+    expect_degenerate_roundtrip(b.finish(), 0);
+  }
+  {
     FibBuilder b(FibKind::kTable, 0);
     b.add_topology(g);
     b.add_array(fib_section::kTableRowOff, sentinel);
@@ -345,6 +397,13 @@ void check_plain_degenerate(const Graph& g, std::uint64_t seed) {
   {
     const auto scheme = DestinationTableScheme::from_algebra(alg, g, w);
     check_family(scheme, g, seed, "dest-table-degenerate");
+  }
+  {
+    // n == 1 forces the identity label map (no non-trivial permutation
+    // exists); the scheme and the kTz walker must still deliver.
+    const auto scheme =
+        TzNameIndependentScheme<ShortestPath>::build(alg, g, w, rng);
+    check_family(scheme, g, seed, "tz-degenerate");
   }
 }
 

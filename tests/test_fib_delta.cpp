@@ -19,6 +19,7 @@
 #include "fib/forward_engine.hpp"
 #include "scheme/cowen.hpp"
 #include "scheme/spanning_tree.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "sim/churn.hpp"
 #include "sim/resilience.hpp"
 #include "test_support.hpp"
@@ -162,6 +163,48 @@ TEST_P(DeltaSeeds, CowenPlaneMatchesFreshCompileAfterEveryEvent) {
   EXPECT_GT(plane.stats().patched, 0u) << "no event exercised apply_delta";
 }
 
+// TZ family: the scheme translates every Cowen repair into label space —
+// row patches re-keyed by label, landmark slot patches re-indexed from
+// node to label — before the maintainer sees it. Names and labels are
+// stable across weight churn, so a correct translation never touches the
+// label map or dictionary sections; the differential against a fresh
+// label-preserving compile catches any slot that was left in node space.
+TEST_P(DeltaSeeds, TzPlaneMatchesFreshCompileAfterEveryEvent) {
+  const ShortestPath alg{16};
+  const std::uint64_t seed = GetParam();
+  auto inst = test::seeded_instance(alg, seed, kN, kP);
+  const Graph& g = inst.graph;
+  Rng trace_rng(seed ^ 0xc0ffeeull);
+  const auto trace =
+      random_churn_trace(alg, g, inst.weights, kEvents, trace_rng);
+
+  ChurnEngine<ShortestPath> engine(alg, g, inst.weights);
+  auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, g, inst.weights, inst.rng);
+  FibMaintainOptions opt = fib_churn_maintain_options();
+  opt.compaction_fraction = 2.0;  // same rationale as the Cowen trace
+  MaintainedFib<TzNameIndependentScheme<ShortestPath>> plane(scheme, g, opt);
+  const auto queries = all_pairs(g.node_count());
+
+  std::size_t fast_path_events = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed << " event " << i);
+    const auto applied = engine.apply(trace[i]);
+    const auto repair = scheme.apply_event(applied.edge, applied.old_weight,
+                                           applied.new_weight,
+                                           engine.weights(),
+                                           /*rebuild_dirty_fraction=*/2.0);
+    if (plane.absorb(repair.fib_delta, scheme)) ++fast_path_events;
+    const FlatFib fresh = compile_fib(scheme, g);
+    expect_plane_matches_oracle(plane.fib(), fresh, queries,
+                                engine.down_mask(), "tz");
+  }
+  EXPECT_EQ(plane.stats().events, trace.size());
+  EXPECT_GT(fast_path_events, trace.size() / 2)
+      << "slack profile degenerated to recompiling";
+  EXPECT_GT(plane.stats().patched, 0u) << "no event exercised apply_delta";
+}
+
 INSTANTIATE_TEST_SUITE_P(Corpus, DeltaSeeds,
                          ::testing::Range<std::uint64_t>(0, kCorpusSeeds));
 
@@ -266,6 +309,124 @@ TEST(FibApplyDelta, MalformedPatchesAreRefused) {
     d.touched_nodes = 1;
     d.patches.push_back(fib_patch_u32(fib_section::kTreeNodes, 0, 0));
     EXPECT_FALSE(fib.apply_delta(d));
+  }
+}
+
+// ---- Label-section patches (kTz arenas) ----
+
+struct TzFixture {
+  Graph g;
+  TzNameIndependentScheme<ShortestPath> scheme;
+  static TzFixture make(std::uint64_t seed) {
+    const ShortestPath alg{16};
+    auto inst = test::seeded_instance(alg, seed, kN, kP);
+    auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+        alg, inst.graph, inst.weights, inst.rng);
+    return {inst.graph, std::move(scheme)};
+  }
+};
+
+// Weight churn never relabels, so the corpus trace above cannot reach the
+// kLabelMap / kDictionary patch paths; drive them directly. A rewrite of
+// a label slot and a dictionary bucket with their current contents is the
+// minimal *consistent* patch — it must take the full seqlock round trip
+// (generation +2, checksum refreshed, empty-fill re-stamped) and leave
+// behavior and deep validation intact.
+TEST(FibApplyDelta, LabelAndDictionaryPatchesApplyInPlace) {
+  auto fx = TzFixture::make(3);
+  FlatFib fib =
+      compile_fib(fx.scheme, fx.g, fib_churn_maintain_options().compile);
+  const auto queries = all_pairs(fx.g.node_count());
+  const FibBatchOutput before = forward_batch(fib, queries);
+  const std::uint64_t g0 = fib.generation();
+
+  const auto& tz = fib.tz();
+  const std::uint64_t b0 = fib_dict_bucket(0, tz.dict_bucket_count);
+  std::vector<std::uint64_t> bucket;
+  for (std::uint64_t i = 0; i < tz.dict_bucket_cap; ++i) {
+    const std::uint64_t e = tz.dict[b0 * tz.dict_bucket_cap + i];
+    if (e == kFibDictEmpty) break;
+    bucket.push_back(e);
+  }
+  ASSERT_FALSE(bucket.empty()) << "name 0's bucket has at least name 0";
+
+  FibDelta d;
+  d.touched_nodes = 1;
+  d.patches.push_back(
+      fib_patch_u32(fib_section::kLabelMap, 0, tz.label_of[0]));
+  d.patches.push_back(fib_patch_row_u64(
+      fib_section::kDictionary, static_cast<std::uint32_t>(b0), bucket));
+  ASSERT_TRUE(fib.apply_delta(d));
+  EXPECT_EQ(fib.generation(), g0 + 2);
+
+  const auto blob = fib.blob();
+  EXPECT_NO_THROW(FlatFib::from_blob({blob.data(), blob.size()}));
+  expect_identical_batches(forward_batch(fib, queries), before,
+                           "label patch");
+}
+
+TEST(FibApplyDelta, MalformedLabelPatchesAreRefused) {
+  auto fx = TzFixture::make(3);
+  FlatFib fib =
+      compile_fib(fx.scheme, fx.g, fib_churn_maintain_options().compile);
+  const std::uint32_t n = static_cast<std::uint32_t>(fx.g.node_count());
+  const auto& tz = fib.tz();
+  {
+    FibDelta d;  // label out of range
+    d.touched_nodes = 1;
+    d.patches.push_back(fib_patch_u32(fib_section::kLabelMap, 0, n));
+    EXPECT_FALSE(fib.apply_delta(d));
+  }
+  {
+    FibDelta d;  // row out of range
+    d.touched_nodes = 1;
+    d.patches.push_back(fib_patch_u32(fib_section::kLabelMap, n, 0));
+    EXPECT_FALSE(fib.apply_delta(d));
+  }
+  {
+    FibDelta d;  // bucket index out of range
+    d.touched_nodes = 1;
+    d.patches.push_back(fib_patch_row_u64(
+        fib_section::kDictionary,
+        static_cast<std::uint32_t>(tz.dict_bucket_count),
+        {fib_pack_entry(0, 0)}));
+    EXPECT_FALSE(fib.apply_delta(d));
+  }
+  {
+    FibDelta d;  // entry hashed to the wrong bucket
+    const std::uint64_t b0 = fib_dict_bucket(0, tz.dict_bucket_count);
+    std::uint32_t stray = 1;
+    while (stray < n &&
+           fib_dict_bucket(stray, tz.dict_bucket_count) == b0) {
+      ++stray;
+    }
+    if (stray < n) {
+      d.touched_nodes = 1;
+      d.patches.push_back(fib_patch_row_u64(
+          fib_section::kDictionary, static_cast<std::uint32_t>(b0),
+          {fib_pack_entry(stray, tz.label_of[stray])}));
+      EXPECT_FALSE(fib.apply_delta(d));
+    }
+  }
+  {
+    FibDelta d;  // more entries than the bucket's capacity
+    std::vector<std::uint64_t> flood;
+    for (std::uint64_t i = 0; i <= tz.dict_bucket_cap; ++i) {
+      flood.push_back(fib_pack_entry(static_cast<std::uint32_t>(i), 0));
+    }
+    d.touched_nodes = 1;
+    d.patches.push_back(
+        fib_patch_row_u64(fib_section::kDictionary, 0, flood));
+    EXPECT_FALSE(fib.apply_delta(d));
+  }
+  {
+    FibDelta d;  // label sections are kTz-only: refused on a kCowen arena
+    auto cx = CowenFixture::make(3);
+    FlatFib cowen =
+        compile_fib(cx.scheme, cx.g, fib_churn_maintain_options().compile);
+    d.touched_nodes = 1;
+    d.patches.push_back(fib_patch_u32(fib_section::kLabelMap, 0, 0));
+    EXPECT_FALSE(cowen.apply_delta(d));
   }
 }
 

@@ -25,6 +25,7 @@
 #include "scheme/cowen.hpp"
 #include "scheme/interval_router.hpp"
 #include "scheme/spanning_tree.hpp"
+#include "scheme/tz_name_independent.hpp"
 #include "sim/workload.hpp"
 #include "test_support.hpp"
 
@@ -155,6 +156,19 @@ TEST_P(FibSimdSeeds, CowenFamilyDispatchIdentical) {
                            all_pairs(inst.graph.node_count()), "cowen");
 }
 
+// The kTz lockstep walker shares the Cowen row kernels but adds the
+// name → label dictionary resolve and the label-space deliver test; the
+// scalar path is its reference, the object path the oracle. The 50-seed
+// corpus runs a fresh label permutation per seed.
+TEST_P(FibSimdSeeds, TzFamilyDispatchIdentical) {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
+  const auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng);
+  check_dispatch_identical(scheme, inst.graph,
+                           all_pairs(inst.graph.node_count()), "tz");
+}
+
 TEST_P(FibSimdSeeds, TableFamilyDispatchIdentical) {
   const ShortestPath alg{16};
   auto inst = test::seeded_instance(alg, GetParam(), kN, kP);
@@ -183,6 +197,25 @@ TEST(FibSimdDispatch, AutoAndSimdFollowCpuSupport) {
       fib_simd_supported() ? FibDispatch::kSimd : FibDispatch::kScalar;
   EXPECT_EQ(fib_resolve_dispatch(FibDispatch::kAuto), want);
   EXPECT_EQ(fib_resolve_dispatch(FibDispatch::kSimd), want);
+}
+
+// Failure-mode batches are pinned to the scalar path no matter what the
+// caller requested: the pin used to be an implementation detail buried
+// in forward_batch's dispatch expression, now it is the documented
+// contract of fib_resolve_batch_dispatch (and asserted in the engine).
+// The differential failure suites rely on it — they compare against the
+// step-by-step scalar oracle.
+TEST(FibSimdDispatch, EdgeDownBatchesArePinnedToScalar) {
+  const std::vector<bool> down;
+  for (const FibDispatch req :
+       {FibDispatch::kAuto, FibDispatch::kScalar, FibDispatch::kSimd}) {
+    FibBatchOptions opt;
+    opt.dispatch = req;
+    EXPECT_EQ(fib_resolve_batch_dispatch(opt), fib_resolve_dispatch(req));
+    opt.edge_down = &down;
+    EXPECT_EQ(fib_resolve_batch_dispatch(opt), FibDispatch::kScalar)
+        << "edge_down batches must resolve to the scalar path";
+  }
 }
 
 // The compiled rows and the CSR adjacency use the same linear-scan
@@ -233,6 +266,45 @@ TEST(FibSimdLargeRows, CowenEytzingerPathDispatchIdentical) {
     queries.push_back({d.source, d.target});
   }
   check_dispatch_identical(scheme, g, queries, "cowen-large");
+}
+
+// Same large instance through the TZ layer: label-keyed rows of the same
+// lengths, so the kTz lockstep walker's Eytzinger branch (shared with
+// Cowen) runs against label keys, after a dictionary resolve per query.
+TEST(FibSimdLargeRows, TzEytzingerPathDispatchIdentical) {
+  const ShortestPath alg{1024};
+  const std::size_t n = 600;
+  Rng rng(97);
+  const Graph g = erdos_renyi_connected(n, 6.0 / static_cast<double>(n - 1),
+                                        rng);
+  const auto w = test::sampled_weights(alg, g, rng);
+  const auto scheme =
+      TzNameIndependentScheme<ShortestPath>::build(alg, g, w, rng);
+  const FlatFib fib = compile_fib(scheme, g);
+
+  const auto& cowen = fib.cowen();
+  ASSERT_NE(cowen.eyt, nullptr);
+  std::uint32_t longest = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    longest = std::max(longest, cowen.row_len[v]);
+  }
+  ASSERT_GT(longest, kRowSearchLinearCutoff)
+      << "instance too small to exercise the Eytzinger branch";
+
+  Rng qrng(1234);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const NodeId s = static_cast<NodeId>(qrng.index(n));
+    NodeId t = static_cast<NodeId>(qrng.index(n));
+    if (t == s) t = static_cast<NodeId>((t + 1) % n);
+    queries.push_back({s, t});
+  }
+  WorkloadGenerator zipf(WorkloadGenerator::Kind::kZipf, g, qrng);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const Demand d = zipf.next();
+    queries.push_back({d.source, d.target});
+  }
+  check_dispatch_identical(scheme, g, queries, "tz-large");
 }
 
 // ---- Mirror validation ----
@@ -293,6 +365,94 @@ TEST(FibSimdMirror, CorruptedMirrorIsRejected) {
   }
   std::memcpy(bytes.data() + 32, &h, 8);
 
+  EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
+}
+
+// ---- Label layer validation (v4 byte surgery) ----
+//
+// Like the mirror test above, these corrupt a *semantic* invariant and
+// re-seal the FNV checksum, so only the deep validators can object: a
+// label map that silently stopped being a permutation, or a dictionary
+// slot that disagrees with it, would misdeliver every packet whose name
+// resolves through the broken entry — to a plausible-looking wrong node.
+
+struct SectionSpan {
+  std::uint64_t off = 0;
+  std::uint64_t bytes = 0;
+};
+
+SectionSpan locate_section(const std::vector<std::uint8_t>& bytes,
+                           std::uint32_t want) {
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 16, 4);
+  SectionSpan s;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* e = bytes.data() + 40 + i * 24;
+    std::uint32_t id = 0;
+    std::memcpy(&id, e, 4);
+    if (id == want) {
+      std::memcpy(&s.off, e + 8, 8);
+      std::memcpy(&s.bytes, e + 16, 8);
+    }
+  }
+  return s;
+}
+
+void reseal_checksum(std::vector<std::uint8_t>& bytes) {
+  std::uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, bytes.data() + 24, 8);
+  const std::size_t payload_begin = bytes.size() - payload_bytes;
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = payload_begin; i < bytes.size(); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  std::memcpy(bytes.data() + 32, &h, 8);
+}
+
+std::vector<std::uint8_t> tz_blob_bytes() {
+  const ShortestPath alg{16};
+  auto inst = test::seeded_instance(alg, 11, kN, kP);
+  const auto scheme = TzNameIndependentScheme<ShortestPath>::build(
+      alg, inst.graph, inst.weights, inst.rng);
+  const FlatFib fib = compile_fib(scheme, inst.graph);
+  const auto blob = fib.blob();
+  return {blob.begin(), blob.end()};
+}
+
+TEST(FibTzValidation, DuplicatedLabelInMapIsRejected) {
+  std::vector<std::uint8_t> bytes = tz_blob_bytes();
+  const SectionSpan lm = locate_section(bytes, fib_section::kLabelMap);
+  ASSERT_GE(lm.bytes, 8u) << "label map section missing";
+  auto* labels = reinterpret_cast<std::uint32_t*>(bytes.data() + lm.off);
+  labels[0] = labels[1];  // two nodes claim one label: not a permutation
+  reseal_checksum(bytes);
+  EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
+}
+
+TEST(FibTzValidation, DictionarySlotDisagreeingWithLabelMapIsRejected) {
+  std::vector<std::uint8_t> bytes = tz_blob_bytes();
+  std::uint32_t n = 0;
+  std::memcpy(&n, bytes.data() + 12, 4);
+  ASSERT_GT(n, 1u);
+  const SectionSpan ds = locate_section(bytes, fib_section::kDictionary);
+  ASSERT_GE(ds.bytes, 24u) << "dictionary section missing";
+  auto* dict = reinterpret_cast<std::uint64_t*>(bytes.data() + ds.off);
+  const std::uint64_t slots = ds.bytes / 8 - 2;
+  std::size_t at = slots;
+  for (std::size_t i = 0; i < slots; ++i) {
+    if (dict[2 + i] != kFibDictEmpty) {
+      at = i;
+      break;
+    }
+  }
+  ASSERT_LT(at, slots) << "no live dictionary slot";
+  const std::uint32_t name = fib_entry_key(dict[2 + at]);
+  const std::uint32_t label = fib_entry_port(dict[2 + at]);
+  // Still a well-formed (name, label) pair — label in range, bucket and
+  // order untouched — but it now resolves the name to the *wrong* label.
+  dict[2 + at] = fib_pack_entry(name, (label + 1) % n);
+  reseal_checksum(bytes);
   EXPECT_THROW(FlatFib::from_blob(bytes), std::runtime_error);
 }
 
